@@ -1,0 +1,152 @@
+// Ablations of CMFL's design choices (DESIGN.md §6), on the fast MLP
+// workload so the whole study runs in about a minute:
+//
+//   A. Feedback estimator: previous-update (paper) vs EMA-smoothed vs no
+//      feedback at all (threshold 0 ⇒ vanilla) — does the simple
+//      previous-update estimate suffice?
+//   B. Threshold schedule: constant vs v0/sqrt(t) vs v0/t.
+//   C. Data distribution: label-sorted non-IID (paper protocol) vs IID —
+//      CMFL's value should come from non-IID outliers; under IID all
+//      updates are relevant and filtering gains little.
+#include "bench_common.h"
+
+using namespace cmfl;
+
+namespace {
+
+fl::DigitsMlpSpec mlp_spec(const util::Config& cfg,
+                           const std::string& partition) {
+  fl::DigitsMlpSpec spec;
+  spec.clients = static_cast<std::size_t>(cfg.get_int("clients", 30));
+  spec.train_samples = spec.clients * 30;
+  spec.test_samples = 300;
+  spec.hidden = {32};
+  spec.digits.image_size = 12;
+  spec.digits.noise_stddev = 0.25f;
+  spec.digits.noise_density = 0.15f;
+  spec.partition = partition;
+  spec.seed = static_cast<std::uint64_t>(cfg.get_int64("seed", 42));
+  return spec;
+}
+
+fl::SimulationOptions mlp_options(const util::Config& cfg) {
+  fl::SimulationOptions opt;
+  opt.local_epochs = 4;
+  opt.batch_size = 2;
+  opt.learning_rate = core::Schedule::inv_sqrt(cfg.get_double("lr", 0.3));
+  opt.max_iterations = static_cast<std::size_t>(cfg.get_int("iters", 50));
+  opt.eval_every = 1;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = util::Config::from_args(argc, argv);
+  std::printf("# Ablation study: CMFL design choices (digits MLP)\n\n");
+  const double target = cfg.get_double("target", 0.7);
+  const double threshold = cfg.get_double("threshold", 0.42);
+
+  // --- A: estimator variants ---
+  {
+    auto opt = mlp_options(cfg);
+    const auto spec = mlp_spec(cfg, "label_sorted");
+    auto make = [&] { return fl::make_digits_mlp_workload(spec); };
+    const auto vanilla =
+        bench::run_scheme(make, "vanilla", core::Schedule::constant(0), opt);
+    util::Table table(
+        {"estimator", "rounds to target", "saving", "final acc"});
+    auto add = [&](const char* name, double ema) {
+      auto o = opt;
+      o.estimator_ema = ema;
+      const auto r = bench::run_scheme(
+          make, "cmfl", core::Schedule::constant(threshold), o);
+      table.add_row({name, bench::opt_rounds(r.rounds_to_accuracy(target)),
+                     bench::opt_saving(fl::saving(vanilla, r, target)),
+                     util::fmt(r.final_accuracy, 3)});
+    };
+    table.add_row({"(vanilla, no filtering)",
+                   bench::opt_rounds(vanilla.rounds_to_accuracy(target)),
+                   "1.00x", util::fmt(vanilla.final_accuracy, 3)});
+    add("previous update (paper)", 0.0);
+    add("EMA decay 0.5", 0.5);
+    add("EMA decay 0.9", 0.9);
+    std::printf("## A. global-update estimator (threshold %.2f)\n",
+                threshold);
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // --- B: threshold schedules ---
+  {
+    auto opt = mlp_options(cfg);
+    const auto spec = mlp_spec(cfg, "label_sorted");
+    auto make = [&] { return fl::make_digits_mlp_workload(spec); };
+    const auto vanilla =
+        bench::run_scheme(make, "vanilla", core::Schedule::constant(0), opt);
+    util::Table table(
+        {"schedule", "rounds to target", "saving", "final acc"});
+    for (const auto& [name, sched] :
+         std::vector<std::pair<std::string, core::Schedule>>{
+             {"constant " + util::fmt(threshold, 2),
+              core::Schedule::constant(threshold)},
+             {"0.8/sqrt(t) (paper)", core::Schedule::inv_sqrt(0.8)},
+             {"0.8/t", core::Schedule::inv_linear(0.8)}}) {
+      const auto r = bench::run_scheme(make, "cmfl", sched, opt);
+      table.add_row({name, bench::opt_rounds(r.rounds_to_accuracy(target)),
+                     bench::opt_saving(fl::saving(vanilla, r, target)),
+                     util::fmt(r.final_accuracy, 3)});
+    }
+    std::printf("## B. threshold schedule\n");
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // --- C: non-IID vs IID ---
+  // Observe-only runs (threshold 0 never filters) show the relevance level
+  // per distribution; filtered runs show what a fixed threshold then does.
+  // Finding at this scale: under the paper's non-IID protocol the filter
+  // trims a modest share of weakly-aligned uploads harmlessly, while under
+  // IID the same threshold triggers a starvation spiral (uploaded subset
+  // biases ū, relevance of the rest drops further) that breaks training —
+  // CMFL's threshold must be tuned to the population, exactly why the paper
+  // sweeps it per workload.
+  {
+    auto opt = mlp_options(cfg);
+    util::Table table({"partition", "mean relevance (t=2..)",
+                       "min iteration mean",
+                       "uploads eliminated @" + util::fmt(threshold, 2),
+                       "filtered final acc"});
+    for (const char* partition : {"label_sorted", "iid"}) {
+      const auto spec = mlp_spec(cfg, partition);
+      auto make = [&] { return fl::make_digits_mlp_workload(spec); };
+      const auto observe = bench::run_scheme(
+          make, "cmfl", core::Schedule::constant(0.0), opt);
+      // Count would-be eliminations with a real threshold, from a second
+      // filtered run.
+      const auto filtered = bench::run_scheme(
+          make, "cmfl", core::Schedule::constant(threshold), opt);
+      double mean = 0.0, min_mean = 1.0;
+      std::size_t counted = 0;
+      for (const auto& rec : observe.history) {
+        if (rec.iteration < 2) continue;
+        mean += rec.mean_score;
+        min_mean = std::min(min_mean, rec.mean_score);
+        ++counted;
+      }
+      mean /= static_cast<double>(std::max<std::size_t>(counted, 1));
+      std::size_t eliminated = 0;
+      for (std::size_t e : filtered.eliminations_per_client) eliminated += e;
+      const double share =
+          static_cast<double>(eliminated) /
+          static_cast<double>(filtered.total_rounds + eliminated);
+      table.add_row({partition, util::fmt(mean, 3), util::fmt(min_mean, 3),
+                     util::fmt(share * 100, 1) + "%",
+                     util::fmt(filtered.final_accuracy, 3)});
+    }
+    std::printf("## C. data distribution (observe-only relevance)\n");
+    table.print(std::cout);
+  }
+  bench::warn_unused(cfg);
+  return 0;
+}

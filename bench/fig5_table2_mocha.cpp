@@ -1,0 +1,135 @@
+// Figure 5 + Table II: applying CMFL to federated multi-task learning
+// (MOCHA) on the HAR and Semeion workloads — accuracy vs accumulated
+// communication rounds, saving at two targets, and the final-accuracy
+// improvement the paper highlights (outlier exclusion *helps* accuracy).
+#include "bench_common.h"
+
+#include "data/synth_har.h"
+#include "data/synth_semeion.h"
+#include "mtl/mtl_simulation.h"
+
+using namespace cmfl;
+
+namespace {
+
+struct MtlWorkload {
+  data::DenseDataset dataset;
+  data::Partition partition;
+  std::string name;
+};
+
+fl::SimulationResult run_mtl(const MtlWorkload& w, const std::string& kind,
+                             core::Schedule threshold,
+                             const mtl::MtlOptions& opt) {
+  mtl::MtlSimulation sim(&w.dataset, w.partition,
+                         core::make_filter(kind, threshold), opt);
+  return sim.run();
+}
+
+void report(const MtlWorkload& w, const mtl::MtlOptions& opt,
+            double target_low, double target_high,
+            const std::vector<double>& sweep) {
+  std::printf("## %s (%zu tasks)\n", w.name.c_str(), w.partition.clients());
+  const auto mocha =
+      run_mtl(w, "vanilla", core::Schedule::constant(0), opt);
+
+  std::vector<fl::SimulationResult> runs;
+  for (double v : sweep) {
+    runs.push_back(run_mtl(w, "cmfl", core::Schedule::constant(v), opt));
+  }
+  const std::size_t best = fl::best_run_index(runs, target_high);
+  const auto& cmfl = runs[best];
+
+  bench::print_curve(w.name + ",mocha", mocha);
+  bench::print_curve(w.name + ",mocha+cmfl", cmfl);
+
+  util::Table table({"workload", "target acc", "mocha rounds",
+                     "mocha+cmfl rounds", "saving"});
+  for (double a : {target_low, target_high}) {
+    table.add_row({w.name, util::fmt(a * 100, 0) + "%",
+                   bench::opt_rounds(mocha.rounds_to_accuracy(a)),
+                   bench::opt_rounds(cmfl.rounds_to_accuracy(a)),
+                   bench::opt_saving(fl::saving(mocha, cmfl, a))});
+  }
+  table.print(std::cout);
+  std::printf("best cmfl threshold: %.2f\n", sweep[best]);
+  std::printf(
+      "final accuracy: mocha=%.4f mocha+cmfl=%.4f (ratio %.3fx; paper saw "
+      "1.03x-1.04x improvements)\n\n",
+      mocha.final_accuracy, cmfl.final_accuracy,
+      cmfl.final_accuracy / std::max(mocha.final_accuracy, 1e-9));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = util::Config::from_args(argc, argv);
+  std::printf("# Figure 5 + Table II: CMFL applied to MOCHA\n\n");
+  const std::vector<double> sweep = {0.40, 0.45, 0.48, 0.50, 0.52, 0.55, 0.58};
+
+  // --- Human Activity Recognition (paper: 142 clients, 10-100 samples) ---
+  {
+    util::Rng rng(static_cast<std::uint64_t>(cfg.get_int64("seed", 42)));
+    data::SynthHarSpec spec;
+    spec.clients = static_cast<std::size_t>(cfg.get_int("har_clients", 60));
+    spec.features = static_cast<std::size_t>(cfg.get_int("har_features", 128));
+    spec.min_samples = 10;
+    spec.max_samples = 100;
+    // Harder separation than the defaults so convergence spans tens of
+    // rounds — the paper's curves cover thousands of rounds; a task the
+    // solver aces in two rounds cannot show communication savings.
+    spec.class_separation = 0.8;
+    spec.sample_noise_stddev = 0.9;
+    data::HarData har = data::make_synth_har(spec, rng);
+    MtlWorkload w{std::move(har.dataset), std::move(har.partition), "har"};
+
+    // E = 1 (the paper used E = 10 with its CoCoA-style solver; our plain
+    // SGD solver makes far more progress per epoch, so one epoch per round
+    // keeps convergence spread over tens of rounds as in the paper's
+    // curves).
+    mtl::MtlOptions opt;
+    opt.local_epochs = cfg.get_int("epochs", 1);
+    opt.batch_size = static_cast<std::size_t>(cfg.get_int("batch", 5));
+    opt.learning_rate = static_cast<float>(cfg.get_double("lr", 0.01));
+    opt.max_iterations = static_cast<std::size_t>(cfg.get_int("iters", 80));
+    opt.eval_every = 1;
+    opt.lambda = 0.1;
+    opt.seed = 11;
+    report(w, opt, cfg.get_double("har_target_low", 0.66),
+           cfg.get_double("har_target_high", 0.70), sweep);
+  }
+
+  // --- Semeion Handwritten Digit (paper: 15 clients, 10-200 samples) ---
+  {
+    util::Rng rng(static_cast<std::uint64_t>(cfg.get_int64("seed", 42)) + 1);
+    data::SynthSemeionSpec spec;
+    spec.samples = static_cast<std::size_t>(cfg.get_int("shd_samples", 1593));
+    spec.flip_probability = 0.06;  // noisier pixels: slower convergence
+    data::DenseDataset ds = data::make_synth_semeion(spec, rng);
+    const std::size_t clients =
+        static_cast<std::size_t>(cfg.get_int("shd_clients", 15));
+    data::Partition partition = data::random_sized_partition(
+        ds.size(), clients, 10, 200, rng);
+    MtlWorkload w{std::move(ds), std::move(partition), "semeion"};
+
+    // Targets sit above the ~90% all-negative base rate of the zero-vs-rest
+    // task, so reaching them requires actually detecting zeros.
+    mtl::MtlOptions opt;
+    opt.local_epochs = cfg.get_int("epochs", 1);
+    opt.batch_size = static_cast<std::size_t>(cfg.get_int("batch", 5));
+    opt.learning_rate = static_cast<float>(cfg.get_double("shd_lr", 0.005));
+    opt.max_iterations = static_cast<std::size_t>(cfg.get_int("iters", 80));
+    opt.eval_every = 1;
+    opt.lambda = 0.05;
+    opt.seed = 13;
+    report(w, opt, cfg.get_double("shd_target_low", 0.92),
+           cfg.get_double("shd_target_high", 0.93), sweep);
+  }
+
+  std::printf(
+      "paper shape: MOCHA+CMFL reaches each target accuracy with multi-x "
+      "fewer accumulated rounds (paper: 4.3x/5.7x on HAR, 1.97x/3.3x on "
+      "Semeion) and equal-or-better final accuracy\n");
+  bench::warn_unused(cfg);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: federated training with CMFL in ~40 lines.
+//
+//   $ ./quickstart
+//
+// Builds a small non-IID image workload (20 clients), trains it three ways
+// (vanilla FL, Gaia, CMFL), and prints the communication/accuracy outcome.
+// This is the smallest end-to-end use of the public API:
+//
+//   1. make a Workload (datasets + clients + evaluator),
+//   2. pick an UpdateFilter (the CMFL contribution lives here),
+//   3. run FederatedSimulation and read the SimulationResult.
+#include <cstdio>
+
+#include "core/filter.h"
+#include "fl/metrics.h"
+#include "fl/simulation.h"
+#include "fl/workloads.h"
+
+using namespace cmfl;
+
+int main() {
+  // 1. A ready-made workload: synthetic digit images, label-sorted into 20
+  //    non-IID clients, plus a server-side test set.
+  fl::DigitsMlpSpec workload_spec;
+  workload_spec.clients = 20;
+  workload_spec.train_samples = 800;
+  workload_spec.test_samples = 200;
+  workload_spec.hidden = {32};
+
+  // 2. Shared training hyper-parameters (paper notation: E, B, η_t).
+  fl::SimulationOptions options;
+  options.local_epochs = 4;                                   // E
+  options.batch_size = 2;                                     // B
+  options.learning_rate = core::Schedule::inv_sqrt(0.25);     // η_t = η0/√t
+  options.max_iterations = 40;
+  options.eval_every = 2;
+
+  std::printf("scheme   | uploads | final accuracy\n");
+  std::printf("---------+---------+---------------\n");
+  for (const char* scheme : {"vanilla", "gaia", "cmfl"}) {
+    // 3. The filter is the only thing that changes between schemes.  CMFL
+    //    uploads an update only if enough of its parameters move in the
+    //    same direction as the previous global update (Eq. 9).
+    const core::Schedule threshold =
+        std::string(scheme) == "gaia" ? core::Schedule::constant(0.05)
+                                      : core::Schedule::constant(0.44);
+    fl::Workload w = fl::make_digits_mlp_workload(workload_spec);
+    fl::FederatedSimulation sim(std::move(w.clients),
+                                core::make_filter(scheme, threshold),
+                                w.evaluator, options);
+    const fl::SimulationResult result = sim.run();
+    std::printf("%-8s | %7zu | %.3f\n", scheme, result.total_rounds,
+                result.final_accuracy);
+  }
+  std::printf(
+      "\nCMFL reaches comparable accuracy while uploading fewer updates —\n"
+      "each skipped upload is one client-round of mobile bandwidth saved.\n");
+  return 0;
+}

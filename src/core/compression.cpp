@@ -1,0 +1,218 @@
+#include "core/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace cmfl::core {
+
+namespace {
+
+void append_pod(std::vector<std::byte>& buf, const void* data,
+                std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buf.insert(buf.end(), p, p + n);
+}
+
+template <typename T>
+void put(std::vector<std::byte>& buf, T value) {
+  append_pod(buf, &value, sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::byte> buf, std::size_t& pos) {
+  if (pos + sizeof(T) > buf.size()) {
+    throw std::runtime_error("compression: truncated payload");
+  }
+  T value;
+  std::memcpy(&value, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+CompressedUpdate IdentityCompressor::encode(std::span<const float> update) {
+  CompressedUpdate out;
+  out.original_dim = update.size();
+  put(out.payload, static_cast<std::uint64_t>(update.size()));
+  append_pod(out.payload, update.data(), update.size() * sizeof(float));
+  out.wire_bytes = out.payload.size();
+  return out;
+}
+
+std::vector<float> IdentityCompressor::decode(const CompressedUpdate& enc) {
+  std::size_t pos = 0;
+  const auto n = get<std::uint64_t>(enc.payload, pos);
+  if (pos + n * sizeof(float) > enc.payload.size()) {
+    throw std::runtime_error("IdentityCompressor: truncated payload");
+  }
+  std::vector<float> out(n);
+  std::memcpy(out.data(), enc.payload.data() + pos, n * sizeof(float));
+  return out;
+}
+
+SubsampleCompressor::SubsampleCompressor(double keep, std::uint64_t seed)
+    : keep_(keep), rng_(seed) {
+  if (!(keep > 0.0) || keep > 1.0) {
+    throw std::invalid_argument("SubsampleCompressor: keep must be in (0,1]");
+  }
+}
+
+std::string SubsampleCompressor::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "subsample:%.2f", keep_);
+  return buf;
+}
+
+CompressedUpdate SubsampleCompressor::encode(std::span<const float> update) {
+  CompressedUpdate out;
+  out.original_dim = update.size();
+  std::vector<std::uint32_t> kept;
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    if (rng_.uniform() < keep_) kept.push_back(static_cast<std::uint32_t>(i));
+  }
+  put(out.payload, static_cast<std::uint64_t>(update.size()));
+  put(out.payload, static_cast<std::uint64_t>(kept.size()));
+  const auto scale = static_cast<float>(1.0 / keep_);
+  for (std::uint32_t idx : kept) {
+    put(out.payload, idx);
+    put(out.payload, update[idx] * scale);
+  }
+  out.wire_bytes = out.payload.size();
+  return out;
+}
+
+std::vector<float> SubsampleCompressor::decode(const CompressedUpdate& enc) {
+  std::size_t pos = 0;
+  const auto dim = get<std::uint64_t>(enc.payload, pos);
+  const auto count = get<std::uint64_t>(enc.payload, pos);
+  std::vector<float> out(dim, 0.0f);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto idx = get<std::uint32_t>(enc.payload, pos);
+    const auto value = get<float>(enc.payload, pos);
+    if (idx >= dim) {
+      throw std::runtime_error("SubsampleCompressor: index out of range");
+    }
+    out[idx] = value;
+  }
+  return out;
+}
+
+QuantizeCompressor::QuantizeCompressor(std::uint64_t seed) : rng_(seed) {}
+
+CompressedUpdate QuantizeCompressor::encode(std::span<const float> update) {
+  CompressedUpdate out;
+  out.original_dim = update.size();
+  float lo = 0.0f, hi = 0.0f;
+  if (!update.empty()) {
+    lo = *std::min_element(update.begin(), update.end());
+    hi = *std::max_element(update.begin(), update.end());
+  }
+  put(out.payload, static_cast<std::uint64_t>(update.size()));
+  put(out.payload, lo);
+  put(out.payload, hi);
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  for (float v : update) {
+    std::uint8_t q = 0;
+    if (range > 0.0) {
+      // Stochastic rounding keeps E[decode(encode(v))] == v.
+      const double level = (static_cast<double>(v) - lo) / range * 255.0;
+      const double floor_level = std::floor(level);
+      const double frac = level - floor_level;
+      q = static_cast<std::uint8_t>(
+          std::min(255.0, floor_level + (rng_.uniform() < frac ? 1.0 : 0.0)));
+    }
+    put(out.payload, q);
+  }
+  out.wire_bytes = out.payload.size();
+  return out;
+}
+
+std::vector<float> QuantizeCompressor::decode(const CompressedUpdate& enc) {
+  std::size_t pos = 0;
+  const auto n = get<std::uint64_t>(enc.payload, pos);
+  const auto lo = get<float>(enc.payload, pos);
+  const auto hi = get<float>(enc.payload, pos);
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  std::vector<float> out(n);
+  for (auto& v : out) {
+    const auto q = get<std::uint8_t>(enc.payload, pos);
+    v = static_cast<float>(lo + range * (static_cast<double>(q) / 255.0));
+  }
+  return out;
+}
+
+StructuredMaskCompressor::StructuredMaskCompressor(double density,
+                                                   std::uint64_t seed)
+    : density_(density), rng_(seed) {
+  if (!(density > 0.0) || density > 1.0) {
+    throw std::invalid_argument(
+        "StructuredMaskCompressor: density must be in (0,1]");
+  }
+}
+
+std::string StructuredMaskCompressor::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "structured:%.2f", density_);
+  return buf;
+}
+
+CompressedUpdate StructuredMaskCompressor::encode(
+    std::span<const float> update) {
+  CompressedUpdate out;
+  out.original_dim = update.size();
+  std::vector<std::uint32_t> kept;
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    if (rng_.uniform() < density_) {
+      kept.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  put(out.payload, static_cast<std::uint64_t>(update.size()));
+  put(out.payload, static_cast<std::uint64_t>(kept.size()));
+  for (std::uint32_t idx : kept) {
+    put(out.payload, idx);
+    put(out.payload, update[idx]);  // no rescaling: the mask IS the update
+  }
+  out.wire_bytes = out.payload.size();
+  return out;
+}
+
+std::vector<float> StructuredMaskCompressor::decode(
+    const CompressedUpdate& enc) {
+  std::size_t pos = 0;
+  const auto dim = get<std::uint64_t>(enc.payload, pos);
+  const auto count = get<std::uint64_t>(enc.payload, pos);
+  std::vector<float> out(dim, 0.0f);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto idx = get<std::uint32_t>(enc.payload, pos);
+    const auto value = get<float>(enc.payload, pos);
+    if (idx >= dim) {
+      throw std::runtime_error("StructuredMaskCompressor: index out of range");
+    }
+    out[idx] = value;
+  }
+  return out;
+}
+
+std::unique_ptr<UpdateCompressor> make_compressor(const std::string& spec,
+                                                  std::uint64_t seed) {
+  if (spec == "float32") return std::make_unique<IdentityCompressor>();
+  if (spec == "quantize8") return std::make_unique<QuantizeCompressor>(seed);
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos) {
+    const std::string kind = spec.substr(0, colon);
+    const double param = std::stod(spec.substr(colon + 1));
+    if (kind == "subsample") {
+      return std::make_unique<SubsampleCompressor>(param, seed);
+    }
+    if (kind == "structured") {
+      return std::make_unique<StructuredMaskCompressor>(param, seed);
+    }
+  }
+  throw std::invalid_argument("make_compressor: unknown spec '" + spec + "'");
+}
+
+}  // namespace cmfl::core

@@ -1,0 +1,110 @@
+// Update-compression baselines (Konečný et al., "Federated Learning:
+// Strategies for Improving Communication Efficiency").
+//
+// The paper positions CMFL as *orthogonal* to compression: compression
+// shrinks the bits per update, CMFL shrinks the number of updates, and the
+// two compose.  To evaluate that claim we implement the two compression
+// families the paper cites:
+//
+//  * structured updates — the client only learns/transmits a random sparse
+//    mask of the update (the rest is implicitly zero);
+//  * sketched updates  — the client computes the full update, then sketches
+//    it before upload via (a) random subsampling with rescaling, or
+//    (b) probabilistic 1-byte uniform quantization.
+//
+// Each compressor reports the exact wire size of its encoded form so the
+// benches can compare bytes-to-accuracy across CMFL, compression, and both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cmfl::core {
+
+/// An encoded update plus its exact wire footprint.
+struct CompressedUpdate {
+  std::vector<std::byte> payload;
+  std::size_t wire_bytes = 0;   // == payload.size(), kept explicit
+  std::size_t original_dim = 0;
+};
+
+class UpdateCompressor {
+ public:
+  virtual ~UpdateCompressor() = default;
+  virtual std::string name() const = 0;
+
+  /// Encodes `update`.  Implementations may be lossy; decode(encode(u))
+  /// returns the reconstruction the server would apply.
+  virtual CompressedUpdate encode(std::span<const float> update) = 0;
+
+  /// Reconstructs a dense update from the encoded form.  Throws
+  /// std::runtime_error on malformed payloads.
+  virtual std::vector<float> decode(const CompressedUpdate& encoded) = 0;
+};
+
+/// Lossless float32 baseline (4·N bytes + header) — the vanilla wire format.
+class IdentityCompressor final : public UpdateCompressor {
+ public:
+  std::string name() const override { return "float32"; }
+  CompressedUpdate encode(std::span<const float> update) override;
+  std::vector<float> decode(const CompressedUpdate& encoded) override;
+};
+
+/// Random-subsampling sketch: transmit a fraction `keep` of coordinates
+/// (index + value), scaled by 1/keep so the aggregate stays unbiased.
+class SubsampleCompressor final : public UpdateCompressor {
+ public:
+  /// keep in (0, 1].  The coordinate subset is redrawn per encode() from
+  /// the owned rng (deterministic per seed).
+  SubsampleCompressor(double keep, std::uint64_t seed);
+  std::string name() const override;
+  CompressedUpdate encode(std::span<const float> update) override;
+  std::vector<float> decode(const CompressedUpdate& encoded) override;
+
+ private:
+  double keep_;
+  util::Rng rng_;
+};
+
+/// Probabilistic uniform quantization to 8 bits: values are mapped onto 256
+/// levels spanning [min, max] and rounded stochastically so the expectation
+/// is preserved; 1 byte per coordinate + 8-byte range header.
+class QuantizeCompressor final : public UpdateCompressor {
+ public:
+  explicit QuantizeCompressor(std::uint64_t seed);
+  std::string name() const override { return "quantize8"; }
+  CompressedUpdate encode(std::span<const float> update) override;
+  std::vector<float> decode(const CompressedUpdate& encoded) override;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Structured (random-mask) update: the update is *constrained* to a random
+/// coordinate subset of density `density`; everything else is zeroed before
+/// upload.  Unlike SubsampleCompressor there is no rescaling — the mask is
+/// part of the model update itself, as in the structured-updates scheme.
+class StructuredMaskCompressor final : public UpdateCompressor {
+ public:
+  StructuredMaskCompressor(double density, std::uint64_t seed);
+  std::string name() const override;
+  CompressedUpdate encode(std::span<const float> update) override;
+  std::vector<float> decode(const CompressedUpdate& encoded) override;
+
+ private:
+  double density_;
+  util::Rng rng_;
+};
+
+/// Factory: "float32" | "subsample:<keep>" | "quantize8" |
+/// "structured:<density>".
+std::unique_ptr<UpdateCompressor> make_compressor(const std::string& spec,
+                                                  std::uint64_t seed);
+
+}  // namespace cmfl::core

@@ -1,0 +1,54 @@
+#include "core/filter.h"
+
+#include <stdexcept>
+
+#include "core/relevance.h"
+#include "core/significance.h"
+
+namespace cmfl::core {
+
+FilterDecision AcceptAllFilter::decide(std::span<const float> update,
+                                       const FilterContext& ctx) const {
+  (void)update;
+  (void)ctx;
+  return {true, 1.0, 0.0};
+}
+
+GaiaFilter::GaiaFilter(Schedule threshold) : threshold_(threshold) {}
+
+FilterDecision GaiaFilter::decide(std::span<const float> update,
+                                  const FilterContext& ctx) const {
+  FilterDecision d;
+  d.threshold = threshold_.at(ctx.iteration);
+  d.score = norm_ratio_significance(update, ctx.global_model);
+  d.upload = d.score >= d.threshold;
+  return d;
+}
+
+CmflFilter::CmflFilter(Schedule threshold) : threshold_(threshold) {}
+
+FilterDecision CmflFilter::decide(std::span<const float> update,
+                                  const FilterContext& ctx) const {
+  FilterDecision d;
+  d.threshold = threshold_.at(ctx.iteration);
+  if (is_zero_update(ctx.estimated_global_update)) {
+    // Cold start (ū_0 = 0): no global tendency yet, accept everything.
+    d.score = 1.0;
+    d.upload = true;
+    return d;
+  }
+  d.score = relevance(update, ctx.estimated_global_update);
+  d.upload = d.score >= d.threshold;
+  return d;
+}
+
+std::unique_ptr<UpdateFilter> make_filter(const std::string& kind,
+                                          Schedule threshold) {
+  if (kind == "vanilla") return std::make_unique<AcceptAllFilter>();
+  if (kind == "gaia") return std::make_unique<GaiaFilter>(threshold);
+  if (kind == "cmfl") return std::make_unique<CmflFilter>(threshold);
+  throw std::invalid_argument("make_filter: unknown filter kind '" + kind +
+                              "'");
+}
+
+}  // namespace cmfl::core

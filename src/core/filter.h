@@ -1,0 +1,89 @@
+// Upload filters — the client-side decision of Algorithm 1.
+//
+// After local training produces an update u, the filter decides whether u is
+// worth the uplink.  Three policies cover the paper's comparison:
+//   * AcceptAllFilter — vanilla FL, every update is uploaded.
+//   * GaiaFilter      — upload iff ‖u‖/‖x‖ ≥ threshold(t)  (magnitude test).
+//   * CmflFilter      — upload iff e(u, ū_{t-1}) ≥ v(t)    (relevance test).
+//
+// Note on the paper's Algorithm 1: its CheckRelevance pseudocode returns
+// True when e < v(t), contradicting the surrounding text ("any local update
+// with e(...) smaller than a tuned threshold v(t) is identified as
+// irrelevant, and [is] not uploaded").  We implement the text's semantics.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/threshold.h"
+
+namespace cmfl::core {
+
+/// Everything a filter may consult when scoring an update.
+struct FilterContext {
+  /// Current global model parameters (x_{t-1}); what Gaia normalizes by.
+  std::span<const float> global_model;
+  /// Estimated global update (ū_{t-1}); what CMFL aligns against.
+  std::span<const float> estimated_global_update;
+  /// 1-based training iteration.
+  std::size_t iteration = 1;
+};
+
+struct FilterDecision {
+  bool upload = true;
+  /// The metric value that produced the decision (relevance for CMFL,
+  /// significance for Gaia, 1.0 for vanilla) — recorded by the trace layer
+  /// to regenerate Fig. 2.
+  double score = 1.0;
+  /// Threshold in force at this iteration.
+  double threshold = 0.0;
+};
+
+class UpdateFilter {
+ public:
+  virtual ~UpdateFilter() = default;
+  virtual std::string name() const = 0;
+  virtual FilterDecision decide(std::span<const float> update,
+                                const FilterContext& ctx) const = 0;
+};
+
+/// Vanilla FL: upload everything.
+class AcceptAllFilter final : public UpdateFilter {
+ public:
+  std::string name() const override { return "vanilla"; }
+  FilterDecision decide(std::span<const float> update,
+                        const FilterContext& ctx) const override;
+};
+
+/// Gaia's magnitude test against `threshold` (may decay over time, though
+/// Gaia's original design uses a constant).
+class GaiaFilter final : public UpdateFilter {
+ public:
+  explicit GaiaFilter(Schedule threshold);
+  std::string name() const override { return "gaia"; }
+  FilterDecision decide(std::span<const float> update,
+                        const FilterContext& ctx) const override;
+
+ private:
+  Schedule threshold_;
+};
+
+/// CMFL's relevance test: upload iff e(u, ū) ≥ v(t).  When the estimated
+/// global update is all-zero (cold start), every update is accepted.
+class CmflFilter final : public UpdateFilter {
+ public:
+  explicit CmflFilter(Schedule threshold);
+  std::string name() const override { return "cmfl"; }
+  FilterDecision decide(std::span<const float> update,
+                        const FilterContext& ctx) const override;
+
+ private:
+  Schedule threshold_;
+};
+
+/// Factory helpers used by benches ("vanilla" | "gaia" | "cmfl").
+std::unique_ptr<UpdateFilter> make_filter(const std::string& kind,
+                                          Schedule threshold);
+
+}  // namespace cmfl::core

@@ -1,0 +1,30 @@
+#include "core/relevance.h"
+
+#include <stdexcept>
+
+#include "tensor/vector_ops.h"
+
+namespace cmfl::core {
+
+double relevance(std::span<const float> local_update,
+                 std::span<const float> global_update) {
+  if (local_update.size() != global_update.size()) {
+    throw std::invalid_argument("relevance: update size mismatch");
+  }
+  if (local_update.empty()) {
+    throw std::invalid_argument("relevance: empty update");
+  }
+  const std::size_t matches =
+      tensor::count_sign_matches(local_update, global_update);
+  return static_cast<double>(matches) /
+         static_cast<double>(local_update.size());
+}
+
+bool is_zero_update(std::span<const float> update) noexcept {
+  for (float v : update) {
+    if (v != 0.0f) return false;
+  }
+  return true;
+}
+
+}  // namespace cmfl::core

@@ -1,0 +1,28 @@
+// The CMFL relevance measure (paper Eq. 9).
+//
+//   e(u, ū) = (1/N) Σ_j 1[ sgn(u_j) = sgn(ū_j) ]
+//
+// u is a client's local update, ū the (estimated) global update.  The sign
+// of each parameter's update is the *direction* the model should move along
+// that dimension; the fraction of agreeing directions measures how well the
+// local optimization aligns with the collaborative trend.  Scale-invariant
+// in both arguments — unlike Gaia's magnitude test, it is unaffected by
+// learning rate or local dataset size.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cmfl::core {
+
+/// Fraction of same-sign parameters in [0, 1].  sgn(0) is its own class:
+/// a zero entry matches only a zero entry (see DESIGN.md §6).
+/// Throws std::invalid_argument on size mismatch or empty vectors.
+double relevance(std::span<const float> local_update,
+                 std::span<const float> global_update);
+
+/// True if every entry is exactly zero — the t=1 cold-start reference, which
+/// filters must treat as "no information, accept everything".
+bool is_zero_update(std::span<const float> update) noexcept;
+
+}  // namespace cmfl::core

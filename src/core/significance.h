@@ -1,0 +1,30 @@
+// Gaia's magnitude-based significance measure (Hsieh et al., NSDI'17),
+// reimplemented as the paper's baseline.
+//
+// Gaia deems an update significant when ‖Update/Model‖ exceeds a threshold.
+// Two readings of that expression are provided:
+//  * norm_ratio        — ‖u‖ / ‖x‖ (ratio of Euclidean norms; the form the
+//                        paper plots in Fig. 2a as a single per-client
+//                        scalar).  This is the default used by GaiaFilter.
+//  * elementwise_ratio — RMS of u_j/x_j over parameters with |x_j| > eps
+//                        (closer to Gaia's per-parameter rule, aggregated).
+#pragma once
+
+#include <span>
+
+namespace cmfl::core {
+
+/// ‖u‖ / ‖x‖.  Returns +inf if the model vector is exactly zero but the
+/// update is not (any change to a zero model is maximally significant);
+/// returns 0 if both are zero.  Throws std::invalid_argument on size
+/// mismatch or empty vectors.
+double norm_ratio_significance(std::span<const float> update,
+                               std::span<const float> model);
+
+/// Root-mean-square of u_j / x_j over coordinates with |x_j| > eps.
+/// Returns 0 when no coordinate qualifies.
+double elementwise_ratio_significance(std::span<const float> update,
+                                      std::span<const float> model,
+                                      float eps = 1e-8f);
+
+}  // namespace cmfl::core

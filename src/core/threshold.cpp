@@ -1,0 +1,47 @@
+#include "core/threshold.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::core {
+
+Schedule::Schedule(double base, ScheduleKind kind, double exponent)
+    : base_(base), kind_(kind), exponent_(exponent) {
+  if (base < 0.0) {
+    throw std::invalid_argument("Schedule: base must be non-negative");
+  }
+  if (kind == ScheduleKind::kInvPow && !(exponent > 0.0)) {
+    throw std::invalid_argument("Schedule: inv_pow exponent must be positive");
+  }
+}
+
+double Schedule::at(std::size_t t) const noexcept {
+  if (t == 0) t = 1;
+  switch (kind_) {
+    case ScheduleKind::kConstant:
+      return base_;
+    case ScheduleKind::kInvSqrt:
+      return base_ / std::sqrt(static_cast<double>(t));
+    case ScheduleKind::kInvLinear:
+      return base_ / static_cast<double>(t);
+    case ScheduleKind::kInvPow:
+      return base_ / std::pow(static_cast<double>(t), exponent_);
+  }
+  return base_;
+}
+
+std::string Schedule::describe() const {
+  switch (kind_) {
+    case ScheduleKind::kConstant:
+      return std::to_string(base_);
+    case ScheduleKind::kInvSqrt:
+      return std::to_string(base_) + "/sqrt(t)";
+    case ScheduleKind::kInvLinear:
+      return std::to_string(base_) + "/t";
+    case ScheduleKind::kInvPow:
+      return std::to_string(base_) + "/t^" + std::to_string(exponent_);
+  }
+  return "?";
+}
+
+}  // namespace cmfl::core

@@ -1,0 +1,33 @@
+#include "data/batcher.h"
+
+#include <stdexcept>
+
+namespace cmfl::data {
+
+Batcher::Batcher(std::span<const std::size_t> shard, std::size_t batch_size)
+    : order_(shard.begin(), shard.end()), batch_size_(batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("Batcher: batch_size must be positive");
+  }
+  if (order_.empty()) {
+    throw std::invalid_argument("Batcher: shard must not be empty");
+  }
+}
+
+std::size_t Batcher::batches_per_epoch() const noexcept {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<std::vector<std::size_t>> Batcher::epoch(util::Rng& rng) {
+  rng.shuffle(order_);
+  std::vector<std::vector<std::size_t>> batches;
+  batches.reserve(batches_per_epoch());
+  for (std::size_t begin = 0; begin < order_.size(); begin += batch_size_) {
+    const std::size_t end = std::min(begin + batch_size_, order_.size());
+    batches.emplace_back(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                         order_.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace cmfl::data

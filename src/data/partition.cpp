@@ -1,0 +1,136 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace cmfl::data {
+
+namespace {
+std::vector<std::size_t> indices_sorted_by_label(std::span<const int> labels) {
+  std::vector<std::size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return labels[a] < labels[b];
+                   });
+  return order;
+}
+}  // namespace
+
+Partition label_sorted_partition(std::span<const int> labels,
+                                 std::size_t clients) {
+  if (clients == 0 || clients > labels.size()) {
+    throw std::invalid_argument("label_sorted_partition: bad client count");
+  }
+  const auto order = indices_sorted_by_label(labels);
+  Partition p;
+  p.client_indices.resize(clients);
+  for (std::size_t k = 0; k < clients; ++k) {
+    const std::size_t begin = k * order.size() / clients;
+    const std::size_t end = (k + 1) * order.size() / clients;
+    p.client_indices[k].assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                               order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return p;
+}
+
+Partition sharded_partition(std::span<const int> labels, std::size_t clients,
+                            std::size_t shards_per_client, util::Rng& rng) {
+  if (clients == 0 || shards_per_client == 0) {
+    throw std::invalid_argument("sharded_partition: bad parameters");
+  }
+  const std::size_t num_shards = clients * shards_per_client;
+  if (num_shards > labels.size()) {
+    throw std::invalid_argument("sharded_partition: more shards than samples");
+  }
+  const auto order = indices_sorted_by_label(labels);
+  std::vector<std::size_t> shard_ids(num_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), 0);
+  rng.shuffle(shard_ids);
+
+  Partition p;
+  p.client_indices.resize(clients);
+  for (std::size_t k = 0; k < clients; ++k) {
+    for (std::size_t s = 0; s < shards_per_client; ++s) {
+      const std::size_t shard = shard_ids[k * shards_per_client + s];
+      const std::size_t begin = shard * order.size() / num_shards;
+      const std::size_t end = (shard + 1) * order.size() / num_shards;
+      p.client_indices[k].insert(p.client_indices[k].end(),
+                                 order.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 order.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  return p;
+}
+
+Partition iid_partition(std::size_t samples, std::size_t clients,
+                        util::Rng& rng) {
+  if (clients == 0 || clients > samples) {
+    throw std::invalid_argument("iid_partition: bad client count");
+  }
+  std::vector<std::size_t> order(samples);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Partition p;
+  p.client_indices.resize(clients);
+  for (std::size_t k = 0; k < clients; ++k) {
+    const std::size_t begin = k * samples / clients;
+    const std::size_t end = (k + 1) * samples / clients;
+    p.client_indices[k].assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                               order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return p;
+}
+
+Partition random_sized_partition(std::size_t samples, std::size_t clients,
+                                 std::size_t min_samples,
+                                 std::size_t max_samples, util::Rng& rng) {
+  if (clients == 0 || min_samples == 0 || max_samples < min_samples) {
+    throw std::invalid_argument("random_sized_partition: bad parameters");
+  }
+  if (clients * min_samples > samples) {
+    throw std::invalid_argument(
+        "random_sized_partition: not enough samples for the minimum shard "
+        "sizes");
+  }
+  std::vector<std::size_t> order(samples);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  Partition p;
+  p.client_indices.resize(clients);
+  std::size_t cursor = 0;
+  for (std::size_t k = 0; k < clients; ++k) {
+    const std::size_t remaining_clients = clients - k - 1;
+    const std::size_t remaining = samples - cursor;
+    // Leave enough for every later client to get at least min_samples.
+    const std::size_t reserve = remaining_clients * min_samples;
+    const std::size_t hi =
+        std::min(max_samples, remaining > reserve ? remaining - reserve
+                                                  : min_samples);
+    const std::size_t lo = std::min(min_samples, hi);
+    const std::size_t take = lo + rng.uniform_index(hi - lo + 1);
+    p.client_indices[k].assign(order.begin() + static_cast<std::ptrdiff_t>(cursor),
+                               order.begin() + static_cast<std::ptrdiff_t>(cursor + take));
+    cursor += take;
+  }
+  return p;
+}
+
+void validate_partition(const Partition& partition, std::size_t samples) {
+  std::vector<bool> seen(samples, false);
+  for (const auto& shard : partition.client_indices) {
+    for (std::size_t idx : shard) {
+      if (idx >= samples) {
+        throw std::logic_error("validate_partition: index out of range");
+      }
+      if (seen[idx]) {
+        throw std::logic_error("validate_partition: duplicated index");
+      }
+      seen[idx] = true;
+    }
+  }
+}
+
+}  // namespace cmfl::data

@@ -1,0 +1,46 @@
+// Non-IID partitioners: how samples are assigned to federated clients.
+//
+// The paper's MNIST protocol is reproduced exactly by
+// label_sorted_partition: "sort these samples by their digit labels and then
+// divide them into 100 clients" — each client ends up holding 1–2 classes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace cmfl::data {
+
+/// Sorts sample indices by label, then splits them into `clients` contiguous
+/// shards of (near-)equal size.  Produces the paper's pathological non-IID
+/// distribution.  Throws std::invalid_argument if clients == 0 or
+/// clients > labels.size().
+Partition label_sorted_partition(std::span<const int> labels,
+                                 std::size_t clients);
+
+/// FedAvg-style "shards" protocol: sort by label, cut into
+/// clients*shards_per_client shards, deal shards_per_client random shards to
+/// each client.  shards_per_client = 2 gives each client ~2 classes.
+Partition sharded_partition(std::span<const int> labels, std::size_t clients,
+                            std::size_t shards_per_client, util::Rng& rng);
+
+/// IID control: random equal split (for ablations).
+Partition iid_partition(std::size_t samples, std::size_t clients,
+                        util::Rng& rng);
+
+/// Randomly sized shards of `samples`: each client draws a size uniformly in
+/// [min_samples, max_samples] (capped so all samples can be assigned), used
+/// by the MOCHA workloads ("randomly divided into 15 clients each with 10 to
+/// 200 samples").
+Partition random_sized_partition(std::size_t samples, std::size_t clients,
+                                 std::size_t min_samples,
+                                 std::size_t max_samples, util::Rng& rng);
+
+/// Sanity-check: every shard index is in range and no index is duplicated
+/// across shards.  Throws std::logic_error on violation.
+void validate_partition(const Partition& partition, std::size_t samples);
+
+}  // namespace cmfl::data

@@ -1,0 +1,107 @@
+#include "data/synth_digits.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace cmfl::data {
+
+namespace {
+// Seven-segment encoding per digit: top, top-left, top-right, middle,
+// bottom-left, bottom-right, bottom.
+constexpr std::array<std::array<bool, 7>, 10> kSegments = {{
+    {true, true, true, false, true, true, true},      // 0
+    {false, false, true, false, false, true, false},  // 1
+    {true, false, true, true, true, false, true},     // 2
+    {true, false, true, true, false, true, true},     // 3
+    {false, true, true, true, false, true, false},    // 4
+    {true, true, false, true, false, true, true},     // 5
+    {true, true, false, true, true, true, true},      // 6
+    {true, false, true, false, false, true, false},   // 7
+    {true, true, true, true, true, true, true},       // 8
+    {true, true, true, true, false, true, true},      // 9
+}};
+}  // namespace
+
+void render_digit_glyph(int digit, std::size_t image_size,
+                        std::span<float> out) {
+  if (digit < 0 || digit > 9) {
+    throw std::invalid_argument("render_digit_glyph: digit out of range");
+  }
+  if (image_size < 8) {
+    throw std::invalid_argument("render_digit_glyph: image_size must be >= 8");
+  }
+  if (out.size() != image_size * image_size) {
+    throw std::invalid_argument("render_digit_glyph: buffer size mismatch");
+  }
+  std::fill(out.begin(), out.end(), 0.0f);
+  const auto& seg = kSegments[static_cast<std::size_t>(digit)];
+  // Glyph box: rows [1, S-2], cols [2, S-3]; middle row at the midpoint.
+  const std::size_t s = image_size;
+  const std::size_t top = 1, bottom = s - 2, left = 2, right = s - 3;
+  const std::size_t mid = (top + bottom) / 2;
+  auto set = [&](std::size_t r, std::size_t c) { out[r * s + c] = 1.0f; };
+  auto hline = [&](std::size_t r) {
+    for (std::size_t c = left; c <= right; ++c) set(r, c);
+  };
+  auto vline = [&](std::size_t c, std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r <= r1; ++r) set(r, c);
+  };
+  if (seg[0]) hline(top);
+  if (seg[1]) vline(left, top, mid);
+  if (seg[2]) vline(right, top, mid);
+  if (seg[3]) hline(mid);
+  if (seg[4]) vline(left, mid, bottom);
+  if (seg[5]) vline(right, mid, bottom);
+  if (seg[6]) hline(bottom);
+}
+
+DenseDataset make_synth_digits(const SynthDigitsSpec& spec, util::Rng& rng) {
+  if (spec.samples == 0) {
+    throw std::invalid_argument("make_synth_digits: samples must be positive");
+  }
+  if (spec.classes == 0 || spec.classes > 10) {
+    throw std::invalid_argument("make_synth_digits: classes must be in [1,10]");
+  }
+  const std::size_t s = spec.image_size;
+  DenseDataset ds;
+  ds.x = tensor::Matrix(spec.samples, s * s);
+  ds.y.resize(spec.samples);
+
+  std::vector<float> glyph(s * s);
+  for (std::size_t i = 0; i < spec.samples; ++i) {
+    const int digit =
+        static_cast<int>(rng.uniform_index(spec.classes));
+    ds.y[i] = digit;
+    render_digit_glyph(digit, s, glyph);
+
+    const int dr = static_cast<int>(
+        rng.uniform_int(-spec.max_shift, spec.max_shift));
+    const int dc = static_cast<int>(
+        rng.uniform_int(-spec.max_shift, spec.max_shift));
+    const float intensity = rng.uniform_f(0.7f, 1.0f);
+
+    auto row = ds.x.row(i);
+    for (std::size_t r = 0; r < s; ++r) {
+      for (std::size_t c = 0; c < s; ++c) {
+        const int sr = static_cast<int>(r) - dr;
+        const int sc = static_cast<int>(c) - dc;
+        float v = 0.0f;
+        if (sr >= 0 && sr < static_cast<int>(s) && sc >= 0 &&
+            sc < static_cast<int>(s)) {
+          v = glyph[static_cast<std::size_t>(sr) * s +
+                    static_cast<std::size_t>(sc)] *
+              intensity;
+        }
+        if (rng.bernoulli(spec.noise_density)) {
+          v += rng.normal_f(0.0f, spec.noise_stddev);
+        }
+        row[r * s + c] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  ds.validate();
+  return ds;
+}
+
+}  // namespace cmfl::data

@@ -1,0 +1,39 @@
+// Procedurally rendered digit images.
+//
+// Substitute for MNIST (unavailable offline): each sample renders the
+// digit's seven-segment glyph onto an S×S grayscale canvas with random
+// translation, per-pixel Gaussian noise, and random stroke intensity.  The
+// class structure (10 digits, visually confusable pairs like 8/9/3) is what
+// the federated experiments need; pixel realism is not (DESIGN.md §5).
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace cmfl::data {
+
+struct SynthDigitsSpec {
+  std::size_t samples = 6000;
+  std::size_t image_size = 12;  // square canvas; >= 8
+  float noise_stddev = 0.15f;   // additive pixel noise (where applied)
+  /// Fraction of pixels receiving additive noise.  Values < 1 keep the
+  /// background *exactly* zero elsewhere — like MNIST's black background —
+  /// which makes client gradients sparse under ReLU nets.  That sparsity is
+  /// what gives the CMFL relevance measure its discriminating power (clients
+  /// whose glyph support misses a region produce exact-zero updates there).
+  float noise_density = 0.15f;
+  int max_shift = 1;            // uniform translation in [-max_shift, +max_shift]
+  std::size_t classes = 10;
+};
+
+/// Generates `spec.samples` images with uniformly distributed labels.
+/// Pixels are in [0, 1].  Throws std::invalid_argument on bad spec.
+DenseDataset make_synth_digits(const SynthDigitsSpec& spec, util::Rng& rng);
+
+/// Renders one clean (noise-free, centered) glyph — exposed for tests.
+void render_digit_glyph(int digit, std::size_t image_size,
+                        std::span<float> out);
+
+}  // namespace cmfl::data

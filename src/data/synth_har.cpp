@@ -1,0 +1,71 @@
+#include "data/synth_har.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::data {
+
+HarData make_synth_har(const SynthHarSpec& spec, util::Rng& rng) {
+  if (spec.clients == 0 || spec.features == 0 ||
+      spec.min_samples == 0 || spec.max_samples < spec.min_samples) {
+    throw std::invalid_argument("make_synth_har: malformed spec");
+  }
+  // Class prototypes: only a subset of features are discriminative, the rest
+  // are background — mirrors real HAR features where many are redundant.
+  const std::size_t informative = std::max<std::size_t>(8, spec.features / 8);
+  std::vector<float> proto0(spec.features, 0.0f);
+  std::vector<float> proto1(spec.features, 0.0f);
+  for (std::size_t j = 0; j < spec.features; ++j) {
+    const float base = rng.normal_f(0.0f, 0.5f);
+    proto0[j] = base;
+    proto1[j] = base;
+    if (j < informative) {
+      const auto sep = static_cast<float>(spec.class_separation);
+      proto0[j] -= sep / 2.0f;
+      proto1[j] += sep / 2.0f;
+    }
+  }
+
+  HarData out;
+  out.is_outlier.resize(spec.clients);
+  out.partition.client_indices.resize(spec.clients);
+
+  // Decide client sizes first so total storage can be allocated once.
+  std::vector<std::size_t> sizes(spec.clients);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < spec.clients; ++k) {
+    sizes[k] = spec.min_samples +
+               rng.uniform_index(spec.max_samples - spec.min_samples + 1);
+    total += sizes[k];
+  }
+  out.dataset.x = tensor::Matrix(total, spec.features);
+  out.dataset.y.resize(total);
+
+  std::size_t row = 0;
+  for (std::size_t k = 0; k < spec.clients; ++k) {
+    const bool outlier = rng.uniform() < spec.outlier_fraction;
+    out.is_outlier[k] = outlier;
+    const double bias_sd =
+        outlier ? spec.outlier_bias_stddev : spec.client_bias_stddev;
+    std::vector<float> bias(spec.features);
+    for (float& b : bias) b = rng.normal_f(0.0f, static_cast<float>(bias_sd));
+
+    for (std::size_t i = 0; i < sizes[k]; ++i, ++row) {
+      int label = rng.bernoulli(0.5) ? 1 : 0;
+      const auto& proto = label == 1 ? proto1 : proto0;
+      auto dst = out.dataset.x.row(row);
+      for (std::size_t j = 0; j < spec.features; ++j) {
+        dst[j] = proto[j] + bias[j] +
+                 rng.normal_f(0.0f,
+                              static_cast<float>(spec.sample_noise_stddev));
+      }
+      if (outlier && rng.uniform() < spec.outlier_label_flip) label = 1 - label;
+      out.dataset.y[row] = label;
+      out.partition.client_indices[k].push_back(row);
+    }
+  }
+  out.dataset.validate();
+  return out;
+}
+
+}  // namespace cmfl::data

@@ -1,0 +1,48 @@
+#include "data/synth_semeion.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "data/synth_digits.h"
+
+namespace cmfl::data {
+
+DenseDataset make_synth_semeion(const SynthSemeionSpec& spec, util::Rng& rng) {
+  if (spec.samples == 0 || spec.image_size < 8) {
+    throw std::invalid_argument("make_synth_semeion: malformed spec");
+  }
+  const std::size_t s = spec.image_size;
+  DenseDataset ds;
+  ds.x = tensor::Matrix(spec.samples, s * s);
+  ds.y.resize(spec.samples);
+
+  std::vector<float> glyph(s * s);
+  for (std::size_t i = 0; i < spec.samples; ++i) {
+    const int digit = static_cast<int>(rng.uniform_index(10));
+    ds.y[i] = digit == 0 ? 1 : 0;
+    render_digit_glyph(digit, s, glyph);
+    const int dr = static_cast<int>(rng.uniform_int(-spec.max_shift,
+                                                    spec.max_shift));
+    const int dc = static_cast<int>(rng.uniform_int(-spec.max_shift,
+                                                    spec.max_shift));
+    auto row = ds.x.row(i);
+    for (std::size_t r = 0; r < s; ++r) {
+      for (std::size_t c = 0; c < s; ++c) {
+        const int sr = static_cast<int>(r) - dr;
+        const int sc = static_cast<int>(c) - dc;
+        bool on = false;
+        if (sr >= 0 && sr < static_cast<int>(s) && sc >= 0 &&
+            sc < static_cast<int>(s)) {
+          on = glyph[static_cast<std::size_t>(sr) * s +
+                     static_cast<std::size_t>(sc)] > 0.5f;
+        }
+        if (rng.bernoulli(spec.flip_probability)) on = !on;
+        row[r * s + c] = on ? 1.0f : 0.0f;
+      }
+    }
+  }
+  ds.validate();
+  return ds;
+}
+
+}  // namespace cmfl::data

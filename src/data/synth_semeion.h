@@ -1,0 +1,23 @@
+// Synthetic Semeion-style handwritten digits: 16×16 *binary* images
+// (substitute for the UCI Semeion dataset; DESIGN.md §5).  Binary task:
+// "zero vs other numbers", matching the paper's MOCHA setup.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace cmfl::data {
+
+struct SynthSemeionSpec {
+  std::size_t samples = 1593;
+  std::size_t image_size = 16;
+  double flip_probability = 0.08;  // Bernoulli pixel noise after thresholding
+  int max_shift = 1;
+};
+
+/// Labels: 1 if the underlying glyph is a zero, else 0.
+DenseDataset make_synth_semeion(const SynthSemeionSpec& spec, util::Rng& rng);
+
+}  // namespace cmfl::data

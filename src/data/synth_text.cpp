@@ -1,0 +1,87 @@
+#include "data/synth_text.h"
+
+#include <stdexcept>
+
+namespace cmfl::data {
+
+RoleCorpus make_synth_text(const SynthTextSpec& spec, util::Rng& rng) {
+  if (spec.roles == 0 || spec.words_per_role <= spec.seq_len ||
+      spec.seq_len == 0 || spec.topics == 0 || spec.words_per_topic == 0) {
+    throw std::invalid_argument("make_synth_text: malformed spec");
+  }
+  const std::size_t vocab =
+      spec.topics * spec.words_per_topic + spec.function_words;
+  const int function_base =
+      static_cast<int>(spec.topics * spec.words_per_topic);
+
+  RoleCorpus corpus;
+  corpus.dataset.seq_len = spec.seq_len;
+  corpus.dataset.vocab = vocab;
+  corpus.windows_of_role.resize(spec.roles);
+  corpus.is_outlier.resize(spec.roles);
+
+  for (std::size_t role = 0; role < spec.roles; ++role) {
+    const bool outlier = rng.uniform() < spec.outlier_fraction;
+    corpus.is_outlier[role] = outlier;
+    // Skewed topic preference: one dominant topic (role-determined), one
+    // secondary topic (random), uniform residue.
+    std::vector<double> topic_weight(spec.topics, 1.0);
+    topic_weight[role % spec.topics] = spec.dominant_topic_weight;
+    topic_weight[rng.uniform_index(spec.topics)] +=
+        spec.dominant_topic_weight / 2.0;
+
+    // Role-specific function-word habit: each role favours a small subset;
+    // outlier roles concentrate on the tail of the function vocabulary.
+    std::vector<double> func_weight(spec.function_words, 1.0);
+    if (spec.function_words > 0) {
+      for (int rep = 0; rep < 3; ++rep) {
+        const std::size_t pick = rng.uniform_index(spec.function_words);
+        func_weight[outlier ? spec.function_words - 1 - pick : pick] += 4.0;
+      }
+    }
+
+    // Generate the role's token stream: function word, then a short run of
+    // words from one topic with +1 bigram chaining inside the topic.
+    std::vector<int> stream;
+    stream.reserve(spec.words_per_role);
+    while (stream.size() < spec.words_per_role) {
+      if (spec.function_words > 0) {
+        stream.push_back(function_base +
+                         static_cast<int>(rng.categorical(func_weight)));
+      }
+      const std::size_t topic = rng.categorical(topic_weight);
+      std::size_t word = rng.uniform_index(spec.words_per_topic);
+      const std::size_t run = 1 + rng.uniform_index(3);
+      for (std::size_t r = 0; r < run && stream.size() < spec.words_per_role;
+           ++r) {
+        stream.push_back(
+            static_cast<int>(topic * spec.words_per_topic + word));
+        // Within-topic bigram: usually advance cyclically (outlier roles
+        // walk the chain in the *opposite* direction), occasionally jump.
+        if (rng.bernoulli(0.8)) {
+          word = outlier ? (word + spec.words_per_topic - 1) %
+                               spec.words_per_topic
+                         : (word + 1) % spec.words_per_topic;
+        } else {
+          word = rng.uniform_index(spec.words_per_topic);
+        }
+      }
+    }
+    stream.resize(spec.words_per_role);
+
+    // Slice into (window, next-token) samples.
+    for (std::size_t start = 0; start + spec.seq_len < stream.size();
+         ++start) {
+      corpus.windows_of_role[role].push_back(corpus.dataset.size());
+      corpus.dataset.tokens.insert(
+          corpus.dataset.tokens.end(), stream.begin() + static_cast<std::ptrdiff_t>(start),
+          stream.begin() + static_cast<std::ptrdiff_t>(start + spec.seq_len));
+      corpus.dataset.next_token.push_back(stream[start + spec.seq_len]);
+    }
+  }
+
+  corpus.dataset.validate();
+  return corpus;
+}
+
+}  // namespace cmfl::data

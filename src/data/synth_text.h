@@ -1,0 +1,51 @@
+// Role-conditioned synthetic dialogue corpus for next-word prediction.
+//
+// Substitute for the Shakespeare corpus (DESIGN.md §5).  The generator
+// builds a vocabulary of `topics × words_per_topic` topic words plus a pool
+// of shared function words.  Each speaking role draws a heavily skewed
+// preference over topics (one or two dominant topics), and its dialogue is
+// produced by a role-specific Markov process: alternate function words and
+// topic words, with within-topic bigram structure.  The result is exactly
+// what the NWP experiment needs: per-client corpora whose token
+// distributions are strongly non-IID while remaining learnable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace cmfl::data {
+
+struct SynthTextSpec {
+  std::size_t roles = 100;           // one client per speaking role
+  std::size_t words_per_role = 80;   // dialogue length per role (tokens)
+  std::size_t seq_len = 6;           // window length fed to the LSTM
+  std::size_t topics = 10;
+  std::size_t words_per_topic = 10;
+  std::size_t function_words = 20;   // shared high-frequency words
+  double dominant_topic_weight = 8.0;  // skew of a role's topic preference
+  /// Fraction of roles that are *outliers*: their dialogue follows an
+  /// inverted within-topic bigram (word-1 instead of word+1) and an
+  /// inverted function-word habit.  Their data is self-consistent but
+  /// anti-correlated with the population — the "biased updates [that] are
+  /// simply outliers" the paper's intuition section describes.
+  double outlier_fraction = 0.0;
+};
+
+struct RoleCorpus {
+  /// Window start offsets are contiguous per role, so a role's windows form
+  /// one contiguous index range inside the SequenceDataset.
+  SequenceDataset dataset;
+  /// windows_of_role[k] = indices of role k's windows in `dataset`.
+  std::vector<std::vector<std::size_t>> windows_of_role;
+  /// Ground truth per role (true = inverted-structure outlier).
+  std::vector<bool> is_outlier;
+};
+
+/// Generates the corpus and slices it into per-role next-word-prediction
+/// windows.  vocab = topics*words_per_topic + function_words.
+RoleCorpus make_synth_text(const SynthTextSpec& spec, util::Rng& rng);
+
+}  // namespace cmfl::data

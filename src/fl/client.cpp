@@ -1,0 +1,97 @@
+#include "fl/client.h"
+
+#include <stdexcept>
+
+namespace cmfl::fl {
+
+DenseClient::DenseClient(nn::FeedForward model,
+                         const data::DenseDataset* dataset,
+                         std::vector<std::size_t> shard, util::Rng rng)
+    : model_(std::move(model)),
+      dataset_(dataset),
+      shard_(std::move(shard)),
+      rng_(rng) {
+  if (dataset_ == nullptr) {
+    throw std::invalid_argument("DenseClient: null dataset");
+  }
+  if (shard_.empty()) {
+    throw std::invalid_argument("DenseClient: empty shard");
+  }
+}
+
+void DenseClient::set_params(std::span<const float> params) {
+  model_.set_params(params);
+}
+
+void DenseClient::get_params(std::span<float> out) {
+  model_.get_params(out);
+}
+
+double DenseClient::train_local(int epochs, std::size_t batch_size,
+                                float lr) {
+  if (epochs <= 0) {
+    throw std::invalid_argument("DenseClient: epochs must be positive");
+  }
+  data::Batcher batcher(shard_, batch_size);
+  tensor::Matrix bx;
+  std::vector<int> by;
+  double last_epoch_loss = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (const auto& batch : batcher.epoch(rng_)) {
+      dataset_->gather(batch, bx, by);
+      loss_sum += model_.train_batch(bx, by, lr);
+      ++batches;
+    }
+    last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+SequenceClient::SequenceClient(nn::LstmLm model,
+                               const data::SequenceDataset* dataset,
+                               std::vector<std::size_t> shard, util::Rng rng)
+    : model_(std::move(model)),
+      dataset_(dataset),
+      shard_(std::move(shard)),
+      rng_(rng) {
+  if (dataset_ == nullptr) {
+    throw std::invalid_argument("SequenceClient: null dataset");
+  }
+  if (shard_.empty()) {
+    throw std::invalid_argument("SequenceClient: empty shard");
+  }
+}
+
+void SequenceClient::set_params(std::span<const float> params) {
+  model_.set_params(params);
+}
+
+void SequenceClient::get_params(std::span<float> out) {
+  model_.get_params(out);
+}
+
+double SequenceClient::train_local(int epochs, std::size_t batch_size,
+                                   float lr) {
+  if (epochs <= 0) {
+    throw std::invalid_argument("SequenceClient: epochs must be positive");
+  }
+  data::Batcher batcher(shard_, batch_size);
+  nn::SeqBatch bx;
+  std::vector<int> by;
+  double last_epoch_loss = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (const auto& batch : batcher.epoch(rng_)) {
+      dataset_->gather(batch, bx, by);
+      loss_sum += model_.train_batch(bx, by, lr);
+      ++batches;
+    }
+    last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace cmfl::fl

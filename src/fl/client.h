@@ -1,0 +1,82 @@
+// Federated clients: a local model bound to a private data shard.
+//
+// The simulation drives clients through a minimal interface — download the
+// global model, train E local epochs, read back the trained parameters.
+// Update construction (trained − global) and the upload decision live in the
+// simulation/filter layer, mirroring Algorithm 1's split between
+// LocalUpdate and CheckRelevance.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "nn/feed_forward.h"
+#include "nn/lstm_lm.h"
+#include "util/rng.h"
+
+namespace cmfl::fl {
+
+class FlClient {
+ public:
+  virtual ~FlClient() = default;
+
+  virtual std::size_t param_count() = 0;
+  virtual std::size_t local_samples() const = 0;
+
+  /// Installs the global model x_{t-1}.
+  virtual void set_params(std::span<const float> params) = 0;
+
+  /// Reads the current (post-training) local parameters.
+  virtual void get_params(std::span<float> out) = 0;
+
+  /// Runs `epochs` passes of mini-batch SGD (batch size `batch_size`,
+  /// learning rate `lr`) over the client's shard.  Returns the mean
+  /// training loss of the final epoch.
+  virtual double train_local(int epochs, std::size_t batch_size,
+                             float lr) = 0;
+};
+
+/// FeedForward model over a DenseDataset shard (CNN and MLP workloads).
+class DenseClient final : public FlClient {
+ public:
+  /// The dataset must outlive the client; `shard` indexes into it.
+  DenseClient(nn::FeedForward model, const data::DenseDataset* dataset,
+              std::vector<std::size_t> shard, util::Rng rng);
+
+  std::size_t param_count() override { return model_.param_count(); }
+  std::size_t local_samples() const override { return shard_.size(); }
+  void set_params(std::span<const float> params) override;
+  void get_params(std::span<float> out) override;
+  double train_local(int epochs, std::size_t batch_size, float lr) override;
+
+ private:
+  nn::FeedForward model_;
+  const data::DenseDataset* dataset_;
+  std::vector<std::size_t> shard_;
+  util::Rng rng_;
+};
+
+/// LstmLm over a SequenceDataset shard (the NWP workload).
+class SequenceClient final : public FlClient {
+ public:
+  SequenceClient(nn::LstmLm model, const data::SequenceDataset* dataset,
+                 std::vector<std::size_t> shard, util::Rng rng);
+
+  std::size_t param_count() override { return model_.param_count(); }
+  std::size_t local_samples() const override { return shard_.size(); }
+  void set_params(std::span<const float> params) override;
+  void get_params(std::span<float> out) override;
+  double train_local(int epochs, std::size_t batch_size, float lr) override;
+
+ private:
+  nn::LstmLm model_;
+  const data::SequenceDataset* dataset_;
+  std::vector<std::size_t> shard_;
+  util::Rng rng_;
+};
+
+}  // namespace cmfl::fl

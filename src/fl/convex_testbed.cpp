@@ -1,0 +1,111 @@
+#include "fl/convex_testbed.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/estimator.h"
+#include "tensor/vector_ops.h"
+
+namespace cmfl::fl {
+
+ConvexTestbed::ConvexTestbed(const ConvexTestbedSpec& spec) : spec_(spec) {
+  if (spec.clients == 0 || spec.dim == 0 || spec.local_steps <= 0) {
+    throw std::invalid_argument("ConvexTestbed: malformed spec");
+  }
+  util::Rng rng(spec.seed);
+  centers_.assign(spec.clients, std::vector<float>(spec.dim));
+  for (std::size_t k = 0; k < spec.clients; ++k) {
+    const bool outlier = rng.uniform() < spec.outlier_fraction;
+    const double spread =
+        outlier ? spec.outlier_spread : spec.center_spread;
+    for (auto& c : centers_[k]) {
+      c = rng.normal_f(0.0f, static_cast<float>(spread));
+    }
+  }
+  // x* = mean of centers (the unique minimizer of the average quadratic).
+  optimum_.assign(spec.dim, 0.0f);
+  for (const auto& c : centers_) tensor::axpy(1.0f, c, optimum_);
+  tensor::scale(optimum_, 1.0f / static_cast<float>(spec.clients));
+  optimum_loss_ = global_loss(optimum_);
+}
+
+double ConvexTestbed::global_loss(std::span<const float> x) const {
+  if (x.size() != spec_.dim) {
+    throw std::invalid_argument("ConvexTestbed::global_loss: dim mismatch");
+  }
+  double acc = 0.0;
+  for (const auto& c : centers_) {
+    double sq = 0.0;
+    for (std::size_t j = 0; j < spec_.dim; ++j) {
+      const double d = static_cast<double>(x[j]) - static_cast<double>(c[j]);
+      sq += d * d;
+    }
+    acc += 0.5 * sq;
+  }
+  return acc / static_cast<double>(spec_.clients);
+}
+
+ConvexRunResult ConvexTestbed::run(std::size_t iterations,
+                                   const core::Schedule& learning_rate,
+                                   core::UpdateFilter& filter) {
+  const std::size_t d = spec_.dim;
+  const std::size_t m = spec_.clients;
+  std::vector<float> x(d, 0.0f);
+  core::GlobalUpdateEstimator estimator(d);
+  util::Rng noise_rng(spec_.seed ^ 0xC0FFEEULL);
+
+  ConvexRunResult result;
+  result.regret.reserve(iterations);
+  result.time_averaged_regret.reserve(iterations);
+  double regret_sum = 0.0;
+
+  std::vector<std::vector<float>> updates(m, std::vector<float>(d));
+  for (std::size_t t = 1; t <= iterations; ++t) {
+    const auto lr = static_cast<float>(learning_rate.at(t));
+    core::FilterContext ctx;
+    ctx.global_model = x;
+    ctx.estimated_global_update = estimator.estimate();
+    ctx.iteration = t;
+
+    std::vector<std::size_t> uploaded;
+    for (std::size_t k = 0; k < m; ++k) {
+      // local_steps of noisy gradient descent on f_k from x:
+      //   ∇f_k(y) = y − c_k.
+      std::vector<float> y(x.begin(), x.end());
+      for (int s = 0; s < spec_.local_steps; ++s) {
+        for (std::size_t j = 0; j < d; ++j) {
+          const float grad =
+              (y[j] - centers_[k][j]) +
+              noise_rng.normal_f(0.0f,
+                                 static_cast<float>(spec_.gradient_noise));
+          y[j] -= lr * grad;
+        }
+      }
+      auto& u = updates[k];
+      for (std::size_t j = 0; j < d; ++j) u[j] = y[j] - x[j];
+      if (filter.decide(u, ctx).upload) uploaded.push_back(k);
+    }
+
+    if (!uploaded.empty()) {
+      std::vector<float> global_update(d, 0.0f);
+      for (std::size_t k : uploaded) {
+        tensor::axpy(1.0f, updates[k], global_update);
+      }
+      tensor::scale(global_update,
+                    1.0f / static_cast<float>(uploaded.size()));
+      tensor::add(x, global_update, x);
+      estimator.observe(global_update);
+    }
+    result.total_rounds += uploaded.size();
+
+    const double gap = std::fabs(global_loss(x) - optimum_loss_);
+    regret_sum += gap;
+    result.regret.push_back(gap);
+    result.time_averaged_regret.push_back(regret_sum /
+                                          static_cast<double>(t));
+  }
+  result.final_loss_gap = result.regret.empty() ? 0.0 : result.regret.back();
+  return result;
+}
+
+}  // namespace cmfl::fl

@@ -1,0 +1,64 @@
+#include "fl/divergence.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::fl {
+
+namespace {
+std::vector<double> divergence_impl(
+    std::span<const float> global,
+    const std::vector<std::vector<float>>& client_params,
+    const std::vector<bool>* mask, bool include, double eps) {
+  if (client_params.empty()) {
+    throw std::invalid_argument("normalized_model_divergence: no clients");
+  }
+  std::size_t participants = 0;
+  for (std::size_t k = 0; k < client_params.size(); ++k) {
+    if (mask && (*mask)[k] != include) continue;
+    if (client_params[k].size() != global.size()) {
+      throw std::invalid_argument(
+          "normalized_model_divergence: parameter size mismatch");
+    }
+    ++participants;
+  }
+  if (participants == 0) {
+    throw std::invalid_argument(
+        "normalized_model_divergence: empty client subset");
+  }
+  if (mask && mask->size() != client_params.size()) {
+    throw std::invalid_argument(
+        "normalized_model_divergence: mask size mismatch");
+  }
+
+  std::vector<double> divergences;
+  divergences.reserve(global.size());
+  for (std::size_t j = 0; j < global.size(); ++j) {
+    const double xbar = global[j];
+    if (std::fabs(xbar) < eps) continue;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < client_params.size(); ++k) {
+      if (mask && (*mask)[k] != include) continue;
+      acc += std::fabs((static_cast<double>(client_params[k][j]) - xbar) /
+                       xbar);
+    }
+    divergences.push_back(acc / static_cast<double>(participants));
+  }
+  return divergences;
+}
+}  // namespace
+
+std::vector<double> normalized_model_divergence(
+    std::span<const float> global,
+    const std::vector<std::vector<float>>& client_params, double eps) {
+  return divergence_impl(global, client_params, nullptr, true, eps);
+}
+
+std::vector<double> normalized_model_divergence_subset(
+    std::span<const float> global,
+    const std::vector<std::vector<float>>& client_params,
+    const std::vector<bool>& mask, bool include, double eps) {
+  return divergence_impl(global, client_params, &mask, include, eps);
+}
+
+}  // namespace cmfl::fl

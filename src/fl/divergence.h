@@ -1,0 +1,29 @@
+// Normalized Model Divergence (paper Eq. 7):
+//
+//   d_j = (1/D) Σ_k | (x_{j,k} − x̄_j) / x̄_j |
+//
+// measures, per trained parameter, how far client-side models drift from
+// the global model.  Figures 1 and 6 are CDFs of d_j.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cmfl::fl {
+
+/// Computes d_j for every parameter.  `client_params[k]` is client k's local
+/// parameter vector; all must match `global`'s length.  Parameters with
+/// |x̄_j| < eps are skipped (their normalized divergence is unbounded noise);
+/// the returned vector contains only the computed entries.
+std::vector<double> normalized_model_divergence(
+    std::span<const float> global,
+    const std::vector<std::vector<float>>& client_params, double eps = 1e-6);
+
+/// Same, restricted to the clients selected by `mask[k] == include` — used
+/// by Fig. 6 to compare outlier vs non-outlier populations.
+std::vector<double> normalized_model_divergence_subset(
+    std::span<const float> global,
+    const std::vector<std::vector<float>>& client_params,
+    const std::vector<bool>& mask, bool include, double eps = 1e-6);
+
+}  // namespace cmfl::fl

@@ -1,0 +1,62 @@
+#include "fl/metrics.h"
+
+#include <stdexcept>
+
+namespace cmfl::fl {
+
+std::optional<double> saving(const SimulationResult& vanilla,
+                             const SimulationResult& algorithm,
+                             double accuracy) {
+  const auto v = vanilla.rounds_to_accuracy(accuracy);
+  const auto a = algorithm.rounds_to_accuracy(accuracy);
+  if (!v || !a || *a == 0) return std::nullopt;
+  return static_cast<double>(*v) / static_cast<double>(*a);
+}
+
+SavingRow make_saving_row(const std::string& workload, double accuracy,
+                          const SimulationResult& vanilla,
+                          const SimulationResult& algorithm) {
+  SavingRow row;
+  row.workload = workload;
+  row.accuracy = accuracy;
+  row.vanilla_rounds = vanilla.rounds_to_accuracy(accuracy);
+  row.algo_rounds = algorithm.rounds_to_accuracy(accuracy);
+  row.saving = saving(vanilla, algorithm, accuracy);
+  return row;
+}
+
+std::vector<CurvePoint> accuracy_curve(const SimulationResult& result) {
+  std::vector<CurvePoint> curve;
+  for (const auto& rec : result.history) {
+    if (rec.evaluated()) {
+      curve.push_back({rec.cumulative_rounds, rec.accuracy});
+    }
+  }
+  return curve;
+}
+
+std::size_t best_run_index(const std::vector<SimulationResult>& runs,
+                           double accuracy, bool require_sustained) {
+  if (runs.empty()) {
+    throw std::invalid_argument("best_run_index: no runs");
+  }
+  std::optional<std::size_t> best;
+  std::size_t best_rounds = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (require_sustained && runs[i].final_accuracy < accuracy) continue;
+    const auto rounds = runs[i].rounds_to_accuracy(accuracy);
+    if (rounds && (!best || *rounds < best_rounds)) {
+      best = i;
+      best_rounds = *rounds;
+    }
+  }
+  if (best) return *best;
+  // None reached the target: pick the run that got closest.
+  std::size_t fallback = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].final_accuracy > runs[fallback].final_accuracy) fallback = i;
+  }
+  return fallback;
+}
+
+}  // namespace cmfl::fl

@@ -1,0 +1,53 @@
+// Communication-efficiency metrics (paper §II-B and §V).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/simulation.h"
+
+namespace cmfl::fl {
+
+/// Saving^a_A = Φ^a_vanilla / Φ^a_A (paper §V-A).  Returns std::nullopt if
+/// either run never reached accuracy `a`.
+std::optional<double> saving(const SimulationResult& vanilla,
+                             const SimulationResult& algorithm,
+                             double accuracy);
+
+/// One row of a Table-I-style report.
+struct SavingRow {
+  std::string workload;
+  double accuracy = 0.0;
+  std::optional<std::size_t> vanilla_rounds;
+  std::optional<std::size_t> algo_rounds;
+  std::optional<double> saving;
+};
+
+SavingRow make_saving_row(const std::string& workload, double accuracy,
+                          const SimulationResult& vanilla,
+                          const SimulationResult& algorithm);
+
+/// Accuracy-vs-cumulative-rounds series (the Fig. 4/5/7a curves): one point
+/// per evaluated iteration.
+struct CurvePoint {
+  std::size_t rounds = 0;
+  double accuracy = 0.0;
+};
+std::vector<CurvePoint> accuracy_curve(const SimulationResult& result);
+
+/// Sweeps candidate thresholds and returns the index of the run reaching
+/// `accuracy` with the fewest accumulated rounds; falls back to the run with
+/// the highest final accuracy when none qualifies.  Mirrors the paper's
+/// "tested a set of 10 threshold values ... chose the threshold values with
+/// the best performance".
+///
+/// When `require_sustained` is true (the default), a run only qualifies if
+/// its *final* accuracy also meets the target — this excludes degenerate
+/// starvation regimes that transiently touch the target accuracy while the
+/// model is drifting and then collapse (they would otherwise game the
+/// rounds-to-accuracy metric).
+std::size_t best_run_index(const std::vector<SimulationResult>& runs,
+                           double accuracy, bool require_sustained = true);
+
+}  // namespace cmfl::fl

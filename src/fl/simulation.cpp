@@ -1,0 +1,248 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/compression.h"
+#include "tensor/vector_ops.h"
+
+namespace cmfl::fl {
+
+std::optional<std::size_t> SimulationResult::rounds_to_accuracy(
+    double a) const {
+  for (const auto& rec : history) {
+    if (rec.evaluated() && rec.accuracy >= a) return rec.cumulative_rounds;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> SimulationResult::iterations_to_accuracy(
+    double a) const {
+  for (const auto& rec : history) {
+    if (rec.evaluated() && rec.accuracy >= a) return rec.iteration;
+  }
+  return std::nullopt;
+}
+
+FederatedSimulation::FederatedSimulation(
+    std::vector<std::unique_ptr<FlClient>> clients,
+    std::unique_ptr<core::UpdateFilter> filter, GlobalEvaluator evaluator,
+    const SimulationOptions& options)
+    : clients_(std::move(clients)),
+      filter_(std::move(filter)),
+      evaluator_(std::move(evaluator)),
+      options_(options) {
+  if (clients_.empty()) {
+    throw std::invalid_argument("FederatedSimulation: no clients");
+  }
+  if (!filter_) {
+    throw std::invalid_argument("FederatedSimulation: null filter");
+  }
+  if (!evaluator_) {
+    throw std::invalid_argument("FederatedSimulation: null evaluator");
+  }
+  if (options_.max_iterations == 0) {
+    throw std::invalid_argument(
+        "FederatedSimulation: max_iterations must be positive");
+  }
+  dim_ = clients_.front()->param_count();
+  for (const auto& c : clients_) {
+    if (c->param_count() != dim_) {
+      throw std::invalid_argument(
+          "FederatedSimulation: clients disagree on parameter count");
+    }
+  }
+}
+
+SimulationResult FederatedSimulation::run() {
+  const std::size_t num_clients = clients_.size();
+  std::vector<float> global(dim_);
+  clients_.front()->get_params(global);
+
+  core::GlobalUpdateEstimator estimator(dim_, options_.estimator_ema);
+  SimulationResult result;
+  result.eliminations_per_client.assign(num_clients, 0);
+  result.history.reserve(options_.max_iterations);
+
+  // Per-client scratch buffers reused across iterations.
+  std::vector<std::vector<float>> updates(num_clients,
+                                          std::vector<float>(dim_));
+  std::vector<core::FilterDecision> decisions(num_clients);
+  std::vector<double> train_losses(num_clients, 0.0);
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options_.parallel && num_clients > 1) {
+    pool = std::make_unique<util::ThreadPool>();
+  }
+
+  // Per-client compressors (stateful: each owns its sampling stream).
+  std::vector<std::unique_ptr<core::UpdateCompressor>> compressors;
+  compressors.reserve(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    compressors.push_back(
+        core::make_compressor(options_.compressor, 9000 + k));
+  }
+
+  std::vector<float> prev_global_update;
+  std::size_t cumulative_rounds = 0;
+  util::Rng server_rng(options_.seed);
+  if (options_.participation <= 0.0 || options_.participation > 1.0) {
+    throw std::invalid_argument(
+        "FederatedSimulation: participation must be in (0, 1]");
+  }
+
+  for (std::size_t t = 1; t <= options_.max_iterations; ++t) {
+    const auto lr = static_cast<float>(options_.learning_rate.at(t));
+    core::FilterContext ctx;
+    ctx.global_model = global;
+    ctx.estimated_global_update = estimator.estimate();
+    ctx.iteration = t;
+
+    // --- Client sampling (FedAvg's C; 1.0 = the paper's full sync) ---
+    std::vector<std::size_t> participants(num_clients);
+    std::iota(participants.begin(), participants.end(), 0);
+    if (options_.participation < 1.0) {
+      server_rng.shuffle(participants);
+      const auto count = std::max<std::size_t>(
+          1, static_cast<std::size_t>(options_.participation *
+                                      static_cast<double>(num_clients)));
+      participants.resize(count);
+      std::sort(participants.begin(), participants.end());
+    }
+
+    // --- LocalUpdate on every participating client (Alg. 1, 10-16) ---
+    auto train_one = [&](std::size_t p) {
+      const std::size_t k = participants[p];
+      clients_[k]->set_params(global);
+      train_losses[k] = clients_[k]->train_local(
+          options_.local_epochs, options_.batch_size, lr);
+      auto& u = updates[k];
+      clients_[k]->get_params(u);
+      // u_{k,t} = trained local params − broadcast global params.
+      for (std::size_t i = 0; i < dim_; ++i) u[i] -= global[i];
+      decisions[k] = filter_->decide(u, ctx);
+    };
+    if (pool) {
+      pool->parallel_for(participants.size(), train_one);
+    } else {
+      for (std::size_t p = 0; p < participants.size(); ++p) train_one(p);
+    }
+
+    // Snapshot the clients' local models while `global` is still x_{t-1}
+    // (the local model is x_{t-1} + u_{k,t}).  Overwritten every iteration
+    // so the result holds the final round's snapshot.
+    if (options_.capture_client_params && participants.size() == num_clients) {
+      result.client_params.resize(num_clients);
+      for (std::size_t k = 0; k < num_clients; ++k) {
+        result.client_params[k].resize(dim_);
+        tensor::add(global, updates[k], result.client_params[k]);
+      }
+    }
+
+    // --- Collect relevant updates S_t ---
+    std::vector<std::size_t> uploaded;
+    for (std::size_t k : participants) {
+      if (decisions[k].upload) {
+        uploaded.push_back(k);
+      } else {
+        ++result.eliminations_per_client[k];
+      }
+    }
+    if (uploaded.empty() && options_.min_uploads > 0) {
+      // Force the highest-scoring participants to upload so the round is
+      // not wasted entirely; their eliminations are rolled back.
+      std::vector<std::size_t> order = participants;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return decisions[a].score > decisions[b].score;
+      });
+      const std::size_t forced =
+          std::min(options_.min_uploads, order.size());
+      for (std::size_t i = 0; i < forced; ++i) {
+        uploaded.push_back(order[i]);
+        --result.eliminations_per_client[order[i]];
+      }
+    }
+
+    IterationRecord rec;
+    rec.iteration = t;
+    rec.uploads = uploaded.size();
+    cumulative_rounds += uploaded.size();
+    rec.cumulative_rounds = cumulative_rounds;
+    double score_sum = 0.0;
+    for (std::size_t k : participants) score_sum += decisions[k].score;
+    rec.mean_score = score_sum / static_cast<double>(participants.size());
+    double loss_sum = 0.0;
+    for (std::size_t k : participants) loss_sum += train_losses[k];
+    rec.mean_train_loss =
+        loss_sum / static_cast<double>(participants.size());
+
+    // --- GlobalOptimization (Algorithm 1, lines 7-9) ---
+    if (!uploaded.empty()) {
+      // Compress exactly what crosses the wire; the server aggregates the
+      // reconstructions.
+      for (std::size_t k : uploaded) {
+        const core::CompressedUpdate enc = compressors[k]->encode(updates[k]);
+        result.uploaded_bytes += enc.wire_bytes;
+        updates[k] = compressors[k]->decode(enc);
+      }
+      std::vector<float> global_update(dim_, 0.0f);
+      if (options_.aggregation == Aggregation::kSampleWeighted) {
+        double total_weight = 0.0;
+        for (std::size_t k : uploaded) {
+          total_weight += static_cast<double>(clients_[k]->local_samples());
+        }
+        for (std::size_t k : uploaded) {
+          const auto w = static_cast<float>(
+              static_cast<double>(clients_[k]->local_samples()) /
+              total_weight);
+          tensor::axpy(w, updates[k], global_update);
+        }
+      } else {
+        for (std::size_t k : uploaded) {
+          tensor::axpy(1.0f, updates[k], global_update);
+        }
+        tensor::scale(global_update,
+                      1.0f / static_cast<float>(uploaded.size()));
+      }
+      tensor::add(global, global_update, global);
+
+      if (!prev_global_update.empty()) {
+        rec.delta_update = core::normalized_update_difference(
+            prev_global_update, global_update);
+      }
+      prev_global_update = global_update;
+      estimator.observe(global_update);
+    }
+
+    // --- Periodic evaluation ---
+    const bool last_iteration = t == options_.max_iterations;
+    if (options_.eval_every > 0 &&
+        (t % options_.eval_every == 0 || last_iteration)) {
+      const nn::EvalResult eval = evaluator_(global);
+      rec.accuracy = eval.accuracy;
+      rec.loss = eval.loss;
+      result.history.push_back(rec);
+      if (options_.target_accuracy > 0.0 &&
+          eval.accuracy >= options_.target_accuracy) {
+        break;
+      }
+    } else {
+      result.history.push_back(rec);
+    }
+  }
+
+  // Final bookkeeping.
+  result.total_rounds = cumulative_rounds;
+  result.final_params = std::move(global);
+  for (auto it = result.history.rbegin(); it != result.history.rend(); ++it) {
+    if (it->evaluated()) {
+      result.final_accuracy = it->accuracy;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cmfl::fl

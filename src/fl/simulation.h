@@ -1,0 +1,134 @@
+// The synchronous federated training loop (paper Algorithm 1).
+//
+// Each iteration: broadcast (x_{t-1}, ū_{t-1}) → every client trains locally
+// → clients self-filter their updates via an UpdateFilter → the server
+// averages the surviving updates into ū_t and applies it.  The simulation
+// records everything the paper's figures need: per-iteration upload counts
+// (communication rounds, Eq. 4), filter scores (Fig. 2), ΔUpdate (Fig. 3),
+// per-client elimination counts (Fig. 6), and periodic test accuracy
+// (Figs. 4, 5, 7).
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/filter.h"
+#include "core/threshold.h"
+#include "fl/client.h"
+#include "nn/model.h"
+#include "util/thread_pool.h"
+
+namespace cmfl::fl {
+
+/// How the server combines uploaded updates.
+enum class Aggregation {
+  kUniformMean,     // Algorithm 1: ū = (1/|S|) Σ u  (the paper's rule)
+  kSampleWeighted,  // FedAvg: weight each update by its client's |P_k|
+};
+
+struct SimulationOptions {
+  int local_epochs = 4;              // E in the paper
+  std::size_t batch_size = 2;        // B in the paper
+  core::Schedule learning_rate = core::Schedule::inv_sqrt(0.05);
+  std::size_t max_iterations = 200;
+  /// Stop early once test accuracy reaches this value (<= 0 disables).
+  double target_accuracy = 0.0;
+  /// Evaluate the global model every `eval_every` iterations (and at the
+  /// final iteration).
+  std::size_t eval_every = 5;
+  /// If every client filters itself out, force the `min_uploads` clients
+  /// with the highest scores to upload anyway.  The default 0 is the
+  /// paper's semantics: an empty S_t leaves the model unchanged that round
+  /// (this is exactly the Gaia stagnation failure mode §III-B describes).
+  std::size_t min_uploads = 0;
+  /// EMA decay for the global-update estimator (0 = the paper's
+  /// previous-update estimate).
+  double estimator_ema = 0.0;
+  /// Train clients in parallel (deterministic either way).
+  bool parallel = true;
+  /// Capture every client's post-training local parameters at the end of
+  /// the run (needed for the normalized-model-divergence analysis, Fig. 1).
+  bool capture_client_params = false;
+  /// Update compression applied to *uploaded* updates (see
+  /// core/compression.h): "float32" (lossless wire format), "quantize8",
+  /// "subsample:<keep>", "structured:<density>".  Compression composes with
+  /// any filter — the orthogonality the paper claims in §I.
+  std::string compressor = "float32";
+  /// Server aggregation rule.
+  Aggregation aggregation = Aggregation::kUniformMean;
+  /// FedAvg's C: the fraction of clients sampled to participate each round
+  /// (1.0 = full participation, the paper's synchronous scheme).
+  /// Non-participants neither train nor count as communication.
+  double participation = 1.0;
+  /// Seed for server-side randomness (client sampling).
+  std::uint64_t seed = 1234;
+};
+
+struct IterationRecord {
+  std::size_t iteration = 0;       // t, 1-based
+  std::size_t uploads = 0;         // r_t = |S_t|
+  std::size_t cumulative_rounds = 0;  // Φ up to and including t
+  double mean_score = 0.0;         // mean filter score across clients
+  double mean_train_loss = 0.0;
+  double delta_update = 0.0;       // Eq. 8 vs the previous global update
+  /// Test metrics; NaN when this iteration was not evaluated.
+  double accuracy = std::numeric_limits<double>::quiet_NaN();
+  double loss = std::numeric_limits<double>::quiet_NaN();
+
+  bool evaluated() const noexcept { return !std::isnan(accuracy); }
+};
+
+struct SimulationResult {
+  std::vector<IterationRecord> history;
+  std::vector<std::size_t> eliminations_per_client;
+  std::vector<float> final_params;
+  /// Per-client local parameters after the final local training pass; empty
+  /// unless SimulationOptions::capture_client_params was set.
+  std::vector<std::vector<float>> client_params;
+  /// Exact uplink bytes of all uploaded (possibly compressed) updates.
+  std::uint64_t uploaded_bytes = 0;
+  double final_accuracy = 0.0;
+  std::size_t total_rounds = 0;  // Φ over the whole run
+
+  /// Accumulated communication rounds when test accuracy first reached `a`
+  /// (Eq. 4 evaluated at the first eval point with accuracy >= a);
+  /// std::nullopt if never reached.
+  std::optional<std::size_t> rounds_to_accuracy(double a) const;
+
+  /// Iteration index when accuracy first reached `a`.
+  std::optional<std::size_t> iterations_to_accuracy(double a) const;
+};
+
+/// Evaluates the global parameter vector on the server-side test set.
+using GlobalEvaluator = std::function<nn::EvalResult(std::span<const float>)>;
+
+class FederatedSimulation {
+ public:
+  /// All clients must share one parameter dimensionality.  `filter` decides
+  /// uploads; `evaluator` runs the server-side test pass.
+  FederatedSimulation(std::vector<std::unique_ptr<FlClient>> clients,
+                      std::unique_ptr<core::UpdateFilter> filter,
+                      GlobalEvaluator evaluator,
+                      const SimulationOptions& options);
+
+  /// Initializes the global model from client 0's current parameters (all
+  /// clients are then synchronized on the first broadcast).
+  SimulationResult run();
+
+  std::size_t client_count() const noexcept { return clients_.size(); }
+  std::size_t param_count() const noexcept { return dim_; }
+
+ private:
+  std::vector<std::unique_ptr<FlClient>> clients_;
+  std::unique_ptr<core::UpdateFilter> filter_;
+  GlobalEvaluator evaluator_;
+  SimulationOptions options_;
+  std::size_t dim_;
+};
+
+}  // namespace cmfl::fl

@@ -1,0 +1,105 @@
+#include "fl/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cmfl::fl {
+
+namespace {
+constexpr char kHeader[] =
+    "iteration,uploads,cumulative_rounds,mean_score,mean_train_loss,"
+    "delta_update,accuracy,loss";
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  // Trailing empty cell ("...,") is dropped by getline; restore it.
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const SimulationResult& result) {
+  os << kHeader << '\n';
+  for (const auto& rec : result.history) {
+    os << rec.iteration << ',' << rec.uploads << ','
+       << rec.cumulative_rounds << ',' << rec.mean_score << ','
+       << rec.mean_train_loss << ',' << rec.delta_update << ',';
+    if (rec.evaluated()) {
+      os << rec.accuracy << ',' << rec.loss;
+    } else {
+      os << ',';
+    }
+    os << '\n';
+  }
+  if (!os) throw std::runtime_error("write_trace_csv: stream write failed");
+}
+
+void write_trace_csv_file(const std::string& path,
+                          const SimulationResult& result) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("write_trace_csv_file: cannot open " + path);
+  }
+  write_trace_csv(os, result);
+}
+
+SimulationResult read_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("read_trace_csv: missing or wrong header");
+  }
+  SimulationResult result;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    if (cells.size() != 8) {
+      throw std::runtime_error("read_trace_csv: expected 8 cells, got " +
+                               std::to_string(cells.size()));
+    }
+    IterationRecord rec;
+    try {
+      rec.iteration = std::stoull(cells[0]);
+      rec.uploads = std::stoull(cells[1]);
+      rec.cumulative_rounds = std::stoull(cells[2]);
+      rec.mean_score = std::stod(cells[3]);
+      rec.mean_train_loss = std::stod(cells[4]);
+      rec.delta_update = std::stod(cells[5]);
+      if (!cells[6].empty()) {
+        rec.accuracy = std::stod(cells[6]);
+        rec.loss = std::stod(cells[7]);
+      }
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_trace_csv: malformed row '" + line +
+                               "'");
+    }
+    result.history.push_back(rec);
+  }
+  // Rebuild the derived summary fields.
+  if (!result.history.empty()) {
+    result.total_rounds = result.history.back().cumulative_rounds;
+    for (auto it = result.history.rbegin(); it != result.history.rend();
+         ++it) {
+      if (it->evaluated()) {
+        result.final_accuracy = it->accuracy;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+SimulationResult read_trace_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("read_trace_csv_file: cannot open " + path);
+  }
+  return read_trace_csv(is);
+}
+
+}  // namespace cmfl::fl

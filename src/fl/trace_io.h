@@ -1,0 +1,30 @@
+// Persistence of simulation traces.
+//
+// Benches print their tables to stdout; for downstream plotting the full
+// per-iteration history can be exported as CSV and read back.  The format
+// is one header line plus one row per iteration:
+//   iteration,uploads,cumulative_rounds,mean_score,mean_train_loss,
+//   delta_update,accuracy,loss
+// (accuracy/loss cells are empty for non-evaluated iterations).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fl/simulation.h"
+
+namespace cmfl::fl {
+
+/// Writes `result.history` as CSV.  Throws std::runtime_error on stream
+/// failure.
+void write_trace_csv(std::ostream& os, const SimulationResult& result);
+void write_trace_csv_file(const std::string& path,
+                          const SimulationResult& result);
+
+/// Reads a trace back into a SimulationResult (history only; model
+/// parameters and per-client counters are not part of the CSV).  Throws
+/// std::runtime_error on malformed input.
+SimulationResult read_trace_csv(std::istream& is);
+SimulationResult read_trace_csv_file(const std::string& path);
+
+}  // namespace cmfl::fl

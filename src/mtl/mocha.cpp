@@ -1,0 +1,134 @@
+#include "mtl/mocha.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/batcher.h"
+
+namespace cmfl::mtl {
+
+TaskSolver::TaskSolver(const data::DenseDataset* dataset,
+                       std::vector<std::size_t> shard, double test_fraction,
+                       util::Rng rng, TaskLoss loss)
+    : dataset_(dataset), rng_(rng), loss_(loss) {
+  if (dataset_ == nullptr) {
+    throw std::invalid_argument("TaskSolver: null dataset");
+  }
+  if (shard.empty()) {
+    throw std::invalid_argument("TaskSolver: empty shard");
+  }
+  if (test_fraction < 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("TaskSolver: test_fraction out of [0,1)");
+  }
+  rng_.shuffle(shard);
+  const auto test_count = static_cast<std::size_t>(
+      test_fraction * static_cast<double>(shard.size()));
+  test_.assign(shard.begin(), shard.begin() + static_cast<std::ptrdiff_t>(test_count));
+  train_.assign(shard.begin() + static_cast<std::ptrdiff_t>(test_count), shard.end());
+  if (train_.empty()) {
+    throw std::invalid_argument("TaskSolver: no training samples after split");
+  }
+}
+
+double TaskSolver::train_local(tensor::Matrix& w_all, std::size_t task,
+                               const tensor::Matrix& omega, double lambda,
+                               int epochs, std::size_t batch_size, float lr) {
+  if (task >= w_all.rows()) {
+    throw std::invalid_argument("TaskSolver::train_local: task out of range");
+  }
+  if (w_all.cols() != dataset_->features()) {
+    throw std::invalid_argument("TaskSolver::train_local: feature mismatch");
+  }
+  if (omega.rows() != w_all.rows() || omega.cols() != w_all.rows()) {
+    throw std::invalid_argument("TaskSolver::train_local: omega shape");
+  }
+  if (epochs <= 0) {
+    throw std::invalid_argument("TaskSolver::train_local: epochs");
+  }
+
+  const std::size_t d = w_all.cols();
+  auto w = w_all.row(task);
+  data::Batcher batcher(train_, batch_size);
+  std::vector<float> grad(d);
+  double last_epoch_loss = 0.0;
+
+  for (int e = 0; e < epochs; ++e) {
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (const auto& batch : batcher.epoch(rng_)) {
+      std::fill(grad.begin(), grad.end(), 0.0f);
+      double loss = 0.0;
+      for (std::size_t idx : batch) {
+        auto x = dataset_->x.row(idx);
+        const int y = to_pm1(dataset_->y[idx]);
+        double score = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+          score += static_cast<double>(w[j]) * static_cast<double>(x[j]);
+        }
+        if (loss_ == TaskLoss::kHinge) {
+          const double margin = 1.0 - y * score;
+          if (margin > 0.0) {
+            loss += margin;
+            const float g = static_cast<float>(-y) /
+                            static_cast<float>(batch.size());
+            for (std::size_t j = 0; j < d; ++j) grad[j] += g * x[j];
+          }
+        } else {
+          // Logistic: loss = log(1 + exp(-y s)), dloss/ds = -y σ(-y s).
+          const double z = -y * score;
+          loss += z > 30.0 ? z : std::log1p(std::exp(z));
+          const double sig = 1.0 / (1.0 + std::exp(-z));
+          const float g = static_cast<float>(-y * sig) /
+                          static_cast<float>(batch.size());
+          for (std::size_t j = 0; j < d; ++j) grad[j] += g * x[j];
+        }
+      }
+      loss /= static_cast<double>(batch.size());
+
+      // Ω-coupling gradient: λ Σ_j Ω_kj w_j (includes the own-task term).
+      const auto lam = static_cast<float>(lambda);
+      for (std::size_t other = 0; other < w_all.rows(); ++other) {
+        const float coupling = lam * omega.at(task, other);
+        if (coupling == 0.0f) continue;
+        auto wo = w_all.row(other);
+        for (std::size_t j = 0; j < d; ++j) grad[j] += coupling * wo[j];
+      }
+
+      for (std::size_t j = 0; j < d; ++j) w[j] -= lr * grad[j];
+      loss_sum += loss;
+      ++batches;
+    }
+    last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+double TaskSolver::accuracy_on(std::span<const float> w,
+                               const std::vector<std::size_t>& indices) const {
+  if (w.size() != dataset_->features()) {
+    throw std::invalid_argument("TaskSolver: weight size mismatch");
+  }
+  if (indices.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t idx : indices) {
+    auto x = dataset_->x.row(idx);
+    double score = 0.0;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      score += static_cast<double>(w[j]) * static_cast<double>(x[j]);
+    }
+    const int pred = score >= 0.0 ? 1 : -1;
+    correct += static_cast<std::size_t>(pred == to_pm1(dataset_->y[idx]));
+  }
+  return static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+double TaskSolver::test_accuracy(std::span<const float> w) const {
+  return accuracy_on(w, test_.empty() ? train_ : test_);
+}
+
+double TaskSolver::train_accuracy(std::span<const float> w) const {
+  return accuracy_on(w, train_);
+}
+
+}  // namespace cmfl::mtl

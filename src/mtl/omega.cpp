@@ -1,0 +1,121 @@
+#include "mtl/omega.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::mtl {
+
+void symmetric_eigen(const tensor::Matrix& a, std::vector<double>& values,
+                     tensor::Matrix& vectors, double tol, int max_sweeps) {
+  const std::size_t n = a.rows();
+  if (n != a.cols()) {
+    throw std::invalid_argument("symmetric_eigen: matrix must be square");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(a.at(i, j) - a.at(j, i)) > 1e-4) {
+        throw std::invalid_argument("symmetric_eigen: matrix not symmetric");
+      }
+    }
+  }
+
+  // Work in double for stability.
+  std::vector<std::vector<double>> m(n, std::vector<double>(n));
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i][i] = 1.0;
+    for (std::size_t j = 0; j < n; ++j) m[i][j] = a.at(i, j);
+  }
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += m[i][j] * m[i][j];
+    }
+    if (std::sqrt(off) < tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(m[p][q]) < tol / static_cast<double>(n * n)) continue;
+        const double theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m[k][p], mkq = m[k][q];
+          m[k][p] = c * mkp - s * mkq;
+          m[k][q] = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m[p][k], mqk = m[q][k];
+          m[p][k] = c * mpk - s * mqk;
+          m[q][k] = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p], vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  values.resize(n);
+  vectors = tensor::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = m[i][i];
+    for (std::size_t j = 0; j < n; ++j) {
+      vectors.at(i, j) = static_cast<float>(v[i][j]);
+    }
+  }
+}
+
+tensor::Matrix sqrtm_psd(const tensor::Matrix& a) {
+  std::vector<double> values;
+  tensor::Matrix vectors;
+  symmetric_eigen(a, values, vectors);
+  const std::size_t n = a.rows();
+  // sqrt(A) = V diag(sqrt(max(λ,0))) Vᵀ
+  tensor::Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double lam = values[k] > 0.0 ? std::sqrt(values[k]) : 0.0;
+        acc += static_cast<double>(vectors.at(i, k)) * lam *
+               static_cast<double>(vectors.at(j, k));
+      }
+      out.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+tensor::Matrix update_omega(const tensor::Matrix& w, double ridge) {
+  const std::size_t m = w.rows();
+  if (m == 0) throw std::invalid_argument("update_omega: empty W");
+  // G = W Wᵀ over tasks (m × m gram matrix of task weight vectors).
+  tensor::Matrix gram(m, m);
+  tensor::matmul_nt(w, w, gram);
+  for (std::size_t i = 0; i < m; ++i) {
+    gram.at(i, i) += static_cast<float>(ridge);
+  }
+  tensor::Matrix root = sqrtm_psd(gram);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < m; ++i) trace += root.at(i, i);
+  if (trace <= 0.0) return identity_omega(m);
+  const auto inv = static_cast<float>(1.0 / trace);
+  for (float& v : root.flat()) v *= inv;
+  return root;
+}
+
+tensor::Matrix identity_omega(std::size_t tasks) {
+  if (tasks == 0) throw std::invalid_argument("identity_omega: zero tasks");
+  tensor::Matrix omega(tasks, tasks);
+  const float v = 1.0f / static_cast<float>(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) omega.at(i, i) = v;
+  return omega;
+}
+
+}  // namespace cmfl::mtl

@@ -1,0 +1,38 @@
+// Task-relationship matrix Ω for federated multi-task learning (MOCHA,
+// Smith et al. 2017).
+//
+// MOCHA couples per-task linear models W = [w_1 … w_m] through the
+// regularizer tr(W Ω Wᵀ) and alternately optimizes W (distributed, on
+// clients) and Ω (centrally).  With the trace constraint, the Ω
+// subproblem has the closed form
+//     Ω* = (WᵀW)^{1/2} / tr((WᵀW)^{1/2}),
+// which needs a symmetric matrix square root — provided here via a cyclic
+// Jacobi eigensolver (no external linear-algebra dependency).
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace cmfl::mtl {
+
+/// Jacobi eigendecomposition of a symmetric matrix: a = V diag(λ) Vᵀ.
+/// `a` must be square and symmetric within `tol`.  Returns eigenvalues in
+/// `values` and eigenvectors as columns of `vectors`.  Throws
+/// std::invalid_argument on a non-square or asymmetric input.
+void symmetric_eigen(const tensor::Matrix& a, std::vector<double>& values,
+                     tensor::Matrix& vectors, double tol = 1e-10,
+                     int max_sweeps = 64);
+
+/// Symmetric positive-semidefinite square root via eigendecomposition
+/// (negative eigenvalues from numerical noise are clamped to zero).
+tensor::Matrix sqrtm_psd(const tensor::Matrix& a);
+
+/// MOCHA's Ω update:  Ω = (WᵀW + ridge·I)^{1/2}, normalized to unit trace.
+/// `w` holds tasks as rows (m × d).  The ridge keeps Ω well-defined while W
+/// is still near zero early in training.
+tensor::Matrix update_omega(const tensor::Matrix& w, double ridge = 1e-3);
+
+/// Identity relationship (independent tasks), trace-normalized — the
+/// initial Ω before any structure is learned.
+tensor::Matrix identity_omega(std::size_t tasks);
+
+}  // namespace cmfl::mtl

@@ -1,0 +1,242 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/estimator.h"
+#include "tensor/vector_ops.h"
+
+namespace cmfl::net {
+
+namespace {
+
+/// One worker's endpoint: an inbox it reads and the shared master inbox it
+/// writes, with byte meters on both directions.
+struct WorkerEndpoint {
+  Channel inbox;
+};
+
+}  // namespace
+
+FlCluster::FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
+                     std::unique_ptr<core::UpdateFilter> filter,
+                     fl::GlobalEvaluator evaluator,
+                     const ClusterOptions& options)
+    : clients_(std::move(clients)),
+      filter_(std::move(filter)),
+      evaluator_(std::move(evaluator)),
+      options_(options) {
+  if (clients_.empty()) throw std::invalid_argument("FlCluster: no clients");
+  if (!filter_) throw std::invalid_argument("FlCluster: null filter");
+  if (!evaluator_) throw std::invalid_argument("FlCluster: null evaluator");
+  dim_ = clients_.front()->param_count();
+  for (const auto& c : clients_) {
+    if (c->param_count() != dim_) {
+      throw std::invalid_argument(
+          "FlCluster: clients disagree on parameter count");
+    }
+  }
+}
+
+ClusterResult FlCluster::run() {
+  const std::size_t num_workers = clients_.size();
+  std::vector<WorkerEndpoint> endpoints(num_workers);
+  Channel master_inbox;
+  ByteMeter uplink_meter;
+  ByteMeter downlink_meter;
+  std::atomic<std::uint64_t> upload_frames{0};
+  std::atomic<std::uint64_t> elimination_frames{0};
+
+  const int local_epochs = options_.fl.local_epochs;
+  const std::size_t batch_size = options_.fl.batch_size;
+
+  // --- Worker threads: the "slaves" of the paper's implementation ---
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (std::size_t k = 0; k < num_workers; ++k) {
+    workers.emplace_back([&, k] {
+      fl::FlClient& client = *clients_[k];
+      std::vector<float> update(dim_);
+      for (;;) {
+        auto frame = endpoints[k].inbox.recv();
+        if (!frame) return;
+        const Message msg = decode(open_frame(*frame));
+        if (std::holds_alternative<ShutdownMsg>(msg)) return;
+        const auto& bc = std::get<BroadcastMsg>(msg);
+        if (bc.global_params.size() != dim_) {
+          throw std::runtime_error("worker: broadcast size mismatch");
+        }
+
+        client.set_params(bc.global_params);
+        client.train_local(local_epochs, batch_size, bc.learning_rate);
+        client.get_params(update);
+        for (std::size_t i = 0; i < dim_; ++i) {
+          update[i] -= bc.global_params[i];
+        }
+
+        core::FilterContext ctx;
+        ctx.global_model = bc.global_params;
+        ctx.estimated_global_update = bc.global_update;
+        ctx.iteration = bc.iteration;
+        const core::FilterDecision decision = filter_->decide(update, ctx);
+
+        Message reply;
+        if (decision.upload) {
+          UpdateUploadMsg up;
+          up.iteration = bc.iteration;
+          up.client_id = static_cast<std::uint32_t>(k);
+          up.update = update;
+          up.score = decision.score;
+          reply = std::move(up);
+          upload_frames.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EliminationMsg el;
+          el.iteration = bc.iteration;
+          el.client_id = static_cast<std::uint32_t>(k);
+          el.score = decision.score;
+          reply = el;
+          elimination_frames.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto bytes = encode(reply);
+        seal_frame(bytes);
+        uplink_meter.record(bytes.size());
+        master_inbox.send(std::move(bytes));
+      }
+    });
+  }
+
+  // --- Master loop (Algorithm 1 GlobalOptimization over the wire) ---
+  ClusterResult result;
+  result.sim.eliminations_per_client.assign(num_workers, 0);
+  std::vector<float> global(dim_);
+  clients_.front()->get_params(global);  // pre-thread-start? see note below
+  // NOTE: clients_.front() is also owned by worker thread k=0, but workers
+  // only touch clients after receiving a frame; reading initial params here
+  // happens-before the first send.
+  core::GlobalUpdateEstimator estimator(dim_, options_.fl.estimator_ema);
+  std::vector<float> prev_global_update;
+  std::size_t cumulative_rounds = 0;
+
+  for (std::size_t t = 1; t <= options_.fl.max_iterations; ++t) {
+    const auto lr = static_cast<float>(options_.fl.learning_rate.at(t));
+    BroadcastMsg bc;
+    bc.iteration = t;
+    bc.learning_rate = lr;
+    bc.global_params = global;
+    bc.global_update.assign(estimator.estimate().begin(),
+                            estimator.estimate().end());
+    auto frame = encode(Message(bc));
+    seal_frame(frame);
+    double round_transfer = 0.0;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      downlink_meter.record(frame.size());
+      round_transfer = std::max(
+          round_transfer, options_.downlink.transfer_seconds(frame.size()));
+      endpoints[k].inbox.send(frame);  // copy per worker
+    }
+
+    // Gather exactly one reply per worker.  Uploads are collected keyed by
+    // client id and aggregated in id order: float summation is not
+    // associative, so arrival-order aggregation would make runs depend on
+    // thread scheduling.
+    std::vector<std::pair<std::uint32_t, std::vector<float>>> uploads;
+    std::vector<double> scores(num_workers, 0.0);
+    double max_upload_transfer = 0.0;
+    for (std::size_t received = 0; received < num_workers; ++received) {
+      auto reply_frame = master_inbox.recv();
+      if (!reply_frame) {
+        throw std::runtime_error("FlCluster: master inbox closed early");
+      }
+      max_upload_transfer =
+          std::max(max_upload_transfer,
+                   options_.uplink.transfer_seconds(reply_frame->size()));
+      const Message reply = decode(open_frame(*reply_frame));
+      if (const auto* up = std::get_if<UpdateUploadMsg>(&reply)) {
+        if (up->iteration != t) {
+          throw std::runtime_error("FlCluster: stale upload frame");
+        }
+        if (up->update.size() != dim_) {
+          throw std::runtime_error("FlCluster: bad update size");
+        }
+        scores[up->client_id] = up->score;
+        uploads.emplace_back(up->client_id, up->update);
+      } else if (const auto* el = std::get_if<EliminationMsg>(&reply)) {
+        if (el->iteration != t) {
+          throw std::runtime_error("FlCluster: stale elimination frame");
+        }
+        scores[el->client_id] = el->score;
+        ++result.sim.eliminations_per_client[el->client_id];
+      } else {
+        throw std::runtime_error("FlCluster: unexpected frame from worker");
+      }
+    }
+    result.simulated_transfer_seconds += round_transfer + max_upload_transfer;
+
+    fl::IterationRecord rec;
+    rec.iteration = t;
+    rec.uploads = uploads.size();
+    cumulative_rounds += uploads.size();
+    rec.cumulative_rounds = cumulative_rounds;
+    rec.mean_score =
+        std::accumulate(scores.begin(), scores.end(), 0.0) /
+        static_cast<double>(num_workers);
+
+    if (!uploads.empty()) {
+      std::sort(uploads.begin(), uploads.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<float> global_update(dim_, 0.0f);
+      for (const auto& [id, u] : uploads) tensor::axpy(1.0f, u, global_update);
+      tensor::scale(global_update,
+                    1.0f / static_cast<float>(uploads.size()));
+      tensor::add(global, global_update, global);
+      if (!prev_global_update.empty()) {
+        rec.delta_update = core::normalized_update_difference(
+            prev_global_update, global_update);
+      }
+      prev_global_update = global_update;
+      estimator.observe(global_update);
+    }
+
+    const bool last = t == options_.fl.max_iterations;
+    if (options_.fl.eval_every > 0 &&
+        (t % options_.fl.eval_every == 0 || last)) {
+      const nn::EvalResult eval = evaluator_(global);
+      rec.accuracy = eval.accuracy;
+      rec.loss = eval.loss;
+      result.sim.history.push_back(rec);
+      result.footprint.push_back(
+          {t, eval.accuracy, uplink_meter.total_bytes()});
+      if (options_.fl.target_accuracy > 0.0 &&
+          eval.accuracy >= options_.fl.target_accuracy) {
+        break;
+      }
+    } else {
+      result.sim.history.push_back(rec);
+    }
+  }
+
+  // --- Shutdown ---
+  auto shutdown = encode(Message(ShutdownMsg{}));
+  seal_frame(shutdown);
+  for (auto& ep : endpoints) ep.inbox.send(shutdown);
+  for (auto& w : workers) w.join();
+
+  result.sim.total_rounds = cumulative_rounds;
+  result.sim.final_params = std::move(global);
+  for (auto it = result.sim.history.rbegin();
+       it != result.sim.history.rend(); ++it) {
+    if (it->evaluated()) {
+      result.sim.final_accuracy = it->accuracy;
+      break;
+    }
+  }
+  result.uplink_bytes = uplink_meter.total_bytes();
+  result.downlink_bytes = downlink_meter.total_bytes();
+  result.upload_messages = upload_frames.load();
+  result.elimination_messages = elimination_frames.load();
+  return result;
+}
+
+}  // namespace cmfl::net

@@ -1,0 +1,65 @@
+// Master–worker FL cluster over the wire protocol: the in-process
+// equivalent of the paper's 30-node EC2 deployment (§V-C).
+//
+// The master (the caller's thread) serializes a Broadcast frame per worker
+// per iteration; each worker thread deserializes it, trains its FlClient,
+// applies the upload filter, and answers with either a full UpdateUpload
+// frame or a tiny Elimination frame.  Every frame crosses a Channel as real
+// bytes and is counted by the direction's ByteMeter — giving byte-exact
+// network-footprint numbers for Fig. 7b.
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "core/filter.h"
+#include "fl/client.h"
+#include "fl/simulation.h"
+#include "net/link.h"
+#include "net/message.h"
+
+namespace cmfl::net {
+
+struct ClusterOptions {
+  fl::SimulationOptions fl;   // E, B, η_t schedule, eval cadence, etc.
+  LinkModel uplink;           // per-worker upload link model
+  LinkModel downlink;         // broadcast link model
+};
+
+struct FootprintPoint {
+  std::size_t iteration = 0;
+  double accuracy = 0.0;
+  std::uint64_t uplink_bytes = 0;  // cumulative at this evaluation
+};
+
+struct ClusterResult {
+  fl::SimulationResult sim;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+  std::uint64_t upload_messages = 0;       // full update frames
+  std::uint64_t elimination_messages = 0;  // status-only frames
+  /// Simulated transfer time had the links been real edge connections
+  /// (per-iteration max across workers, summed).
+  double simulated_transfer_seconds = 0.0;
+  std::vector<FootprintPoint> footprint;   // one point per evaluation
+};
+
+class FlCluster {
+ public:
+  /// Same contract as fl::FederatedSimulation, but execution flows through
+  /// worker threads and serialized messages.
+  FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
+            std::unique_ptr<core::UpdateFilter> filter,
+            fl::GlobalEvaluator evaluator, const ClusterOptions& options);
+
+  ClusterResult run();
+
+ private:
+  std::vector<std::unique_ptr<fl::FlClient>> clients_;
+  std::unique_ptr<core::UpdateFilter> filter_;
+  fl::GlobalEvaluator evaluator_;
+  ClusterOptions options_;
+  std::size_t dim_;
+};
+
+}  // namespace cmfl::net

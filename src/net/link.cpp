@@ -1,0 +1,32 @@
+#include "net/link.h"
+
+namespace cmfl::net {
+
+bool Channel::send(std::vector<std::byte> frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    frames_.push_back(std::move(frame));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<std::vector<std::byte>> Channel::recv() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !frames_.empty(); });
+  if (frames_.empty()) return std::nullopt;  // closed and drained
+  auto frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+void Channel::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+}  // namespace cmfl::net

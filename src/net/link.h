@@ -1,0 +1,76 @@
+// Simulated network links: thread-safe frame queues with byte accounting
+// and a latency/bandwidth model.
+//
+// The paper's EC2 study measures network footprint (bytes and upload
+// rounds), not wall-clock transfer time; ByteMeter captures exactly that.
+// The latency/bandwidth model additionally estimates what each round would
+// have cost over a constrained edge uplink — used by the ablation output of
+// the Fig. 7 bench.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace cmfl::net {
+
+/// Cumulative transfer statistics for one direction of the cluster.
+class ByteMeter {
+ public:
+  void record(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_bytes_ += bytes;
+    ++messages_;
+  }
+
+  std::uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_bytes_;
+  }
+
+  std::uint64_t messages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return messages_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+struct LinkModel {
+  double latency_s = 0.05;          // per-message propagation delay
+  double bandwidth_bytes_per_s = 1.0e6;  // edge uplink ~8 Mbit/s
+
+  /// Simulated seconds to push `bytes` through this link.
+  double transfer_seconds(std::size_t bytes) const {
+    return latency_s +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+/// Unbounded MPSC byte-frame channel.  send() never blocks; recv() blocks
+/// until a frame or close() arrives.
+class Channel {
+ public:
+  /// Returns false if the channel is closed (frames already queued are
+  /// still delivered before close is reported).
+  bool send(std::vector<std::byte> frame);
+
+  /// Blocks; returns std::nullopt once closed and drained.
+  std::optional<std::vector<std::byte>> recv();
+
+  void close();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::vector<std::byte>> frames_;
+  bool closed_ = false;
+};
+
+}  // namespace cmfl::net

@@ -1,0 +1,82 @@
+#include "net/message.h"
+
+#include <stdexcept>
+
+namespace cmfl::net {
+
+FrameType frame_type(const Message& msg) {
+  if (std::holds_alternative<BroadcastMsg>(msg)) return FrameType::kBroadcast;
+  if (std::holds_alternative<UpdateUploadMsg>(msg)) {
+    return FrameType::kUpdateUpload;
+  }
+  if (std::holds_alternative<EliminationMsg>(msg)) {
+    return FrameType::kElimination;
+  }
+  return FrameType::kShutdown;
+}
+
+std::vector<std::byte> encode(const Message& msg) {
+  WireWriter w;
+  if (const auto* b = std::get_if<BroadcastMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kBroadcast));
+    w.u64(b->iteration);
+    w.f32(b->learning_rate);
+    w.floats(b->global_params);
+    w.floats(b->global_update);
+  } else if (const auto* u = std::get_if<UpdateUploadMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kUpdateUpload));
+    w.u64(u->iteration);
+    w.u32(u->client_id);
+    w.f64(u->score);
+    w.floats(u->update);
+  } else if (const auto* e = std::get_if<EliminationMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kElimination));
+    w.u64(e->iteration);
+    w.u32(e->client_id);
+    w.f64(e->score);
+  } else {
+    w.u8(static_cast<std::uint8_t>(FrameType::kShutdown));
+  }
+  return w.take();
+}
+
+Message decode(std::span<const std::byte> frame) {
+  WireReader r(frame);
+  const auto type = static_cast<FrameType>(r.u8());
+  switch (type) {
+    case FrameType::kBroadcast: {
+      BroadcastMsg b;
+      b.iteration = r.u64();
+      b.learning_rate = r.f32();
+      b.global_params = r.floats();
+      b.global_update = r.floats();
+      if (!r.done()) throw std::runtime_error("decode: trailing bytes");
+      return b;
+    }
+    case FrameType::kUpdateUpload: {
+      UpdateUploadMsg u;
+      u.iteration = r.u64();
+      u.client_id = r.u32();
+      u.score = r.f64();
+      u.update = r.floats();
+      if (!r.done()) throw std::runtime_error("decode: trailing bytes");
+      return u;
+    }
+    case FrameType::kElimination: {
+      EliminationMsg e;
+      e.iteration = r.u64();
+      e.client_id = r.u32();
+      e.score = r.f64();
+      if (!r.done()) throw std::runtime_error("decode: trailing bytes");
+      return e;
+    }
+    case FrameType::kShutdown: {
+      if (!r.done()) throw std::runtime_error("decode: trailing bytes");
+      return ShutdownMsg{};
+    }
+  }
+  throw std::runtime_error("decode: unknown frame type " +
+                           std::to_string(static_cast<int>(type)));
+}
+
+}  // namespace cmfl::net

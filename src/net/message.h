@@ -1,0 +1,62 @@
+// FL protocol frames for the cluster emulation.
+//
+// Four frame types implement the paper's master–slave protocol (§V-C):
+//   * Broadcast    master → worker: x_{t-1} and ū_{t-1}.
+//   * UpdateUpload worker → master: the full local update (the expensive
+//                  message whose count/bytes the paper minimizes).
+//   * Elimination  worker → master: "status information ... indicating the
+//                  completion of its local training and the elimination of
+//                  its update" — a tiny fixed-size frame.
+//   * Shutdown     master → worker: terminate the worker loop.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace cmfl::net {
+
+enum class FrameType : std::uint8_t {
+  kBroadcast = 1,
+  kUpdateUpload = 2,
+  kElimination = 3,
+  kShutdown = 4,
+};
+
+struct BroadcastMsg {
+  std::uint64_t iteration = 0;
+  std::vector<float> global_params;
+  std::vector<float> global_update;  // ū_{t-1} feedback
+  float learning_rate = 0.0f;
+};
+
+struct UpdateUploadMsg {
+  std::uint64_t iteration = 0;
+  std::uint32_t client_id = 0;
+  std::vector<float> update;
+  double score = 0.0;  // the filter metric, for server-side tracing
+};
+
+struct EliminationMsg {
+  std::uint64_t iteration = 0;
+  std::uint32_t client_id = 0;
+  double score = 0.0;
+};
+
+struct ShutdownMsg {};
+
+using Message =
+    std::variant<BroadcastMsg, UpdateUploadMsg, EliminationMsg, ShutdownMsg>;
+
+/// Serializes to a framed byte buffer: [u8 type][payload].
+std::vector<std::byte> encode(const Message& msg);
+
+/// Parses a frame; throws std::runtime_error on unknown type or truncation.
+Message decode(std::span<const std::byte> frame);
+
+/// Convenience for tests and byte accounting.
+FrameType frame_type(const Message& msg);
+
+}  // namespace cmfl::net

@@ -1,0 +1,54 @@
+#include "net/wire.h"
+
+#include <array>
+
+namespace cmfl::net {
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void seal_frame(std::vector<std::byte>& frame) {
+  const std::uint32_t crc = crc32(frame);
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<std::byte>((crc >> shift) & 0xFFu));
+  }
+}
+
+std::span<const std::byte> open_frame(std::span<const std::byte> frame) {
+  if (frame.size() < 4) {
+    throw std::runtime_error("open_frame: frame shorter than its CRC");
+  }
+  const auto payload = frame.first(frame.size() - 4);
+  std::uint32_t stored = 0;
+  for (int i = 3; i >= 0; --i) {
+    stored = (stored << 8) |
+             static_cast<std::uint8_t>(frame[payload.size() +
+                                             static_cast<std::size_t>(i)]);
+  }
+  if (crc32(payload) != stored) {
+    throw std::runtime_error("open_frame: CRC mismatch (corrupted frame)");
+  }
+  return payload;
+}
+
+}  // namespace cmfl::net

@@ -1,0 +1,103 @@
+// Byte-exact wire encoding.
+//
+// The EC2 emulation measures *network footprint in bytes*, so messages are
+// serialized into real byte buffers (little-endian, length-prefixed) rather
+// than passed as in-memory objects.  WireWriter/WireReader are the
+// primitives; message.h defines the FL protocol frames on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cmfl::net {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte range — frame integrity for
+/// the cluster protocol.  Table-driven, computed lazily once per process.
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+/// Appends a 4-byte CRC over `frame` (call after encode()).
+void seal_frame(std::vector<std::byte>& frame);
+
+/// Verifies and strips the trailing CRC; throws std::runtime_error on
+/// mismatch or an undersized frame.
+std::span<const std::byte> open_frame(std::span<const std::byte> frame);
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v) { append(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { append(&v, sizeof(v)); }
+  void f32(float v) { append(&v, sizeof(v)); }
+  void f64(double v) { append(&v, sizeof(v)); }
+
+  void floats(std::span<const float> v) {
+    u64(v.size());
+    append(v.data(), v.size() * sizeof(float));
+  }
+
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Throws std::runtime_error on any attempt to read past the end — a
+/// truncated or corrupted frame must never be silently accepted.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint32_t u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t u64() { return read_pod<std::uint64_t>(); }
+  float f32() { return read_pod<float>(); }
+  double f64() { return read_pod<double>(); }
+
+  std::vector<float> floats() {
+    const std::uint64_t n = u64();
+    if (n > remaining() / sizeof(float)) {
+      throw std::runtime_error("WireReader: float array length " +
+                               std::to_string(n) + " exceeds frame");
+    }
+    std::vector<float> out(n);
+    auto bytes = take(n * sizeof(float));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    T v{};
+    auto bytes = take(sizeof(T));
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return v;
+  }
+
+  std::span<const std::byte> take(std::size_t n) {
+    if (n > remaining()) {
+      throw std::runtime_error("WireReader: truncated frame");
+    }
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cmfl::net

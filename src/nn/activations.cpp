@@ -1,0 +1,64 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::nn {
+
+float sigmoid(float x) noexcept { return 1.0f / (1.0f + std::exp(-x)); }
+
+ReLU::ReLU(std::size_t dim) : dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("ReLU: dim must be positive");
+}
+
+std::string ReLU::name() const { return "ReLU(" + std::to_string(dim_) + ")"; }
+
+void ReLU::forward(const tensor::Matrix& in, tensor::Matrix& out,
+                   bool /*training*/) {
+  if (in.cols() != dim_) {
+    throw std::invalid_argument("ReLU::forward: input width mismatch");
+  }
+  cached_in_ = in;
+  out = in;
+  for (float& v : out.flat()) v = v > 0.0f ? v : 0.0f;
+}
+
+void ReLU::backward(const tensor::Matrix& grad_out, tensor::Matrix& grad_in) {
+  if (grad_out.rows() != cached_in_.rows() || grad_out.cols() != dim_) {
+    throw std::invalid_argument("ReLU::backward: gradient shape mismatch");
+  }
+  grad_in = grad_out;
+  auto gi = grad_in.flat();
+  auto ci = cached_in_.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) {
+    if (ci[i] <= 0.0f) gi[i] = 0.0f;
+  }
+}
+
+Tanh::Tanh(std::size_t dim) : dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("Tanh: dim must be positive");
+}
+
+std::string Tanh::name() const { return "Tanh(" + std::to_string(dim_) + ")"; }
+
+void Tanh::forward(const tensor::Matrix& in, tensor::Matrix& out,
+                   bool /*training*/) {
+  if (in.cols() != dim_) {
+    throw std::invalid_argument("Tanh::forward: input width mismatch");
+  }
+  out = in;
+  for (float& v : out.flat()) v = std::tanh(v);
+  cached_out_ = out;
+}
+
+void Tanh::backward(const tensor::Matrix& grad_out, tensor::Matrix& grad_in) {
+  if (grad_out.rows() != cached_out_.rows() || grad_out.cols() != dim_) {
+    throw std::invalid_argument("Tanh::backward: gradient shape mismatch");
+  }
+  grad_in = grad_out;
+  auto gi = grad_in.flat();
+  auto co = cached_out_.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) gi[i] *= 1.0f - co[i] * co[i];
+}
+
+}  // namespace cmfl::nn

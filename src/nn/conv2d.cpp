@@ -1,0 +1,159 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "tensor/init.h"
+
+namespace cmfl::nn {
+
+Conv2d::Conv2d(const Conv2dSpec& spec) : spec_(spec) {
+  if (spec.in_channels == 0 || spec.out_channels == 0 || spec.kernel == 0 ||
+      spec.in_height == 0 || spec.in_width == 0) {
+    throw std::invalid_argument("Conv2d: dimensions must be positive");
+  }
+  if (spec.in_height + 2 * spec.padding < spec.kernel ||
+      spec.in_width + 2 * spec.padding < spec.kernel) {
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+  out_h_ = spec.in_height + 2 * spec.padding - spec.kernel + 1;
+  out_w_ = spec.in_width + 2 * spec.padding - spec.kernel + 1;
+  const std::size_t wsize =
+      spec.out_channels * spec.in_channels * spec.kernel * spec.kernel;
+  w_.assign(wsize, 0.0f);
+  gw_.assign(wsize, 0.0f);
+  b_.assign(spec.out_channels, 0.0f);
+  gb_.assign(spec.out_channels, 0.0f);
+}
+
+std::size_t Conv2d::in_dim() const noexcept {
+  return spec_.in_channels * spec_.in_height * spec_.in_width;
+}
+
+std::size_t Conv2d::out_dim() const noexcept {
+  return spec_.out_channels * out_h_ * out_w_;
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(spec_.in_channels) + "x" +
+         std::to_string(spec_.in_height) + "x" + std::to_string(spec_.in_width) +
+         " -> " + std::to_string(spec_.out_channels) + "x" +
+         std::to_string(out_h_) + "x" + std::to_string(out_w_) + ", k=" +
+         std::to_string(spec_.kernel) + ")";
+}
+
+float& Conv2d::weight(std::size_t oc, std::size_t ic, std::size_t kh,
+                      std::size_t kw) noexcept {
+  return w_[((oc * spec_.in_channels + ic) * spec_.kernel + kh) * spec_.kernel +
+            kw];
+}
+
+float Conv2d::weight(std::size_t oc, std::size_t ic, std::size_t kh,
+                     std::size_t kw) const noexcept {
+  return w_[((oc * spec_.in_channels + ic) * spec_.kernel + kh) * spec_.kernel +
+            kw];
+}
+
+void Conv2d::forward(const tensor::Matrix& in, tensor::Matrix& out,
+                     bool /*training*/) {
+  if (in.cols() != in_dim()) {
+    throw std::invalid_argument("Conv2d::forward: input width mismatch");
+  }
+  cached_in_ = in;
+  const std::size_t batch = in.rows();
+  out = tensor::Matrix(batch, out_dim());
+  const auto ih = spec_.in_height, iw = spec_.in_width, k = spec_.kernel,
+             pad = spec_.padding;
+  for (std::size_t n = 0; n < batch; ++n) {
+    auto x = in.row(n);
+    auto y = out.row(n);
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      for (std::size_t oh = 0; oh < out_h_; ++oh) {
+        for (std::size_t ow = 0; ow < out_w_; ++ow) {
+          float acc = b_[oc];
+          for (std::size_t ic = 0; ic < spec_.in_channels; ++ic) {
+            const float* xp = x.data() + ic * ih * iw;
+            for (std::size_t khi = 0; khi < k; ++khi) {
+              // padded row index = oh + khi - pad; skip out-of-bounds rows.
+              const std::size_t r = oh + khi;
+              if (r < pad || r >= ih + pad) continue;
+              const std::size_t xr = r - pad;
+              for (std::size_t kwi = 0; kwi < k; ++kwi) {
+                const std::size_t c = ow + kwi;
+                if (c < pad || c >= iw + pad) continue;
+                acc += weight(oc, ic, khi, kwi) * xp[xr * iw + (c - pad)];
+              }
+            }
+          }
+          y[(oc * out_h_ + oh) * out_w_ + ow] = acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::backward(const tensor::Matrix& grad_out,
+                      tensor::Matrix& grad_in) {
+  if (grad_out.cols() != out_dim() ||
+      grad_out.rows() != cached_in_.rows()) {
+    throw std::invalid_argument("Conv2d::backward: gradient shape mismatch");
+  }
+  const std::size_t batch = grad_out.rows();
+  grad_in = tensor::Matrix(batch, in_dim());
+  const auto ih = spec_.in_height, iw = spec_.in_width, k = spec_.kernel,
+             pad = spec_.padding;
+  for (std::size_t n = 0; n < batch; ++n) {
+    auto x = cached_in_.row(n);
+    auto gy = grad_out.row(n);
+    auto gx = grad_in.row(n);
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      for (std::size_t oh = 0; oh < out_h_; ++oh) {
+        for (std::size_t ow = 0; ow < out_w_; ++ow) {
+          const float g = gy[(oc * out_h_ + oh) * out_w_ + ow];
+          if (g == 0.0f) continue;
+          gb_[oc] += g;
+          for (std::size_t ic = 0; ic < spec_.in_channels; ++ic) {
+            const float* xp = x.data() + ic * ih * iw;
+            float* gxp = gx.data() + ic * ih * iw;
+            for (std::size_t khi = 0; khi < k; ++khi) {
+              const std::size_t r = oh + khi;
+              if (r < pad || r >= ih + pad) continue;
+              const std::size_t xr = r - pad;
+              for (std::size_t kwi = 0; kwi < k; ++kwi) {
+                const std::size_t c = ow + kwi;
+                if (c < pad || c >= iw + pad) continue;
+                const std::size_t xi = xr * iw + (c - pad);
+                gw_[((oc * spec_.in_channels + ic) * k + khi) * k + kwi] +=
+                    g * xp[xi];
+                gxp[xi] += g * weight(oc, ic, khi, kwi);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::init_params(util::Rng& rng) {
+  const std::size_t fan_in =
+      spec_.in_channels * spec_.kernel * spec_.kernel;
+  tensor::he_normal(w_, fan_in, rng);
+  std::fill(b_.begin(), b_.end(), 0.0f);
+}
+
+void Conv2d::collect_params(std::vector<std::span<float>>& out) {
+  out.push_back(w_);
+  out.push_back(b_);
+}
+
+void Conv2d::collect_grads(std::vector<std::span<float>>& out) {
+  out.push_back(gw_);
+  out.push_back(gb_);
+}
+
+void Conv2d::zero_grads() {
+  std::fill(gw_.begin(), gw_.end(), 0.0f);
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+}  // namespace cmfl::nn

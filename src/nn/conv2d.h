@@ -1,0 +1,59 @@
+// 2-D convolution over flattened NCHW rows, stride 1, symmetric zero
+// padding.  The paper's MNIST model is "a CNN with two 5×5 convolution
+// layers, a fully connected layer, and a final output layer"; Conv2D is the
+// workhorse for that architecture.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/tensor4.h"
+
+namespace cmfl::nn {
+
+struct Conv2dSpec {
+  std::size_t in_channels = 1;
+  std::size_t in_height = 0;
+  std::size_t in_width = 0;
+  std::size_t out_channels = 1;
+  std::size_t kernel = 5;
+  std::size_t padding = 2;  // `same` for kernel 5
+};
+
+class Conv2d final : public Layer {
+ public:
+  explicit Conv2d(const Conv2dSpec& spec);
+
+  std::size_t in_dim() const noexcept override;
+  std::size_t out_dim() const noexcept override;
+  std::string name() const override;
+
+  std::size_t out_height() const noexcept { return out_h_; }
+  std::size_t out_width() const noexcept { return out_w_; }
+  std::size_t out_channels() const noexcept { return spec_.out_channels; }
+
+  void forward(const tensor::Matrix& in, tensor::Matrix& out,
+               bool training) override;
+  void backward(const tensor::Matrix& grad_out,
+                tensor::Matrix& grad_in) override;
+
+  void init_params(util::Rng& rng) override;
+  void collect_params(std::vector<std::span<float>>& out) override;
+  void collect_grads(std::vector<std::span<float>>& out) override;
+  void zero_grads() override;
+
+ private:
+  float& weight(std::size_t oc, std::size_t ic, std::size_t kh,
+                std::size_t kw) noexcept;
+  float weight(std::size_t oc, std::size_t ic, std::size_t kh,
+               std::size_t kw) const noexcept;
+
+  Conv2dSpec spec_;
+  std::size_t out_h_;
+  std::size_t out_w_;
+  std::vector<float> w_;   // [out_c][in_c][k][k]
+  std::vector<float> b_;   // [out_c]
+  std::vector<float> gw_;
+  std::vector<float> gb_;
+  tensor::Matrix cached_in_;
+};
+
+}  // namespace cmfl::nn

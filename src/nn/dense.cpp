@@ -1,0 +1,77 @@
+#include "nn/dense.h"
+
+#include <stdexcept>
+
+#include "tensor/init.h"
+
+namespace cmfl::nn {
+
+Dense::Dense(std::size_t in, std::size_t out)
+    : in_(in),
+      out_(out),
+      w_(out, in),
+      b_(out, 0.0f),
+      gw_(out, in),
+      gb_(out, 0.0f) {
+  if (in == 0 || out == 0) {
+    throw std::invalid_argument("Dense: dimensions must be positive");
+  }
+}
+
+std::string Dense::name() const {
+  return "Dense(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+void Dense::forward(const tensor::Matrix& in, tensor::Matrix& out,
+                    bool /*training*/) {
+  if (in.cols() != in_) {
+    throw std::invalid_argument("Dense::forward: input width " +
+                                std::to_string(in.cols()) + ", expected " +
+                                std::to_string(in_));
+  }
+  cached_in_ = in;
+  out = tensor::Matrix(in.rows(), out_);
+  tensor::matmul_nt(in, w_, out);
+  tensor::add_row_bias(out, b_);
+}
+
+void Dense::backward(const tensor::Matrix& grad_out,
+                     tensor::Matrix& grad_in) {
+  if (grad_out.cols() != out_ || grad_out.rows() != cached_in_.rows()) {
+    throw std::invalid_argument("Dense::backward: gradient shape mismatch");
+  }
+  // gW += grad_outᵀ · in   ((out×B)ᵀ-style accumulation)
+  tensor::Matrix gw_batch(out_, in_);
+  tensor::matmul_tn(grad_out, cached_in_, gw_batch);
+  tensor::accumulate(gw_, gw_batch);
+  // gb += column sums of grad_out
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    auto row = grad_out.row(r);
+    for (std::size_t c = 0; c < out_; ++c) gb_[c] += row[c];
+  }
+  // grad_in = grad_out · W
+  grad_in = tensor::Matrix(grad_out.rows(), in_);
+  tensor::matmul(grad_out, w_, grad_in);
+}
+
+void Dense::init_params(util::Rng& rng) {
+  tensor::he_normal(w_.flat(), in_, rng);
+  std::fill(b_.begin(), b_.end(), 0.0f);
+}
+
+void Dense::collect_params(std::vector<std::span<float>>& out) {
+  out.push_back(w_.flat());
+  out.push_back(b_);
+}
+
+void Dense::collect_grads(std::vector<std::span<float>>& out) {
+  out.push_back(gw_.flat());
+  out.push_back(gb_);
+}
+
+void Dense::zero_grads() {
+  gw_.zero();
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+}  // namespace cmfl::nn

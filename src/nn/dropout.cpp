@@ -1,0 +1,49 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace cmfl::nn {
+
+Dropout::Dropout(std::size_t dim, float rate, std::uint64_t seed)
+    : dim_(dim), rate_(rate), rng_(seed) {
+  if (dim == 0) throw std::invalid_argument("Dropout: dim must be positive");
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+std::string Dropout::name() const {
+  return "Dropout(p=" + std::to_string(rate_) + ")";
+}
+
+void Dropout::forward(const tensor::Matrix& in, tensor::Matrix& out,
+                      bool training) {
+  if (in.cols() != dim_) {
+    throw std::invalid_argument("Dropout::forward: input width mismatch");
+  }
+  last_training_ = training && rate_ > 0.0f;
+  out = in;
+  if (!last_training_) return;
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  mask_ = tensor::Matrix(in.rows(), in.cols());
+  auto m = mask_.flat();
+  auto o = out.flat();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    m[i] = rng_.bernoulli(rate_) ? 0.0f : keep_scale;
+    o[i] *= m[i];
+  }
+}
+
+void Dropout::backward(const tensor::Matrix& grad_out,
+                       tensor::Matrix& grad_in) {
+  grad_in = grad_out;
+  if (!last_training_) return;
+  if (!grad_in.same_shape(mask_)) {
+    throw std::invalid_argument("Dropout::backward: gradient shape mismatch");
+  }
+  auto gi = grad_in.flat();
+  auto m = mask_.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) gi[i] *= m[i];
+}
+
+}  // namespace cmfl::nn

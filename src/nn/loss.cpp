@@ -1,0 +1,121 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::nn {
+
+tensor::Matrix softmax(const tensor::Matrix& logits) {
+  tensor::Matrix probs(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto in = logits.row(r);
+    auto out = probs.row(r);
+    const float mx = *std::max_element(in.begin(), in.end());
+    double sum = 0.0;
+    for (std::size_t c = 0; c < in.size(); ++c) {
+      out[c] = std::exp(in[c] - mx);
+      sum += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (float& v : out) v *= inv;
+  }
+  return probs;
+}
+
+double softmax_cross_entropy(const tensor::Matrix& logits,
+                             std::span<const int> labels,
+                             tensor::Matrix& grad) {
+  if (labels.size() != logits.rows()) {
+    throw std::invalid_argument("softmax_cross_entropy: batch size mismatch");
+  }
+  if (logits.rows() == 0) {
+    throw std::invalid_argument("softmax_cross_entropy: empty batch");
+  }
+  grad = softmax(logits);
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const int y = labels[r];
+    if (y < 0 || static_cast<std::size_t>(y) >= logits.cols()) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    auto g = grad.row(r);
+    // p is clamped away from 0 so log stays finite under float underflow.
+    const double p = std::max(1e-12, static_cast<double>(g[y]));
+    loss -= std::log(p);
+    g[static_cast<std::size_t>(y)] -= 1.0f;
+    for (float& v : g) v = static_cast<float>(v * inv_batch);
+  }
+  return loss * inv_batch;
+}
+
+std::vector<int> argmax_rows(const tensor::Matrix& logits) {
+  std::vector<int> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto row = logits.row(r);
+    out[r] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+double accuracy(const tensor::Matrix& logits, std::span<const int> labels) {
+  if (labels.size() != logits.rows()) {
+    throw std::invalid_argument("accuracy: batch size mismatch");
+  }
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto row = logits.row(r);
+    const auto pred = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    correct += static_cast<std::size_t>(pred == labels[r]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double mse(const tensor::Matrix& pred, const tensor::Matrix& target,
+           tensor::Matrix& grad) {
+  if (!pred.same_shape(target)) {
+    throw std::invalid_argument("mse: shape mismatch");
+  }
+  if (pred.rows() == 0) throw std::invalid_argument("mse: empty batch");
+  grad = tensor::Matrix(pred.rows(), pred.cols());
+  const double inv = 1.0 / static_cast<double>(pred.size());
+  double loss = 0.0;
+  auto p = pred.flat();
+  auto t = target.flat();
+  auto g = grad.flat();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = static_cast<double>(p[i]) - static_cast<double>(t[i]);
+    loss += d * d;
+    g[i] = static_cast<float>(2.0 * d * inv);
+  }
+  return loss * inv;
+}
+
+double hinge(std::span<const float> scores, std::span<const int> labels,
+             std::span<float> grad) {
+  if (scores.size() != labels.size() || grad.size() != scores.size()) {
+    throw std::invalid_argument("hinge: size mismatch");
+  }
+  if (scores.empty()) throw std::invalid_argument("hinge: empty batch");
+  const double inv = 1.0 / static_cast<double>(scores.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 1 && labels[i] != -1) {
+      throw std::invalid_argument("hinge: labels must be +1 or -1");
+    }
+    const double margin = 1.0 - labels[i] * static_cast<double>(scores[i]);
+    if (margin > 0.0) {
+      loss += margin;
+      grad[i] = static_cast<float>(-labels[i] * inv);
+    } else {
+      grad[i] = 0.0f;
+    }
+  }
+  return loss * inv;
+}
+
+}  // namespace cmfl::nn

@@ -1,0 +1,40 @@
+// Loss functions.  Each returns the mean loss over the batch and writes the
+// gradient with respect to the raw model output (logits / predictions),
+// already divided by the batch size.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace cmfl::nn {
+
+/// Softmax + cross-entropy over integer class labels.
+/// logits: (batch × classes); labels: batch entries in [0, classes).
+/// Throws std::invalid_argument on shape/label violations.
+double softmax_cross_entropy(const tensor::Matrix& logits,
+                             std::span<const int> labels,
+                             tensor::Matrix& grad);
+
+/// Row-wise softmax probabilities (numerically stabilized); used by
+/// evaluation paths that need calibrated scores.
+tensor::Matrix softmax(const tensor::Matrix& logits);
+
+/// Index of the max logit per row.
+std::vector<int> argmax_rows(const tensor::Matrix& logits);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const tensor::Matrix& logits, std::span<const int> labels);
+
+/// Mean squared error against a dense target matrix (same shape).
+double mse(const tensor::Matrix& pred, const tensor::Matrix& target,
+           tensor::Matrix& grad);
+
+/// Binary hinge loss for labels in {-1, +1} given scalar scores
+/// (batch × 1).  Used by the MOCHA linear SVM substrate.
+double hinge(std::span<const float> scores, std::span<const int> labels,
+             std::span<float> grad);
+
+}  // namespace cmfl::nn

@@ -1,0 +1,212 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "tensor/init.h"
+
+namespace cmfl::nn {
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim)
+    : in_(input_dim),
+      hidden_(hidden_dim),
+      w_(4 * hidden_dim, input_dim),
+      u_(4 * hidden_dim, hidden_dim),
+      b_(4 * hidden_dim, 0.0f),
+      gw_(4 * hidden_dim, input_dim),
+      gu_(4 * hidden_dim, hidden_dim),
+      gb_(4 * hidden_dim, 0.0f) {
+  if (input_dim == 0 || hidden_dim == 0) {
+    throw std::invalid_argument("Lstm: dimensions must be positive");
+  }
+}
+
+tensor::Matrix Lstm::forward(const std::vector<tensor::Matrix>& inputs) {
+  if (inputs.empty()) throw std::invalid_argument("Lstm::forward: no steps");
+  const std::size_t batch = inputs.front().rows();
+  cache_.clear();
+  cache_.reserve(inputs.size());
+
+  tensor::Matrix h(batch, hidden_);
+  tensor::Matrix c(batch, hidden_);
+
+  for (const auto& x : inputs) {
+    if (x.rows() != batch || x.cols() != in_) {
+      throw std::invalid_argument("Lstm::forward: inconsistent step shape");
+    }
+    StepCache step;
+    step.x = x;
+    step.h_prev = h;
+    step.c_prev = c;
+
+    // pre = x Wᵀ + h_prev Uᵀ + b, shape batch × 4H
+    tensor::Matrix pre(batch, 4 * hidden_);
+    tensor::matmul_nt(x, w_, pre);
+    tensor::Matrix rec(batch, 4 * hidden_);
+    tensor::matmul_nt(h, u_, rec);
+    tensor::accumulate(pre, rec);
+    tensor::add_row_bias(pre, b_);
+
+    step.i = tensor::Matrix(batch, hidden_);
+    step.f = tensor::Matrix(batch, hidden_);
+    step.g = tensor::Matrix(batch, hidden_);
+    step.o = tensor::Matrix(batch, hidden_);
+    step.c = tensor::Matrix(batch, hidden_);
+    step.tanh_c = tensor::Matrix(batch, hidden_);
+    tensor::Matrix h_new(batch, hidden_);
+
+    for (std::size_t n = 0; n < batch; ++n) {
+      auto p = pre.row(n);
+      auto cp = c.row(n);
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float iv = sigmoid(p[j]);
+        const float fv = sigmoid(p[hidden_ + j]);
+        const float gv = std::tanh(p[2 * hidden_ + j]);
+        const float ov = sigmoid(p[3 * hidden_ + j]);
+        const float cv = fv * cp[j] + iv * gv;
+        const float tc = std::tanh(cv);
+        step.i.at(n, j) = iv;
+        step.f.at(n, j) = fv;
+        step.g.at(n, j) = gv;
+        step.o.at(n, j) = ov;
+        step.c.at(n, j) = cv;
+        step.tanh_c.at(n, j) = tc;
+        h_new.at(n, j) = ov * tc;
+      }
+    }
+
+    h = h_new;
+    c = step.c;
+    cache_.push_back(std::move(step));
+  }
+  h_last_ = h;
+  return h;
+}
+
+std::vector<tensor::Matrix> Lstm::hidden_states() const {
+  if (cache_.empty()) {
+    throw std::logic_error("Lstm::hidden_states: forward() not called");
+  }
+  std::vector<tensor::Matrix> states;
+  states.reserve(cache_.size());
+  // h_t for t < T is the h_prev cached by step t+1; h_T is stored separately.
+  for (std::size_t t = 1; t < cache_.size(); ++t) {
+    states.push_back(cache_[t].h_prev);
+  }
+  states.push_back(h_last_);
+  return states;
+}
+
+std::vector<tensor::Matrix> Lstm::backward(const tensor::Matrix& grad_h_last) {
+  if (cache_.empty()) {
+    throw std::logic_error("Lstm::backward: forward() not called");
+  }
+  std::vector<tensor::Matrix> grad_h(cache_.size());
+  const std::size_t batch = cache_.front().x.rows();
+  for (std::size_t t = 0; t + 1 < cache_.size(); ++t) {
+    grad_h[t] = tensor::Matrix(batch, hidden_);
+  }
+  grad_h.back() = grad_h_last;
+  return backward_steps(grad_h);
+}
+
+std::vector<tensor::Matrix> Lstm::backward_steps(
+    const std::vector<tensor::Matrix>& grad_h) {
+  if (cache_.empty()) {
+    throw std::logic_error("Lstm::backward_steps: forward() not called");
+  }
+  if (grad_h.size() != cache_.size()) {
+    throw std::invalid_argument("Lstm::backward_steps: step count mismatch");
+  }
+  const std::size_t batch = cache_.front().x.rows();
+  for (const auto& g : grad_h) {
+    if (g.rows() != batch || g.cols() != hidden_) {
+      throw std::invalid_argument(
+          "Lstm::backward_steps: gradient shape mismatch");
+    }
+  }
+
+  std::vector<tensor::Matrix> grad_inputs(cache_.size());
+  tensor::Matrix dh(batch, hidden_);        // d loss / d h_t
+  tensor::Matrix dc(batch, hidden_);        // d loss / d c_t (from future)
+
+  for (std::size_t t = cache_.size(); t-- > 0;) {
+    tensor::accumulate(dh, grad_h[t]);
+    const StepCache& step = cache_[t];
+    // Pre-activation gate gradients, stacked batch × 4H in [i; f; g; o].
+    tensor::Matrix dpre(batch, 4 * hidden_);
+    for (std::size_t n = 0; n < batch; ++n) {
+      auto dp = dpre.row(n);
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float iv = step.i.at(n, j);
+        const float fv = step.f.at(n, j);
+        const float gv = step.g.at(n, j);
+        const float ov = step.o.at(n, j);
+        const float tc = step.tanh_c.at(n, j);
+        const float dhv = dh.at(n, j);
+        // h = o ⊙ tanh(c)
+        const float do_ = dhv * tc;
+        float dcv = dc.at(n, j) + dhv * ov * (1.0f - tc * tc);
+        const float di = dcv * gv;
+        const float df = dcv * step.c_prev.at(n, j);
+        const float dg = dcv * iv;
+        dp[j] = di * iv * (1.0f - iv);
+        dp[hidden_ + j] = df * fv * (1.0f - fv);
+        dp[2 * hidden_ + j] = dg * (1.0f - gv * gv);
+        dp[3 * hidden_ + j] = do_ * ov * (1.0f - ov);
+        // carry to c_{t-1}
+        dc.at(n, j) = dcv * fv;
+      }
+    }
+
+    // Parameter gradients: gW += dpreᵀ x, gU += dpreᵀ h_prev, gb += Σ dpre.
+    tensor::Matrix gw_batch(4 * hidden_, in_);
+    tensor::matmul_tn(dpre, step.x, gw_batch);
+    tensor::accumulate(gw_, gw_batch);
+    tensor::Matrix gu_batch(4 * hidden_, hidden_);
+    tensor::matmul_tn(dpre, step.h_prev, gu_batch);
+    tensor::accumulate(gu_, gu_batch);
+    for (std::size_t n = 0; n < batch; ++n) {
+      auto dp = dpre.row(n);
+      for (std::size_t j = 0; j < 4 * hidden_; ++j) gb_[j] += dp[j];
+    }
+
+    // Input and recurrent gradients: dx = dpre W, dh_prev = dpre U.
+    grad_inputs[t] = tensor::Matrix(batch, in_);
+    tensor::matmul(dpre, w_, grad_inputs[t]);
+    tensor::Matrix dh_prev(batch, hidden_);
+    tensor::matmul(dpre, u_, dh_prev);
+    dh = std::move(dh_prev);
+  }
+  return grad_inputs;
+}
+
+void Lstm::init_params(util::Rng& rng) {
+  tensor::xavier_uniform(w_.flat(), in_, hidden_, rng);
+  tensor::xavier_uniform(u_.flat(), hidden_, hidden_, rng);
+  std::fill(b_.begin(), b_.end(), 0.0f);
+  // Forget-gate bias of 1 is the standard trick for gradient flow early in
+  // training (Jozefowicz et al.).
+  for (std::size_t j = 0; j < hidden_; ++j) b_[hidden_ + j] = 1.0f;
+}
+
+void Lstm::zero_grads() {
+  gw_.zero();
+  gu_.zero();
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+void Lstm::collect_params(std::vector<std::span<float>>& out) {
+  out.push_back(w_.flat());
+  out.push_back(u_.flat());
+  out.push_back(b_);
+}
+
+void Lstm::collect_grads(std::vector<std::span<float>>& out) {
+  out.push_back(gw_.flat());
+  out.push_back(gu_.flat());
+  out.push_back(gb_);
+}
+
+}  // namespace cmfl::nn

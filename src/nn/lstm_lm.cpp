@@ -1,0 +1,147 @@
+#include "nn/lstm_lm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace cmfl::nn {
+
+LstmLm::LstmLm(const LstmLmSpec& spec)
+    : spec_(spec),
+      embedding_(spec.vocab, spec.embed_dim),
+      head_(spec.hidden_dim, spec.vocab) {
+  if (spec.layers == 0 || spec.layers > 2) {
+    throw std::invalid_argument("LstmLm: layers must be 1 or 2");
+  }
+  lstms_.emplace_back(spec.embed_dim, spec.hidden_dim);
+  if (spec.layers == 2) {
+    lstms_.emplace_back(spec.hidden_dim, spec.hidden_dim);
+  }
+}
+
+ParamPack LstmLm::params() {
+  std::vector<std::span<float>> views;
+  views.push_back(embedding_.params());
+  for (auto& lstm : lstms_) lstm.collect_params(views);
+  head_.collect_params(views);
+  return ParamPack(std::move(views));
+}
+
+ParamPack LstmLm::grads() {
+  std::vector<std::span<float>> views;
+  views.push_back(embedding_.grads());
+  for (auto& lstm : lstms_) lstm.collect_grads(views);
+  head_.collect_grads(views);
+  return ParamPack(std::move(views));
+}
+
+void LstmLm::zero_grads() {
+  embedding_.zero_grads();
+  for (auto& lstm : lstms_) lstm.zero_grads();
+  head_.zero_grads();
+}
+
+std::size_t LstmLm::param_count() { return params().total_size(); }
+
+void LstmLm::get_params(std::span<float> out) { params().copy_to(out); }
+
+void LstmLm::set_params(std::span<const float> in) { params().copy_from(in); }
+
+void LstmLm::get_grads(std::span<float> out) { grads().copy_to(out); }
+
+void LstmLm::init_params(util::Rng& rng) {
+  embedding_.init_params(rng);
+  for (auto& lstm : lstms_) lstm.init_params(rng);
+  head_.init_params(rng);
+}
+
+tensor::Matrix LstmLm::forward(const SeqBatch& x, bool training) {
+  if (x.batch == 0 || x.seq_len == 0 ||
+      x.tokens.size() != x.batch * x.seq_len) {
+    throw std::invalid_argument("LstmLm::forward: malformed SeqBatch");
+  }
+  // Gather per-timestep token columns and embed them.
+  cached_step_tokens_.assign(x.seq_len, std::vector<int>(x.batch));
+  std::vector<tensor::Matrix> embedded(x.seq_len);
+  for (std::size_t t = 0; t < x.seq_len; ++t) {
+    auto& col = cached_step_tokens_[t];
+    for (std::size_t i = 0; i < x.batch; ++i) {
+      col[i] = x.tokens[i * x.seq_len + t];
+    }
+    embedded[t] = embedding_.lookup(col);
+  }
+
+  cached_layer_inputs_.clear();
+  cached_layer_inputs_.push_back(std::move(embedded));
+  tensor::Matrix h_last;
+  for (std::size_t layer = 0; layer < lstms_.size(); ++layer) {
+    h_last = lstms_[layer].forward(cached_layer_inputs_[layer]);
+    if (layer + 1 < lstms_.size()) {
+      cached_layer_inputs_.push_back(lstms_[layer].hidden_states());
+    }
+  }
+
+  tensor::Matrix logits;
+  head_.forward(h_last, logits, training);
+  return logits;
+}
+
+double LstmLm::compute_grads(const SeqBatch& x,
+                             std::span<const int> next_token) {
+  if (next_token.size() != x.batch) {
+    throw std::invalid_argument("LstmLm::compute_grads: label count mismatch");
+  }
+  zero_grads();
+  const tensor::Matrix logits = forward(x, /*training=*/true);
+  tensor::Matrix grad_logits;
+  const double loss = softmax_cross_entropy(logits, next_token, grad_logits);
+
+  tensor::Matrix grad_h_last;
+  head_.backward(grad_logits, grad_h_last);
+
+  // Backprop through the stack, deepest layer first.
+  std::vector<tensor::Matrix> grad_inputs =
+      lstms_.back().backward(grad_h_last);
+  for (std::size_t layer = lstms_.size() - 1; layer-- > 0;) {
+    grad_inputs = lstms_[layer].backward_steps(grad_inputs);
+  }
+  for (std::size_t t = 0; t < grad_inputs.size(); ++t) {
+    embedding_.accumulate_grad(cached_step_tokens_[t], grad_inputs[t]);
+  }
+  return loss;
+}
+
+double LstmLm::train_batch(const SeqBatch& x, std::span<const int> next_token,
+                           float lr) {
+  const double loss = compute_grads(x, next_token);
+  params().axpy_from(-lr, grads());
+  return loss;
+}
+
+tensor::Matrix LstmLm::predict(const SeqBatch& x) {
+  return forward(x, /*training=*/false);
+}
+
+EvalResult LstmLm::evaluate(const SeqBatch& x,
+                            std::span<const int> next_token) {
+  if (next_token.size() != x.batch) {
+    throw std::invalid_argument("LstmLm::evaluate: label count mismatch");
+  }
+  const tensor::Matrix logits = forward(x, /*training=*/false);
+  const tensor::Matrix probs = softmax(logits);
+  EvalResult result;
+  result.samples = x.batch;
+  result.accuracy = accuracy(logits, next_token);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    const double p = std::max(
+        1e-12, static_cast<double>(
+                   probs.at(r, static_cast<std::size_t>(next_token[r]))));
+    loss -= std::log(p);
+  }
+  result.loss = loss / static_cast<double>(x.batch);
+  return result;
+}
+
+}  // namespace cmfl::nn

@@ -1,0 +1,82 @@
+// Next-word-prediction language model: Embedding -> LSTM -> Dense head.
+//
+// Mirrors the paper's NWP workload ("a 2-layer LSTM language model ... after
+// reading a fixed number of words in a sentence, predicts the next word") at
+// configurable depth and width; the default reproduction scale uses one LSTM
+// layer (see DESIGN.md §5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/embedding.h"
+#include "nn/lstm.h"
+#include "nn/model.h"
+#include "nn/param_pack.h"
+
+namespace cmfl::nn {
+
+/// A batch of fixed-length token windows, row-major: token(i, t) is
+/// tokens[i * seq_len + t].
+struct SeqBatch {
+  std::vector<int> tokens;
+  std::size_t batch = 0;
+  std::size_t seq_len = 0;
+
+  std::span<const int> row(std::size_t i) const {
+    return {tokens.data() + i * seq_len, seq_len};
+  }
+};
+
+struct LstmLmSpec {
+  std::size_t vocab = 128;
+  std::size_t embed_dim = 16;
+  std::size_t hidden_dim = 32;
+  std::size_t layers = 1;  // 1 or 2
+};
+
+class LstmLm {
+ public:
+  explicit LstmLm(const LstmLmSpec& spec);
+
+  std::size_t vocab() const noexcept { return spec_.vocab; }
+
+  std::size_t param_count();
+  void get_params(std::span<float> out);
+  void set_params(std::span<const float> in);
+  void get_grads(std::span<float> out);
+
+  void init_params(util::Rng& rng);
+
+  /// One SGD step: forward over the windows, softmax-CE against the next
+  /// token, full BPTT, update.  Returns the batch mean loss.
+  double train_batch(const SeqBatch& x, std::span<const int> next_token,
+                     float lr);
+
+  /// Loss + next-token accuracy on a batch, no parameter change.
+  EvalResult evaluate(const SeqBatch& x, std::span<const int> next_token);
+
+  /// Raw next-token logits (batch × vocab), inference mode.
+  tensor::Matrix predict(const SeqBatch& x);
+
+  /// Computes gradients without updating (gradient-check hook).
+  double compute_grads(const SeqBatch& x, std::span<const int> next_token);
+
+ private:
+  tensor::Matrix forward(const SeqBatch& x, bool training);
+  ParamPack params();
+  ParamPack grads();
+  void zero_grads();
+
+  LstmLmSpec spec_;
+  Embedding embedding_;
+  std::vector<Lstm> lstms_;
+  Dense head_;
+  // Cached per-timestep activations from the last forward pass.
+  std::vector<std::vector<int>> cached_step_tokens_;
+  std::vector<std::vector<tensor::Matrix>> cached_layer_inputs_;
+};
+
+}  // namespace cmfl::nn

@@ -1,0 +1,24 @@
+// Common model vocabulary shared by the two trainable model families
+// (FeedForward over dense feature rows, LstmLm over token sequences).
+//
+// Both expose the same flat-parameter API — param_count / get_params /
+// set_params / get_grads — which is all the federated layer needs: a client
+// update is `local_params_after_training - global_params`, a flat
+// std::vector<float>.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cmfl::nn {
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Merges two partial evaluations (weighted by sample counts).
+EvalResult merge(const EvalResult& a, const EvalResult& b) noexcept;
+
+}  // namespace cmfl::nn

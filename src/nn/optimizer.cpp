@@ -1,0 +1,102 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::nn {
+
+namespace {
+void check_sizes(std::size_t params, std::size_t grads, const char* who) {
+  if (params != grads) {
+    throw std::invalid_argument(std::string(who) +
+                                ": parameter/gradient size mismatch");
+  }
+}
+
+void ensure_state(std::vector<float>& state, std::size_t n,
+                  const char* who) {
+  if (state.empty()) {
+    state.assign(n, 0.0f);
+  } else if (state.size() != n) {
+    throw std::invalid_argument(std::string(who) +
+                                ": pack size changed between steps");
+  }
+}
+}  // namespace
+
+void Sgd::step(ParamPack& params, const ParamPack& grads, float lr) {
+  check_sizes(params.total_size(), grads.total_size(), "Sgd");
+  params.axpy_from(-lr, grads);
+}
+
+MomentumSgd::MomentumSgd(float momentum) : momentum_(momentum) {
+  if (momentum < 0.0f || momentum >= 1.0f) {
+    throw std::invalid_argument("MomentumSgd: momentum must be in [0, 1)");
+  }
+}
+
+std::string MomentumSgd::name() const {
+  return "momentum:" + std::to_string(momentum_);
+}
+
+void MomentumSgd::step(ParamPack& params, const ParamPack& grads, float lr) {
+  check_sizes(params.total_size(), grads.total_size(), "MomentumSgd");
+  const std::size_t n = params.total_size();
+  ensure_state(velocity_, n, "MomentumSgd");
+  const std::vector<float> g = grads.to_vector();
+  for (std::size_t i = 0; i < n; ++i) {
+    velocity_[i] = momentum_ * velocity_[i] + g[i];
+  }
+  params.axpy_from(-lr, velocity_);
+}
+
+void MomentumSgd::reset() { velocity_.clear(); }
+
+Adam::Adam(float beta1, float beta2, float eps)
+    : beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (beta1 < 0.0f || beta1 >= 1.0f || beta2 < 0.0f || beta2 >= 1.0f ||
+      eps <= 0.0f) {
+    throw std::invalid_argument("Adam: invalid hyper-parameters");
+  }
+}
+
+void Adam::step(ParamPack& params, const ParamPack& grads, float lr) {
+  check_sizes(params.total_size(), grads.total_size(), "Adam");
+  const std::size_t n = params.total_size();
+  ensure_state(m_, n, "Adam");
+  ensure_state(v_, n, "Adam");
+  ++t_;
+  const std::vector<float> g = grads.to_vector();
+  std::vector<float> delta(n);
+  const double bc1 = 1.0 - std::pow(static_cast<double>(beta1_), t_);
+  const double bc2 = 1.0 - std::pow(static_cast<double>(beta2_), t_);
+  for (std::size_t i = 0; i < n; ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g[i];
+    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g[i] * g[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    delta[i] =
+        static_cast<float>(m_hat / (std::sqrt(v_hat) + eps_));
+  }
+  params.axpy_from(-lr, delta);
+}
+
+void Adam::reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& spec) {
+  if (spec == "sgd") return std::make_unique<Sgd>();
+  if (spec == "adam") return std::make_unique<Adam>();
+  if (spec == "momentum") return std::make_unique<MomentumSgd>();
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos && spec.substr(0, colon) == "momentum") {
+    return std::make_unique<MomentumSgd>(
+        std::stof(spec.substr(colon + 1)));
+  }
+  throw std::invalid_argument("make_optimizer: unknown spec '" + spec + "'");
+}
+
+}  // namespace cmfl::nn

@@ -1,0 +1,75 @@
+// First-order optimizers over flat parameter/gradient packs.
+//
+// The federated clients default to plain SGD (the paper's setting), but the
+// local solver is pluggable: momentum and Adam are provided both for the
+// optimizer ablations and for downstream users who want stronger local
+// training.  Optimizers own their state vectors (sized lazily on first
+// step) so one instance serves one model.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/param_pack.h"
+
+namespace cmfl::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+
+  /// Applies one update: params ← params − f(grads; state, lr).
+  /// `lr` is the (possibly schedule-decayed) learning rate for this step.
+  /// Throws std::invalid_argument if the pack size changes between steps.
+  virtual void step(ParamPack& params, const ParamPack& grads, float lr) = 0;
+
+  /// Clears momentum/moment state (e.g. when a client adopts a fresh
+  /// global model and should not carry stale momentum across rounds).
+  virtual void reset() {}
+};
+
+/// Plain SGD: params -= lr * grads.  Stateless.
+class Sgd final : public Optimizer {
+ public:
+  std::string name() const override { return "sgd"; }
+  void step(ParamPack& params, const ParamPack& grads, float lr) override;
+};
+
+/// Heavy-ball momentum: v ← μ·v + g;  params -= lr·v.
+class MomentumSgd final : public Optimizer {
+ public:
+  explicit MomentumSgd(float momentum = 0.9f);
+  std::string name() const override;
+  void step(ParamPack& params, const ParamPack& grads, float lr) override;
+  void reset() override;
+
+ private:
+  float momentum_;
+  std::vector<float> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+  std::string name() const override { return "adam"; }
+  void step(ParamPack& params, const ParamPack& grads, float lr) override;
+  void reset() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  long long t_ = 0;
+};
+
+/// Factory: "sgd" | "momentum" | "momentum:<mu>" | "adam".
+std::unique_ptr<Optimizer> make_optimizer(const std::string& spec);
+
+}  // namespace cmfl::nn

@@ -1,0 +1,87 @@
+#include "nn/pool.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cmfl::nn {
+
+MaxPool2d::MaxPool2d(const Pool2dSpec& spec) : spec_(spec) {
+  if (spec.channels == 0 || spec.in_height == 0 || spec.in_width == 0 ||
+      spec.window == 0) {
+    throw std::invalid_argument("MaxPool2d: dimensions must be positive");
+  }
+  if (spec.in_height % spec.window != 0 || spec.in_width % spec.window != 0) {
+    throw std::invalid_argument(
+        "MaxPool2d: input dims must be divisible by the window");
+  }
+  out_h_ = spec.in_height / spec.window;
+  out_w_ = spec.in_width / spec.window;
+}
+
+std::size_t MaxPool2d::in_dim() const noexcept {
+  return spec_.channels * spec_.in_height * spec_.in_width;
+}
+
+std::size_t MaxPool2d::out_dim() const noexcept {
+  return spec_.channels * out_h_ * out_w_;
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(" + std::to_string(spec_.window) + "x" +
+         std::to_string(spec_.window) + ")";
+}
+
+void MaxPool2d::forward(const tensor::Matrix& in, tensor::Matrix& out,
+                        bool /*training*/) {
+  if (in.cols() != in_dim()) {
+    throw std::invalid_argument("MaxPool2d::forward: input width mismatch");
+  }
+  const std::size_t batch = in.rows();
+  cached_batch_ = batch;
+  out = tensor::Matrix(batch, out_dim());
+  argmax_.assign(batch, std::vector<std::size_t>(out_dim(), 0));
+  const auto ih = spec_.in_height, iw = spec_.in_width, win = spec_.window;
+  for (std::size_t n = 0; n < batch; ++n) {
+    auto x = in.row(n);
+    auto y = out.row(n);
+    auto& amax = argmax_[n];
+    for (std::size_t c = 0; c < spec_.channels; ++c) {
+      const float* xp = x.data() + c * ih * iw;
+      for (std::size_t oh = 0; oh < out_h_; ++oh) {
+        for (std::size_t ow = 0; ow < out_w_; ++ow) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dh = 0; dh < win; ++dh) {
+            for (std::size_t dw = 0; dw < win; ++dw) {
+              const std::size_t idx =
+                  (oh * win + dh) * iw + (ow * win + dw);
+              if (xp[idx] > best) {
+                best = xp[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t out_idx = (c * out_h_ + oh) * out_w_ + ow;
+          y[out_idx] = best;
+          amax[out_idx] = c * ih * iw + best_idx;
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2d::backward(const tensor::Matrix& grad_out,
+                         tensor::Matrix& grad_in) {
+  if (grad_out.cols() != out_dim() || grad_out.rows() != cached_batch_) {
+    throw std::invalid_argument("MaxPool2d::backward: gradient shape mismatch");
+  }
+  grad_in = tensor::Matrix(cached_batch_, in_dim());
+  for (std::size_t n = 0; n < cached_batch_; ++n) {
+    auto gy = grad_out.row(n);
+    auto gx = grad_in.row(n);
+    const auto& amax = argmax_[n];
+    for (std::size_t i = 0; i < gy.size(); ++i) gx[amax[i]] += gy[i];
+  }
+}
+
+}  // namespace cmfl::nn

@@ -1,0 +1,82 @@
+#include "nn/sequential.h"
+
+#include <stdexcept>
+
+namespace cmfl::nn {
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  if (!layers_.empty() && layers_.back()->out_dim() != layer->in_dim()) {
+    throw std::invalid_argument(
+        "Sequential::add: " + layers_.back()->name() + " outputs " +
+        std::to_string(layers_.back()->out_dim()) + " but " + layer->name() +
+        " expects " + std::to_string(layer->in_dim()));
+  }
+  layers_.push_back(std::move(layer));
+}
+
+std::size_t Sequential::in_dim() const {
+  if (layers_.empty()) throw std::logic_error("Sequential: empty model");
+  return layers_.front()->in_dim();
+}
+
+std::size_t Sequential::out_dim() const {
+  if (layers_.empty()) throw std::logic_error("Sequential: empty model");
+  return layers_.back()->out_dim();
+}
+
+std::string Sequential::summary() const {
+  std::string s;
+  for (const auto& layer : layers_) {
+    if (!s.empty()) s += " -> ";
+    s += layer->name();
+  }
+  return s;
+}
+
+void Sequential::forward(const tensor::Matrix& in, tensor::Matrix& out,
+                         bool training) {
+  if (layers_.empty()) throw std::logic_error("Sequential: empty model");
+  tensor::Matrix current = in;
+  tensor::Matrix next;
+  for (auto& layer : layers_) {
+    layer->forward(current, next, training);
+    current = std::move(next);
+    next = tensor::Matrix();
+  }
+  out = std::move(current);
+}
+
+tensor::Matrix Sequential::backward(const tensor::Matrix& grad_out) {
+  if (layers_.empty()) throw std::logic_error("Sequential: empty model");
+  tensor::Matrix grad = grad_out;
+  tensor::Matrix grad_prev;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    (*it)->backward(grad, grad_prev);
+    grad = std::move(grad_prev);
+    grad_prev = tensor::Matrix();
+  }
+  return grad;
+}
+
+void Sequential::init_params(util::Rng& rng) {
+  for (auto& layer : layers_) layer->init_params(rng);
+}
+
+void Sequential::zero_grads() {
+  for (auto& layer : layers_) layer->zero_grads();
+}
+
+ParamPack Sequential::params() {
+  std::vector<std::span<float>> views;
+  for (auto& layer : layers_) layer->collect_params(views);
+  return ParamPack(std::move(views));
+}
+
+ParamPack Sequential::grads() {
+  std::vector<std::span<float>> views;
+  for (auto& layer : layers_) layer->collect_grads(views);
+  return ParamPack(std::move(views));
+}
+
+}  // namespace cmfl::nn

@@ -1,0 +1,45 @@
+// Sequential container of layers with a single flattened parameter view.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.h"
+#include "nn/param_pack.h"
+
+namespace cmfl::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; validates that its in_dim matches the previous layer's
+  /// out_dim (std::invalid_argument otherwise).
+  void add(std::unique_ptr<Layer> layer);
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  std::size_t in_dim() const;
+  std::size_t out_dim() const;
+
+  /// One-line architecture summary, e.g. "Conv2d(...) -> ReLU -> Dense(...)".
+  std::string summary() const;
+
+  /// Runs all layers; `out` receives the final activation.
+  void forward(const tensor::Matrix& in, tensor::Matrix& out, bool training);
+
+  /// Backpropagates d(loss)/d(output); parameter gradients accumulate in the
+  /// layers.  Returns d(loss)/d(input) for callers that chain further
+  /// (the LSTM language model backpropagates through its projection head).
+  tensor::Matrix backward(const tensor::Matrix& grad_out);
+
+  void init_params(util::Rng& rng);
+  void zero_grads();
+
+  /// Flattened views (rebuilt on each call; cheap — spans only).
+  ParamPack params();
+  ParamPack grads();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace cmfl::nn

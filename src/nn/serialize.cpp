@@ -1,0 +1,70 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cmfl::nn {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'M', 'F', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("load_params: truncated stream");
+  return value;
+}
+}  // namespace
+
+void save_params(std::ostream& os, std::span<const float> params) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  os.write(reinterpret_cast<const char*>(params.data()),
+           static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!os) throw std::runtime_error("save_params: stream write failed");
+}
+
+std::vector<float> load_params(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_params: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("load_params: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  std::vector<float> params(count);
+  is.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!is) throw std::runtime_error("load_params: truncated stream");
+  return params;
+}
+
+void save_params_file(const std::string& path,
+                      std::span<const float> params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_params_file: cannot open " + path);
+  save_params(os, params);
+}
+
+std::vector<float> load_params_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_params_file: cannot open " + path);
+  return load_params(is);
+}
+
+}  // namespace cmfl::nn

@@ -1,0 +1,27 @@
+// Binary checkpointing of flat parameter vectors.
+//
+// Format (little-endian): magic "CMFL" (4 bytes), u32 version, u64 count,
+// count floats.  The same framing primitives are reused by the net wire
+// layer for update messages.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cmfl::nn {
+
+/// Writes the checkpoint; throws std::runtime_error on stream failure.
+void save_params(std::ostream& os, std::span<const float> params);
+
+/// Reads a checkpoint; throws std::runtime_error on bad magic, version, or a
+/// truncated stream.
+std::vector<float> load_params(std::istream& is);
+
+/// File variants.
+void save_params_file(const std::string& path, std::span<const float> params);
+std::vector<float> load_params_file(const std::string& path);
+
+}  // namespace cmfl::nn

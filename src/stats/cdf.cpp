@@ -1,0 +1,46 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::stats {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("Cdf: need at least one sample");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Cdf::quantile: q must be in [0,1]");
+  }
+  if (q == 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank, sorted_.size()) - 1];
+}
+
+std::vector<Cdf::Point> Cdf::plot_series(std::size_t points) const {
+  if (points == 0) return {};
+  points = std::min(points, sorted_.size());
+  std::vector<Point> series;
+  series.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Last sample of each of `points` equal slices of the sorted data.
+    const std::size_t idx = ((i + 1) * sorted_.size()) / points - 1;
+    series.push_back({sorted_[idx], static_cast<double>(idx + 1) /
+                                        static_cast<double>(sorted_.size())});
+  }
+  return series;
+}
+
+}  // namespace cmfl::stats

@@ -1,0 +1,44 @@
+// Empirical CDF helpers.
+//
+// Figures 1, 3, and 6 of the paper are CDF plots (model divergence, ΔUpdate,
+// outlier-vs-non-outlier divergence).  Cdf stores a sorted sample and can be
+// queried for F(x), quantiles, and a downsampled plot series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cmfl::stats {
+
+class Cdf {
+ public:
+  /// Builds the empirical CDF of `samples` (copied and sorted).
+  /// Throws std::invalid_argument if samples is empty.
+  explicit Cdf(std::vector<double> samples);
+
+  std::size_t count() const noexcept { return sorted_.size(); }
+  double min() const noexcept { return sorted_.front(); }
+  double max() const noexcept { return sorted_.back(); }
+
+  /// F(x) = fraction of samples <= x.
+  double fraction_at_or_below(double x) const;
+
+  /// Inverse CDF: smallest sample s with F(s) >= q, q in [0, 1].
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+
+  /// Emits `points` (x, F(x)) pairs evenly spaced over the sample index —
+  /// the series a plotting tool would consume to redraw the paper's figure.
+  struct Point {
+    double x;
+    double fraction;
+  };
+  std::vector<Point> plot_series(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace cmfl::stats

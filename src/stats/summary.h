@@ -1,0 +1,34 @@
+// Streaming summary statistics (Welford) and small descriptive helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cmfl::stats {
+
+/// Numerically stable running mean/variance accumulator.
+class Running {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a span (0 for empty).
+double mean_of(std::span<const double> xs) noexcept;
+
+}  // namespace cmfl::stats

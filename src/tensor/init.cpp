@@ -1,0 +1,28 @@
+#include "tensor/init.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmfl::tensor {
+
+void xavier_uniform(std::span<float> w, std::size_t fan_in,
+                    std::size_t fan_out, util::Rng& rng) {
+  if (fan_in + fan_out == 0) {
+    throw std::invalid_argument("xavier_uniform: zero fan");
+  }
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : w) v = rng.uniform_f(-a, a);
+}
+
+void he_normal(std::span<float> w, std::size_t fan_in, util::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument("he_normal: zero fan_in");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (float& v : w) v = rng.normal_f(0.0f, stddev);
+}
+
+void gaussian(std::span<float> w, float stddev, util::Rng& rng) {
+  for (float& v : w) v = rng.normal_f(0.0f, stddev);
+}
+
+}  // namespace cmfl::tensor

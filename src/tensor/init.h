@@ -1,0 +1,22 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/rng.h"
+
+namespace cmfl::tensor {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Suits tanh/sigmoid layers (the LSTM gates).
+void xavier_uniform(std::span<float> w, std::size_t fan_in,
+                    std::size_t fan_out, util::Rng& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)).  Suits ReLU layers.
+void he_normal(std::span<float> w, std::size_t fan_in, util::Rng& rng);
+
+/// N(0, stddev).
+void gaussian(std::span<float> w, float stddev, util::Rng& rng);
+
+}  // namespace cmfl::tensor

@@ -1,0 +1,144 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace cmfl::tensor {
+
+namespace {
+[[noreturn]] void shape_error(const char* what) {
+  throw std::invalid_argument(std::string("Matrix: shape mismatch in ") + what);
+}
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows_ * cols_) {
+    throw std::invalid_argument("Matrix: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match " + std::to_string(rows_) +
+                                "x" + std::to_string(cols_));
+  }
+}
+
+float& Matrix::checked_at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::checked_at");
+  return at(r, c);
+}
+
+float Matrix::checked_at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::checked_at");
+  return at(r, c);
+}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.rows() || out.rows() != a.rows() ||
+      out.cols() != b.cols()) {
+    shape_error("matmul");
+  }
+  out.zero();
+  // ikj loop order keeps the inner loop contiguous over b and out rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto out_row = out.row(i);
+    auto a_row = a.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a_row[k];
+      if (aik == 0.0f) continue;
+      auto b_row = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.rows() != b.rows() || out.rows() != a.cols() ||
+      out.cols() != b.cols()) {
+    shape_error("matmul_tn");
+  }
+  out.zero();
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    auto a_row = a.row(k);
+    auto b_row = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = a_row[i];
+      if (aki == 0.0f) continue;
+      auto out_row = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.cols() || out.rows() != a.rows() ||
+      out.cols() != b.rows()) {
+    shape_error("matmul_nt");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto a_row = a.row(i);
+    auto out_row = out.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      auto b_row = b.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a_row[k]) * static_cast<double>(b_row[k]);
+      }
+      out_row[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void matvec(const Matrix& a, std::span<const float> x, std::span<float> y) {
+  if (x.size() != a.cols() || y.size() != a.rows()) shape_error("matvec");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      acc += static_cast<double>(row[j]) * static_cast<double>(x[j]);
+    }
+    y[i] = static_cast<float>(acc);
+  }
+}
+
+void matvec_t(const Matrix& a, std::span<const float> x, std::span<float> y) {
+  if (x.size() != a.rows() || y.size() != a.cols()) shape_error("matvec_t");
+  std::fill(y.begin(), y.end(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+}
+
+void add_row_bias(Matrix& m, std::span<const float> bias) {
+  if (bias.size() != m.cols()) shape_error("add_row_bias");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void accumulate(Matrix& accum, const Matrix& m) {
+  if (!accum.same_shape(m)) shape_error("accumulate");
+  auto dst = accum.flat();
+  auto src = m.flat();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+}  // namespace cmfl::tensor

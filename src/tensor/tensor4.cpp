@@ -1,0 +1,12 @@
+#include "tensor/tensor4.h"
+
+#include <algorithm>
+
+namespace cmfl::tensor {
+
+Tensor4::Tensor4(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+    : dims_{n, c, h, w}, data_(n * c * h * w, 0.0f) {}
+
+void Tensor4::zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+}  // namespace cmfl::tensor

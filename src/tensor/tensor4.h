@@ -1,0 +1,64 @@
+// 4-D tensor in NCHW layout for the convolutional substrate.
+//
+// Conv2D/MaxPool operate on mini-batches of feature maps; Tensor4 is a thin
+// shape-carrying wrapper over a contiguous float buffer, with checked and
+// unchecked accessors mirroring Matrix.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cmfl::tensor {
+
+class Tensor4 {
+ public:
+  Tensor4() = default;
+
+  /// n × c × h × w tensor, zero-initialized.
+  Tensor4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+
+  std::size_t n() const noexcept { return dims_[0]; }
+  std::size_t c() const noexcept { return dims_[1]; }
+  std::size_t h() const noexcept { return dims_[2]; }
+  std::size_t w() const noexcept { return dims_[3]; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float& at(std::size_t in, std::size_t ic, std::size_t ih,
+            std::size_t iw) noexcept {
+    return data_[offset(in, ic, ih, iw)];
+  }
+  float at(std::size_t in, std::size_t ic, std::size_t ih,
+           std::size_t iw) const noexcept {
+    return data_[offset(in, ic, ih, iw)];
+  }
+
+  /// Contiguous h×w plane for sample `in`, channel `ic`.
+  std::span<float> plane(std::size_t in, std::size_t ic) noexcept {
+    return {data_.data() + offset(in, ic, 0, 0), dims_[2] * dims_[3]};
+  }
+  std::span<const float> plane(std::size_t in, std::size_t ic) const noexcept {
+    return {data_.data() + offset(in, ic, 0, 0), dims_[2] * dims_[3]};
+  }
+
+  std::span<float> flat() noexcept { return data_; }
+  std::span<const float> flat() const noexcept { return data_; }
+
+  void zero();
+
+  bool same_shape(const Tensor4& other) const noexcept {
+    return dims_ == other.dims_;
+  }
+
+ private:
+  std::size_t offset(std::size_t in, std::size_t ic, std::size_t ih,
+                     std::size_t iw) const noexcept {
+    return ((in * dims_[1] + ic) * dims_[2] + ih) * dims_[3] + iw;
+  }
+
+  std::array<std::size_t, 4> dims_{0, 0, 0, 0};
+  std::vector<float> data_;
+};
+
+}  // namespace cmfl::tensor

@@ -1,0 +1,60 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs sparingly (benches and examples print their results
+// to stdout as data); logging exists for progress visibility in long
+// federated runs and for diagnosing failure-injection tests.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cmfl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the process-wide minimum level (default kInfo).  Thread-safe.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line `[LEVEL] message` to stderr if `level` passes the filter.
+/// Lines are written with a single stream operation to stay readable under
+/// concurrent logging.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogMessage log_debug() {
+  return detail::LogMessage(LogLevel::kDebug);
+}
+inline detail::LogMessage log_info() {
+  return detail::LogMessage(LogLevel::kInfo);
+}
+inline detail::LogMessage log_warn() {
+  return detail::LogMessage(LogLevel::kWarn);
+}
+inline detail::LogMessage log_error() {
+  return detail::LogMessage(LogLevel::kError);
+}
+
+}  // namespace cmfl::util

@@ -1,0 +1,139 @@
+#include "core/compression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace cmfl::core {
+namespace {
+
+std::vector<float> random_update(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform_f(-0.5f, 0.5f);
+  return v;
+}
+
+TEST(IdentityCompressor, LosslessRoundTrip) {
+  IdentityCompressor c;
+  const auto u = random_update(257, 1);
+  const auto enc = c.encode(u);
+  EXPECT_EQ(enc.wire_bytes, 8 + 257 * 4);
+  EXPECT_EQ(c.decode(enc), u);
+}
+
+TEST(IdentityCompressor, TruncationDetected) {
+  IdentityCompressor c;
+  auto enc = c.encode(random_update(16, 2));
+  enc.payload.resize(enc.payload.size() - 5);
+  EXPECT_THROW(c.decode(enc), std::runtime_error);
+}
+
+TEST(SubsampleCompressor, ShrinksWireSize) {
+  SubsampleCompressor c(0.1, 3);
+  const auto u = random_update(10000, 3);
+  const auto enc = c.encode(u);
+  // ~10% of coordinates at 8 bytes each + 16-byte header.
+  EXPECT_LT(enc.wire_bytes, 10000 * 4 / 2);
+  EXPECT_GT(enc.wire_bytes, 10000 / 20);
+}
+
+TEST(SubsampleCompressor, UnbiasedInExpectation) {
+  // Average many independent encodings: the reconstruction must converge to
+  // the original (the 1/keep rescaling makes subsampling unbiased).
+  const auto u = random_update(64, 4);
+  std::vector<double> acc(64, 0.0);
+  const int trials = 3000;
+  SubsampleCompressor c(0.25, 5);
+  for (int t = 0; t < trials; ++t) {
+    const auto dec = c.decode(c.encode(u));
+    for (std::size_t i = 0; i < 64; ++i) acc[i] += dec[i];
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(acc[i] / trials, u[i], 0.05);
+  }
+}
+
+TEST(SubsampleCompressor, RejectsBadKeep) {
+  EXPECT_THROW(SubsampleCompressor(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(SubsampleCompressor(1.5, 1), std::invalid_argument);
+}
+
+TEST(QuantizeCompressor, OneBytePerCoordinate) {
+  QuantizeCompressor c(6);
+  const auto u = random_update(1000, 6);
+  const auto enc = c.encode(u);
+  EXPECT_EQ(enc.wire_bytes, 8 + 4 + 4 + 1000);
+}
+
+TEST(QuantizeCompressor, BoundedError) {
+  QuantizeCompressor c(7);
+  const auto u = random_update(500, 7);
+  const auto dec = c.decode(c.encode(u));
+  // Max error is one quantization step = range/255.
+  const float range = 1.0f;  // values in [-0.5, 0.5]
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(dec[i], u[i], range / 255.0f * 1.5f);
+  }
+}
+
+TEST(QuantizeCompressor, StochasticRoundingUnbiased) {
+  const std::vector<float> u = {0.1f, -0.3f, 0.42f, 0.0f, -0.5f, 0.5f};
+  QuantizeCompressor c(8);
+  std::vector<double> acc(u.size(), 0.0);
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    const auto dec = c.decode(c.encode(u));
+    for (std::size_t i = 0; i < u.size(); ++i) acc[i] += dec[i];
+  }
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(acc[i] / trials, u[i], 2e-3);
+  }
+}
+
+TEST(QuantizeCompressor, ConstantVectorExact) {
+  QuantizeCompressor c(9);
+  const std::vector<float> u(32, 0.25f);
+  const auto dec = c.decode(c.encode(u));
+  for (float v : dec) EXPECT_FLOAT_EQ(v, 0.25f);
+}
+
+TEST(StructuredMaskCompressor, KeepsValuesUnscaled) {
+  StructuredMaskCompressor c(0.5, 10);
+  const auto u = random_update(2000, 10);
+  const auto dec = c.decode(c.encode(u));
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (dec[i] != 0.0f) {
+      EXPECT_FLOAT_EQ(dec[i], u[i]);  // exact value, no rescaling
+      ++kept;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / 2000.0, 0.5, 0.05);
+}
+
+TEST(MakeCompressor, FactoryDispatch) {
+  EXPECT_EQ(make_compressor("float32", 1)->name(), "float32");
+  EXPECT_EQ(make_compressor("quantize8", 1)->name(), "quantize8");
+  EXPECT_EQ(make_compressor("subsample:0.10", 1)->name(), "subsample:0.10");
+  EXPECT_EQ(make_compressor("structured:0.25", 1)->name(),
+            "structured:0.25");
+  EXPECT_THROW(make_compressor("bogus", 1), std::invalid_argument);
+  EXPECT_THROW(make_compressor("bogus:0.5", 1), std::invalid_argument);
+}
+
+TEST(Compressors, CorruptIndexRejected) {
+  SubsampleCompressor c(1.0, 11);
+  auto enc = c.encode(random_update(4, 11));
+  // Corrupt the first stored index to an out-of-range value.
+  const std::size_t index_pos = 16;  // after the two u64 headers
+  std::uint32_t bad = 1000;
+  std::memcpy(enc.payload.data() + index_pos, &bad, sizeof(bad));
+  EXPECT_THROW(c.decode(enc), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cmfl::core

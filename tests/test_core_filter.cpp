@@ -1,0 +1,119 @@
+#include "core/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cmfl::core {
+namespace {
+
+FilterContext make_ctx(std::span<const float> model,
+                       std::span<const float> global_update,
+                       std::size_t iteration = 1) {
+  FilterContext ctx;
+  ctx.global_model = model;
+  ctx.estimated_global_update = global_update;
+  ctx.iteration = iteration;
+  return ctx;
+}
+
+TEST(AcceptAllFilter, AlwaysUploads) {
+  AcceptAllFilter filter;
+  std::vector<float> u = {0.0f, 0.0f};
+  std::vector<float> m = {1.0f, 1.0f};
+  const auto d = filter.decide(u, make_ctx(m, u));
+  EXPECT_TRUE(d.upload);
+  EXPECT_EQ(filter.name(), "vanilla");
+}
+
+TEST(GaiaFilter, UploadsAboveThreshold) {
+  GaiaFilter filter(Schedule::constant(0.5));
+  std::vector<float> model = {6.0f, 8.0f};  // norm 10
+  std::vector<float> big = {3.0f, 4.0f};    // ratio 0.5 -> upload (>=)
+  std::vector<float> small = {0.3f, 0.4f};  // ratio 0.05 -> drop
+  std::vector<float> gu(2, 0.0f);
+  EXPECT_TRUE(filter.decide(big, make_ctx(model, gu)).upload);
+  EXPECT_FALSE(filter.decide(small, make_ctx(model, gu)).upload);
+}
+
+TEST(GaiaFilter, ScoreIsNormRatio) {
+  GaiaFilter filter(Schedule::constant(0.1));
+  std::vector<float> model = {3.0f, 4.0f};
+  std::vector<float> update = {0.6f, 0.8f};
+  std::vector<float> gu(2, 0.0f);
+  const auto d = filter.decide(update, make_ctx(model, gu));
+  EXPECT_NEAR(d.score, 0.2, 1e-7);
+  EXPECT_DOUBLE_EQ(d.threshold, 0.1);
+}
+
+TEST(CmflFilter, ColdStartAcceptsEverything) {
+  CmflFilter filter(Schedule::constant(0.99));
+  std::vector<float> u = {-1.0f, -1.0f};
+  std::vector<float> model = {1.0f, 1.0f};
+  std::vector<float> zero_gu = {0.0f, 0.0f};
+  const auto d = filter.decide(u, make_ctx(model, zero_gu));
+  EXPECT_TRUE(d.upload);
+  EXPECT_DOUBLE_EQ(d.score, 1.0);
+}
+
+TEST(CmflFilter, FiltersMisalignedUpdate) {
+  CmflFilter filter(Schedule::constant(0.6));
+  std::vector<float> model = {1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<float> gu = {1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<float> aligned = {2.0f, 3.0f, 0.1f, 9.0f};    // e = 1.0
+  std::vector<float> opposed = {-2.0f, -3.0f, -0.1f, 9.0f}; // e = 0.25
+  EXPECT_TRUE(filter.decide(aligned, make_ctx(model, gu)).upload);
+  EXPECT_FALSE(filter.decide(opposed, make_ctx(model, gu)).upload);
+}
+
+TEST(CmflFilter, ThresholdBoundaryIsInclusive) {
+  CmflFilter filter(Schedule::constant(0.5));
+  std::vector<float> model = {1.0f, 1.0f};
+  std::vector<float> gu = {1.0f, 1.0f};
+  std::vector<float> half = {1.0f, -1.0f};  // e = 0.5 -> upload (>=)
+  EXPECT_TRUE(filter.decide(half, make_ctx(model, gu)).upload);
+}
+
+TEST(CmflFilter, DecayingThresholdAcceptsMoreOverTime) {
+  CmflFilter filter(Schedule::inv_sqrt(0.8));
+  std::vector<float> model = {1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<float> gu = {1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<float> u = {1.0f, 1.0f, -1.0f, -1.0f};  // e = 0.5
+  EXPECT_FALSE(filter.decide(u, make_ctx(model, gu, 1)).upload);   // v=0.8
+  EXPECT_TRUE(filter.decide(u, make_ctx(model, gu, 4)).upload);    // v=0.4
+}
+
+// Monotonicity in the threshold: if an update passes at threshold v, it
+// passes at every v' < v.
+class FilterMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterMonotoneTest, LowerThresholdNeverRejectsAcceptedUpdate) {
+  const double v = GetParam();
+  util::Rng rng(7);
+  std::vector<float> model(64), gu(64), u(64);
+  for (auto& x : model) x = rng.uniform_f(-1.0f, 1.0f);
+  for (auto& x : gu) x = rng.uniform_f(-1.0f, 1.0f);
+  for (auto& x : u) x = rng.uniform_f(-1.0f, 1.0f);
+  CmflFilter high(Schedule::constant(v));
+  CmflFilter low(Schedule::constant(v / 2.0));
+  const auto ctx = make_ctx(model, gu);
+  if (high.decide(u, ctx).upload) {
+    EXPECT_TRUE(low.decide(u, ctx).upload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, FilterMonotoneTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(MakeFilter, FactoryDispatch) {
+  const Schedule s = Schedule::constant(0.5);
+  EXPECT_EQ(make_filter("vanilla", s)->name(), "vanilla");
+  EXPECT_EQ(make_filter("gaia", s)->name(), "gaia");
+  EXPECT_EQ(make_filter("cmfl", s)->name(), "cmfl");
+  EXPECT_THROW(make_filter("nope", s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmfl::core

@@ -1,0 +1,107 @@
+#include "core/relevance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cmfl::core {
+namespace {
+
+TEST(Relevance, PerfectAlignment) {
+  std::vector<float> u = {1.0f, -2.0f, 3.0f};
+  std::vector<float> g = {0.5f, -0.1f, 9.0f};
+  EXPECT_DOUBLE_EQ(relevance(u, g), 1.0);
+}
+
+TEST(Relevance, PerfectOpposition) {
+  std::vector<float> u = {1.0f, -2.0f};
+  std::vector<float> g = {-1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(relevance(u, g), 0.0);
+}
+
+TEST(Relevance, PartialAgreement) {
+  std::vector<float> u = {1.0f, 1.0f, -1.0f, -1.0f};
+  std::vector<float> g = {1.0f, -1.0f, -1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(relevance(u, g), 0.5);
+}
+
+TEST(Relevance, ZeroMatchesOnlyZero) {
+  std::vector<float> u = {0.0f, 0.0f, 1.0f};
+  std::vector<float> g = {0.0f, 1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(relevance(u, g), 2.0 / 3.0);
+}
+
+TEST(Relevance, SizeMismatchAndEmptyRejected) {
+  std::vector<float> u = {1.0f};
+  std::vector<float> g = {1.0f, 2.0f};
+  EXPECT_THROW(relevance(u, g), std::invalid_argument);
+  EXPECT_THROW(relevance({}, {}), std::invalid_argument);
+}
+
+TEST(Relevance, SelfRelevanceIsOne) {
+  util::Rng rng(3);
+  std::vector<float> u(256);
+  for (auto& v : u) v = rng.uniform_f(-1.0f, 1.0f);
+  EXPECT_DOUBLE_EQ(relevance(u, u), 1.0);
+}
+
+// Scale invariance: relevance(alpha*u, beta*g) == relevance(u, g) for
+// positive alpha, beta — the key property Gaia's magnitude measure lacks.
+class RelevanceScaleTest
+    : public ::testing::TestWithParam<std::pair<float, float>> {};
+
+TEST_P(RelevanceScaleTest, ScaleInvariantForPositiveScales) {
+  const auto [alpha, beta] = GetParam();
+  util::Rng rng(17);
+  std::vector<float> u(128), g(128);
+  for (auto& v : u) v = rng.uniform_f(-1.0f, 1.0f);
+  for (auto& v : g) v = rng.uniform_f(-1.0f, 1.0f);
+  const double base = relevance(u, g);
+  std::vector<float> su = u, sg = g;
+  for (auto& v : su) v *= alpha;
+  for (auto& v : sg) v *= beta;
+  EXPECT_DOUBLE_EQ(relevance(su, sg), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, RelevanceScaleTest,
+    ::testing::Values(std::pair{0.001f, 1.0f}, std::pair{1000.0f, 1.0f},
+                      std::pair{1.0f, 0.001f}, std::pair{1.0f, 1000.0f},
+                      std::pair{42.0f, 0.17f}));
+
+// Negating the local update flips relevance to (1 - e) when no zeros exist.
+TEST(Relevance, NegationComplement) {
+  util::Rng rng(29);
+  std::vector<float> u(200), g(200);
+  for (auto& v : u) v = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+  for (auto& v : g) v = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+  const double e = relevance(u, g);
+  std::vector<float> nu = u;
+  for (auto& v : nu) v = -v;
+  EXPECT_DOUBLE_EQ(relevance(nu, g), 1.0 - e);
+}
+
+// Random sign vectors should agree about half the time.
+TEST(Relevance, RandomVectorsNearHalf) {
+  util::Rng rng(31);
+  double total = 0.0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<float> u(1000), g(1000);
+    for (auto& v : u) v = rng.uniform_f(-1.0f, 1.0f);
+    for (auto& v : g) v = rng.uniform_f(-1.0f, 1.0f);
+    total += relevance(u, g);
+  }
+  EXPECT_NEAR(total / trials, 0.5, 0.02);
+}
+
+TEST(IsZeroUpdate, DetectsZeroAndNonzero) {
+  EXPECT_TRUE(is_zero_update(std::vector<float>{0.0f, 0.0f}));
+  EXPECT_TRUE(is_zero_update(std::vector<float>{}));
+  EXPECT_FALSE(is_zero_update(std::vector<float>{0.0f, 1e-30f}));
+}
+
+}  // namespace
+}  // namespace cmfl::core

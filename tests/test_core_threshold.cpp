@@ -1,0 +1,104 @@
+#include "core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cmfl::core {
+namespace {
+
+TEST(Schedule, ConstantIsFlat) {
+  const Schedule s = Schedule::constant(0.8);
+  EXPECT_DOUBLE_EQ(s.at(1), 0.8);
+  EXPECT_DOUBLE_EQ(s.at(100), 0.8);
+  EXPECT_DOUBLE_EQ(s.at(0), 0.8);  // t=0 clamps to 1
+}
+
+TEST(Schedule, InvSqrtDecay) {
+  const Schedule s = Schedule::inv_sqrt(1.0);
+  EXPECT_DOUBLE_EQ(s.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(4), 0.5);
+  EXPECT_DOUBLE_EQ(s.at(100), 0.1);
+}
+
+TEST(Schedule, InvLinearDecay) {
+  const Schedule s = Schedule::inv_linear(2.0);
+  EXPECT_DOUBLE_EQ(s.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(4), 0.5);
+}
+
+TEST(Schedule, NegativeBaseRejected) {
+  EXPECT_THROW(Schedule(-0.1, ScheduleKind::kConstant), std::invalid_argument);
+}
+
+TEST(Schedule, ZeroTClampedToOne) {
+  const Schedule s = Schedule::inv_sqrt(1.0);
+  EXPECT_DOUBLE_EQ(s.at(0), s.at(1));
+}
+
+TEST(Schedule, DescribeMentionsShape) {
+  EXPECT_NE(Schedule::inv_sqrt(0.7).describe().find("sqrt"),
+            std::string::npos);
+  EXPECT_NE(Schedule::inv_linear(0.7).describe().find("/t"),
+            std::string::npos);
+}
+
+TEST(Schedule, InvPowGeneralizesTheOthers) {
+  const Schedule p_half = Schedule::inv_pow(1.0, 0.5);
+  const Schedule sqrt_s = Schedule::inv_sqrt(1.0);
+  const Schedule p_one = Schedule::inv_pow(2.0, 1.0);
+  const Schedule lin = Schedule::inv_linear(2.0);
+  for (std::size_t t : {1u, 4u, 9u, 100u}) {
+    EXPECT_DOUBLE_EQ(p_half.at(t), sqrt_s.at(t));
+    EXPECT_DOUBLE_EQ(p_one.at(t), lin.at(t));
+  }
+}
+
+TEST(Schedule, InvPowSlowDecayTracksBand) {
+  const Schedule s = Schedule::inv_pow(0.55, 0.02);
+  EXPECT_DOUBLE_EQ(s.at(1), 0.55);
+  EXPECT_NEAR(s.at(50), 0.55 * std::pow(50.0, -0.02), 1e-12);
+  // Slow decay: still above 90% of base after 100 iterations.
+  EXPECT_GT(s.at(100), 0.55 * 0.9);
+}
+
+TEST(Schedule, InvPowValidation) {
+  EXPECT_THROW(Schedule::inv_pow(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(Schedule::inv_pow(0.5, -1.0), std::invalid_argument);
+  EXPECT_NE(Schedule::inv_pow(0.5, 0.1).describe().find("t^"),
+            std::string::npos);
+}
+
+// Property: every schedule is non-increasing in t.
+class ScheduleMonotoneTest : public ::testing::TestWithParam<ScheduleKind> {};
+
+TEST_P(ScheduleMonotoneTest, NonIncreasing) {
+  const Schedule s(0.9, GetParam());
+  double prev = s.at(1);
+  for (std::size_t t = 2; t < 1000; t += 7) {
+    const double cur = s.at(t);
+    EXPECT_LE(cur, prev + 1e-15);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ScheduleMonotoneTest,
+                         ::testing::Values(ScheduleKind::kConstant,
+                                           ScheduleKind::kInvSqrt,
+                                           ScheduleKind::kInvLinear,
+                                           ScheduleKind::kInvPow));
+
+// Theorem 1 remark 2: with v_t = v0/sqrt(t), (1/T)·Σ v_t -> 0.
+TEST(Schedule, InvSqrtTimeAverageVanishes) {
+  const Schedule s = Schedule::inv_sqrt(1.0);
+  auto time_average = [&](std::size_t T) {
+    double sum = 0.0;
+    for (std::size_t t = 1; t <= T; ++t) sum += s.at(t);
+    return sum / static_cast<double>(T);
+  };
+  EXPECT_LT(time_average(10000), time_average(100));
+  EXPECT_LT(time_average(10000), 0.02001);  // ~2/sqrt(T)
+}
+
+}  // namespace
+}  // namespace cmfl::core

@@ -1,0 +1,244 @@
+// Synthetic dataset generators: shape/validity invariants, class structure,
+// learnability signals, non-IID properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "data/synth_digits.h"
+#include "data/synth_har.h"
+#include "data/synth_semeion.h"
+#include "data/synth_text.h"
+
+namespace cmfl::data {
+namespace {
+
+TEST(SynthDigits, ShapesAndRanges) {
+  util::Rng rng(1);
+  SynthDigitsSpec spec;
+  spec.samples = 200;
+  spec.image_size = 12;
+  const DenseDataset ds = make_synth_digits(spec, rng);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.features(), 144u);
+  for (float v : ds.x.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  for (int y : ds.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(SynthDigits, AllClassesPresent) {
+  util::Rng rng(2);
+  SynthDigitsSpec spec;
+  spec.samples = 500;
+  const DenseDataset ds = make_synth_digits(spec, rng);
+  std::set<int> classes(ds.y.begin(), ds.y.end());
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(SynthDigits, DeterministicForSeed) {
+  SynthDigitsSpec spec;
+  spec.samples = 50;
+  util::Rng a(3), b(3);
+  const DenseDataset da = make_synth_digits(spec, a);
+  const DenseDataset db = make_synth_digits(spec, b);
+  EXPECT_EQ(da.y, db.y);
+  for (std::size_t i = 0; i < da.x.size(); ++i) {
+    EXPECT_FLOAT_EQ(da.x.flat()[i], db.x.flat()[i]);
+  }
+}
+
+TEST(SynthDigits, GlyphsAreDistinct) {
+  // Clean glyphs of different digits must differ in enough pixels to be
+  // learnable.
+  std::vector<float> a(144), b(144);
+  for (int d1 = 0; d1 < 10; ++d1) {
+    for (int d2 = d1 + 1; d2 < 10; ++d2) {
+      render_digit_glyph(d1, 12, a);
+      render_digit_glyph(d2, 12, b);
+      std::size_t diff = 0;
+      for (std::size_t i = 0; i < a.size(); ++i) diff += a[i] != b[i];
+      // The closest pair (5 vs 9) differs by one half-segment: 3 pixels at
+      // this resolution.
+      EXPECT_GE(diff, 3u) << "digits " << d1 << " vs " << d2;
+    }
+  }
+}
+
+TEST(SynthDigits, RendererValidation) {
+  std::vector<float> buf(64);
+  EXPECT_THROW(render_digit_glyph(10, 8, buf), std::invalid_argument);
+  EXPECT_THROW(render_digit_glyph(-1, 8, buf), std::invalid_argument);
+  EXPECT_THROW(render_digit_glyph(3, 4, buf), std::invalid_argument);
+  std::vector<float> wrong(10);
+  EXPECT_THROW(render_digit_glyph(3, 8, wrong), std::invalid_argument);
+}
+
+TEST(SynthDigits, SpecValidation) {
+  util::Rng rng(4);
+  SynthDigitsSpec spec;
+  spec.samples = 0;
+  EXPECT_THROW(make_synth_digits(spec, rng), std::invalid_argument);
+  spec.samples = 10;
+  spec.classes = 11;
+  EXPECT_THROW(make_synth_digits(spec, rng), std::invalid_argument);
+}
+
+TEST(SynthText, CorpusShapeAndVocab) {
+  util::Rng rng(5);
+  SynthTextSpec spec;
+  spec.roles = 10;
+  spec.words_per_role = 60;
+  spec.seq_len = 5;
+  const RoleCorpus corpus = make_synth_text(spec, rng);
+  EXPECT_EQ(corpus.windows_of_role.size(), 10u);
+  EXPECT_EQ(corpus.dataset.vocab,
+            spec.topics * spec.words_per_topic + spec.function_words);
+  EXPECT_EQ(corpus.dataset.size(),
+            10u * (spec.words_per_role - spec.seq_len - 1) + 10u);
+  corpus.dataset.validate();
+}
+
+TEST(SynthText, RolesAreNonIid) {
+  // Dominant-topic skew: different roles should have visibly different
+  // token distributions.  Compare topic histograms of role 0 and role 1
+  // (they have different dominant topics by construction).
+  util::Rng rng(6);
+  SynthTextSpec spec;
+  spec.roles = 4;
+  spec.words_per_role = 400;
+  spec.topics = 4;
+  const RoleCorpus corpus = make_synth_text(spec, rng);
+  auto topic_histogram = [&](std::size_t role) {
+    std::vector<double> hist(spec.topics, 0.0);
+    const int topic_words =
+        static_cast<int>(spec.topics * spec.words_per_topic);
+    for (std::size_t w : corpus.windows_of_role[role]) {
+      for (std::size_t t = 0; t < spec.seq_len; ++t) {
+        const int tok = corpus.dataset.tokens[w * spec.seq_len + t];
+        if (tok < topic_words) {
+          ++hist[static_cast<std::size_t>(tok) / spec.words_per_topic];
+        }
+      }
+    }
+    double total = 0;
+    for (double h : hist) total += h;
+    for (double& h : hist) h /= total;
+    return hist;
+  };
+  const auto h0 = topic_histogram(0);
+  const auto h1 = topic_histogram(1);
+  // Role 0's dominant topic is 0; role 1's is 1.
+  EXPECT_GT(h0[0], h1[0]);
+  EXPECT_GT(h1[1], h0[1]);
+  double l1 = 0;
+  for (std::size_t t = 0; t < spec.topics; ++t) l1 += std::abs(h0[t] - h1[t]);
+  EXPECT_GT(l1, 0.3);  // strongly different distributions
+}
+
+TEST(SynthText, WindowsSliceTheStreamConsistently) {
+  util::Rng rng(7);
+  SynthTextSpec spec;
+  spec.roles = 2;
+  spec.words_per_role = 30;
+  spec.seq_len = 4;
+  const RoleCorpus corpus = make_synth_text(spec, rng);
+  // Consecutive windows of a role overlap by seq_len-1 tokens.
+  const auto& w = corpus.windows_of_role[0];
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    for (std::size_t t = 1; t < spec.seq_len; ++t) {
+      EXPECT_EQ(corpus.dataset.tokens[w[i] * spec.seq_len + t],
+                corpus.dataset.tokens[w[i + 1] * spec.seq_len + t - 1]);
+    }
+    // The label of window i is the last token of window i+1's prefix.
+    EXPECT_EQ(corpus.dataset.next_token[w[i]],
+              corpus.dataset.tokens[w[i + 1] * spec.seq_len + spec.seq_len - 1]);
+  }
+}
+
+TEST(SynthText, SpecValidation) {
+  util::Rng rng(8);
+  SynthTextSpec spec;
+  spec.words_per_role = 4;
+  spec.seq_len = 6;  // too long for the stream
+  EXPECT_THROW(make_synth_text(spec, rng), std::invalid_argument);
+}
+
+TEST(SynthHar, ShapesAndPartition) {
+  util::Rng rng(9);
+  SynthHarSpec spec;
+  spec.clients = 30;
+  spec.features = 64;
+  spec.min_samples = 10;
+  spec.max_samples = 40;
+  const HarData har = make_synth_har(spec, rng);
+  EXPECT_EQ(har.partition.clients(), 30u);
+  EXPECT_EQ(har.partition.total_samples(), har.dataset.size());
+  EXPECT_EQ(har.is_outlier.size(), 30u);
+  for (const auto& shard : har.partition.client_indices) {
+    EXPECT_GE(shard.size(), 10u);
+    EXPECT_LE(shard.size(), 40u);
+  }
+  for (int y : har.dataset.y) EXPECT_TRUE(y == 0 || y == 1);
+}
+
+TEST(SynthHar, HasBothOutliersAndNormals) {
+  util::Rng rng(10);
+  SynthHarSpec spec;
+  spec.clients = 60;
+  spec.features = 32;
+  const HarData har = make_synth_har(spec, rng);
+  const auto outliers = static_cast<std::size_t>(
+      std::count(har.is_outlier.begin(), har.is_outlier.end(), true));
+  EXPECT_GT(outliers, 0u);
+  EXPECT_LT(outliers, 60u);
+}
+
+TEST(SynthHar, ClassesLinearlySeparableWithinNormalClient) {
+  // Within a non-outlier client, the class prototypes dominate the noise on
+  // the informative features in aggregate: the mean difference along the
+  // informative block should be positive for class 1 vs class 0.
+  util::Rng rng(11);
+  SynthHarSpec spec;
+  spec.clients = 10;
+  spec.features = 64;
+  spec.min_samples = 50;
+  spec.max_samples = 100;
+  spec.outlier_fraction = 0.0;
+  const HarData har = make_synth_har(spec, rng);
+  const std::size_t informative = std::max<std::size_t>(8, 64 / 8);
+  double mean1 = 0, mean0 = 0;
+  std::size_t n1 = 0, n0 = 0;
+  for (std::size_t i = 0; i < har.dataset.size(); ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < informative; ++j) s += har.dataset.x.at(i, j);
+    if (har.dataset.y[i] == 1) {
+      mean1 += s;
+      ++n1;
+    } else {
+      mean0 += s;
+      ++n0;
+    }
+  }
+  EXPECT_GT(mean1 / static_cast<double>(n1), mean0 / static_cast<double>(n0));
+}
+
+TEST(SynthSemeion, BinaryPixelsAndBothClasses) {
+  util::Rng rng(12);
+  SynthSemeionSpec spec;
+  spec.samples = 400;
+  const DenseDataset ds = make_synth_semeion(spec, rng);
+  EXPECT_EQ(ds.features(), 256u);
+  for (float v : ds.x.flat()) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  const auto zeros = std::count(ds.y.begin(), ds.y.end(), 1);
+  EXPECT_GT(zeros, 10);          // ~10% are the digit zero
+  EXPECT_LT(zeros, 200);
+}
+
+}  // namespace
+}  // namespace cmfl::data

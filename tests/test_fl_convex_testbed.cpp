@@ -1,0 +1,84 @@
+#include "fl/convex_testbed.h"
+
+#include <gtest/gtest.h>
+
+namespace cmfl::fl {
+namespace {
+
+ConvexTestbedSpec small_spec() {
+  ConvexTestbedSpec spec;
+  spec.clients = 20;
+  spec.dim = 16;
+  spec.local_steps = 3;
+  spec.gradient_noise = 0.05;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(ConvexTestbed, OptimumIsCenterMean) {
+  ConvexTestbed tb(small_spec());
+  // f is minimized at the optimum: perturbing in any coordinate increases f.
+  const auto& opt = tb.optimum();
+  const double f_star = tb.global_loss(opt);
+  std::vector<float> perturbed(opt.begin(), opt.end());
+  for (std::size_t j = 0; j < perturbed.size(); j += 5) {
+    perturbed[j] += 0.1f;
+  }
+  EXPECT_GT(tb.global_loss(perturbed), f_star);
+}
+
+TEST(ConvexTestbed, VanillaRegretVanishes) {
+  ConvexTestbed tb(small_spec());
+  core::AcceptAllFilter filter;
+  const auto r = tb.run(400, core::Schedule::inv_sqrt(0.2), filter);
+  ASSERT_EQ(r.regret.size(), 400u);
+  // Theorem 1: the time-averaged regret decreases as T grows.
+  EXPECT_LT(r.time_averaged_regret[399], r.time_averaged_regret[50]);
+  EXPECT_LT(r.final_loss_gap, r.regret.front());
+  EXPECT_EQ(r.total_rounds, 20u * 400u);
+}
+
+TEST(ConvexTestbed, CmflConvergesWithFewerRounds) {
+  ConvexTestbed tb(small_spec());
+  core::AcceptAllFilter vanilla;
+  const auto base = tb.run(400, core::Schedule::inv_sqrt(0.2), vanilla);
+  core::CmflFilter cmfl(core::Schedule::inv_sqrt(0.5));
+  const auto filtered = tb.run(400, core::Schedule::inv_sqrt(0.2), cmfl);
+  EXPECT_LT(filtered.total_rounds, base.total_rounds);
+  // Convergence preserved: the time-averaged regret still decays...
+  EXPECT_LT(filtered.time_averaged_regret[399],
+            filtered.time_averaged_regret[50]);
+  // ...and the final gap is within a small factor of vanilla's.
+  EXPECT_LT(filtered.final_loss_gap, base.final_loss_gap * 10 + 0.5);
+}
+
+TEST(ConvexTestbed, DecayingScheduleBeatsConstantLr) {
+  ConvexTestbedSpec spec = small_spec();
+  spec.gradient_noise = 0.3;  // noise floor matters for constant lr
+  ConvexTestbed tb(spec);
+  core::AcceptAllFilter filter;
+  const auto decayed = tb.run(600, core::Schedule::inv_sqrt(0.2), filter);
+  const auto constant = tb.run(600, core::Schedule::constant(0.2), filter);
+  EXPECT_LT(decayed.final_loss_gap, constant.final_loss_gap);
+}
+
+TEST(ConvexTestbed, Validation) {
+  ConvexTestbedSpec bad = small_spec();
+  bad.clients = 0;
+  EXPECT_THROW(ConvexTestbed{bad}, std::invalid_argument);
+  ConvexTestbed tb(small_spec());
+  std::vector<float> wrong(3);
+  EXPECT_THROW(tb.global_loss(wrong), std::invalid_argument);
+}
+
+TEST(ConvexTestbed, DeterministicPerSeed) {
+  ConvexTestbed a(small_spec());
+  ConvexTestbed b(small_spec());
+  core::AcceptAllFilter filter;
+  const auto ra = a.run(50, core::Schedule::inv_sqrt(0.2), filter);
+  const auto rb = b.run(50, core::Schedule::inv_sqrt(0.2), filter);
+  EXPECT_EQ(ra.regret, rb.regret);
+}
+
+}  // namespace
+}  // namespace cmfl::fl

@@ -1,0 +1,68 @@
+#include "fl/divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmfl::fl {
+namespace {
+
+TEST(Divergence, Eq7Definition) {
+  // global = (2), clients at 1 and 3: d = (|1-2|/2 + |3-2|/2)/2 = 0.5
+  std::vector<float> global = {2.0f};
+  std::vector<std::vector<float>> clients = {{1.0f}, {3.0f}};
+  const auto d = normalized_model_divergence(global, clients);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NEAR(d[0], 0.5, 1e-9);
+}
+
+TEST(Divergence, SkipsNearZeroGlobalParams) {
+  std::vector<float> global = {0.0f, 1.0f};
+  std::vector<std::vector<float>> clients = {{5.0f, 2.0f}};
+  const auto d = normalized_model_divergence(global, clients);
+  ASSERT_EQ(d.size(), 1u);  // the zero-global coordinate is skipped
+  EXPECT_NEAR(d[0], 1.0, 1e-9);
+}
+
+TEST(Divergence, IdenticalClientsGiveZero) {
+  std::vector<float> global = {1.0f, -2.0f, 3.0f};
+  std::vector<std::vector<float>> clients = {
+      {1.0f, -2.0f, 3.0f}, {1.0f, -2.0f, 3.0f}};
+  for (double d : normalized_model_divergence(global, clients)) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+}
+
+TEST(Divergence, SubsetMaskSelectsClients) {
+  std::vector<float> global = {1.0f};
+  std::vector<std::vector<float>> clients = {{2.0f}, {1.0f}, {4.0f}};
+  const std::vector<bool> mask = {true, false, true};
+  const auto outliers =
+      normalized_model_divergence_subset(global, clients, mask, true);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_NEAR(outliers[0], (1.0 + 3.0) / 2.0, 1e-9);
+  const auto normals =
+      normalized_model_divergence_subset(global, clients, mask, false);
+  EXPECT_NEAR(normals[0], 0.0, 1e-9);
+}
+
+TEST(Divergence, Validation) {
+  std::vector<float> global = {1.0f};
+  EXPECT_THROW(normalized_model_divergence(global, {}),
+               std::invalid_argument);
+  std::vector<std::vector<float>> wrong_dim = {{1.0f, 2.0f}};
+  EXPECT_THROW(normalized_model_divergence(global, wrong_dim),
+               std::invalid_argument);
+  std::vector<std::vector<float>> clients = {{1.0f}};
+  const std::vector<bool> bad_mask = {true, false};
+  EXPECT_THROW(normalized_model_divergence_subset(global, clients, bad_mask,
+                                                  true),
+               std::invalid_argument);
+  const std::vector<bool> empty_subset = {false};
+  EXPECT_THROW(normalized_model_divergence_subset(global, clients,
+                                                  empty_subset, true),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmfl::fl

@@ -1,0 +1,158 @@
+// Workload builders: wiring, shapes, evaluator sanity, determinism.
+#include <gtest/gtest.h>
+
+#include "fl/workloads.h"
+
+namespace cmfl::fl {
+namespace {
+
+TEST(DigitsMlpWorkload, BuildsConsistentClients) {
+  DigitsMlpSpec spec;
+  spec.clients = 6;
+  spec.train_samples = 120;
+  spec.test_samples = 40;
+  spec.digits.image_size = 8;
+  Workload w = make_digits_mlp_workload(spec);
+  ASSERT_EQ(w.clients.size(), 6u);
+  for (const auto& c : w.clients) {
+    EXPECT_EQ(c->param_count(), w.param_count);
+    EXPECT_GT(c->local_samples(), 0u);
+  }
+  EXPECT_NE(w.description.find("digits_mlp"), std::string::npos);
+}
+
+TEST(DigitsMlpWorkload, ClientsStartIdentical) {
+  DigitsMlpSpec spec;
+  spec.clients = 3;
+  spec.train_samples = 60;
+  spec.test_samples = 20;
+  spec.digits.image_size = 8;
+  Workload w = make_digits_mlp_workload(spec);
+  std::vector<float> p0(w.param_count), p1(w.param_count);
+  w.clients[0]->get_params(p0);
+  w.clients[1]->get_params(p1);
+  EXPECT_EQ(p0, p1);
+}
+
+TEST(DigitsMlpWorkload, EvaluatorScoresRandomModelAtChance) {
+  DigitsMlpSpec spec;
+  spec.clients = 4;
+  spec.train_samples = 80;
+  spec.test_samples = 200;
+  spec.digits.image_size = 8;
+  Workload w = make_digits_mlp_workload(spec);
+  std::vector<float> params(w.param_count);
+  w.clients[0]->get_params(params);
+  const nn::EvalResult eval = w.evaluator(params);
+  EXPECT_EQ(eval.samples, 200u);
+  EXPECT_GT(eval.accuracy, 0.0);
+  EXPECT_LT(eval.accuracy, 0.5);  // untrained: near 10% chance
+}
+
+TEST(DigitsMlpWorkload, PartitionKinds) {
+  DigitsMlpSpec spec;
+  spec.clients = 5;
+  spec.train_samples = 100;
+  spec.test_samples = 20;
+  spec.digits.image_size = 8;
+  for (const char* kind : {"label_sorted", "sharded", "iid"}) {
+    spec.partition = kind;
+    EXPECT_NO_THROW(make_digits_mlp_workload(spec)) << kind;
+  }
+  spec.partition = "bogus";
+  EXPECT_THROW(make_digits_mlp_workload(spec), std::invalid_argument);
+}
+
+TEST(DigitsCnnWorkload, RejectsMismatchedImageSizes) {
+  DigitsCnnSpec spec;
+  spec.cnn.image_size = 12;
+  spec.digits.image_size = 16;
+  EXPECT_THROW(make_digits_cnn_workload(spec), std::invalid_argument);
+}
+
+TEST(DigitsCnnWorkload, BuildsAndEvaluates) {
+  DigitsCnnSpec spec;
+  spec.clients = 4;
+  spec.train_samples = 80;
+  spec.test_samples = 40;
+  spec.cnn.image_size = 12;
+  spec.cnn.conv1_filters = 2;
+  spec.cnn.conv2_filters = 4;
+  spec.cnn.fc_width = 16;
+  spec.digits.image_size = 12;
+  Workload w = make_digits_cnn_workload(spec);
+  EXPECT_EQ(w.clients.size(), 4u);
+  std::vector<float> params(w.param_count);
+  w.clients[0]->get_params(params);
+  const nn::EvalResult eval = w.evaluator(params);
+  EXPECT_EQ(eval.samples, 40u);
+}
+
+TEST(NwpWorkload, SplitsTrainAndTestPerRole) {
+  NwpLstmSpec spec;
+  spec.text.roles = 5;
+  spec.text.words_per_role = 40;
+  spec.text.seq_len = 4;
+  spec.lm.embed_dim = 4;
+  spec.lm.hidden_dim = 6;
+  spec.test_fraction = 0.25;
+  Workload w = make_nwp_lstm_workload(spec);
+  EXPECT_EQ(w.clients.size(), 5u);
+  std::vector<float> params(w.param_count);
+  w.clients[0]->get_params(params);
+  const nn::EvalResult eval = w.evaluator(params);
+  // Every role contributes at least one test window.
+  EXPECT_GE(eval.samples, 5u);
+}
+
+TEST(NwpWorkload, Validation) {
+  NwpLstmSpec spec;
+  spec.test_fraction = 0.0;
+  EXPECT_THROW(make_nwp_lstm_workload(spec), std::invalid_argument);
+  spec.test_fraction = 1.0;
+  EXPECT_THROW(make_nwp_lstm_workload(spec), std::invalid_argument);
+}
+
+TEST(NwpWorkload, DeterministicForSeed) {
+  NwpLstmSpec spec;
+  spec.text.roles = 4;
+  spec.text.words_per_role = 30;
+  spec.text.seq_len = 4;
+  spec.lm.embed_dim = 4;
+  spec.lm.hidden_dim = 4;
+  Workload a = make_nwp_lstm_workload(spec);
+  Workload b = make_nwp_lstm_workload(spec);
+  std::vector<float> pa(a.param_count), pb(b.param_count);
+  a.clients[2]->get_params(pa);
+  b.clients[2]->get_params(pb);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(CaptureClientParams, SnapshotsLocalModels) {
+  DigitsMlpSpec spec;
+  spec.clients = 4;
+  spec.train_samples = 80;
+  spec.test_samples = 20;
+  spec.digits.image_size = 8;
+  Workload w = make_digits_mlp_workload(spec);
+  SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 5;
+  opt.learning_rate = core::Schedule::constant(0.05);
+  opt.max_iterations = 3;
+  opt.eval_every = 3;
+  opt.capture_client_params = true;
+  FederatedSimulation sim(std::move(w.clients),
+                          std::make_unique<core::AcceptAllFilter>(),
+                          w.evaluator, opt);
+  const SimulationResult r = sim.run();
+  ASSERT_EQ(r.client_params.size(), 4u);
+  for (const auto& p : r.client_params) {
+    EXPECT_EQ(p.size(), r.final_params.size());
+  }
+  // Clients trained on different shards must end at different local models.
+  EXPECT_NE(r.client_params[0], r.client_params[1]);
+}
+
+}  // namespace
+}  // namespace cmfl::fl

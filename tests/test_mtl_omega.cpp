@@ -1,0 +1,147 @@
+#include "mtl/omega.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cmfl::mtl {
+namespace {
+
+tensor::Matrix random_symmetric(std::size_t n, util::Rng& rng) {
+  tensor::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const float v = rng.uniform_f(-1.0f, 1.0f);
+      m.at(i, j) = v;
+      m.at(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  tensor::Matrix a(3, 3);
+  a.at(0, 0) = 3.0f;
+  a.at(1, 1) = 1.0f;
+  a.at(2, 2) = 2.0f;
+  std::vector<double> values;
+  tensor::Matrix vectors;
+  symmetric_eigen(a, values, vectors);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(sorted[0], 1.0, 1e-8);
+  EXPECT_NEAR(sorted[1], 2.0, 1e-8);
+  EXPECT_NEAR(sorted[2], 3.0, 1e-8);
+}
+
+TEST(SymmetricEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  tensor::Matrix a(2, 2, {2, 1, 1, 2});
+  std::vector<double> values;
+  tensor::Matrix vectors;
+  symmetric_eigen(a, values, vectors);
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[0], 1.0, 1e-8);
+  EXPECT_NEAR(values[1], 3.0, 1e-8);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  util::Rng rng(1);
+  const tensor::Matrix a = random_symmetric(6, rng);
+  std::vector<double> values;
+  tensor::Matrix v;
+  symmetric_eigen(a, values, v);
+  // A ?= V diag(λ) Vᵀ
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) {
+        acc += static_cast<double>(v.at(i, k)) * values[k] *
+               static_cast<double>(v.at(j, k));
+      }
+      EXPECT_NEAR(acc, a.at(i, j), 1e-4);
+    }
+  }
+}
+
+TEST(SymmetricEigen, EigenvectorsOrthonormal) {
+  util::Rng rng(2);
+  const tensor::Matrix a = random_symmetric(5, rng);
+  std::vector<double> values;
+  tensor::Matrix v;
+  symmetric_eigen(a, values, v);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 5; ++k) {
+        acc += static_cast<double>(v.at(k, i)) * static_cast<double>(v.at(k, j));
+      }
+      EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 1e-5);
+    }
+  }
+}
+
+TEST(SymmetricEigen, RejectsAsymmetricAndNonSquare) {
+  tensor::Matrix bad(2, 2, {1, 2, 3, 4});
+  std::vector<double> values;
+  tensor::Matrix v;
+  EXPECT_THROW(symmetric_eigen(bad, values, v), std::invalid_argument);
+  tensor::Matrix rect(2, 3);
+  EXPECT_THROW(symmetric_eigen(rect, values, v), std::invalid_argument);
+}
+
+TEST(SqrtmPsd, SquaresBackToOriginal) {
+  util::Rng rng(3);
+  // Build a PSD matrix A = B Bᵀ and verify sqrt(A)² = A.
+  tensor::Matrix b = random_symmetric(4, rng);
+  tensor::Matrix a(4, 4);
+  tensor::matmul_nt(b, b, a);
+  const tensor::Matrix root = sqrtm_psd(a);
+  tensor::Matrix squared(4, 4);
+  tensor::matmul(root, root, squared);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(squared.flat()[i], a.flat()[i], 1e-3);
+  }
+}
+
+TEST(UpdateOmega, UnitTraceAndSymmetry) {
+  util::Rng rng(4);
+  tensor::Matrix w(5, 8);
+  for (float& v : w.flat()) v = rng.uniform_f(-1.0f, 1.0f);
+  const tensor::Matrix omega = update_omega(w);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) trace += omega.at(i, i);
+  EXPECT_NEAR(trace, 1.0, 1e-5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(omega.at(i, j), omega.at(j, i), 1e-5);
+    }
+  }
+}
+
+TEST(UpdateOmega, RelatedTasksCoupleStronger) {
+  // Tasks 0 and 1 share a direction; task 2 is orthogonal.  Ω must give
+  // (0,1) a larger off-diagonal entry than (0,2).
+  tensor::Matrix w(3, 4);
+  w.at(0, 0) = 1.0f;
+  w.at(1, 0) = 0.9f;
+  w.at(1, 1) = 0.1f;
+  w.at(2, 2) = 1.0f;
+  const tensor::Matrix omega = update_omega(w, 1e-6);
+  EXPECT_GT(omega.at(0, 1), std::fabs(omega.at(0, 2)) + 0.05);
+}
+
+TEST(IdentityOmega, UniformDiagonal) {
+  const tensor::Matrix omega = identity_omega(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(omega.at(i, j), i == j ? 0.25f : 0.0f);
+    }
+  }
+  EXPECT_THROW(identity_omega(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmfl::mtl

@@ -1,0 +1,196 @@
+// Federated multi-task learning: task solver behaviour and the full MOCHA
+// loop with and without CMFL filtering.
+#include <gtest/gtest.h>
+
+#include "core/filter.h"
+#include "data/synth_har.h"
+#include "mtl/mtl_simulation.h"
+
+namespace cmfl::mtl {
+namespace {
+
+data::HarData small_har(std::uint64_t seed = 7) {
+  util::Rng rng(seed);
+  data::SynthHarSpec spec;
+  spec.clients = 20;
+  spec.features = 48;
+  spec.min_samples = 20;
+  spec.max_samples = 60;
+  spec.outlier_fraction = 0.2;
+  return data::make_synth_har(spec, rng);
+}
+
+MtlOptions fast_options() {
+  MtlOptions opt;
+  opt.local_epochs = 5;
+  opt.batch_size = 4;
+  opt.learning_rate = 0.02f;
+  opt.max_iterations = 40;
+  opt.eval_every = 5;
+  opt.omega_every = 10;
+  opt.lambda = 0.01;
+  opt.seed = 11;
+  return opt;
+}
+
+TEST(TaskSolver, TrainsTowardItsData) {
+  data::HarData har = small_har();
+  util::Rng rng(1);
+  TaskSolver solver(&har.dataset, har.partition.client_indices[0], 0.25,
+                    rng.split(0));
+  tensor::Matrix w(1, har.dataset.features());
+  const tensor::Matrix omega = identity_omega(1);
+  const double acc_before = solver.train_accuracy(w.row(0));
+  for (int round = 0; round < 20; ++round) {
+    solver.train_local(w, 0, omega, 0.0, 5, 4, 0.05f);
+  }
+  const double acc_after = solver.train_accuracy(w.row(0));
+  EXPECT_GT(acc_after, acc_before);
+  EXPECT_GT(acc_after, 0.7);
+}
+
+TEST(TaskSolver, Validation) {
+  data::HarData har = small_har();
+  util::Rng rng(2);
+  EXPECT_THROW(TaskSolver(nullptr, {0}, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(TaskSolver(&har.dataset, {}, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(TaskSolver(&har.dataset, {0}, 1.0, rng), std::invalid_argument);
+  TaskSolver solver(&har.dataset, har.partition.client_indices[0], 0.2, rng);
+  tensor::Matrix w(2, 5);  // wrong feature count
+  const tensor::Matrix omega = identity_omega(2);
+  EXPECT_THROW(solver.train_local(w, 0, omega, 0.0, 5, 4, 0.1f),
+               std::invalid_argument);
+  tensor::Matrix w_ok(2, har.dataset.features());
+  EXPECT_THROW(solver.train_local(w_ok, 5, omega, 0.0, 5, 4, 0.1f),
+               std::invalid_argument);
+}
+
+TEST(MtlSimulation, MochaLearnsTheTasks) {
+  data::HarData har = small_har();
+  MtlSimulation sim(&har.dataset, har.partition,
+                    std::make_unique<core::AcceptAllFilter>(), fast_options());
+  const fl::SimulationResult r = sim.run();
+  EXPECT_GT(r.final_accuracy, 0.7);
+  EXPECT_EQ(r.total_rounds, 20u * r.history.size());
+}
+
+TEST(MtlSimulation, CmflReducesRoundsWithoutHurtingAccuracy) {
+  data::HarData har = small_har();
+  MtlSimulation vanilla(&har.dataset, har.partition,
+                        std::make_unique<core::AcceptAllFilter>(),
+                        fast_options());
+  const fl::SimulationResult base = vanilla.run();
+
+  data::HarData har2 = small_har();
+  MtlSimulation filtered(
+      &har2.dataset, har2.partition,
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.4)),
+      fast_options());
+  const fl::SimulationResult cmfl = filtered.run();
+
+  EXPECT_LT(cmfl.total_rounds, base.total_rounds);
+  EXPECT_GT(cmfl.final_accuracy, base.final_accuracy - 0.08);
+}
+
+TEST(MtlSimulation, EliminationsConcentrateOnOutliers) {
+  // The paper's Fig. 6 premise: frequently-eliminated clients are mostly
+  // the heavy-shift outliers.  Compare mean eliminations between the two
+  // populations.
+  util::Rng rng(3);
+  data::SynthHarSpec spec;
+  spec.clients = 30;
+  spec.features = 48;
+  spec.min_samples = 30;
+  spec.max_samples = 60;
+  spec.outlier_fraction = 0.3;
+  spec.outlier_label_flip = 0.45;
+  data::HarData har = data::make_synth_har(spec, rng);
+
+  MtlOptions opt = fast_options();
+  opt.max_iterations = 60;
+  MtlSimulation sim(
+      &har.dataset, har.partition,
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.4)), opt);
+  const fl::SimulationResult r = sim.run();
+
+  double outlier_elims = 0.0, normal_elims = 0.0;
+  std::size_t outliers = 0, normals = 0;
+  for (std::size_t k = 0; k < har.is_outlier.size(); ++k) {
+    if (har.is_outlier[k]) {
+      outlier_elims += static_cast<double>(r.eliminations_per_client[k]);
+      ++outliers;
+    } else {
+      normal_elims += static_cast<double>(r.eliminations_per_client[k]);
+      ++normals;
+    }
+  }
+  ASSERT_GT(outliers, 0u);
+  ASSERT_GT(normals, 0u);
+  EXPECT_GT(outlier_elims / static_cast<double>(outliers),
+            normal_elims / static_cast<double>(normals));
+}
+
+TEST(MtlSimulation, DeterministicForSeed) {
+  data::HarData a = small_har();
+  MtlSimulation sa(&a.dataset, a.partition,
+                   std::make_unique<core::CmflFilter>(
+                       core::Schedule::constant(0.4)),
+                   fast_options());
+  const auto ra = sa.run();
+  data::HarData b = small_har();
+  MtlSimulation sb(&b.dataset, b.partition,
+                   std::make_unique<core::CmflFilter>(
+                       core::Schedule::constant(0.4)),
+                   fast_options());
+  const auto rb = sb.run();
+  EXPECT_EQ(ra.final_params, rb.final_params);
+  EXPECT_EQ(ra.total_rounds, rb.total_rounds);
+}
+
+TEST(MtlSimulation, HingeLossVariantAlsoLearns) {
+  data::HarData har = small_har();
+  MtlOptions opt = fast_options();
+  opt.loss = TaskLoss::kHinge;
+  MtlSimulation sim(&har.dataset, har.partition,
+                    std::make_unique<core::AcceptAllFilter>(), opt);
+  const fl::SimulationResult r = sim.run();
+  EXPECT_GT(r.final_accuracy, 0.65);
+}
+
+TEST(MtlSimulation, OmegaRefreshChangesTrajectory) {
+  data::HarData a = small_har();
+  MtlOptions with_omega = fast_options();
+  with_omega.omega_every = 5;
+  with_omega.lambda = 0.5;
+  MtlSimulation sa(&a.dataset, a.partition,
+                   std::make_unique<core::AcceptAllFilter>(), with_omega);
+  const auto ra = sa.run();
+
+  data::HarData b = small_har();
+  MtlOptions no_omega = fast_options();
+  no_omega.omega_every = 0;  // never refresh: identity coupling forever
+  no_omega.lambda = 0.5;
+  MtlSimulation sb(&b.dataset, b.partition,
+                   std::make_unique<core::AcceptAllFilter>(), no_omega);
+  const auto rb = sb.run();
+  EXPECT_NE(ra.final_params, rb.final_params);
+}
+
+TEST(MtlSimulation, ConstructorValidation) {
+  data::HarData har = small_har();
+  EXPECT_THROW(MtlSimulation(nullptr, har.partition,
+                             std::make_unique<core::AcceptAllFilter>(),
+                             fast_options()),
+               std::invalid_argument);
+  EXPECT_THROW(MtlSimulation(&har.dataset, har.partition, nullptr,
+                             fast_options()),
+               std::invalid_argument);
+  data::Partition empty;
+  EXPECT_THROW(MtlSimulation(&har.dataset, empty,
+                             std::make_unique<core::AcceptAllFilter>(),
+                             fast_options()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmfl::mtl

@@ -1,0 +1,128 @@
+// End-to-end cluster emulation: the message-passing run must agree with the
+// in-memory simulation and account bytes exactly.
+#include <gtest/gtest.h>
+
+#include "core/filter.h"
+#include "fl/simulation.h"
+#include "fl/workloads.h"
+#include "net/cluster.h"
+
+namespace cmfl::net {
+namespace {
+
+fl::DigitsMlpSpec small_spec() {
+  fl::DigitsMlpSpec spec;
+  spec.clients = 8;
+  spec.train_samples = 240;
+  spec.test_samples = 80;
+  spec.hidden = {16};
+  spec.digits.image_size = 8;
+  spec.seed = 5;
+  return spec;
+}
+
+ClusterOptions fast_options() {
+  ClusterOptions opt;
+  opt.fl.local_epochs = 2;
+  opt.fl.batch_size = 5;
+  opt.fl.learning_rate = core::Schedule::constant(0.1);
+  opt.fl.max_iterations = 12;
+  opt.fl.eval_every = 4;
+  return opt;
+}
+
+TEST(FlCluster, RunsAndAccountsMessages) {
+  fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+  FlCluster cluster(std::move(w.clients),
+                    std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                    fast_options());
+  const ClusterResult r = cluster.run();
+  // Vanilla: every worker answers every iteration with a full update.
+  EXPECT_EQ(r.upload_messages, 8u * 12u);
+  EXPECT_EQ(r.elimination_messages, 0u);
+  EXPECT_EQ(r.sim.total_rounds, 8u * 12u);
+  EXPECT_GT(r.uplink_bytes, 0u);
+  EXPECT_GT(r.downlink_bytes, 0u);
+  EXPECT_GT(r.simulated_transfer_seconds, 0.0);
+  EXPECT_FALSE(r.footprint.empty());
+}
+
+TEST(FlCluster, UplinkBytesMatchFrameSizes) {
+  fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+  const std::size_t dim = w.param_count;
+  FlCluster cluster(std::move(w.clients),
+                    std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                    fast_options());
+  const ClusterResult r = cluster.run();
+  // Upload frame = 1 type + 8 iter + 4 client + 8 score + 8 len + 4*dim,
+  // sealed with a 4-byte CRC.
+  const std::size_t frame = 1 + 8 + 4 + 8 + 8 + 4 * dim + 4;
+  EXPECT_EQ(r.uplink_bytes, r.upload_messages * frame);
+}
+
+TEST(FlCluster, CmflSendsEliminationFrames) {
+  fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+  FlCluster cluster(
+      std::move(w.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.5)),
+      w.evaluator, fast_options());
+  const ClusterResult r = cluster.run();
+  EXPECT_GT(r.elimination_messages, 0u);
+  EXPECT_EQ(r.upload_messages + r.elimination_messages, 8u * 12u);
+  // Eliminations are counted per client.
+  std::size_t counted = 0;
+  for (std::size_t e : r.sim.eliminations_per_client) counted += e;
+  EXPECT_EQ(counted, r.elimination_messages);
+}
+
+TEST(FlCluster, MatchesInMemorySimulation) {
+  // Same workload, same filter, same options: the wire run and the
+  // in-memory run must produce identical learning traces.
+  auto opt = fast_options();
+  fl::Workload w1 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster cluster(
+      std::move(w1.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w1.evaluator, opt);
+  const ClusterResult wire = cluster.run();
+
+  fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+  fl::SimulationOptions sim_opt = opt.fl;
+  fl::FederatedSimulation sim(
+      std::move(w2.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w2.evaluator, sim_opt);
+  const fl::SimulationResult mem = sim.run();
+
+  ASSERT_EQ(wire.sim.history.size(), mem.history.size());
+  for (std::size_t i = 0; i < mem.history.size(); ++i) {
+    EXPECT_EQ(wire.sim.history[i].uploads, mem.history[i].uploads);
+  }
+  EXPECT_EQ(wire.sim.final_params, mem.final_params);
+}
+
+TEST(FlCluster, FootprintGrowsAcrossEvaluations) {
+  fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+  FlCluster cluster(std::move(w.clients),
+                    std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                    fast_options());
+  const ClusterResult r = cluster.run();
+  for (std::size_t i = 1; i < r.footprint.size(); ++i) {
+    EXPECT_GT(r.footprint[i].uplink_bytes, r.footprint[i - 1].uplink_bytes);
+    EXPECT_GT(r.footprint[i].iteration, r.footprint[i - 1].iteration);
+  }
+}
+
+TEST(FlCluster, ConstructorValidation) {
+  fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+  EXPECT_THROW(FlCluster({}, std::make_unique<core::AcceptAllFilter>(),
+                         w.evaluator, fast_options()),
+               std::invalid_argument);
+  fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+  EXPECT_THROW(
+      FlCluster(std::move(w2.clients), nullptr, w2.evaluator, fast_options()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmfl::net

@@ -1,0 +1,85 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cmfl::net {
+namespace {
+
+std::vector<std::byte> frame_of(std::uint8_t tag) {
+  return {std::byte{tag}};
+}
+
+TEST(Channel, FifoOrder) {
+  Channel ch;
+  ch.send(frame_of(1));
+  ch.send(frame_of(2));
+  ch.send(frame_of(3));
+  EXPECT_EQ((*ch.recv())[0], std::byte{1});
+  EXPECT_EQ((*ch.recv())[0], std::byte{2});
+  EXPECT_EQ((*ch.recv())[0], std::byte{3});
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Channel ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send(frame_of(9));
+  });
+  const auto frame = ch.recv();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ((*frame)[0], std::byte{9});
+  producer.join();
+}
+
+TEST(Channel, CloseDrainsThenReportsEnd) {
+  Channel ch;
+  ch.send(frame_of(1));
+  ch.close();
+  EXPECT_TRUE(ch.recv().has_value());
+  EXPECT_FALSE(ch.recv().has_value());
+  EXPECT_FALSE(ch.send(frame_of(2)));
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Channel ch;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 100;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch] {
+      for (int i = 0; i < kPerProducer; ++i) ch.send(frame_of(1));
+    });
+  }
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    if (ch.recv()) ++received;
+  }
+  EXPECT_EQ(received, kProducers * kPerProducer);
+  for (auto& t : producers) t.join();
+}
+
+TEST(ByteMeter, AccumulatesAcrossThreads) {
+  ByteMeter meter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&meter] {
+      for (int i = 0; i < 1000; ++i) meter.record(10);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(meter.total_bytes(), 40000u);
+  EXPECT_EQ(meter.messages(), 4000u);
+}
+
+TEST(LinkModel, TransferTime) {
+  LinkModel link;
+  link.latency_s = 0.1;
+  link.bandwidth_bytes_per_s = 1000.0;
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(500), 0.1 + 0.5);
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0), 0.1);
+}
+
+}  // namespace
+}  // namespace cmfl::net

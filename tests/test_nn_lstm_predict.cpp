@@ -1,0 +1,75 @@
+// LstmLm::predict and sequence-model behavioural tests.
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/lstm_lm.h"
+#include "util/rng.h"
+
+namespace cmfl::nn {
+namespace {
+
+LstmLm small_model(std::uint64_t seed = 3) {
+  LstmLmSpec spec;
+  spec.vocab = 10;
+  spec.embed_dim = 6;
+  spec.hidden_dim = 8;
+  LstmLm model(spec);
+  util::Rng rng(seed);
+  model.init_params(rng);
+  return model;
+}
+
+SeqBatch batch_of(std::initializer_list<int> tokens, std::size_t seq_len) {
+  SeqBatch b;
+  b.tokens = tokens;
+  b.seq_len = seq_len;
+  b.batch = b.tokens.size() / seq_len;
+  return b;
+}
+
+TEST(LstmLmPredict, ShapeAndDeterminism) {
+  LstmLm model = small_model();
+  const SeqBatch x = batch_of({1, 2, 3, 4, 5, 6}, 3);
+  const tensor::Matrix a = model.predict(x);
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 10u);
+  const tensor::Matrix b = model.predict(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.flat()[i], b.flat()[i]);
+  }
+}
+
+TEST(LstmLmPredict, AgreesWithEvaluateAccuracy) {
+  LstmLm model = small_model();
+  const SeqBatch x = batch_of({0, 1, 2, 3, 7, 8, 9, 4}, 4);
+  const auto top = argmax_rows(model.predict(x));
+  std::vector<int> labels = {top[0], top[1]};
+  EXPECT_DOUBLE_EQ(model.evaluate(x, labels).accuracy, 1.0);
+  std::vector<int> wrong = {(top[0] + 1) % 10, (top[1] + 1) % 10};
+  EXPECT_DOUBLE_EQ(model.evaluate(x, wrong).accuracy, 0.0);
+}
+
+TEST(LstmLmPredict, SequenceOrderMatters) {
+  LstmLm model = small_model();
+  const tensor::Matrix fwd = model.predict(batch_of({1, 2, 3, 4}, 4));
+  const tensor::Matrix rev = model.predict(batch_of({4, 3, 2, 1}, 4));
+  bool any_diff = false;
+  for (std::size_t c = 0; c < fwd.cols(); ++c) {
+    if (std::abs(fwd.at(0, c) - rev.at(0, c)) > 1e-6f) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(LstmLmPredict, TrainBatchChangesPrediction) {
+  LstmLm model = small_model();
+  const SeqBatch x = batch_of({5, 5, 5, 5}, 4);
+  std::vector<int> y = {7};
+  const double p_before = softmax(model.predict(x)).at(0, 7);
+  for (int i = 0; i < 30; ++i) model.train_batch(x, y, 0.5f);
+  const double p_after = softmax(model.predict(x)).at(0, 7);
+  EXPECT_GT(p_after, p_before);
+  EXPECT_GT(p_after, 0.8);
+}
+
+}  // namespace
+}  // namespace cmfl::nn

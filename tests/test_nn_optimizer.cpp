@@ -1,0 +1,141 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/feed_forward.h"
+#include "util/rng.h"
+
+namespace cmfl::nn {
+namespace {
+
+/// Minimizes f(x) = ½‖x − target‖² with the given optimizer; returns the
+/// final distance to the target.
+double optimize_quadratic(Optimizer& opt, int steps, float lr) {
+  std::vector<float> x = {5.0f, -3.0f, 2.0f};
+  const std::vector<float> target = {1.0f, 1.0f, 1.0f};
+  std::vector<float> g(3);
+  ParamPack params({std::span<float>(x)});
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < 3; ++i) g[i] = x[i] - target[i];
+    ParamPack grads({std::span<float>(g)});
+    opt.step(params, grads, lr);
+  }
+  double dist = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    dist += (x[i] - target[i]) * (x[i] - target[i]);
+  }
+  return std::sqrt(dist);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd sgd;
+  EXPECT_LT(optimize_quadratic(sgd, 100, 0.1f), 1e-3);
+}
+
+TEST(Sgd, MatchesManualAxpy) {
+  std::vector<float> x = {1.0f, 2.0f};
+  std::vector<float> g = {0.5f, -1.0f};
+  ParamPack params({std::span<float>(x)});
+  ParamPack grads({std::span<float>(g)});
+  Sgd sgd;
+  sgd.step(params, grads, 0.1f);
+  EXPECT_FLOAT_EQ(x[0], 0.95f);
+  EXPECT_FLOAT_EQ(x[1], 2.1f);
+}
+
+TEST(MomentumSgd, ConvergesAndAcceleratesEarly) {
+  MomentumSgd momentum(0.9f);
+  EXPECT_LT(optimize_quadratic(momentum, 200, 0.02f), 1e-2);
+  // Momentum accumulates: two identical-gradient steps move further than
+  // twice one step.
+  std::vector<float> x = {0.0f};
+  std::vector<float> g = {1.0f};
+  ParamPack params({std::span<float>(x)});
+  ParamPack grads({std::span<float>(g)});
+  MomentumSgd m2(0.5f);
+  m2.step(params, grads, 1.0f);
+  const float after_one = x[0];
+  m2.step(params, grads, 1.0f);
+  EXPECT_LT(x[0], 2.0f * after_one - 0.4f);  // -1, then -2.5 total
+}
+
+TEST(MomentumSgd, RejectsBadMomentum) {
+  EXPECT_THROW(MomentumSgd(1.0f), std::invalid_argument);
+  EXPECT_THROW(MomentumSgd(-0.1f), std::invalid_argument);
+}
+
+TEST(MomentumSgd, ResetClearsVelocity) {
+  std::vector<float> x = {0.0f};
+  std::vector<float> g = {1.0f};
+  ParamPack params({std::span<float>(x)});
+  ParamPack grads({std::span<float>(g)});
+  MomentumSgd m(0.9f);
+  m.step(params, grads, 1.0f);
+  m.reset();
+  const float before = x[0];
+  m.step(params, grads, 1.0f);
+  EXPECT_FLOAT_EQ(x[0], before - 1.0f);  // no carried velocity
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam adam;
+  EXPECT_LT(optimize_quadratic(adam, 400, 0.1f), 1e-2);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction, the very first Adam step ≈ lr·sign(g).
+  std::vector<float> x = {0.0f, 0.0f};
+  std::vector<float> g = {0.001f, -5.0f};
+  ParamPack params({std::span<float>(x)});
+  ParamPack grads({std::span<float>(g)});
+  Adam adam;
+  adam.step(params, grads, 0.1f);
+  EXPECT_NEAR(x[0], -0.1f, 2e-3);
+  EXPECT_NEAR(x[1], 0.1f, 2e-3);
+}
+
+TEST(Adam, PackSizeChangeRejected) {
+  Adam adam;
+  std::vector<float> x = {0.0f};
+  std::vector<float> g = {1.0f};
+  ParamPack p1({std::span<float>(x)});
+  ParamPack g1({std::span<float>(g)});
+  adam.step(p1, g1, 0.1f);
+  std::vector<float> x2 = {0.0f, 0.0f};
+  std::vector<float> g2 = {1.0f, 1.0f};
+  ParamPack p2({std::span<float>(x2)});
+  ParamPack gg2({std::span<float>(g2)});
+  EXPECT_THROW(adam.step(p2, gg2, 0.1f), std::invalid_argument);
+}
+
+TEST(MakeOptimizer, FactoryDispatch) {
+  EXPECT_EQ(make_optimizer("sgd")->name(), "sgd");
+  EXPECT_EQ(make_optimizer("adam")->name(), "adam");
+  EXPECT_NE(make_optimizer("momentum")->name().find("momentum"),
+            std::string::npos);
+  EXPECT_NE(make_optimizer("momentum:0.5")->name().find("0.5"),
+            std::string::npos);
+  EXPECT_THROW(make_optimizer("lbfgs"), std::invalid_argument);
+}
+
+TEST(FeedForwardWithOptimizer, AdamTrainsModel) {
+  util::Rng rng(3);
+  FeedForward model = make_mlp(6, {12}, 2, rng);
+  tensor::Matrix x(16, 6);
+  std::vector<int> y(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t j = 0; j < 6; ++j) {
+      x.at(i, j) = (y[i] ? 1.0f : -1.0f) + rng.normal_f(0.0f, 0.3f);
+    }
+  }
+  Adam adam;
+  const double before = model.evaluate(x, y).loss;
+  for (int step = 0; step < 60; ++step) {
+    model.train_batch(x, y, adam, 0.05f);
+  }
+  EXPECT_LT(model.evaluate(x, y).loss, before * 0.5);
+}
+
+}  // namespace
+}  // namespace cmfl::nn

@@ -1,0 +1,216 @@
+// Kernel-layer throughput benchmarks (google-benchmark): old vs new paths.
+//
+// GEMM benchmarks report GFLOP/s (2·m·n·k flops per product); sign-match
+// benchmarks report GB/s over the two float vectors scanned per check.  The
+// *_Ref variants run the naive seed kernels kept in kernels.cpp, so a single
+// run shows the old-vs-new ratio directly.  `bench/run_kernels.sh` (or the
+// `bench_baseline` CMake target) records the JSON baseline BENCH_kernels.json
+// at the repo root; later PRs compare against it before touching a kernel.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "tensor/matrix.h"
+#include "tensor/vector_ops.h"
+#include "util/rng.h"
+
+using namespace cmfl;
+
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform_f(-1.0f, 1.0f);
+  return v;
+}
+
+void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t k,
+                       std::size_t n) {
+  const double flops_per_iter = 2.0 * static_cast<double>(m) *
+                                static_cast<double>(k) *
+                                static_cast<double>(n);
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+// --- GEMM: C = A·B, square sizes ---
+
+void BM_GemmNN_Ref(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 1), b = random_vec(n * n, 2);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    tensor::kernels::gemm_nn_ref(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmNN_Ref)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Matrix a(n, n, random_vec(n * n, 1));
+  tensor::Matrix b(n, n, random_vec(n * n, 2));
+  tensor::Matrix c(n, n);
+  for (auto _ : state) {
+    tensor::matmul(a, b, c);  // blocked kernel + pool sharding when large
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT_Ref(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 3), b = random_vec(n * n, 4);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    tensor::kernels::gemm_nt_ref(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmNT_Ref)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Matrix a(n, n, random_vec(n * n, 3));
+  tensor::Matrix b(n, n, random_vec(n * n, 4));
+  tensor::Matrix c(n, n);
+  for (auto _ : state) {
+    tensor::matmul_nt(a, b, c);
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmNT)->Arg(256);
+
+void BM_GemmTN_Ref(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 5), b = random_vec(n * n, 6);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    tensor::kernels::gemm_tn_ref(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmTN_Ref)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Matrix a(n, n, random_vec(n * n, 5));
+  tensor::Matrix b(n, n, random_vec(n * n, 6));
+  tensor::Matrix c(n, n);
+  for (auto _ : state) {
+    tensor::matmul_tn(a, b, c);
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmTN)->Arg(256);
+
+// --- Sign agreement: scalar scan vs bit-packed popcount ---
+
+void BM_SignMatchScalar(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto u = random_vec(d, 7), g = random_vec(d, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::count_sign_matches(u, g));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * d * sizeof(float)));
+}
+BENCHMARK(BM_SignMatchScalar)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+// The server-side steady state: ū packed once per broadcast, each client
+// packs only its own update chunk-wise while matching (mixed overload).
+void BM_SignMatchPackedVsFloat(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto u = random_vec(d, 7), g = random_vec(d, 8);
+  const tensor::SignPack gp(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::count_sign_matches(u, gp));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * d * sizeof(float)));
+}
+BENCHMARK(BM_SignMatchPackedVsFloat)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+// Both sides pre-packed: pure XOR/AND + popcount over 64-bit words.
+void BM_SignMatchPackedVsPacked(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const tensor::SignPack up(random_vec(d, 7));
+  const tensor::SignPack gp(random_vec(d, 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::count_sign_matches(up, gp));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * d * sizeof(float)));
+}
+BENCHMARK(BM_SignMatchPackedVsPacked)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_SignPackAssign(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto g = random_vec(d, 8);
+  tensor::SignPack pack;
+  for (auto _ : state) {
+    pack.assign(g);
+    benchmark::DoNotOptimize(pack.nonzero_words().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * sizeof(float)));
+}
+BENCHMARK(BM_SignPackAssign)->Arg(1 << 20);
+
+// --- Fused server aggregation ---
+
+void BM_AggregateScaledSum(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kClients = 16;
+  std::vector<std::vector<float>> updates;
+  updates.reserve(kClients);
+  for (std::size_t k = 0; k < kClients; ++k) {
+    updates.push_back(random_vec(d, 100 + k));
+  }
+  std::vector<std::span<const float>> views(updates.begin(), updates.end());
+  std::vector<float> out(d);
+  for (auto _ : state) {
+    tensor::kernels::scaled_sum(views, 1.0f / kClients, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kClients * d * sizeof(float)));
+}
+BENCHMARK(BM_AggregateScaledSum)->Arg(1 << 17);
+
+void BM_AggregateAxpyThenScale(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kClients = 16;
+  std::vector<std::vector<float>> updates;
+  updates.reserve(kClients);
+  for (std::size_t k = 0; k < kClients; ++k) {
+    updates.push_back(random_vec(d, 100 + k));
+  }
+  std::vector<float> out(d);
+  for (auto _ : state) {
+    tensor::fill(out, 0.0f);
+    for (const auto& u : updates) tensor::axpy(1.0f, u, out);
+    tensor::scale(out, 1.0f / kClients);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kClients * d * sizeof(float)));
+}
+BENCHMARK(BM_AggregateAxpyThenScale)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Records the kernel-throughput baseline BENCH_kernels.json at the repo root.
+#
+#   bench/run_kernels.sh [build_dir] [--benchmark_* flags...]
+#
+# Equivalent CMake target: `cmake --build build --target bench_baseline`.
+# Compare a fresh run against the checked-in baseline before merging any
+# change that touches tensor/kernels.cpp — regressions must be explained.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR="$REPO_ROOT/build"
+case "${1:-}" in
+  --*) ;;                        # first arg is a benchmark flag, keep default
+  "") ;;
+  *) BUILD_DIR=$1; shift ;;
+esac
+BIN="$BUILD_DIR/bench/bench_kernels"
+
+if [ ! -x "$BIN" ]; then
+  echo "bench_kernels not built at $BIN — run: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_out="$REPO_ROOT/BENCH_kernels.json" \
+       --benchmark_out_format=json "$@"
+echo "wrote $REPO_ROOT/BENCH_kernels.json"

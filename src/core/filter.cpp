@@ -31,8 +31,19 @@ FilterDecision CmflFilter::decide(std::span<const float> update,
                                   const FilterContext& ctx) const {
   FilterDecision d;
   d.threshold = threshold_.at(ctx.iteration);
+  const tensor::SignPack* pack = ctx.estimated_global_update_pack;
+  if (pack != nullptr && pack->size() == update.size()) {
+    if (is_zero_update(*pack)) {
+      // Cold start (ū_0 = 0): no global tendency yet, accept everything.
+      d.score = 1.0;
+      d.upload = true;
+      return d;
+    }
+    d.score = relevance(update, *pack);
+    d.upload = d.score >= d.threshold;
+    return d;
+  }
   if (is_zero_update(ctx.estimated_global_update)) {
-    // Cold start (ū_0 = 0): no global tendency yet, accept everything.
     d.score = 1.0;
     d.upload = true;
     return d;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/threshold.h"
+#include "tensor/kernels.h"
 
 namespace cmfl::core {
 
@@ -26,6 +27,11 @@ struct FilterContext {
   std::span<const float> global_model;
   /// Estimated global update (ū_{t-1}); what CMFL aligns against.
   std::span<const float> estimated_global_update;
+  /// Optional bit-packed signs of estimated_global_update.  The server packs
+  /// ū once per broadcast; when set (and sized like the update), CmflFilter
+  /// takes the word-parallel popcount path instead of the scalar scan.
+  /// Purely a local cache — scores are exactly equal either way.
+  const tensor::SignPack* estimated_global_update_pack = nullptr;
   /// 1-based training iteration.
   std::size_t iteration = 1;
 };

@@ -20,11 +20,43 @@ double relevance(std::span<const float> local_update,
          static_cast<double>(local_update.size());
 }
 
+double relevance(std::span<const float> local_update,
+                 const tensor::SignPack& global_update) {
+  if (local_update.size() != global_update.size()) {
+    throw std::invalid_argument("relevance: update size mismatch");
+  }
+  if (local_update.empty()) {
+    throw std::invalid_argument("relevance: empty update");
+  }
+  const std::size_t matches =
+      tensor::count_sign_matches(local_update, global_update);
+  return static_cast<double>(matches) /
+         static_cast<double>(local_update.size());
+}
+
+double relevance(const tensor::SignPack& local_update,
+                 const tensor::SignPack& global_update) {
+  if (local_update.size() != global_update.size()) {
+    throw std::invalid_argument("relevance: update size mismatch");
+  }
+  if (local_update.empty()) {
+    throw std::invalid_argument("relevance: empty update");
+  }
+  const std::size_t matches =
+      tensor::count_sign_matches(local_update, global_update);
+  return static_cast<double>(matches) /
+         static_cast<double>(local_update.size());
+}
+
 bool is_zero_update(std::span<const float> update) noexcept {
   for (float v : update) {
     if (v != 0.0f) return false;
   }
   return true;
+}
+
+bool is_zero_update(const tensor::SignPack& update) noexcept {
+  return update.all_zero();
 }
 
 }  // namespace cmfl::core

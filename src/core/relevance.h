@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <span>
 
+#include "tensor/kernels.h"
+
 namespace cmfl::core {
 
 /// Fraction of same-sign parameters in [0, 1].  sgn(0) is its own class:
@@ -21,8 +23,24 @@ namespace cmfl::core {
 double relevance(std::span<const float> local_update,
                  std::span<const float> global_update);
 
+/// Packed fast path: the server packs ū once per broadcast and every client
+/// reuses the cached pack, turning N branchy O(d) scans per iteration into
+/// word-parallel popcounts.  Exactly equal to the scalar overload (the
+/// packing preserves the three-way sign convention bit-for-bit).
+double relevance(std::span<const float> local_update,
+                 const tensor::SignPack& global_update);
+
+/// Both sides pre-packed (e.g. a client reusing its own update's pack).
+double relevance(const tensor::SignPack& local_update,
+                 const tensor::SignPack& global_update);
+
 /// True if every entry is exactly zero — the t=1 cold-start reference, which
 /// filters must treat as "no information, accept everything".
 bool is_zero_update(std::span<const float> update) noexcept;
+
+/// Pack-side equivalent.  Note the pack folds ±0 and NaN into sign class 0,
+/// so this is "no directional information" rather than literal all-bits-zero
+/// — exactly the property the cold-start rule cares about.
+bool is_zero_update(const tensor::SignPack& update) noexcept;
 
 }  // namespace cmfl::core

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/compression.h"
+#include "tensor/kernels.h"
 #include "tensor/vector_ops.h"
 
 namespace cmfl::fl {
@@ -93,11 +94,17 @@ SimulationResult FederatedSimulation::run() {
         "FederatedSimulation: participation must be in (0, 1]");
   }
 
+  // Bit-packed signs of ū, rebuilt once per broadcast and shared read-only
+  // by every client's relevance check (tensor::SignPack in kernels.h).
+  tensor::SignPack estimate_pack;
+
   for (std::size_t t = 1; t <= options_.max_iterations; ++t) {
     const auto lr = static_cast<float>(options_.learning_rate.at(t));
     core::FilterContext ctx;
     ctx.global_model = global;
     ctx.estimated_global_update = estimator.estimate();
+    estimate_pack.assign(ctx.estimated_global_update);
+    ctx.estimated_global_update_pack = &estimate_pack;
     ctx.iteration = t;
 
     // --- Client sampling (FedAvg's C; 1.0 = the paper's full sync) ---
@@ -187,24 +194,28 @@ SimulationResult FederatedSimulation::run() {
         result.uploaded_bytes += enc.wire_bytes;
         updates[k] = compressors[k]->decode(enc);
       }
-      std::vector<float> global_update(dim_, 0.0f);
+      // Fused single-pass aggregation (see kernels.h): same per-element op
+      // sequence as accumulate-then-scale, one pass over the output.
+      std::vector<float> global_update(dim_);
+      std::vector<std::span<const float>> views;
+      views.reserve(uploaded.size());
+      for (std::size_t k : uploaded) views.emplace_back(updates[k]);
       if (options_.aggregation == Aggregation::kSampleWeighted) {
         double total_weight = 0.0;
         for (std::size_t k : uploaded) {
           total_weight += static_cast<double>(clients_[k]->local_samples());
         }
+        std::vector<float> weights;
+        weights.reserve(uploaded.size());
         for (std::size_t k : uploaded) {
-          const auto w = static_cast<float>(
+          weights.push_back(static_cast<float>(
               static_cast<double>(clients_[k]->local_samples()) /
-              total_weight);
-          tensor::axpy(w, updates[k], global_update);
+              total_weight));
         }
+        tensor::kernels::weighted_sum(views, weights, global_update);
       } else {
-        for (std::size_t k : uploaded) {
-          tensor::axpy(1.0f, updates[k], global_update);
-        }
-        tensor::scale(global_update,
-                      1.0f / static_cast<float>(uploaded.size()));
+        tensor::kernels::scaled_sum(
+            views, 1.0f / static_cast<float>(uploaded.size()), global_update);
       }
       tensor::add(global, global_update, global);
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/init.h"
+#include "tensor/kernels.h"
 
 namespace cmfl::nn {
 
@@ -63,32 +64,41 @@ void Conv2d::forward(const tensor::Matrix& in, tensor::Matrix& out,
   out = tensor::Matrix(batch, out_dim());
   const auto ih = spec_.in_height, iw = spec_.in_width, k = spec_.kernel,
              pad = spec_.padding;
-  for (std::size_t n = 0; n < batch; ++n) {
-    auto x = in.row(n);
-    auto y = out.row(n);
-    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
-      for (std::size_t oh = 0; oh < out_h_; ++oh) {
-        for (std::size_t ow = 0; ow < out_w_; ++ow) {
-          float acc = b_[oc];
-          for (std::size_t ic = 0; ic < spec_.in_channels; ++ic) {
-            const float* xp = x.data() + ic * ih * iw;
-            for (std::size_t khi = 0; khi < k; ++khi) {
-              // padded row index = oh + khi - pad; skip out-of-bounds rows.
-              const std::size_t r = oh + khi;
-              if (r < pad || r >= ih + pad) continue;
-              const std::size_t xr = r - pad;
-              for (std::size_t kwi = 0; kwi < k; ++kwi) {
-                const std::size_t c = ow + kwi;
-                if (c < pad || c >= iw + pad) continue;
-                acc += weight(oc, ic, khi, kwi) * xp[xr * iw + (c - pad)];
+  // Each batch row writes a disjoint output row, so the forward pass shards
+  // across the kernel pool when large enough (backward stays serial: it
+  // accumulates into shared gw_/gb_).
+  const std::size_t macs_per_row =
+      spec_.out_channels * out_h_ * out_w_ * spec_.in_channels * k * k;
+  tensor::kernels::parallel_rows(
+      batch, batch * macs_per_row, [&](std::size_t n0, std::size_t n1) {
+        for (std::size_t n = n0; n < n1; ++n) {
+          auto x = in.row(n);
+          auto y = out.row(n);
+          for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+            for (std::size_t oh = 0; oh < out_h_; ++oh) {
+              for (std::size_t ow = 0; ow < out_w_; ++ow) {
+                float acc = b_[oc];
+                for (std::size_t ic = 0; ic < spec_.in_channels; ++ic) {
+                  const float* xp = x.data() + ic * ih * iw;
+                  for (std::size_t khi = 0; khi < k; ++khi) {
+                    // padded row index = oh + khi - pad; skip out-of-bounds
+                    // rows.
+                    const std::size_t r = oh + khi;
+                    if (r < pad || r >= ih + pad) continue;
+                    const std::size_t xr = r - pad;
+                    for (std::size_t kwi = 0; kwi < k; ++kwi) {
+                      const std::size_t c = ow + kwi;
+                      if (c < pad || c >= iw + pad) continue;
+                      acc += weight(oc, ic, khi, kwi) * xp[xr * iw + (c - pad)];
+                    }
+                  }
+                }
+                y[(oc * out_h_ + oh) * out_w_ + ow] = acc;
               }
             }
           }
-          y[(oc * out_h_ + oh) * out_w_ + ow] = acc;
         }
-      }
-    }
-  }
+      });
 }
 
 void Conv2d::backward(const tensor::Matrix& grad_out,

@@ -31,6 +31,8 @@ void Dense::forward(const tensor::Matrix& in, tensor::Matrix& out,
   }
   cached_in_ = in;
   out = tensor::Matrix(in.rows(), out_);
+  // Dispatches to the blocked GEMM in tensor/kernels.cpp; large batches
+  // shard output rows across the kernel pool (deterministic either way).
   tensor::matmul_nt(in, w_, out);
   tensor::add_row_bias(out, b_);
 }

@@ -40,7 +40,8 @@ tensor::Matrix Lstm::forward(const std::vector<tensor::Matrix>& inputs) {
     step.h_prev = h;
     step.c_prev = c;
 
-    // pre = x Wᵀ + h_prev Uᵀ + b, shape batch × 4H
+    // pre = x Wᵀ + h_prev Uᵀ + b, shape batch × 4H.  Both products dispatch
+    // to the blocked GEMM in tensor/kernels.cpp (pool-sharded when large).
     tensor::Matrix pre(batch, 4 * hidden_);
     tensor::matmul_nt(x, w_, pre);
     tensor::Matrix rec(batch, 4 * hidden_);

@@ -1,0 +1,167 @@
+// High-throughput kernel layer.
+//
+// Two hot paths dominate everything the paper measures: GEMM inside local
+// training (Dense/Conv2d/LSTM) and the CMFL relevance check e(u, ū) that
+// every client evaluates against the same global update each iteration.
+// This header provides
+//
+//   * cache-blocked, register-tiled GEMM kernels (gemm_nn / gemm_tn /
+//     gemm_nt / gemv) plus the naive seed implementations (*_ref) kept for
+//     equivalence tests and old-vs-new benchmarks,
+//   * an optional ThreadPool-parallel row partition used by the Matrix-level
+//     wrappers and Conv2d when the work exceeds a flop threshold,
+//   * SignPack — a bit-packed three-way-sign representation that turns the
+//     branchy O(d) sign-agreement scan into XOR/AND + popcount over 64-bit
+//     words,
+//   * fused scaled-accumulate kernels for server aggregation (axpy fusion
+//     instead of accumulate-then-scale).
+//
+// Determinism contract: every kernel accumulates each output element in the
+// same floating-point order as the naive seed loop (k strictly increasing),
+// and the parallel path partitions output *rows* so each element is computed
+// by exactly one thread with the serial per-row kernel.  Results are
+// therefore bit-identical whether threading is on or off, and independent of
+// thread count.  No atomics touch float accumulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace cmfl::util {
+class ThreadPool;
+}
+
+namespace cmfl::tensor {
+
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Threading configuration
+// ---------------------------------------------------------------------------
+
+/// Maximum worker threads the kernel layer may use.  0 (the default) means
+/// hardware concurrency; 1 disables the parallel path entirely.  The shared
+/// pool is created lazily on first parallel dispatch with the setting in
+/// force at that moment, so call this before the first large kernel.
+void set_max_threads(std::size_t n);
+std::size_t max_threads() noexcept;
+
+/// Shared lazily-created pool, or nullptr when max_threads() == 1.
+util::ThreadPool* pool();
+
+/// Minimum multiply-accumulate count before a kernel shards rows across the
+/// pool.  Below this, threading overhead exceeds the win (models in the
+/// tier-1 tests stay comfortably under it and run serial).
+inline constexpr std::size_t kParallelMacThreshold = std::size_t{1} << 22;
+
+/// Runs fn(row_begin, row_end) over a fixed contiguous partition of
+/// [0, rows).  Serial (one call covering everything) when the pool is
+/// unavailable, rows < 2, or total_macs < kParallelMacThreshold.  The
+/// partition depends only on (rows, pool size) — never on load.
+void parallel_rows(std::size_t rows, std::size_t total_macs,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+// ---------------------------------------------------------------------------
+// GEMM kernels (row-major, fully packed: lda == k etc.)
+//
+// Each kernel overwrites the output rows [i0, i1) and only reads/writes
+// those rows, so callers may invoke disjoint row ranges concurrently.
+// ---------------------------------------------------------------------------
+
+/// c[m×n] = a[m×k] · b[k×n], rows [i0, i1).
+void gemm_nn(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, std::size_t i0, std::size_t i1);
+
+/// c[m×n] = a[k×m]ᵀ · b[k×n], rows [i0, i1) of c (columns of a).
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, std::size_t i0, std::size_t i1);
+
+/// c[m×n] = a[m×k] · b[n×k]ᵀ, rows [i0, i1).  Double accumulation per
+/// element (matches the seed kernel used by gradient checking).
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, std::size_t i0, std::size_t i1);
+
+/// y[m] = a[m×n] · x[n], rows [i0, i1).  Double accumulation.
+void gemv(const float* a, const float* x, float* y, std::size_t m,
+          std::size_t n, std::size_t i0, std::size_t i1);
+
+// Naive seed implementations, kept verbatim for equivalence tests and the
+// old-vs-new benchmark baseline.
+void gemm_nn_ref(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n);
+void gemm_tn_ref(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n);
+void gemm_nt_ref(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n);
+void gemv_ref(const float* a, const float* x, float* y, std::size_t m,
+              std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Fused server aggregation (single pass over the output, L1-blocked)
+// ---------------------------------------------------------------------------
+
+/// out[i] = scale · Σ_k xs[k][i].  Per-element accumulation order is k
+/// increasing followed by one multiply — the exact op sequence of the
+/// seed's accumulate-then-scale, fused into one pass over `out`.
+/// Sizes must match (std::invalid_argument otherwise).
+void scaled_sum(std::span<const std::span<const float>> xs, float scale,
+                std::span<float> out);
+
+/// out[i] = Σ_k w[k] · xs[k][i] — the sample-weighted FedAvg aggregate,
+/// same op sequence as the seed's per-client axpy loop.
+void weighted_sum(std::span<const std::span<const float>> xs,
+                  std::span<const float> w, std::span<float> out);
+
+}  // namespace kernels
+
+// ---------------------------------------------------------------------------
+// SignPack — bit-packed three-way sign of a float vector
+// ---------------------------------------------------------------------------
+//
+// Per element, two bits across two parallel word arrays:
+//   nonzero bit = (v > 0) || (v < 0)   — false for ±0 and NaN,
+//   negative bit = (v < 0)             — meaningful only where nonzero.
+// This encodes exactly the three-way sign() convention of vector_ops.h
+// (±0, denormal, and NaN semantics preserved bit-for-bit), so packed
+// matching is exactly equal to the scalar count_sign_matches.
+//
+// Packing is a process-local cache (the server packs ū once per broadcast
+// and reuses it across all N clients); nothing about the wire format or the
+// protocol changes.
+class SignPack {
+ public:
+  SignPack() = default;
+  explicit SignPack(std::span<const float> v) { assign(v); }
+
+  /// Re-packs `v`, reusing capacity.
+  void assign(std::span<const float> v);
+
+  std::size_t size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  /// True iff every packed element has three-way sign 0.
+  bool all_zero() const noexcept;
+
+  std::span<const std::uint64_t> negative_words() const noexcept {
+    return neg_;
+  }
+  std::span<const std::uint64_t> nonzero_words() const noexcept { return nz_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> neg_;
+  std::vector<std::uint64_t> nz_;
+};
+
+/// Word-parallel equivalent of count_sign_matches(x, y) on two packs.
+/// Throws std::invalid_argument on size mismatch.
+std::size_t count_sign_matches(const SignPack& x, const SignPack& y);
+
+/// Mixed form: packs x one 64-lane chunk at a time (no allocation) and
+/// matches against the cached pack of y.
+std::size_t count_sign_matches(std::span<const float> x, const SignPack& y);
+
+}  // namespace cmfl::tensor

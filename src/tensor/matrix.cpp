@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "tensor/kernels.h"
+
 namespace cmfl::tensor {
 
 namespace {
@@ -47,23 +49,20 @@ Matrix Matrix::transposed() const {
   return out;
 }
 
+// The Matrix-level wrappers validate shapes, then dispatch to the blocked
+// kernels in kernels.cpp, sharding output rows across the kernel pool when
+// the work is large enough (see kernels.h for the determinism contract).
+
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.rows() || out.rows() != a.rows() ||
       out.cols() != b.cols()) {
     shape_error("matmul");
   }
-  out.zero();
-  // ikj loop order keeps the inner loop contiguous over b and out rows.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto out_row = out.row(i);
-    auto a_row = a.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float aik = a_row[k];
-      if (aik == 0.0f) continue;
-      auto b_row = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-    }
-  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  kernels::parallel_rows(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    kernels::gemm_nn(a.flat().data(), b.flat().data(), out.flat().data(), m, k,
+                     n, i0, i1);
+  });
 }
 
 void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -71,17 +70,11 @@ void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out) {
       out.cols() != b.cols()) {
     shape_error("matmul_tn");
   }
-  out.zero();
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    auto a_row = a.row(k);
-    auto b_row = b.row(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const float aki = a_row[i];
-      if (aki == 0.0f) continue;
-      auto out_row = out.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
-    }
-  }
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  kernels::parallel_rows(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    kernels::gemm_tn(a.flat().data(), b.flat().data(), out.flat().data(), m, k,
+                     n, i0, i1);
+  });
 }
 
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -89,30 +82,19 @@ void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out) {
       out.cols() != b.rows()) {
     shape_error("matmul_nt");
   }
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto a_row = a.row(i);
-    auto out_row = out.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      auto b_row = b.row(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) {
-        acc += static_cast<double>(a_row[k]) * static_cast<double>(b_row[k]);
-      }
-      out_row[j] = static_cast<float>(acc);
-    }
-  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  kernels::parallel_rows(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    kernels::gemm_nt(a.flat().data(), b.flat().data(), out.flat().data(), m, k,
+                     n, i0, i1);
+  });
 }
 
 void matvec(const Matrix& a, std::span<const float> x, std::span<float> y) {
   if (x.size() != a.cols() || y.size() != a.rows()) shape_error("matvec");
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto row = a.row(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      acc += static_cast<double>(row[j]) * static_cast<double>(x[j]);
-    }
-    y[i] = static_cast<float>(acc);
-  }
+  const std::size_t m = a.rows(), n = a.cols();
+  kernels::parallel_rows(m, m * n, [&](std::size_t i0, std::size_t i1) {
+    kernels::gemv(a.flat().data(), x.data(), y.data(), m, n, i0, i1);
+  });
 }
 
 void matvec_t(const Matrix& a, std::span<const float> x, std::span<float> y) {

@@ -42,24 +42,50 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const std::size_t shards = std::min(n, workers_.size());
-  for (std::size_t s = 0; s < shards; ++s) {
-    submit([&] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
+  // Completion is tracked in call-local shared state, not the pool-global
+  // in_flight_ counter: unrelated concurrent submit()s cannot extend the
+  // wait, and because the caller claims indices itself it always makes
+  // progress — a nested parallel_for from a worker completes even if every
+  // other worker is busy (its queued helper tasks then find no indices left
+  // and exit immediately).
+  struct State {
+    explicit State(std::size_t total, std::function<void(std::size_t)> f)
+        : n(total), fn(std::move(f)) {}
+    const std::size_t n;
+    const std::function<void(std::size_t)> fn;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<State>(n, fn);
+  auto drain = [](const std::shared_ptr<State>& st) {
+    for (std::size_t i = st->next.fetch_add(1); i < st->n;
+         i = st->next.fetch_add(1)) {
+      try {
+        st->fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st->mutex);
+        if (!st->first_error) st->first_error = std::current_exception();
       }
-    });
+      if (st->done.fetch_add(1) + 1 == st->n) {
+        std::lock_guard<std::mutex> lock(st->mutex);
+        st->all_done.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(n - 1, workers_.size());
+  for (std::size_t s = 0; s < helpers; ++s) {
+    submit([state, drain] { drain(state); });
   }
-  wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  drain(state);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(lock,
+                         [&] { return state->done.load() == state->n; });
+    if (state->first_error) std::rethrow_exception(state->first_error);
+  }
 }
 
 void ThreadPool::worker_loop() {

@@ -37,7 +37,11 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n), blocking until all complete.  Exceptions
-  /// thrown by fn propagate to the caller (first one wins).
+  /// thrown by fn propagate to the caller (first one wins).  Completion is
+  /// tracked per call (not via the pool-global idle state), and the calling
+  /// thread participates in the work, so concurrent unrelated submit()s do
+  /// not extend the wait and nested parallel_for from a worker cannot
+  /// deadlock.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

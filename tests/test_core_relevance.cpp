@@ -37,7 +37,8 @@ TEST(Relevance, SizeMismatchAndEmptyRejected) {
   std::vector<float> u = {1.0f};
   std::vector<float> g = {1.0f, 2.0f};
   EXPECT_THROW(relevance(u, g), std::invalid_argument);
-  EXPECT_THROW(relevance({}, {}), std::invalid_argument);
+  EXPECT_THROW(relevance(std::vector<float>{}, std::vector<float>{}),
+               std::invalid_argument);
 }
 
 TEST(Relevance, SelfRelevanceIsOne) {

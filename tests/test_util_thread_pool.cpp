@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <vector>
 
@@ -58,6 +59,51 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     pool.parallel_for(50, [&](std::size_t) { counter.fetch_add(1); });
     EXPECT_EQ(counter.load(), 50);
   }
+}
+
+// Regression: parallel_for used to wait on the pool-global in_flight_
+// counter, so an unrelated blocked submit() extended (or hung) the wait.
+// Completion is now tracked per call; parallel_for must return while the
+// unrelated task is still blocked.
+TEST(ThreadPool, ParallelForUnaffectedByUnrelatedBlockedSubmit) {
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> blocker_started{false};
+  pool.submit([&, gate] {
+    blocker_started.store(true);
+    gate.wait();
+  });
+  while (!blocker_started.load()) std::this_thread::yield();
+
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);  // returned while the blocker still holds
+
+  release.set_value();
+  pool.wait_idle();
+}
+
+// Regression: nested parallel_for from a worker used to deadlock (the inner
+// call waited for pool idleness that could never arrive).  The caller now
+// participates in its own work, so the nest always drains.
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 4 * 16);
+}
+
+TEST(ThreadPool, ParallelForFromSubmittedTaskCompletes) {
+  ThreadPool pool(1);  // single worker: only caller participation saves this
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    pool.parallel_for(32, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 32);
 }
 
 TEST(ThreadPool, SizeReflectsWorkerCount) {

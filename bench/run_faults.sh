@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# ASan smoke run of the fault-tolerant net stack.
+#
+#   bench/run_faults.sh [build_dir]
+#
+# Configures a separate sanitized build tree (default build-asan/), builds
+# the four net-layer test binaries, and runs them under AddressSanitizer.
+# The fault-injected cluster protocol is the most concurrent code in the
+# repo — worker threads, deadline-bounded receives, retransmissions — so it
+# gets a sanitizer pass on every protocol change.
+#
+# For ThreadSanitizer instead (slower, catches data races rather than
+# memory errors), configure with:
+#   cmake -B build-tsan -S . -DCMFL_SANITIZE=thread
+#   cmake --build build-tsan -j --target test_net_wire test_net_link \
+#         test_net_fault test_net_cluster
+#   for t in wire link fault cluster; do build-tsan/tests/test_net_$t; done
+# TSan slows the tests ~10x; the round deadlines in the cluster tests are
+# sized so that margin still holds.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR="${1:-$REPO_ROOT/build-asan}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMFL_SANITIZE=address \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target \
+      test_net_wire test_net_link test_net_fault test_net_cluster
+
+for t in wire link fault cluster; do
+  echo "== test_net_$t (ASan) =="
+  "$BUILD_DIR/tests/test_net_$t"
+done
+echo "all net tests clean under AddressSanitizer"

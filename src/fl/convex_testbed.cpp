@@ -1,5 +1,6 @@
 #include "fl/convex_testbed.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -106,6 +107,75 @@ ConvexRunResult ConvexTestbed::run(std::size_t iterations,
   }
   result.final_loss_gap = result.regret.empty() ? 0.0 : result.regret.back();
   return result;
+}
+
+ConvexClient::ConvexClient(std::vector<float> center, int local_steps,
+                           double gradient_noise, util::Rng rng)
+    : center_(std::move(center)),
+      params_(center_.size(), 0.0f),
+      local_steps_(local_steps),
+      gradient_noise_(gradient_noise),
+      rng_(rng) {
+  if (center_.empty() || local_steps_ <= 0) {
+    throw std::invalid_argument("ConvexClient: malformed spec");
+  }
+}
+
+void ConvexClient::set_params(std::span<const float> params) {
+  if (params.size() != params_.size()) {
+    throw std::invalid_argument("ConvexClient::set_params: dim mismatch");
+  }
+  params_.assign(params.begin(), params.end());
+}
+
+void ConvexClient::get_params(std::span<float> out) {
+  if (out.size() != params_.size()) {
+    throw std::invalid_argument("ConvexClient::get_params: dim mismatch");
+  }
+  std::copy(params_.begin(), params_.end(), out.begin());
+}
+
+double ConvexClient::train_local(int epochs, std::size_t /*batch_size*/,
+                                 float lr) {
+  const std::size_t d = params_.size();
+  const int steps = epochs * local_steps_;
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const float grad =
+          (params_[j] - center_[j]) +
+          rng_.normal_f(0.0f, static_cast<float>(gradient_noise_));
+      params_[j] -= lr * grad;
+    }
+  }
+  // Exact final local loss f_k = ½‖x − c_k‖².
+  double sq = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff =
+        static_cast<double>(params_[j]) - static_cast<double>(center_[j]);
+    sq += diff * diff;
+  }
+  return 0.5 * sq;
+}
+
+ConvexWorkload make_convex_workload(const ConvexTestbedSpec& spec) {
+  ConvexWorkload w;
+  w.testbed = std::make_shared<ConvexTestbed>(spec);
+  util::Rng rng(spec.seed ^ 0xFEEDFACEULL);
+  w.clients.reserve(spec.clients);
+  for (std::size_t k = 0; k < spec.clients; ++k) {
+    w.clients.push_back(std::make_unique<ConvexClient>(
+        w.testbed->centers()[k], spec.local_steps, spec.gradient_noise,
+        rng.split(k)));
+  }
+  auto testbed = w.testbed;
+  w.evaluator = [testbed](std::span<const float> x) {
+    nn::EvalResult eval;
+    eval.loss = testbed->global_loss(x);
+    eval.accuracy = 1.0 / (1.0 + std::fabs(eval.loss - testbed->optimum_loss()));
+    eval.samples = testbed->centers().size();
+    return eval;
+  };
+  return w;
 }
 
 }  // namespace cmfl::fl

@@ -20,6 +20,8 @@
 
 #include "core/filter.h"
 #include "core/threshold.h"
+#include "fl/client.h"
+#include "fl/simulation.h"
 #include "util/rng.h"
 
 namespace cmfl::fl {
@@ -61,6 +63,14 @@ class ConvexTestbed {
   /// Exact global loss at x.
   double global_loss(std::span<const float> x) const;
 
+  /// Exact global loss at the optimum.
+  double optimum_loss() const noexcept { return optimum_loss_; }
+
+  /// Per-client quadratic centers c_k.
+  const std::vector<std::vector<float>>& centers() const noexcept {
+    return centers_;
+  }
+
   ConvexRunResult run(std::size_t iterations,
                       const core::Schedule& learning_rate,
                       core::UpdateFilter& filter);
@@ -71,5 +81,41 @@ class ConvexTestbed {
   std::vector<float> optimum_;
   double optimum_loss_ = 0.0;
 };
+
+/// FlClient over one quadratic objective f_k(x) = ½‖x − c_k‖² — lets the
+/// simulation and the (fault-injected) cluster run against the exact convex
+/// testbed, where the optimality gap is measurable in closed form.
+/// train_local runs `epochs × local_steps` noisy gradient steps
+/// (∇f_k(y) = y − c_k plus Gaussian noise); batch_size is ignored.
+class ConvexClient final : public FlClient {
+ public:
+  ConvexClient(std::vector<float> center, int local_steps,
+               double gradient_noise, util::Rng rng);
+
+  std::size_t param_count() override { return params_.size(); }
+  std::size_t local_samples() const override { return 1; }
+  void set_params(std::span<const float> params) override;
+  void get_params(std::span<float> out) override;
+  double train_local(int epochs, std::size_t batch_size, float lr) override;
+
+ private:
+  std::vector<float> center_;
+  std::vector<float> params_;  // starts at 0, the testbed's x_0
+  int local_steps_;
+  double gradient_noise_;
+  util::Rng rng_;
+};
+
+/// Clients plus exact-loss evaluator over one ConvexTestbedSpec, in the
+/// same shape the learning workloads use.  The evaluator reports
+/// accuracy = 1 / (1 + |f(x) − f(x*)|), monotone in the optimality gap and
+/// → 1 at x*, so target_accuracy thresholds work unchanged.
+struct ConvexWorkload {
+  std::vector<std::unique_ptr<FlClient>> clients;
+  GlobalEvaluator evaluator;
+  std::shared_ptr<ConvexTestbed> testbed;
+};
+
+ConvexWorkload make_convex_workload(const ConvexTestbedSpec& spec);
 
 }  // namespace cmfl::fl

@@ -175,6 +175,7 @@ SimulationResult FederatedSimulation::run() {
     IterationRecord rec;
     rec.iteration = t;
     rec.uploads = uploaded.size();
+    rec.participants = participants.size();
     cumulative_rounds += uploaded.size();
     rec.cumulative_rounds = cumulative_rounds;
     double score_sum = 0.0;

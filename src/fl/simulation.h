@@ -72,6 +72,10 @@ struct SimulationOptions {
 struct IterationRecord {
   std::size_t iteration = 0;       // t, 1-based
   std::size_t uploads = 0;         // r_t = |S_t|
+  /// Clients whose answer was counted this round: the sampled participants
+  /// in the simulation, the workers whose reply arrived before the round
+  /// committed in the (possibly faulty, quorum-gated) cluster.
+  std::size_t participants = 0;
   std::size_t cumulative_rounds = 0;  // Φ up to and including t
   double mean_score = 0.0;         // mean filter score across clients
   double mean_train_loss = 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -12,10 +14,25 @@ namespace cmfl::net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /// One worker's endpoint: an inbox it reads and the shared master inbox it
 /// writes, with byte meters on both directions.
 struct WorkerEndpoint {
   Channel inbox;
+};
+
+Clock::duration seconds_to_duration(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// The fields common to both reply frame types.
+struct ReplyView {
+  std::uint64_t iteration = 0;
+  std::uint32_t client_id = 0;
+  double score = 0.0;
+  const UpdateUploadMsg* upload = nullptr;  // null for eliminations
 };
 
 }  // namespace
@@ -38,6 +55,29 @@ FlCluster::FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
           "FlCluster: clients disagree on parameter count");
     }
   }
+  options_.fault.validate(clients_.size());
+  const RecoveryOptions& rec = options_.recovery;
+  if (rec.round_timeout_s < 0.0) {
+    throw std::invalid_argument("FlCluster: negative round deadline");
+  }
+  if (rec.max_attempts < 1) {
+    throw std::invalid_argument("FlCluster: max_attempts must be >= 1");
+  }
+  if (rec.backoff < 1.0) {
+    throw std::invalid_argument("FlCluster: backoff must be >= 1");
+  }
+  if (!(rec.quorum > 0.0 && rec.quorum <= 1.0)) {
+    throw std::invalid_argument("FlCluster: quorum must lie in (0, 1]");
+  }
+  if (rec.suspect_after_stale_rounds < 0) {
+    throw std::invalid_argument(
+        "FlCluster: suspect_after_stale_rounds must be >= 0");
+  }
+  if (options_.fault.enabled() && rec.round_timeout_s <= 0.0) {
+    throw std::invalid_argument(
+        "FlCluster: fault injection requires a positive recovery "
+        "round_timeout_s (a dropped frame would hang the round forever)");
+  }
 }
 
 ClusterResult FlCluster::run() {
@@ -46,8 +86,13 @@ ClusterResult FlCluster::run() {
   Channel master_inbox;
   ByteMeter uplink_meter;
   ByteMeter downlink_meter;
+  FaultStats fault_stats;
   std::atomic<std::uint64_t> upload_frames{0};
   std::atomic<std::uint64_t> elimination_frames{0};
+  // Receiver-side accounting on the worker threads.
+  std::atomic<std::uint64_t> worker_corrupt_rejected{0};
+  std::atomic<std::uint64_t> worker_redundant{0};
+  std::atomic<std::uint64_t> worker_retransmits{0};
 
   const int local_epochs = options_.fl.local_epochs;
   const std::size_t batch_size = options_.fl.batch_size;
@@ -58,15 +103,54 @@ ClusterResult FlCluster::run() {
   for (std::size_t k = 0; k < num_workers; ++k) {
     workers.emplace_back([&, k] {
       fl::FlClient& client = *clients_[k];
+      FaultyChannel uplink(master_inbox, options_.fault.uplink_for(k),
+                           options_.fault.link_rng(k, /*is_uplink=*/true),
+                           &fault_stats);
+      const auto crash_at = options_.fault.crash_iteration_for(k);
+      const double straggle_s = options_.fault.straggler_delay_for(k);
       std::vector<float> update(dim_);
+      std::uint32_t last_seq = 0;  // broadcast seq numbers start at 1
+      std::vector<std::byte> cached_reply;
       for (;;) {
         auto frame = endpoints[k].inbox.recv();
         if (!frame) return;
-        const Message msg = decode(open_frame(*frame));
+        const auto payload = try_open_frame(*frame);
+        if (!payload) {
+          // Corrupted in transit; the master's round deadline will expire
+          // and the broadcast will be retransmitted.
+          worker_corrupt_rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        Message msg;
+        try {
+          msg = decode(*payload);
+        } catch (const std::exception&) {
+          worker_corrupt_rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         if (std::holds_alternative<ShutdownMsg>(msg)) return;
         const auto& bc = std::get<BroadcastMsg>(msg);
         if (bc.global_params.size() != dim_) {
           throw std::runtime_error("worker: broadcast size mismatch");
+        }
+        if (bc.seq == last_seq && !cached_reply.empty()) {
+          // Already-processed round, seen again: either the master did not
+          // get our reply and retransmitted, or the network duplicated the
+          // frame.  Re-send the cached reply instead of retraining — this
+          // is what makes retransmission idempotent.
+          worker_redundant.fetch_add(1, std::memory_order_relaxed);
+          worker_retransmits.fetch_add(1, std::memory_order_relaxed);
+          uplink_meter.record_retransmit(cached_reply.size());
+          uplink.send(cached_reply);
+          continue;
+        }
+        if (bc.seq < last_seq) {  // stale duplicate of an older round
+          worker_redundant.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (crash_at && bc.iteration >= *crash_at) return;  // crash-stop
+        if (straggle_s > 0.0) {
+          std::this_thread::sleep_for(seconds_to_duration(straggle_s));
         }
 
         client.set_params(bc.global_params);
@@ -85,6 +169,7 @@ ClusterResult FlCluster::run() {
         Message reply;
         if (decision.upload) {
           UpdateUploadMsg up;
+          up.seq = bc.seq;
           up.iteration = bc.iteration;
           up.client_id = static_cast<std::uint32_t>(k);
           up.update = update;
@@ -93,6 +178,7 @@ ClusterResult FlCluster::run() {
           upload_frames.fetch_add(1, std::memory_order_relaxed);
         } else {
           EliminationMsg el;
+          el.seq = bc.seq;
           el.iteration = bc.iteration;
           el.client_id = static_cast<std::uint32_t>(k);
           el.score = decision.score;
@@ -102,7 +188,9 @@ ClusterResult FlCluster::run() {
         auto bytes = encode(reply);
         seal_frame(bytes);
         uplink_meter.record(bytes.size());
-        master_inbox.send(std::move(bytes));
+        cached_reply = bytes;
+        last_seq = bc.seq;
+        uplink.send(std::move(bytes));
       }
     });
   }
@@ -110,6 +198,7 @@ ClusterResult FlCluster::run() {
   // --- Master loop (Algorithm 1 GlobalOptimization over the wire) ---
   ClusterResult result;
   result.sim.eliminations_per_client.assign(num_workers, 0);
+  result.faults.max_staleness_per_client.assign(num_workers, 0);
   std::vector<float> global(dim_);
   clients_.front()->get_params(global);  // pre-thread-start? see note below
   // NOTE: clients_.front() is also owned by worker thread k=0, but workers
@@ -119,7 +208,31 @@ ClusterResult FlCluster::run() {
   std::vector<float> prev_global_update;
   std::size_t cumulative_rounds = 0;
 
-  for (std::size_t t = 1; t <= options_.fl.max_iterations; ++t) {
+  const RecoveryOptions& rec_opt = options_.recovery;
+  const bool bounded = rec_opt.round_timeout_s > 0.0;
+  std::vector<FaultyChannel> downlinks;
+  downlinks.reserve(num_workers);
+  for (std::size_t k = 0; k < num_workers; ++k) {
+    downlinks.emplace_back(endpoints[k].inbox, options_.fault.downlink_for(k),
+                           options_.fault.link_rng(k, /*is_uplink=*/false),
+                           &fault_stats);
+  }
+  std::vector<char> alive(num_workers, 1);
+  std::vector<std::uint64_t> last_acked(num_workers, 0);
+  std::vector<std::uint32_t> seq(num_workers, 0);
+  std::size_t live_count = num_workers;
+  std::uint64_t master_redundant = 0;
+  std::uint64_t master_corrupt = 0;
+  std::uint64_t master_retransmits = 0;
+
+  const auto declare_dead = [&](std::size_t k) {
+    alive[k] = 0;
+    --live_count;
+    result.faults.crashed_workers.push_back(static_cast<std::uint32_t>(k));
+  };
+
+  for (std::size_t t = 1; t <= options_.fl.max_iterations && live_count > 0;
+       ++t) {
     const auto lr = static_cast<float>(options_.fl.learning_rate.at(t));
     BroadcastMsg bc;
     bc.iteration = t;
@@ -127,49 +240,156 @@ ClusterResult FlCluster::run() {
     bc.global_params = global;
     bc.global_update.assign(estimator.estimate().begin(),
                             estimator.estimate().end());
-    auto frame = encode(Message(bc));
-    seal_frame(frame);
-    double round_transfer = 0.0;
-    for (std::size_t k = 0; k < num_workers; ++k) {
-      downlink_meter.record(frame.size());
-      round_transfer = std::max(
-          round_transfer, options_.downlink.transfer_seconds(frame.size()));
-      endpoints[k].inbox.send(frame);  // copy per worker
-    }
 
-    // Gather exactly one reply per worker.  Uploads are collected keyed by
-    // client id and aggregated in id order: float summation is not
-    // associative, so arrival-order aggregation would make runs depend on
-    // thread scheduling.
-    std::vector<std::pair<std::uint32_t, std::vector<float>>> uploads;
-    std::vector<double> scores(num_workers, 0.0);
-    double max_upload_transfer = 0.0;
-    for (std::size_t received = 0; received < num_workers; ++received) {
-      auto reply_frame = master_inbox.recv();
-      if (!reply_frame) {
-        throw std::runtime_error("FlCluster: master inbox closed early");
+    std::vector<char> pending(num_workers, 0);
+    std::size_t pending_count = 0;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      if (alive[k]) {
+        pending[k] = 1;
+        ++pending_count;
+        ++seq[k];  // fresh sequence number; retransmissions reuse it
       }
-      max_upload_transfer =
-          std::max(max_upload_transfer,
-                   options_.uplink.transfer_seconds(reply_frame->size()));
-      const Message reply = decode(open_frame(*reply_frame));
-      if (const auto* up = std::get_if<UpdateUploadMsg>(&reply)) {
-        if (up->iteration != t) {
-          throw std::runtime_error("FlCluster: stale upload frame");
+    }
+    const auto quorum_needed = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(rec_opt.quorum * static_cast<double>(live_count))));
+
+    std::vector<char> answered(num_workers, 0);
+    std::vector<double> scores(num_workers, 0.0);
+    std::vector<std::pair<std::uint32_t, std::vector<float>>> uploads;
+    std::size_t accepted = 0;
+    double round_transfer = 0.0;
+    double max_upload_transfer = 0.0;
+    bool round_timed_out = false;
+    std::size_t round_missing = 0;
+
+    int attempt = 0;
+    for (;;) {
+      // (Re)transmit this round's broadcast to every unanswered worker.
+      for (std::size_t k = 0; k < num_workers; ++k) {
+        if (!pending[k]) continue;
+        bc.seq = seq[k];
+        auto frame = encode(Message(bc));
+        seal_frame(frame);
+        if (attempt == 0) {
+          downlink_meter.record(frame.size());
+        } else {
+          downlink_meter.record_retransmit(frame.size());
+          ++master_retransmits;
         }
-        if (up->update.size() != dim_) {
+        round_transfer = std::max(
+            round_transfer, options_.downlink.transfer_seconds(frame.size()));
+        downlinks[k].send(std::move(frame));
+      }
+
+      // Gather replies until every pending worker answered or — in the
+      // bounded regime — the attempt deadline expires.
+      const auto deadline =
+          Clock::now() +
+          seconds_to_duration(rec_opt.round_timeout_s *
+                              std::pow(rec_opt.backoff, attempt));
+      while (pending_count > 0) {
+        std::optional<std::vector<std::byte>> reply_frame;
+        if (bounded) {
+          const auto now = Clock::now();
+          if (now >= deadline) break;
+          reply_frame = master_inbox.recv_for(deadline - now);
+          if (!reply_frame) break;  // deadline expired
+        } else {
+          reply_frame = master_inbox.recv();
+          if (!reply_frame) {
+            throw std::runtime_error("FlCluster: master inbox closed early");
+          }
+        }
+        max_upload_transfer =
+            std::max(max_upload_transfer,
+                     options_.uplink.transfer_seconds(reply_frame->size()));
+        const auto payload = try_open_frame(*reply_frame);
+        if (!payload) {
+          ++master_corrupt;
+          continue;
+        }
+        Message reply;
+        try {
+          reply = decode(*payload);
+        } catch (const std::exception&) {
+          ++master_corrupt;
+          continue;
+        }
+        ReplyView view;
+        if (const auto* up = std::get_if<UpdateUploadMsg>(&reply)) {
+          view = {up->iteration, up->client_id, up->score, up};
+        } else if (const auto* el = std::get_if<EliminationMsg>(&reply)) {
+          view = {el->iteration, el->client_id, el->score, nullptr};
+        } else {
+          throw std::runtime_error("FlCluster: unexpected frame from worker");
+        }
+        if (view.client_id >= num_workers || view.iteration > t) {
+          throw std::runtime_error("FlCluster: malformed reply frame");
+        }
+        if (view.iteration < t || !pending[view.client_id]) {
+          // A late reply to an already-committed round, or a duplicate of
+          // one accepted this round — idempotently discarded.
+          ++master_redundant;
+          continue;
+        }
+        if (view.upload && view.upload->update.size() != dim_) {
           throw std::runtime_error("FlCluster: bad update size");
         }
-        scores[up->client_id] = up->score;
-        uploads.emplace_back(up->client_id, up->update);
-      } else if (const auto* el = std::get_if<EliminationMsg>(&reply)) {
-        if (el->iteration != t) {
-          throw std::runtime_error("FlCluster: stale elimination frame");
+        const std::size_t k = view.client_id;
+        pending[k] = 0;
+        --pending_count;
+        answered[k] = 1;
+        last_acked[k] = t;
+        ++accepted;
+        scores[k] = view.score;
+        if (view.upload) {
+          uploads.emplace_back(view.client_id, view.upload->update);
+        } else {
+          ++result.sim.eliminations_per_client[k];
         }
-        scores[el->client_id] = el->score;
-        ++result.sim.eliminations_per_client[el->client_id];
-      } else {
-        throw std::runtime_error("FlCluster: unexpected frame from worker");
+      }
+      if (pending_count == 0) break;  // every live worker answered
+
+      round_timed_out = true;
+      if (accepted >= quorum_needed) {
+        // Quorum reached: commit now; the unanswered workers are late for
+        // this round and will re-sync on the next broadcast.
+        round_missing = pending_count;
+        break;
+      }
+      if (attempt + 1 >= rec_opt.max_attempts) {
+        // Retransmit budget exhausted below quorum: the silent workers are
+        // declared crashed (crash-stop suspicion) and the round commits
+        // with whatever answered.
+        round_missing = pending_count;
+        for (std::size_t k = 0; k < num_workers; ++k) {
+          if (pending[k]) {
+            pending[k] = 0;
+            declare_dead(k);
+          }
+        }
+        pending_count = 0;
+        break;
+      }
+      ++attempt;
+    }
+
+    if (round_timed_out) ++result.faults.timed_out_rounds;
+    if (round_missing > 0) ++result.faults.quorum_rounds;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      const std::uint64_t staleness = t - last_acked[k];
+      result.faults.max_staleness_per_client[k] =
+          std::max(result.faults.max_staleness_per_client[k], staleness);
+    }
+    if (rec_opt.suspect_after_stale_rounds > 0) {
+      for (std::size_t k = 0; k < num_workers; ++k) {
+        if (alive[k] &&
+            t - last_acked[k] >=
+                static_cast<std::uint64_t>(
+                    rec_opt.suspect_after_stale_rounds)) {
+          declare_dead(k);
+        }
       }
     }
     result.simulated_transfer_seconds += round_transfer + max_upload_transfer;
@@ -177,11 +397,17 @@ ClusterResult FlCluster::run() {
     fl::IterationRecord rec;
     rec.iteration = t;
     rec.uploads = uploads.size();
+    rec.participants = accepted;
     cumulative_rounds += uploads.size();
     rec.cumulative_rounds = cumulative_rounds;
+    double score_sum = 0.0;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      if (answered[k]) score_sum += scores[k];  // fixed id order: see note
+    }
+    // Scores are summed in client-id order (not arrival order) so the mean
+    // is bit-reproducible across runs regardless of reply interleaving.
     rec.mean_score =
-        std::accumulate(scores.begin(), scores.end(), 0.0) /
-        static_cast<double>(num_workers);
+        accepted > 0 ? score_sum / static_cast<double>(accepted) : 0.0;
 
     if (!uploads.empty()) {
       std::sort(uploads.begin(), uploads.end(),
@@ -217,7 +443,19 @@ ClusterResult FlCluster::run() {
     }
   }
 
-  // --- Shutdown ---
+  // Drain stray frames (late replies, injected duplicates) so the
+  // receiver-side accounting covers every frame that was delivered — this
+  // is what keeps the counters reproducible for a fixed seed.
+  while (auto stray = master_inbox.recv_for(Clock::duration::zero())) {
+    if (try_open_frame(*stray)) {
+      ++master_redundant;
+    } else {
+      ++master_corrupt;
+    }
+  }
+
+  // --- Shutdown (management plane: bypasses fault injection so workers
+  // always terminate) ---
   auto shutdown = encode(Message(ShutdownMsg{}));
   seal_frame(shutdown);
   for (auto& ep : endpoints) ep.inbox.send(shutdown);
@@ -234,8 +472,17 @@ ClusterResult FlCluster::run() {
   }
   result.uplink_bytes = uplink_meter.total_bytes();
   result.downlink_bytes = downlink_meter.total_bytes();
+  result.uplink_retransmitted_bytes = uplink_meter.retransmitted_bytes();
+  result.downlink_retransmitted_bytes = downlink_meter.retransmitted_bytes();
   result.upload_messages = upload_frames.load();
   result.elimination_messages = elimination_frames.load();
+  result.faults.frames_dropped = fault_stats.frames_dropped.load();
+  result.faults.frames_corrupted = fault_stats.frames_corrupted.load();
+  result.faults.frames_duplicated = fault_stats.frames_duplicated.load();
+  result.faults.corrupt_rejected =
+      master_corrupt + worker_corrupt_rejected.load();
+  result.faults.redundant_frames = master_redundant + worker_redundant.load();
+  result.faults.retransmits = master_retransmits + worker_retransmits.load();
   return result;
 }
 

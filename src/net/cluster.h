@@ -1,5 +1,6 @@
 // Master–worker FL cluster over the wire protocol: the in-process
-// equivalent of the paper's 30-node EC2 deployment (§V-C).
+// equivalent of the paper's 30-node EC2 deployment (§V-C), hardened for
+// the faulty edge networks CMFL actually targets.
 //
 // The master (the caller's thread) serializes a Broadcast frame per worker
 // per iteration; each worker thread deserializes it, trains its FlClient,
@@ -7,6 +8,16 @@
 // frame or a tiny Elimination frame.  Every frame crosses a Channel as real
 // bytes and is counted by the direction's ByteMeter — giving byte-exact
 // network-footprint numbers for Fig. 7b.
+//
+// With a FaultPlan configured, frames may be dropped, bit-flipped (caught
+// by the CRC), duplicated, delayed, or lost to crashed workers.  Recovery
+// is master-driven: each round runs against a deadline, unanswered workers
+// get the (sequence-numbered, idempotent) broadcast retransmitted with
+// backoff, and the round commits once a quorum of live workers has
+// answered.  Workers that exhaust the retransmit budget (or miss too many
+// consecutive rounds) are declared crashed; late and duplicate frames are
+// discarded idempotently.  See DESIGN.md §9 for the protocol and its
+// determinism argument.
 #pragma once
 
 #include <memory>
@@ -15,15 +26,39 @@
 #include "core/filter.h"
 #include "fl/client.h"
 #include "fl/simulation.h"
+#include "net/fault.h"
 #include "net/link.h"
 #include "net/message.h"
 
 namespace cmfl::net {
 
+/// Round-deadline / retransmission / quorum policy.  The zero-timeout
+/// default reproduces the seed's perfectly reliable synchronous protocol
+/// bit-for-bit; any FaultPlan requires a positive deadline.
+struct RecoveryOptions {
+  /// Per-attempt round deadline in seconds (0 = wait forever).
+  double round_timeout_s = 0.0;
+  /// Deadline multiplier per retransmission attempt (exponential backoff).
+  double backoff = 2.0;
+  /// Maximum transmissions of one round's broadcast per worker (1 original
+  /// + max_attempts-1 retransmits) before the worker is declared crashed.
+  int max_attempts = 8;
+  /// Fraction of live workers that must answer before a deadline may
+  /// commit the round (1.0 = wait for every live worker).
+  double quorum = 1.0;
+  /// Declare a live worker crashed once it has missed this many
+  /// consecutive committed rounds (0 disables staleness suspicion; crashes
+  /// are then detected only by retransmit exhaustion, which quorum < 1
+  /// rounds may never trigger).
+  int suspect_after_stale_rounds = 0;
+};
+
 struct ClusterOptions {
   fl::SimulationOptions fl;   // E, B, η_t schedule, eval cadence, etc.
   LinkModel uplink;           // per-worker upload link model
   LinkModel downlink;         // broadcast link model
+  FaultPlan fault;            // injected faults (default: none)
+  RecoveryOptions recovery;   // deadlines / retransmit / quorum policy
 };
 
 struct FootprintPoint {
@@ -32,16 +67,40 @@ struct FootprintPoint {
   std::uint64_t uplink_bytes = 0;  // cumulative at this evaluation
 };
 
+/// Fault and recovery accounting for one cluster run.  In the quorum-1.0
+/// regime every counter is deterministic for a fixed FaultPlan seed.
+struct FaultReport {
+  // Injected by the fault layer (sender side).
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_duplicated = 0;
+  // Observed by receivers.
+  std::uint64_t corrupt_rejected = 0;   // CRC/decode rejections
+  std::uint64_t redundant_frames = 0;   // duplicate/stale frames discarded
+  // Recovery actions.
+  std::uint64_t retransmits = 0;        // frames re-sent (both directions)
+  std::uint64_t timed_out_rounds = 0;   // rounds with >= 1 deadline expiry
+  std::uint64_t quorum_rounds = 0;      // rounds committed missing a live worker
+  std::vector<std::uint32_t> crashed_workers;  // declared dead, in order
+  /// max over committed rounds t of (t - last round client k participated).
+  std::vector<std::uint64_t> max_staleness_per_client;
+
+  bool operator==(const FaultReport&) const = default;
+};
+
 struct ClusterResult {
   fl::SimulationResult sim;
   std::uint64_t uplink_bytes = 0;
   std::uint64_t downlink_bytes = 0;
+  std::uint64_t uplink_retransmitted_bytes = 0;
+  std::uint64_t downlink_retransmitted_bytes = 0;
   std::uint64_t upload_messages = 0;       // full update frames
   std::uint64_t elimination_messages = 0;  // status-only frames
   /// Simulated transfer time had the links been real edge connections
   /// (per-iteration max across workers, summed).
   double simulated_transfer_seconds = 0.0;
   std::vector<FootprintPoint> footprint;   // one point per evaluation
+  FaultReport faults;
 };
 
 class FlCluster {

@@ -1,0 +1,121 @@
+#include "net/fault.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace cmfl::net {
+
+void LinkFaults::validate(const char* what) const {
+  const auto check = [&](double p, const char* name) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument(std::string(what) + "." + name +
+                                  " must lie in [0, 1]");
+    }
+  };
+  check(drop_prob, "drop_prob");
+  check(corrupt_prob, "corrupt_prob");
+  check(duplicate_prob, "duplicate_prob");
+}
+
+bool FaultPlan::enabled() const noexcept {
+  if (downlink.any() || uplink.any()) return true;
+  for (const auto& [_, f] : downlink_overrides) {
+    if (f.any()) return true;
+  }
+  for (const auto& [_, f] : uplink_overrides) {
+    if (f.any()) return true;
+  }
+  for (const auto& [_, d] : straggler_delay_s) {
+    if (d > 0.0) return true;
+  }
+  return !crash_at_iteration.empty();
+}
+
+LinkFaults FaultPlan::downlink_for(std::size_t worker) const {
+  const auto it = downlink_overrides.find(worker);
+  return it != downlink_overrides.end() ? it->second : downlink;
+}
+
+LinkFaults FaultPlan::uplink_for(std::size_t worker) const {
+  const auto it = uplink_overrides.find(worker);
+  return it != uplink_overrides.end() ? it->second : uplink;
+}
+
+double FaultPlan::straggler_delay_for(std::size_t worker) const noexcept {
+  const auto it = straggler_delay_s.find(worker);
+  return it != straggler_delay_s.end() ? it->second : 0.0;
+}
+
+std::optional<std::uint64_t> FaultPlan::crash_iteration_for(
+    std::size_t worker) const noexcept {
+  const auto it = crash_at_iteration.find(worker);
+  if (it == crash_at_iteration.end()) return std::nullopt;
+  return it->second;
+}
+
+util::Rng FaultPlan::link_rng(std::size_t worker,
+                              bool is_uplink) const noexcept {
+  util::Rng base(seed);
+  return base.split(worker * 2 + (is_uplink ? 1 : 0));
+}
+
+void FaultPlan::validate(std::size_t num_workers) const {
+  downlink.validate("FaultPlan.downlink");
+  uplink.validate("FaultPlan.uplink");
+  for (const auto& [k, f] : downlink_overrides) {
+    f.validate("FaultPlan.downlink_overrides");
+    if (k >= num_workers) {
+      throw std::invalid_argument("FaultPlan: downlink override for worker " +
+                                  std::to_string(k) + " out of range");
+    }
+  }
+  for (const auto& [k, f] : uplink_overrides) {
+    f.validate("FaultPlan.uplink_overrides");
+    if (k >= num_workers) {
+      throw std::invalid_argument("FaultPlan: uplink override for worker " +
+                                  std::to_string(k) + " out of range");
+    }
+  }
+  for (const auto& [k, d] : straggler_delay_s) {
+    if (d < 0.0) {
+      throw std::invalid_argument("FaultPlan: negative straggler delay");
+    }
+    if (k >= num_workers) {
+      throw std::invalid_argument("FaultPlan: straggler delay for worker " +
+                                  std::to_string(k) + " out of range");
+    }
+  }
+  for (const auto& [k, _] : crash_at_iteration) {
+    if (k >= num_workers) {
+      throw std::invalid_argument("FaultPlan: crash schedule for worker " +
+                                  std::to_string(k) + " out of range");
+    }
+  }
+}
+
+bool FaultyChannel::send(std::vector<std::byte> frame) {
+  if (faults_.drop_prob > 0.0 && rng_.bernoulli(faults_.drop_prob)) {
+    stats_->frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    return true;  // vanished in transit; the sender cannot tell
+  }
+  if (faults_.corrupt_prob > 0.0 && !frame.empty() &&
+      rng_.bernoulli(faults_.corrupt_prob)) {
+    const std::size_t pos = rng_.uniform_index(frame.size());
+    const auto bit = static_cast<unsigned>(rng_.uniform_index(8));
+    frame[pos] ^= static_cast<std::byte>(1u << bit);
+    stats_->frames_corrupted.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (faults_.duplicate_prob > 0.0 && rng_.bernoulli(faults_.duplicate_prob)) {
+    stats_->frames_duplicated.fetch_add(1, std::memory_order_relaxed);
+    // Both copies must enqueue atomically: a receiver that drains its inbox
+    // after seeing the first copy would otherwise miss the second depending
+    // on scheduling, making discard counters non-reproducible.
+    std::vector<std::vector<std::byte>> copies;
+    copies.push_back(frame);
+    copies.push_back(std::move(frame));
+    return inner_->send_many(std::move(copies));
+  }
+  return inner_->send(std::move(frame));
+}
+
+}  // namespace cmfl::net

@@ -1,0 +1,107 @@
+// Deterministic fault injection for the cluster emulation.
+//
+// The paper's EC2 deployment (§V-C) runs on a reliable LAN, but the setting
+// CMFL targets is edge clients on flaky uplinks where drops, corruption,
+// stragglers, and mid-round crashes are routine.  A FaultPlan describes a
+// fault scenario once, seeded so every run of the same plan injects the
+// exact same faults; FaultyChannel applies the link faults *byte-level* on
+// the wire, so corrupted frames are caught by the real CRC path
+// (try_open_frame) rather than simulated abstractly.
+//
+// Determinism contract: each (worker, direction) link owns an independent
+// util::Rng derived from the plan seed, advanced once per send on that
+// link.  Because every link has exactly one sender thread, the injected
+// fault sequence depends only on the plan and the sequence of sends — not
+// on thread scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/link.h"
+#include "util/rng.h"
+
+namespace cmfl::net {
+
+/// Per-frame fault probabilities for one direction of one link.
+struct LinkFaults {
+  double drop_prob = 0.0;       // frame vanishes in transit
+  double corrupt_prob = 0.0;    // one random bit flips (CRC must reject)
+  double duplicate_prob = 0.0;  // frame is delivered twice
+
+  bool any() const noexcept {
+    return drop_prob > 0.0 || corrupt_prob > 0.0 || duplicate_prob > 0.0;
+  }
+
+  /// Throws std::invalid_argument if any probability is outside [0, 1].
+  void validate(const char* what) const;
+};
+
+/// A complete seeded fault scenario for one cluster run.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  LinkFaults downlink;  // default master → worker faults (every worker)
+  LinkFaults uplink;    // default worker → master faults (every worker)
+  /// Per-worker overrides; workers not listed use the defaults above.
+  std::map<std::size_t, LinkFaults> downlink_overrides;
+  std::map<std::size_t, LinkFaults> uplink_overrides;
+
+  /// Fixed per-worker compute delay in seconds (stragglers): the worker
+  /// sleeps this long before answering each broadcast.  A delay beyond the
+  /// round deadline makes the worker persistently late.
+  std::map<std::size_t, double> straggler_delay_s;
+
+  /// Crash-stop schedule: worker id → iteration at which it dies silently
+  /// (before training that iteration; it never answers again).
+  std::map<std::size_t, std::uint64_t> crash_at_iteration;
+
+  /// True when any link fault, straggler, or crash is configured.
+  bool enabled() const noexcept;
+
+  LinkFaults downlink_for(std::size_t worker) const;
+  LinkFaults uplink_for(std::size_t worker) const;
+  double straggler_delay_for(std::size_t worker) const noexcept;
+  std::optional<std::uint64_t> crash_iteration_for(
+      std::size_t worker) const noexcept;
+
+  /// Independent deterministic stream for one (worker, direction) link.
+  util::Rng link_rng(std::size_t worker, bool is_uplink) const noexcept;
+
+  /// Throws std::invalid_argument on malformed probabilities.
+  void validate(std::size_t num_workers) const;
+};
+
+/// Injection counters, shared across all links of a run (relaxed atomics:
+/// sums are order-independent, so totals stay deterministic).
+struct FaultStats {
+  std::atomic<std::uint64_t> frames_dropped{0};
+  std::atomic<std::uint64_t> frames_corrupted{0};
+  std::atomic<std::uint64_t> frames_duplicated{0};
+};
+
+/// Applies LinkFaults to every frame pushed through an underlying Channel.
+/// Owned by the link's single sender thread; not thread-safe by itself.
+class FaultyChannel {
+ public:
+  /// `inner` and `stats` must outlive the FaultyChannel.
+  FaultyChannel(Channel& inner, const LinkFaults& faults, util::Rng rng,
+                FaultStats* stats) noexcept
+      : inner_(&inner), faults_(faults), rng_(rng), stats_(stats) {}
+
+  /// Sends `frame` through the fault model.  Returns false only if the
+  /// underlying channel is closed — a dropped frame still returns true,
+  /// because a real sender cannot observe an in-network loss.
+  bool send(std::vector<std::byte> frame);
+
+ private:
+  Channel* inner_;
+  LinkFaults faults_;
+  util::Rng rng_;
+  FaultStats* stats_;
+};
+
+}  // namespace cmfl::net

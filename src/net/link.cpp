@@ -12,10 +12,32 @@ bool Channel::send(std::vector<std::byte> frame) {
   return true;
 }
 
+bool Channel::send_many(std::vector<std::vector<std::byte>> frames) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    for (auto& f : frames) frames_.push_back(std::move(f));
+  }
+  ready_.notify_all();
+  return true;
+}
+
 std::optional<std::vector<std::byte>> Channel::recv() {
   std::unique_lock<std::mutex> lock(mutex_);
   ready_.wait(lock, [this] { return closed_ || !frames_.empty(); });
   if (frames_.empty()) return std::nullopt;  // closed and drained
+  auto frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+std::optional<std::vector<std::byte>> Channel::recv_for(
+    std::chrono::steady_clock::duration timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  ready_.wait_until(lock, deadline,
+                    [this] { return closed_ || !frames_.empty(); });
+  if (frames_.empty()) return std::nullopt;  // timed out, or closed+drained
   auto frame = std::move(frames_.front());
   frames_.pop_front();
   return frame;

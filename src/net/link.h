@@ -8,6 +8,8 @@
 // the Fig. 7 bench.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -18,28 +20,39 @@
 namespace cmfl::net {
 
 /// Cumulative transfer statistics for one direction of the cluster.
+/// Lock-free: record() sits on the per-frame hot path of every worker
+/// thread, so counters are relaxed atomics rather than a mutex.
 class ByteMeter {
  public:
-  void record(std::size_t bytes) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    total_bytes_ += bytes;
-    ++messages_;
+  void record(std::size_t bytes) noexcept {
+    total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  std::uint64_t total_bytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return total_bytes_;
+  /// A retransmission counts toward the total footprint (the bytes really
+  /// cross the link again) and is additionally tracked separately so the
+  /// recovery overhead is visible next to the Fig. 7b numbers.
+  void record_retransmit(std::size_t bytes) noexcept {
+    record(bytes);
+    retransmitted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
-  std::uint64_t messages() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return messages_;
+  std::uint64_t total_bytes() const noexcept {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t messages() const noexcept {
+    return messages_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t retransmitted_bytes() const noexcept {
+    return retransmitted_bytes_.load(std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t messages_ = 0;
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> retransmitted_bytes_{0};
 };
 
 struct LinkModel {
@@ -58,11 +71,23 @@ struct LinkModel {
 class Channel {
  public:
   /// Returns false if the channel is closed (frames already queued are
-  /// still delivered before close is reported).
+  /// still delivered before close is reported); a failed send enqueues
+  /// nothing.
   bool send(std::vector<std::byte> frame);
+
+  /// Enqueues all frames under one lock, so a consumer can never observe a
+  /// gap inside the batch (the fault layer needs this to deliver duplicated
+  /// frames atomically).
+  bool send_many(std::vector<std::vector<std::byte>> frames);
 
   /// Blocks; returns std::nullopt once closed and drained.
   std::optional<std::vector<std::byte>> recv();
+
+  /// Deadline-bounded receive: waits at most `timeout` for a frame.
+  /// Returns std::nullopt on timeout or once closed and drained; a zero
+  /// timeout polls the queue without blocking.
+  std::optional<std::vector<std::byte>> recv_for(
+      std::chrono::steady_clock::duration timeout);
 
   void close();
 

@@ -19,18 +19,21 @@ std::vector<std::byte> encode(const Message& msg) {
   WireWriter w;
   if (const auto* b = std::get_if<BroadcastMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(FrameType::kBroadcast));
+    w.u32(b->seq);
     w.u64(b->iteration);
     w.f32(b->learning_rate);
     w.floats(b->global_params);
     w.floats(b->global_update);
   } else if (const auto* u = std::get_if<UpdateUploadMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(FrameType::kUpdateUpload));
+    w.u32(u->seq);
     w.u64(u->iteration);
     w.u32(u->client_id);
     w.f64(u->score);
     w.floats(u->update);
   } else if (const auto* e = std::get_if<EliminationMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(FrameType::kElimination));
+    w.u32(e->seq);
     w.u64(e->iteration);
     w.u32(e->client_id);
     w.f64(e->score);
@@ -46,6 +49,7 @@ Message decode(std::span<const std::byte> frame) {
   switch (type) {
     case FrameType::kBroadcast: {
       BroadcastMsg b;
+      b.seq = r.u32();
       b.iteration = r.u64();
       b.learning_rate = r.f32();
       b.global_params = r.floats();
@@ -55,6 +59,7 @@ Message decode(std::span<const std::byte> frame) {
     }
     case FrameType::kUpdateUpload: {
       UpdateUploadMsg u;
+      u.seq = r.u32();
       u.iteration = r.u64();
       u.client_id = r.u32();
       u.score = r.f64();
@@ -64,6 +69,7 @@ Message decode(std::span<const std::byte> frame) {
     }
     case FrameType::kElimination: {
       EliminationMsg e;
+      e.seq = r.u32();
       e.iteration = r.u64();
       e.client_id = r.u32();
       e.score = r.f64();

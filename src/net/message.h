@@ -8,6 +8,13 @@
 //                  completion of its local training and the elimination of
 //                  its update" — a tiny fixed-size frame.
 //   * Shutdown     master → worker: terminate the worker loop.
+//
+// Broadcast and reply frames carry a per-link sequence number `seq`: the
+// master assigns a fresh seq to each new round's broadcast and *reuses* it
+// on retransmissions, and a worker's reply mirrors the broadcast seq it
+// answers.  Receivers discard frames whose seq they have already processed,
+// which makes retransmitted and network-duplicated frames idempotent (see
+// DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,7 @@ enum class FrameType : std::uint8_t {
 };
 
 struct BroadcastMsg {
+  std::uint32_t seq = 0;  // per-link transmission id (reused on retransmit)
   std::uint64_t iteration = 0;
   std::vector<float> global_params;
   std::vector<float> global_update;  // ū_{t-1} feedback
@@ -33,6 +41,7 @@ struct BroadcastMsg {
 };
 
 struct UpdateUploadMsg {
+  std::uint32_t seq = 0;  // mirrors the broadcast seq being answered
   std::uint64_t iteration = 0;
   std::uint32_t client_id = 0;
   std::vector<float> update;
@@ -40,6 +49,7 @@ struct UpdateUploadMsg {
 };
 
 struct EliminationMsg {
+  std::uint32_t seq = 0;  // mirrors the broadcast seq being answered
   std::uint64_t iteration = 0;
   std::uint32_t client_id = 0;
   double score = 0.0;

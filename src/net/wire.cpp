@@ -34,10 +34,9 @@ void seal_frame(std::vector<std::byte>& frame) {
   }
 }
 
-std::span<const std::byte> open_frame(std::span<const std::byte> frame) {
-  if (frame.size() < 4) {
-    throw std::runtime_error("open_frame: frame shorter than its CRC");
-  }
+std::optional<std::span<const std::byte>> try_open_frame(
+    std::span<const std::byte> frame) noexcept {
+  if (frame.size() < 4) return std::nullopt;
   const auto payload = frame.first(frame.size() - 4);
   std::uint32_t stored = 0;
   for (int i = 3; i >= 0; --i) {
@@ -45,10 +44,16 @@ std::span<const std::byte> open_frame(std::span<const std::byte> frame) {
              static_cast<std::uint8_t>(frame[payload.size() +
                                              static_cast<std::size_t>(i)]);
   }
-  if (crc32(payload) != stored) {
-    throw std::runtime_error("open_frame: CRC mismatch (corrupted frame)");
-  }
+  if (crc32(payload) != stored) return std::nullopt;
   return payload;
+}
+
+std::span<const std::byte> open_frame(std::span<const std::byte> frame) {
+  if (frame.size() < 4) {
+    throw std::runtime_error("open_frame: frame shorter than its CRC");
+  }
+  if (const auto payload = try_open_frame(frame)) return *payload;
+  throw std::runtime_error("open_frame: CRC mismatch (corrupted frame)");
 }
 
 }  // namespace cmfl::net

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -26,6 +27,12 @@ void seal_frame(std::vector<std::byte>& frame);
 /// Verifies and strips the trailing CRC; throws std::runtime_error on
 /// mismatch or an undersized frame.
 std::span<const std::byte> open_frame(std::span<const std::byte> frame);
+
+/// Non-throwing open_frame for paths where a corrupted frame is an expected
+/// event to recover from (the fault-tolerant cluster protocol), not a bug:
+/// returns std::nullopt on an undersized frame or CRC mismatch.
+std::optional<std::span<const std::byte>> try_open_frame(
+    std::span<const std::byte> frame) noexcept;
 
 class WireWriter {
  public:

@@ -80,5 +80,71 @@ TEST(ConvexTestbed, DeterministicPerSeed) {
   EXPECT_EQ(ra.regret, rb.regret);
 }
 
+TEST(ConvexClient, TrainsTowardItsCenterAndReportsExactLoss) {
+  const std::vector<float> center = {1.0f, -2.0f, 0.5f};
+  ConvexClient client(center, /*local_steps=*/10, /*gradient_noise=*/0.0,
+                      util::Rng(3));
+  EXPECT_EQ(client.param_count(), 3u);
+  const std::vector<float> x0(3, 0.0f);
+  client.set_params(x0);
+  const double loss =
+      client.train_local(/*epochs=*/5, /*batch_size=*/1, /*lr=*/0.2f);
+  std::vector<float> x(3);
+  client.get_params(x);
+  // Noise-free gradient descent contracts toward c; the returned loss is
+  // the exact final f_k = 0.5*dist^2, which must be tiny after 50 steps.
+  double sq = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double d =
+        static_cast<double>(x[j]) - static_cast<double>(center[j]);
+    sq += d * d;
+  }
+  EXPECT_NEAR(loss, 0.5 * sq, 1e-12);
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(ConvexClient, Validation) {
+  EXPECT_THROW(ConvexClient({}, 3, 0.0, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(ConvexClient({1.0f}, 0, 0.0, util::Rng(1)),
+               std::invalid_argument);
+  ConvexClient c({1.0f, 2.0f}, 1, 0.0, util::Rng(1));
+  std::vector<float> wrong(3);
+  EXPECT_THROW(c.set_params(wrong), std::invalid_argument);
+  EXPECT_THROW(c.get_params(wrong), std::invalid_argument);
+}
+
+TEST(ConvexWorkload, ClientsMatchTestbedAndEvaluatorPeaksAtOptimum) {
+  const ConvexTestbedSpec spec = small_spec();
+  ConvexWorkload w = make_convex_workload(spec);
+  ASSERT_EQ(w.clients.size(), spec.clients);
+  for (const auto& c : w.clients) {
+    EXPECT_EQ(c->param_count(), spec.dim);
+  }
+  // Evaluator accuracy is 1 at x* and strictly smaller elsewhere.
+  const auto at_opt = w.evaluator(w.testbed->optimum());
+  EXPECT_DOUBLE_EQ(at_opt.accuracy, 1.0);
+  const std::vector<float> away(spec.dim, 3.0f);
+  const auto off_opt = w.evaluator(away);
+  EXPECT_LT(off_opt.accuracy, at_opt.accuracy);
+  EXPECT_EQ(off_opt.samples, spec.clients);
+}
+
+TEST(ConvexWorkload, DeterministicPerSeed) {
+  const ConvexTestbedSpec spec = small_spec();
+  ConvexWorkload a = make_convex_workload(spec);
+  ConvexWorkload b = make_convex_workload(spec);
+  const std::vector<float> start(spec.dim, 0.0f);
+  for (std::size_t k = 0; k < spec.clients; ++k) {
+    a.clients[k]->set_params(start);
+    b.clients[k]->set_params(start);
+    EXPECT_EQ(a.clients[k]->train_local(1, 1, 0.1f),
+              b.clients[k]->train_local(1, 1, 0.1f));
+    std::vector<float> pa(spec.dim), pb(spec.dim);
+    a.clients[k]->get_params(pa);
+    b.clients[k]->get_params(pb);
+    EXPECT_EQ(pa, pb);
+  }
+}
+
 }  // namespace
 }  // namespace cmfl::fl

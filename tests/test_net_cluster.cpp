@@ -2,7 +2,11 @@
 // in-memory simulation and account bytes exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "core/filter.h"
+#include "fl/convex_testbed.h"
 #include "fl/simulation.h"
 #include "fl/workloads.h"
 #include "net/cluster.h"
@@ -54,9 +58,9 @@ TEST(FlCluster, UplinkBytesMatchFrameSizes) {
                     std::make_unique<core::AcceptAllFilter>(), w.evaluator,
                     fast_options());
   const ClusterResult r = cluster.run();
-  // Upload frame = 1 type + 8 iter + 4 client + 8 score + 8 len + 4*dim,
-  // sealed with a 4-byte CRC.
-  const std::size_t frame = 1 + 8 + 4 + 8 + 8 + 4 * dim + 4;
+  // Upload frame = 1 type + 4 seq + 8 iter + 4 client + 8 score + 8 len +
+  // 4*dim, sealed with a 4-byte CRC.
+  const std::size_t frame = 1 + 4 + 8 + 4 + 8 + 8 + 4 * dim + 4;
   EXPECT_EQ(r.uplink_bytes, r.upload_messages * frame);
 }
 
@@ -122,6 +126,251 @@ TEST(FlCluster, ConstructorValidation) {
   EXPECT_THROW(
       FlCluster(std::move(w2.clients), nullptr, w2.evaluator, fast_options()),
       std::invalid_argument);
+}
+
+TEST(FlCluster, RecoveryOptionValidation) {
+  auto make = [](const ClusterOptions& opt) {
+    fl::ConvexTestbedSpec spec;
+    spec.clients = 4;
+    spec.dim = 4;
+    fl::ConvexWorkload w = fl::make_convex_workload(spec);
+    FlCluster cluster(std::move(w.clients),
+                      std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                      opt);
+  };
+  // Fault injection without a deadline would hang forever on the first
+  // dropped frame; the constructor must refuse it.
+  {
+    auto opt = fast_options();
+    opt.fault.uplink.drop_prob = 0.1;
+    EXPECT_THROW(make(opt), std::invalid_argument);
+    opt.recovery.round_timeout_s = 0.2;
+    EXPECT_NO_THROW(make(opt));
+  }
+  {
+    auto opt = fast_options();
+    opt.recovery.quorum = 0.0;
+    EXPECT_THROW(make(opt), std::invalid_argument);
+  }
+  {
+    auto opt = fast_options();
+    opt.recovery.quorum = 1.5;
+    EXPECT_THROW(make(opt), std::invalid_argument);
+  }
+  {
+    auto opt = fast_options();
+    opt.recovery.max_attempts = 0;
+    EXPECT_THROW(make(opt), std::invalid_argument);
+  }
+  {
+    auto opt = fast_options();
+    opt.recovery.backoff = 0.5;
+    EXPECT_THROW(make(opt), std::invalid_argument);
+  }
+  {
+    auto opt = fast_options();
+    opt.recovery.round_timeout_s = -1.0;
+    EXPECT_THROW(make(opt), std::invalid_argument);
+  }
+  {
+    auto opt = fast_options();
+    opt.fault.crash_at_iteration[9] = 1;  // worker id out of range
+    opt.recovery.round_timeout_s = 0.2;
+    EXPECT_THROW(make(opt), std::invalid_argument);
+  }
+}
+
+ClusterOptions faulty_options() {
+  auto opt = fast_options();
+  opt.fl.max_iterations = 8;
+  opt.fault.seed = 99;
+  opt.fault.downlink = LinkFaults{.drop_prob = 0.15, .corrupt_prob = 0.05,
+                                  .duplicate_prob = 0.05};
+  opt.fault.uplink = LinkFaults{.drop_prob = 0.15, .corrupt_prob = 0.05,
+                                .duplicate_prob = 0.05};
+  opt.recovery.round_timeout_s = 0.15;
+  opt.recovery.backoff = 1.5;
+  opt.recovery.max_attempts = 10;
+  opt.recovery.quorum = 1.0;
+  return opt;
+}
+
+TEST(FlCluster, FaultyRunMatchesFaultFreeAtFullQuorum) {
+  // The central invariant: with faults injected but recovery enabled and
+  // quorum 1.0, every round still commits with every worker's (exactly
+  // once trained) reply, so the learning trajectory is bit-identical to
+  // the fault-free run.  Only the byte/retransmit accounting may differ.
+  auto clean_opt = fast_options();
+  clean_opt.fl.max_iterations = 8;
+  fl::Workload w1 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster clean_cluster(
+      std::move(w1.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w1.evaluator, clean_opt);
+  const ClusterResult clean = clean_cluster.run();
+
+  fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster faulty_cluster(
+      std::move(w2.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w2.evaluator, faulty_options());
+  const ClusterResult faulty = faulty_cluster.run();
+
+  // Identical learning trajectory...
+  ASSERT_EQ(faulty.sim.history.size(), clean.sim.history.size());
+  for (std::size_t i = 0; i < clean.sim.history.size(); ++i) {
+    EXPECT_EQ(faulty.sim.history[i].uploads, clean.sim.history[i].uploads);
+    EXPECT_EQ(faulty.sim.history[i].participants,
+              clean.sim.history[i].participants);
+    EXPECT_DOUBLE_EQ(faulty.sim.history[i].mean_score,
+                     clean.sim.history[i].mean_score);
+    if (clean.sim.history[i].evaluated()) {
+      EXPECT_DOUBLE_EQ(faulty.sim.history[i].accuracy,
+                       clean.sim.history[i].accuracy);
+    }
+  }
+  EXPECT_EQ(faulty.sim.final_params, clean.sim.final_params);
+  EXPECT_EQ(faulty.sim.eliminations_per_client,
+            clean.sim.eliminations_per_client);
+  EXPECT_EQ(faulty.upload_messages, clean.upload_messages);
+  EXPECT_EQ(faulty.elimination_messages, clean.elimination_messages);
+  EXPECT_TRUE(faulty.faults.crashed_workers.empty());
+
+  // ...while the fault layer demonstrably did its worst.
+  EXPECT_GT(faulty.faults.frames_dropped, 0u);
+  EXPECT_GT(faulty.faults.frames_corrupted, 0u);
+  EXPECT_GT(faulty.faults.frames_duplicated, 0u);
+  EXPECT_GT(faulty.faults.corrupt_rejected, 0u);
+  EXPECT_GT(faulty.faults.retransmits, 0u);
+  EXPECT_GT(faulty.faults.timed_out_rounds, 0u);
+  EXPECT_GT(faulty.downlink_retransmitted_bytes +
+                faulty.uplink_retransmitted_bytes,
+            0u);
+  EXPECT_EQ(clean.faults.retransmits, 0u);
+  EXPECT_EQ(clean.downlink_retransmitted_bytes, 0u);
+  EXPECT_EQ(clean.uplink_retransmitted_bytes, 0u);
+  // Retransmitted bytes flow through the same meters as originals.
+  EXPECT_GT(faulty.downlink_bytes + faulty.uplink_bytes,
+            clean.downlink_bytes + clean.uplink_bytes);
+}
+
+TEST(FlCluster, SeededFaultRunIsReproducible) {
+  auto run_once = [] {
+    fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+    FlCluster cluster(
+        std::move(w.clients),
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        w.evaluator, faulty_options());
+    return cluster.run();
+  };
+  const ClusterResult a = run_once();
+  const ClusterResult b = run_once();
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.sim.final_params, b.sim.final_params);
+  EXPECT_EQ(a.uplink_bytes, b.uplink_bytes);
+  EXPECT_EQ(a.downlink_bytes, b.downlink_bytes);
+  EXPECT_EQ(a.uplink_retransmitted_bytes, b.uplink_retransmitted_bytes);
+  EXPECT_EQ(a.downlink_retransmitted_bytes, b.downlink_retransmitted_bytes);
+  EXPECT_EQ(a.upload_messages, b.upload_messages);
+  EXPECT_EQ(a.elimination_messages, b.elimination_messages);
+}
+
+TEST(FlCluster, QuorumCommitsRoundsPastAPersistentStraggler) {
+  fl::ConvexTestbedSpec spec;
+  spec.clients = 4;
+  spec.dim = 8;
+  spec.local_steps = 3;
+  spec.gradient_noise = 0.02;
+  fl::ConvexWorkload w = fl::make_convex_workload(spec);
+
+  ClusterOptions opt;
+  opt.fl.local_epochs = 1;
+  opt.fl.batch_size = 1;
+  opt.fl.learning_rate = core::Schedule::constant(0.1);
+  opt.fl.max_iterations = 4;
+  opt.fl.eval_every = 2;
+  // Worker 3 always sleeps far past the deadline; quorum 0.5 lets the
+  // other three commit each round without it.
+  opt.fault.straggler_delay_s[3] = 0.3;
+  opt.recovery.round_timeout_s = 0.1;
+  opt.recovery.quorum = 0.5;
+  opt.recovery.max_attempts = 30;  // never exhaust: stragglers are not dead
+  FlCluster cluster(std::move(w.clients),
+                    std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                    opt);
+  const ClusterResult r = cluster.run();
+
+  EXPECT_EQ(r.faults.quorum_rounds, 4u);
+  EXPECT_EQ(r.faults.timed_out_rounds, 4u);
+  EXPECT_TRUE(r.faults.crashed_workers.empty());
+  // The straggler misses every round; the fast workers miss none.
+  EXPECT_GE(r.faults.max_staleness_per_client[3], 1u);
+  EXPECT_EQ(r.faults.max_staleness_per_client[0], 0u);
+  EXPECT_EQ(r.faults.max_staleness_per_client[1], 0u);
+  EXPECT_EQ(r.faults.max_staleness_per_client[2], 0u);
+  for (const auto& rec : r.sim.history) {
+    EXPECT_EQ(rec.participants, 3u);
+  }
+}
+
+TEST(FlCluster, CrashStopWorkersAreDetectedAndExcluded) {
+  // Satellite: k of n workers die mid-run; with quorum 0.5 plus staleness
+  // suspicion the cluster keeps training on the survivors and still ends
+  // near the optimum of the convex testbed.
+  fl::ConvexTestbedSpec spec;
+  spec.clients = 12;
+  spec.dim = 8;
+  spec.center_spread = 0.5;
+  spec.outlier_fraction = 0.0;
+  spec.gradient_noise = 0.02;
+  spec.local_steps = 3;
+
+  ClusterOptions opt;
+  opt.fl.local_epochs = 1;
+  opt.fl.batch_size = 1;
+  opt.fl.learning_rate = core::Schedule::constant(0.2);
+  opt.fl.max_iterations = 20;
+  opt.fl.eval_every = 5;
+
+  // Fault-free baseline for the accuracy target.
+  fl::ConvexWorkload w_clean = fl::make_convex_workload(spec);
+  FlCluster clean_cluster(
+      std::move(w_clean.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.3)),
+      w_clean.evaluator, opt);
+  const ClusterResult clean = clean_cluster.run();
+
+  const std::uint64_t crash_iter = 4;
+  opt.fault.crash_at_iteration[2] = crash_iter;
+  opt.fault.crash_at_iteration[5] = crash_iter;
+  opt.fault.crash_at_iteration[9] = crash_iter;
+  opt.recovery.round_timeout_s = 0.15;
+  opt.recovery.quorum = 0.5;
+  opt.recovery.max_attempts = 4;
+  opt.recovery.suspect_after_stale_rounds = 2;
+
+  fl::ConvexWorkload w = fl::make_convex_workload(spec);
+  FlCluster cluster(
+      std::move(w.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.3)),
+      w.evaluator, opt);
+  const ClusterResult r = cluster.run();
+
+  // All three crashed workers are declared dead, and nobody else is.
+  std::vector<std::uint32_t> crashed = r.faults.crashed_workers;
+  std::sort(crashed.begin(), crashed.end());
+  EXPECT_EQ(crashed, (std::vector<std::uint32_t>{2, 5, 9}));
+
+  // CMFL elimination accounting excludes dead clients: they can only have
+  // been eliminated in the rounds they actually participated in.
+  for (const std::uint32_t k : {2u, 5u, 9u}) {
+    EXPECT_LE(r.sim.eliminations_per_client[k], crash_iter - 1);
+  }
+  EXPECT_GE(r.faults.max_staleness_per_client[2], 2u);
+
+  // The survivors still drive the model to (near) the fault-free target.
+  EXPECT_GT(r.sim.final_accuracy, 0.0);
+  EXPECT_GE(r.sim.final_accuracy, clean.sim.final_accuracy - 0.15);
 }
 
 }  // namespace

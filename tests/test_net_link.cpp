@@ -42,6 +42,78 @@ TEST(Channel, CloseDrainsThenReportsEnd) {
   EXPECT_FALSE(ch.send(frame_of(2)));
 }
 
+TEST(Channel, ClosedButNonEmptyDeliversQueuedBeforeClosure) {
+  // Regression for the close/drain edge: frames queued before close() must
+  // all be delivered, and a send() after close() must not enqueue anything.
+  Channel ch;
+  ch.send(frame_of(1));
+  ch.send(frame_of(2));
+  ch.close();
+  EXPECT_FALSE(ch.send(frame_of(3)));
+  auto f1 = ch.recv();
+  auto f2 = ch.recv();
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ((*f1)[0], std::byte{1});
+  EXPECT_EQ((*f2)[0], std::byte{2});
+  // If the rejected send had enqueued, this would return frame 3 instead
+  // of reporting closure.
+  EXPECT_FALSE(ch.recv().has_value());
+  EXPECT_FALSE(ch.recv_for(std::chrono::milliseconds(1)).has_value());
+}
+
+TEST(Channel, RecvForTimesOutOnEmptyChannel) {
+  Channel ch;
+  EXPECT_FALSE(ch.recv_for(std::chrono::milliseconds(10)).has_value());
+}
+
+TEST(Channel, RecvForZeroTimeoutPolls) {
+  Channel ch;
+  EXPECT_FALSE(ch.recv_for(std::chrono::milliseconds(0)).has_value());
+  ch.send(frame_of(7));
+  const auto frame = ch.recv_for(std::chrono::milliseconds(0));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ((*frame)[0], std::byte{7});
+}
+
+TEST(Channel, RecvForDeliversFrameArrivingWithinDeadline) {
+  Channel ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send(frame_of(9));
+  });
+  const auto frame = ch.recv_for(std::chrono::seconds(5));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ((*frame)[0], std::byte{9});
+  producer.join();
+}
+
+TEST(Channel, RecvForReportsClosureImmediately) {
+  Channel ch;
+  ch.close();
+  // Must not wait out the timeout once closed and drained.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.recv_for(std::chrono::seconds(30)).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(5));
+}
+
+TEST(Channel, SendManyDeliversWholeBatchInOrder) {
+  Channel ch;
+  std::vector<std::vector<std::byte>> batch;
+  batch.push_back(frame_of(1));
+  batch.push_back(frame_of(2));
+  batch.push_back(frame_of(3));
+  EXPECT_TRUE(ch.send_many(std::move(batch)));
+  EXPECT_EQ((*ch.recv())[0], std::byte{1});
+  EXPECT_EQ((*ch.recv())[0], std::byte{2});
+  EXPECT_EQ((*ch.recv())[0], std::byte{3});
+  ch.close();
+  std::vector<std::vector<std::byte>> late;
+  late.push_back(frame_of(4));
+  EXPECT_FALSE(ch.send_many(std::move(late)));
+  EXPECT_FALSE(ch.recv().has_value());
+}
+
 TEST(Channel, ManyProducersOneConsumer) {
   Channel ch;
   constexpr int kProducers = 8;
@@ -71,6 +143,31 @@ TEST(ByteMeter, AccumulatesAcrossThreads) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(meter.total_bytes(), 40000u);
   EXPECT_EQ(meter.messages(), 4000u);
+  EXPECT_EQ(meter.retransmitted_bytes(), 0u);
+}
+
+TEST(ByteMeter, RetransmitsCountTowardTotalsAndSeparately) {
+  ByteMeter meter;
+  meter.record(100);
+  meter.record_retransmit(40);
+  meter.record_retransmit(60);
+  EXPECT_EQ(meter.total_bytes(), 200u);
+  EXPECT_EQ(meter.messages(), 3u);
+  EXPECT_EQ(meter.retransmitted_bytes(), 100u);
+}
+
+TEST(ByteMeter, RetransmitAccumulatesAcrossThreads) {
+  ByteMeter meter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&meter] {
+      for (int i = 0; i < 500; ++i) meter.record_retransmit(3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(meter.total_bytes(), 6000u);
+  EXPECT_EQ(meter.retransmitted_bytes(), 6000u);
+  EXPECT_EQ(meter.messages(), 2000u);
 }
 
 TEST(LinkModel, TransferTime) {

@@ -51,6 +51,7 @@ TEST(Wire, OversizedArrayLengthRejected) {
 
 TEST(Message, BroadcastRoundTrip) {
   BroadcastMsg b;
+  b.seq = 99;
   b.iteration = 42;
   b.learning_rate = 0.05f;
   b.global_params = {1.0f, 2.0f, 3.0f};
@@ -58,6 +59,7 @@ TEST(Message, BroadcastRoundTrip) {
   const auto frame = encode(Message(b));
   const Message decoded = decode(frame);
   const auto& d = std::get<BroadcastMsg>(decoded);
+  EXPECT_EQ(d.seq, 99u);
   EXPECT_EQ(d.iteration, 42u);
   EXPECT_FLOAT_EQ(d.learning_rate, 0.05f);
   EXPECT_EQ(d.global_params, b.global_params);
@@ -66,6 +68,7 @@ TEST(Message, BroadcastRoundTrip) {
 
 TEST(Message, UpdateUploadRoundTrip) {
   UpdateUploadMsg u;
+  u.seq = 4;
   u.iteration = 7;
   u.client_id = 13;
   u.update = {0.5f, -0.5f};
@@ -73,6 +76,7 @@ TEST(Message, UpdateUploadRoundTrip) {
   const auto frame = encode(Message(u));
   const Message decoded = decode(frame);
   const auto& d = std::get<UpdateUploadMsg>(decoded);
+  EXPECT_EQ(d.seq, 4u);
   EXPECT_EQ(d.iteration, 7u);
   EXPECT_EQ(d.client_id, 13u);
   EXPECT_EQ(d.update, u.update);
@@ -81,12 +85,14 @@ TEST(Message, UpdateUploadRoundTrip) {
 
 TEST(Message, EliminationRoundTripAndSize) {
   EliminationMsg e;
+  e.seq = 8;
   e.iteration = 3;
   e.client_id = 5;
   e.score = 0.31;
   const auto frame = encode(Message(e));
   const Message decoded = decode(frame);
   const auto& d = std::get<EliminationMsg>(decoded);
+  EXPECT_EQ(d.seq, 8u);
   EXPECT_EQ(d.client_id, 5u);
   EXPECT_DOUBLE_EQ(d.score, 0.31);
   // "The transferred data size of this status information is negligible":
@@ -137,7 +143,7 @@ TEST(Crc32, EmptyIsZero) {
 }
 
 TEST(FrameSeal, RoundTrip) {
-  auto frame = encode(Message(EliminationMsg{3, 5, 0.4}));
+  auto frame = encode(Message(EliminationMsg{1, 3, 5, 0.4}));
   const std::size_t unsealed = frame.size();
   seal_frame(frame);
   EXPECT_EQ(frame.size(), unsealed + 4);
@@ -147,7 +153,7 @@ TEST(FrameSeal, RoundTrip) {
 }
 
 TEST(FrameSeal, DetectsCorruption) {
-  auto frame = encode(Message(EliminationMsg{3, 5, 0.4}));
+  auto frame = encode(Message(EliminationMsg{1, 3, 5, 0.4}));
   seal_frame(frame);
   // Flip one payload bit.
   frame[4] ^= std::byte{0x01};
@@ -160,6 +166,73 @@ TEST(FrameSeal, DetectsCorruption) {
   // Undersized frame.
   std::vector<std::byte> tiny = {std::byte{1}, std::byte{2}};
   EXPECT_THROW(open_frame(tiny), std::runtime_error);
+}
+
+TEST(FrameSeal, TryOpenFrameMatchesOpenFrame) {
+  auto frame = encode(Message(EliminationMsg{2, 9, 1, 0.5}));
+  seal_frame(frame);
+  const auto ok = try_open_frame(frame);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(std::holds_alternative<EliminationMsg>(decode(*ok)));
+  frame[0] ^= std::byte{0x80};
+  EXPECT_FALSE(try_open_frame(frame).has_value());
+}
+
+TEST(FrameSeal, EverySingleBitFlipRejected) {
+  // CRC-32 detects all single-bit errors, so flipping any one bit anywhere
+  // in a sealed frame — payload or CRC — must make try_open_frame fail.
+  // This is exactly the fault FaultyChannel's corrupt_prob injects.
+  auto sealed = encode(Message(EliminationMsg{7, 11, 2, 0.9}));
+  seal_frame(sealed);
+  for (std::size_t pos = 0; pos < sealed.size(); ++pos) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      auto flipped = sealed;
+      flipped[pos] ^= static_cast<std::byte>(1u << bit);
+      EXPECT_FALSE(try_open_frame(flipped).has_value())
+          << "single-bit flip at byte " << pos << " bit " << bit
+          << " was not detected";
+    }
+  }
+}
+
+TEST(FrameSeal, EveryTruncationIsRejected) {
+  auto sealed = encode(Message(EliminationMsg{7, 11, 2, 0.9}));
+  seal_frame(sealed);
+  // Every strict prefix must be rejected: either too short to carry a CRC,
+  // or carrying a CRC that no longer matches the shortened payload.
+  for (std::size_t len = 0; len < sealed.size(); ++len) {
+    const std::span<const std::byte> prefix(sealed.data(), len);
+    EXPECT_FALSE(try_open_frame(prefix).has_value())
+        << "truncation to " << len << " bytes was not detected";
+  }
+  EXPECT_TRUE(try_open_frame(sealed).has_value());
+}
+
+TEST(FrameSeal, DuplicatedTrailingCrcRejected) {
+  // P‖C‖C: an extra copy of the CRC appended after a valid sealed frame.
+  // The verifier must treat the first CRC as payload (and fail), never
+  // resynchronize on an inner valid prefix.
+  auto sealed = encode(Message(EliminationMsg{7, 11, 2, 0.9}));
+  seal_frame(sealed);
+  std::vector<std::byte> doubled = sealed;
+  doubled.insert(doubled.end(), sealed.end() - 4, sealed.end());
+  EXPECT_FALSE(try_open_frame(doubled).has_value());
+  EXPECT_THROW(open_frame(doubled), std::runtime_error);
+}
+
+TEST(FrameSeal, EmptyFrameRejected) {
+  EXPECT_THROW(open_frame({}), std::runtime_error);
+  EXPECT_FALSE(try_open_frame({}).has_value());
+}
+
+TEST(FrameSeal, FourZeroBytesOpenToEmptyPayloadButDoNotDecode) {
+  // crc32 of the empty payload is 0, so four zero bytes form a validly
+  // sealed empty frame.  open_frame accepts it, but the message layer must
+  // still reject the empty payload (no type byte).
+  const std::vector<std::byte> zeros(4, std::byte{0});
+  const auto payload = open_frame(zeros);
+  EXPECT_TRUE(payload.empty());
+  EXPECT_THROW(decode(payload), std::runtime_error);
 }
 
 TEST(Message, FrameTypeDispatch) {

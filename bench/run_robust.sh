@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Sanitizer pass over the robustness layer: adversary wrappers, robust
+# aggregation / update validation, checkpoint codec, and the hardened
+# serializer.
+#
+#   bench/run_robust.sh [asan_build_dir] [ubsan_build_dir]
+#
+# Runs the four robustness test suites twice — once under AddressSanitizer
+# and once under UndefinedBehaviorSanitizer.  This code path deliberately
+# manufactures NaN/±inf updates, bit-flipped headers, and truncated files;
+# UBSan proves the defenses themselves commit no undefined behaviour while
+# handling hostile bytes, ASan that the corruption paths never over-read.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+ASAN_DIR="${1:-$REPO_ROOT/build-asan}"
+UBSAN_DIR="${2:-$REPO_ROOT/build-ubsan}"
+
+TARGETS="test_nn_serialize test_fl_robust_agg test_fl_adversary test_fl_checkpoint"
+
+run_suite() {
+  dir=$1
+  sanitizer=$2
+  cmake -B "$dir" -S "$REPO_ROOT" -DCMFL_SANITIZE="$sanitizer" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  # shellcheck disable=SC2086  # TARGETS is a deliberate word list
+  cmake --build "$dir" -j --target $TARGETS
+  for t in $TARGETS; do
+    echo "== $t ($sanitizer) =="
+    "$dir/tests/$t"
+  done
+}
+
+run_suite "$ASAN_DIR" address
+run_suite "$UBSAN_DIR" undefined
+echo "all robustness tests clean under ASan and UBSan"

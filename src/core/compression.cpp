@@ -197,6 +197,41 @@ std::vector<float> StructuredMaskCompressor::decode(
   return out;
 }
 
+void UpdateCompressor::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  if (!state.empty()) {
+    throw std::invalid_argument(
+        "UpdateCompressor: state blob for a stateless compressor");
+  }
+}
+
+std::vector<std::uint64_t> SubsampleCompressor::mutable_state() const {
+  return util::rng_state_words(rng_);
+}
+
+void SubsampleCompressor::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  util::restore_rng_state(rng_, state);
+}
+
+std::vector<std::uint64_t> QuantizeCompressor::mutable_state() const {
+  return util::rng_state_words(rng_);
+}
+
+void QuantizeCompressor::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  util::restore_rng_state(rng_, state);
+}
+
+std::vector<std::uint64_t> StructuredMaskCompressor::mutable_state() const {
+  return util::rng_state_words(rng_);
+}
+
+void StructuredMaskCompressor::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  util::restore_rng_state(rng_, state);
+}
+
 std::unique_ptr<UpdateCompressor> make_compressor(const std::string& spec,
                                                   std::uint64_t seed) {
   if (spec == "float32") return std::make_unique<IdentityCompressor>();

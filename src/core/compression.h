@@ -46,6 +46,16 @@ class UpdateCompressor {
   /// Reconstructs a dense update from the encoded form.  Throws
   /// std::runtime_error on malformed payloads.
   virtual std::vector<float> decode(const CompressedUpdate& encoded) = 0;
+
+  /// Mutable stochastic state (the sampling RNG stream, if any) as opaque
+  /// u64 words — captured by crash-consistent checkpoints so a resumed run
+  /// redraws the exact masks the uninterrupted run would have.  Stateless
+  /// compressors return an empty vector.
+  virtual std::vector<std::uint64_t> mutable_state() const { return {}; }
+
+  /// Restores a state captured by mutable_state(); throws
+  /// std::invalid_argument on a size mismatch.
+  virtual void restore_mutable_state(std::span<const std::uint64_t> state);
 };
 
 /// Lossless float32 baseline (4·N bytes + header) — the vanilla wire format.
@@ -66,6 +76,8 @@ class SubsampleCompressor final : public UpdateCompressor {
   std::string name() const override;
   CompressedUpdate encode(std::span<const float> update) override;
   std::vector<float> decode(const CompressedUpdate& encoded) override;
+  std::vector<std::uint64_t> mutable_state() const override;
+  void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
  private:
   double keep_;
@@ -81,6 +93,8 @@ class QuantizeCompressor final : public UpdateCompressor {
   std::string name() const override { return "quantize8"; }
   CompressedUpdate encode(std::span<const float> update) override;
   std::vector<float> decode(const CompressedUpdate& encoded) override;
+  std::vector<std::uint64_t> mutable_state() const override;
+  void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
  private:
   util::Rng rng_;
@@ -96,6 +110,8 @@ class StructuredMaskCompressor final : public UpdateCompressor {
   std::string name() const override;
   CompressedUpdate encode(std::span<const float> update) override;
   std::vector<float> decode(const CompressedUpdate& encoded) override;
+  std::vector<std::uint64_t> mutable_state() const override;
+  void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
  private:
   double density_;

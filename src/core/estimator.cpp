@@ -40,6 +40,15 @@ void GlobalUpdateEstimator::reset() {
   observed_ = false;
 }
 
+void GlobalUpdateEstimator::restore(std::span<const float> estimate,
+                                    bool observed) {
+  if (estimate.size() != estimate_.size()) {
+    throw std::invalid_argument("GlobalUpdateEstimator: restore size mismatch");
+  }
+  std::copy(estimate.begin(), estimate.end(), estimate_.begin());
+  observed_ = observed;
+}
+
 double normalized_update_difference(std::span<const float> prev,
                                     std::span<const float> next) {
   if (prev.size() != next.size()) {

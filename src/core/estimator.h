@@ -34,6 +34,11 @@ class GlobalUpdateEstimator {
 
   void reset();
 
+  /// Restores a state previously captured as (estimate(), has_observation())
+  /// — used by crash-consistent checkpoint/resume (fl/checkpoint.h).
+  /// Throws std::invalid_argument on size mismatch.
+  void restore(std::span<const float> estimate, bool observed);
+
  private:
   std::vector<float> estimate_;
   double ema_decay_;

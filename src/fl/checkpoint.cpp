@@ -1,0 +1,215 @@
+#include "fl/checkpoint.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "net/wire.h"  // header-only WireWriter/WireReader primitives
+#include "nn/serialize.h"
+
+namespace cmfl::fl {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'C', 'M', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u64_vec(net::WireWriter& w, std::span<const std::uint64_t> v) {
+  w.u64(v.size());
+  for (const std::uint64_t x : v) w.u64(x);
+}
+
+std::vector<std::uint64_t> get_u64_vec(net::WireReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n > r.remaining() / sizeof(std::uint64_t)) {
+    throw std::runtime_error("decode_checkpoint: u64 array exceeds payload");
+  }
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = r.u64();
+  return v;
+}
+
+void put_record(net::WireWriter& w, const IterationRecord& rec) {
+  w.u64(rec.iteration);
+  w.u64(rec.uploads);
+  w.u64(rec.participants);
+  w.u64(rec.rejected);
+  w.u64(rec.cumulative_rounds);
+  w.f64(rec.mean_score);
+  w.f64(rec.mean_train_loss);
+  w.f64(rec.delta_update);
+  w.f64(rec.accuracy);
+  w.f64(rec.loss);
+}
+
+IterationRecord get_record(net::WireReader& r) {
+  IterationRecord rec;
+  rec.iteration = static_cast<std::size_t>(r.u64());
+  rec.uploads = static_cast<std::size_t>(r.u64());
+  rec.participants = static_cast<std::size_t>(r.u64());
+  rec.rejected = static_cast<std::size_t>(r.u64());
+  rec.cumulative_rounds = static_cast<std::size_t>(r.u64());
+  rec.mean_score = r.f64();
+  rec.mean_train_loss = r.f64();
+  rec.delta_update = r.f64();
+  rec.accuracy = r.f64();
+  rec.loss = r.f64();
+  return rec;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_checkpoint(const TrainerCheckpoint& ck) {
+  net::WireWriter w;
+  w.u64(ck.iteration);
+  w.floats(ck.global_params);
+  w.floats(ck.estimator_estimate);
+  w.u8(ck.estimator_observed ? 1 : 0);
+  w.floats(ck.prev_global_update);
+  w.u64(ck.cumulative_rounds);
+  w.u64(ck.uploaded_bytes);
+
+  w.u64(ck.history.size());
+  for (const auto& rec : ck.history) put_record(w, rec);
+  put_u64_vec(w, ck.eliminations_per_client);
+  put_u64_vec(w, ck.server_rng);
+
+  w.u64(ck.validation.rejected_nonfinite);
+  w.u64(ck.validation.rejected_norm);
+  w.u64(ck.validation.discarded_quarantined);
+  w.u64(ck.validation.strikes.size());
+  for (const std::uint32_t s : ck.validation.strikes) w.u32(s);
+  w.u64(ck.validation.quarantined.size());
+  for (const std::uint8_t q : ck.validation.quarantined) w.u8(q);
+
+  w.u64(ck.client_state.size());
+  for (const auto& blob : ck.client_state) put_u64_vec(w, blob);
+  w.u64(ck.compressor_state.size());
+  for (const auto& blob : ck.compressor_state) put_u64_vec(w, blob);
+
+  const ClusterMeterState& m = ck.meters;
+  w.u64(m.uplink_bytes);
+  w.u64(m.uplink_messages);
+  w.u64(m.uplink_retransmitted);
+  w.u64(m.downlink_bytes);
+  w.u64(m.downlink_messages);
+  w.u64(m.downlink_retransmitted);
+  w.u64(m.upload_messages);
+  w.u64(m.elimination_messages);
+  w.f64(m.simulated_transfer_seconds);
+  w.u64(m.footprint.size());
+  for (const auto& p : m.footprint) {
+    w.u64(p.iteration);
+    w.f64(p.accuracy);
+    w.u64(p.uplink_bytes);
+  }
+  return w.take();
+}
+
+TrainerCheckpoint decode_checkpoint(std::span<const std::byte> payload) {
+  net::WireReader r(payload);
+  TrainerCheckpoint ck;
+  ck.iteration = r.u64();
+  ck.global_params = r.floats();
+  ck.estimator_estimate = r.floats();
+  ck.estimator_observed = r.u8() != 0;
+  ck.prev_global_update = r.floats();
+  ck.cumulative_rounds = r.u64();
+  ck.uploaded_bytes = r.u64();
+
+  const std::uint64_t records = r.u64();
+  if (records > r.remaining() / (5 * sizeof(std::uint64_t))) {
+    throw std::runtime_error("decode_checkpoint: history exceeds payload");
+  }
+  ck.history.reserve(static_cast<std::size_t>(records));
+  for (std::uint64_t i = 0; i < records; ++i) {
+    ck.history.push_back(get_record(r));
+  }
+  ck.eliminations_per_client = get_u64_vec(r);
+  ck.server_rng = get_u64_vec(r);
+
+  ck.validation.rejected_nonfinite = r.u64();
+  ck.validation.rejected_norm = r.u64();
+  ck.validation.discarded_quarantined = r.u64();
+  const std::uint64_t strikes = r.u64();
+  if (strikes > r.remaining() / sizeof(std::uint32_t)) {
+    throw std::runtime_error("decode_checkpoint: strikes exceed payload");
+  }
+  ck.validation.strikes.resize(static_cast<std::size_t>(strikes));
+  for (auto& s : ck.validation.strikes) s = r.u32();
+  const std::uint64_t quarantined = r.u64();
+  if (quarantined > r.remaining()) {
+    throw std::runtime_error("decode_checkpoint: quarantine exceeds payload");
+  }
+  ck.validation.quarantined.resize(static_cast<std::size_t>(quarantined));
+  for (auto& q : ck.validation.quarantined) q = r.u8();
+
+  const std::uint64_t clients = r.u64();
+  if (clients > r.remaining() / sizeof(std::uint64_t)) {
+    throw std::runtime_error("decode_checkpoint: client states exceed payload");
+  }
+  ck.client_state.reserve(static_cast<std::size_t>(clients));
+  for (std::uint64_t i = 0; i < clients; ++i) {
+    ck.client_state.push_back(get_u64_vec(r));
+  }
+  const std::uint64_t compressors = r.u64();
+  if (compressors > r.remaining() / sizeof(std::uint64_t)) {
+    throw std::runtime_error(
+        "decode_checkpoint: compressor states exceed payload");
+  }
+  ck.compressor_state.reserve(static_cast<std::size_t>(compressors));
+  for (std::uint64_t i = 0; i < compressors; ++i) {
+    ck.compressor_state.push_back(get_u64_vec(r));
+  }
+
+  ClusterMeterState& m = ck.meters;
+  m.uplink_bytes = r.u64();
+  m.uplink_messages = r.u64();
+  m.uplink_retransmitted = r.u64();
+  m.downlink_bytes = r.u64();
+  m.downlink_messages = r.u64();
+  m.downlink_retransmitted = r.u64();
+  m.upload_messages = r.u64();
+  m.elimination_messages = r.u64();
+  m.simulated_transfer_seconds = r.f64();
+  const std::uint64_t points = r.u64();
+  if (points > r.remaining() / (2 * sizeof(std::uint64_t) + sizeof(double))) {
+    throw std::runtime_error("decode_checkpoint: footprint exceeds payload");
+  }
+  m.footprint.reserve(static_cast<std::size_t>(points));
+  for (std::uint64_t i = 0; i < points; ++i) {
+    CheckpointFootprintPoint p;
+    p.iteration = r.u64();
+    p.accuracy = r.f64();
+    p.uplink_bytes = r.u64();
+    m.footprint.push_back(p);
+  }
+  if (!r.done()) {
+    throw std::runtime_error("decode_checkpoint: trailing bytes in payload");
+  }
+  return ck;
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const TrainerCheckpoint& ck) {
+  nn::save_blob_file(path, kMagic, kVersion, encode_checkpoint(ck));
+}
+
+TrainerCheckpoint load_checkpoint_file(const std::string& path) {
+  return decode_checkpoint(nn::load_blob_file(path, kMagic, kVersion));
+}
+
+bool bitwise_equal(const IterationRecord& a, const IterationRecord& b) {
+  return a.iteration == b.iteration && a.uploads == b.uploads &&
+         a.participants == b.participants && a.rejected == b.rejected &&
+         a.cumulative_rounds == b.cumulative_rounds &&
+         same_bits(a.mean_score, b.mean_score) &&
+         same_bits(a.mean_train_loss, b.mean_train_loss) &&
+         same_bits(a.delta_update, b.delta_update) &&
+         same_bits(a.accuracy, b.accuracy) && same_bits(a.loss, b.loss);
+}
+
+}  // namespace cmfl::fl

@@ -1,0 +1,109 @@
+// Crash-consistent full-state checkpointing of a federated run.
+//
+// A TrainerCheckpoint captures *everything* the training loop needs to
+// continue as if it had never stopped: global model parameters, the
+// estimator feedback loop (ū and its observed flag), the previous global
+// update (ΔUpdate bookkeeping), progress counters, the full per-iteration
+// history recorded so far, the server RNG stream, validation/quarantine
+// state, every client's stochastic state (batch-shuffle / noise / attack
+// RNGs), per-client compressor sampling streams, and — for cluster runs —
+// the ByteMeter/message counters and footprint curve.  The threshold and
+// learning-rate schedules are pure functions of the iteration index, so
+// saving `iteration` captures their state exactly.
+//
+// The tested invariant (see tests/test_fl_checkpoint.cpp): checkpoint at
+// iteration k, destroy the trainer, rebuild the workload from its spec,
+// resume — the final parameters and every recorded metric are bit-identical
+// to the uninterrupted run.
+//
+// On disk a checkpoint is a sealed blob (nn/serialize.h): magic "CMCK",
+// versioned, length-prefixed, CRC-32-protected, written atomically via
+// rename so a crash mid-write never corrupts the previous checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fl/robust_agg.h"
+#include "fl/simulation.h"
+
+namespace cmfl::fl {
+
+/// One accuracy-vs-bytes sample of a cluster run's footprint curve.
+struct CheckpointFootprintPoint {
+  std::uint64_t iteration = 0;
+  double accuracy = 0.0;
+  std::uint64_t uplink_bytes = 0;
+
+  bool operator==(const CheckpointFootprintPoint&) const = default;
+};
+
+/// Cluster-side accounting state (all zero/empty for in-process runs).
+/// Fault-injection counters are deliberately excluded: the injected fault
+/// streams restart on resume, so those counters describe a process
+/// lifetime, not the logical run.
+struct ClusterMeterState {
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t uplink_messages = 0;
+  std::uint64_t uplink_retransmitted = 0;
+  std::uint64_t downlink_bytes = 0;
+  std::uint64_t downlink_messages = 0;
+  std::uint64_t downlink_retransmitted = 0;
+  std::uint64_t upload_messages = 0;
+  std::uint64_t elimination_messages = 0;
+  double simulated_transfer_seconds = 0.0;
+  std::vector<CheckpointFootprintPoint> footprint;
+
+  bool operator==(const ClusterMeterState&) const = default;
+};
+
+struct TrainerCheckpoint {
+  /// Last completed iteration t; a resumed run continues at t+1.
+  std::uint64_t iteration = 0;
+
+  // Model and the CMFL feedback loop.
+  std::vector<float> global_params;
+  std::vector<float> estimator_estimate;
+  bool estimator_observed = false;
+  std::vector<float> prev_global_update;
+
+  // Progress accounting.
+  std::uint64_t cumulative_rounds = 0;
+  std::uint64_t uploaded_bytes = 0;
+  std::vector<IterationRecord> history;
+  std::vector<std::uint64_t> eliminations_per_client;
+
+  // Server-side randomness (client sampling).
+  std::vector<std::uint64_t> server_rng;
+
+  // Validation counters and quarantine state.
+  ValidationReport validation;
+
+  // Opaque per-client stochastic state (FlClient::mutable_state) and
+  // per-client compressor sampling streams (empty for cluster runs).
+  std::vector<std::vector<std::uint64_t>> client_state;
+  std::vector<std::vector<std::uint64_t>> compressor_state;
+
+  // Cluster byte/message accounting.
+  ClusterMeterState meters;
+};
+
+/// Serializes to / parses from the sealed-blob payload encoding.
+/// load throws std::runtime_error on a malformed payload.
+std::vector<std::byte> encode_checkpoint(const TrainerCheckpoint& ck);
+TrainerCheckpoint decode_checkpoint(std::span<const std::byte> payload);
+
+/// Atomic, CRC-sealed file forms (nn::save_blob_file / load_blob_file).
+void save_checkpoint_file(const std::string& path,
+                          const TrainerCheckpoint& ck);
+TrainerCheckpoint load_checkpoint_file(const std::string& path);
+
+/// Bit-exact record equality: NaN accuracy/loss fields (un-evaluated
+/// iterations) compare equal when both sides hold the same bit pattern —
+/// what the resume invariant tests need, and what operator== on doubles
+/// cannot express.
+bool bitwise_equal(const IterationRecord& a, const IterationRecord& b);
+
+}  // namespace cmfl::fl

@@ -4,6 +4,13 @@
 
 namespace cmfl::fl {
 
+void FlClient::restore_mutable_state(std::span<const std::uint64_t> state) {
+  if (!state.empty()) {
+    throw std::invalid_argument(
+        "FlClient: state blob for a stateless client");
+  }
+}
+
 DenseClient::DenseClient(nn::FeedForward model,
                          const data::DenseDataset* dataset,
                          std::vector<std::size_t> shard, util::Rng rng)
@@ -49,6 +56,15 @@ double DenseClient::train_local(int epochs, std::size_t batch_size,
   return last_epoch_loss;
 }
 
+std::vector<std::uint64_t> DenseClient::mutable_state() const {
+  return util::rng_state_words(rng_);
+}
+
+void DenseClient::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  util::restore_rng_state(rng_, state);
+}
+
 SequenceClient::SequenceClient(nn::LstmLm model,
                                const data::SequenceDataset* dataset,
                                std::vector<std::size_t> shard, util::Rng rng)
@@ -92,6 +108,15 @@ double SequenceClient::train_local(int epochs, std::size_t batch_size,
     last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
   }
   return last_epoch_loss;
+}
+
+std::vector<std::uint64_t> SequenceClient::mutable_state() const {
+  return util::rng_state_words(rng_);
+}
+
+void SequenceClient::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  util::restore_rng_state(rng_, state);
 }
 
 }  // namespace cmfl::fl

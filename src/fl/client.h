@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -38,6 +39,17 @@ class FlClient {
   /// training loss of the final epoch.
   virtual double train_local(int epochs, std::size_t batch_size,
                              float lr) = 0;
+
+  /// Mutable stochastic state (batch-shuffle / noise RNG streams) as opaque
+  /// u64 words.  Model parameters are deliberately excluded: the broadcast
+  /// overwrites them every round, so the RNG streams are the only per-client
+  /// state a crash-consistent checkpoint must carry for a resumed run to
+  /// retrace the uninterrupted trajectory bit-identically.
+  virtual std::vector<std::uint64_t> mutable_state() const { return {}; }
+
+  /// Restores a state captured by mutable_state(); throws
+  /// std::invalid_argument on a malformed blob.
+  virtual void restore_mutable_state(std::span<const std::uint64_t> state);
 };
 
 /// FeedForward model over a DenseDataset shard (CNN and MLP workloads).
@@ -52,6 +64,8 @@ class DenseClient final : public FlClient {
   void set_params(std::span<const float> params) override;
   void get_params(std::span<float> out) override;
   double train_local(int epochs, std::size_t batch_size, float lr) override;
+  std::vector<std::uint64_t> mutable_state() const override;
+  void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
  private:
   nn::FeedForward model_;
@@ -71,6 +85,8 @@ class SequenceClient final : public FlClient {
   void set_params(std::span<const float> params) override;
   void get_params(std::span<float> out) override;
   double train_local(int epochs, std::size_t batch_size, float lr) override;
+  std::vector<std::uint64_t> mutable_state() const override;
+  void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
  private:
   nn::LstmLm model_;

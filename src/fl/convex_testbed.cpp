@@ -51,7 +51,7 @@ ConvexRunResult ConvexTestbed::run(std::size_t iterations,
                                    core::UpdateFilter& filter) {
   const std::size_t d = spec_.dim;
   const std::size_t m = spec_.clients;
-  std::vector<float> x(d, 0.0f);
+  std::vector<float> x(d, static_cast<float>(spec_.start_offset));
   core::GlobalUpdateEstimator estimator(d);
   util::Rng noise_rng(spec_.seed ^ 0xC0FFEEULL);
 
@@ -110,9 +110,10 @@ ConvexRunResult ConvexTestbed::run(std::size_t iterations,
 }
 
 ConvexClient::ConvexClient(std::vector<float> center, int local_steps,
-                           double gradient_noise, util::Rng rng)
+                           double gradient_noise, util::Rng rng,
+                           float start_offset)
     : center_(std::move(center)),
-      params_(center_.size(), 0.0f),
+      params_(center_.size(), start_offset),
       local_steps_(local_steps),
       gradient_noise_(gradient_noise),
       rng_(rng) {
@@ -157,6 +158,15 @@ double ConvexClient::train_local(int epochs, std::size_t /*batch_size*/,
   return 0.5 * sq;
 }
 
+std::vector<std::uint64_t> ConvexClient::mutable_state() const {
+  return util::rng_state_words(rng_);
+}
+
+void ConvexClient::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  util::restore_rng_state(rng_, state);
+}
+
 ConvexWorkload make_convex_workload(const ConvexTestbedSpec& spec) {
   ConvexWorkload w;
   w.testbed = std::make_shared<ConvexTestbed>(spec);
@@ -165,7 +175,7 @@ ConvexWorkload make_convex_workload(const ConvexTestbedSpec& spec) {
   for (std::size_t k = 0; k < spec.clients; ++k) {
     w.clients.push_back(std::make_unique<ConvexClient>(
         w.testbed->centers()[k], spec.local_steps, spec.gradient_noise,
-        rng.split(k)));
+        rng.split(k), static_cast<float>(spec.start_offset)));
   }
   auto testbed = w.testbed;
   w.evaluator = [testbed](std::span<const float> x) {

@@ -34,6 +34,12 @@ struct ConvexTestbedSpec {
   double outlier_spread = 8.0;
   double gradient_noise = 0.1;    // stochastic-gradient noise per step
   int local_steps = 5;            // SGD steps per client per round
+  /// Initial point x_0 = start_offset · 1 (every coordinate).  The default
+  /// 0 starts at the centers' mean — already near x*.  A nonzero offset
+  /// starts the run far from the optimum, where honest clients share a
+  /// dominant descent direction (the regime the adversary experiments
+  /// need: sign-relevance then separates attackers from honest noise).
+  double start_offset = 0.0;
   std::uint64_t seed = 42;
 };
 
@@ -90,17 +96,20 @@ class ConvexTestbed {
 class ConvexClient final : public FlClient {
  public:
   ConvexClient(std::vector<float> center, int local_steps,
-               double gradient_noise, util::Rng rng);
+               double gradient_noise, util::Rng rng,
+               float start_offset = 0.0f);
 
   std::size_t param_count() override { return params_.size(); }
   std::size_t local_samples() const override { return 1; }
   void set_params(std::span<const float> params) override;
   void get_params(std::span<float> out) override;
   double train_local(int epochs, std::size_t batch_size, float lr) override;
+  std::vector<std::uint64_t> mutable_state() const override;
+  void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
  private:
   std::vector<float> center_;
-  std::vector<float> params_;  // starts at 0, the testbed's x_0
+  std::vector<float> params_;  // starts at start_offset·1, the testbed's x_0
   int local_steps_;
   double gradient_noise_;
   util::Rng rng_;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/compression.h"
+#include "fl/checkpoint.h"
 #include "tensor/kernels.h"
 #include "tensor/vector_ops.h"
 
@@ -57,12 +58,21 @@ FederatedSimulation::FederatedSimulation(
   }
 }
 
-SimulationResult FederatedSimulation::run() {
+SimulationResult FederatedSimulation::run() { return run_internal(nullptr); }
+
+SimulationResult FederatedSimulation::resume(
+    const TrainerCheckpoint& checkpoint) {
+  return run_internal(&checkpoint);
+}
+
+SimulationResult FederatedSimulation::run_internal(
+    const TrainerCheckpoint* resume_from) {
   const std::size_t num_clients = clients_.size();
   std::vector<float> global(dim_);
   clients_.front()->get_params(global);
 
   core::GlobalUpdateEstimator estimator(dim_, options_.estimator_ema);
+  UpdateValidator validator(num_clients, options_.validation);
   SimulationResult result;
   result.eliminations_per_client.assign(num_clients, 0);
   result.history.reserve(options_.max_iterations);
@@ -94,11 +104,67 @@ SimulationResult FederatedSimulation::run() {
         "FederatedSimulation: participation must be in (0, 1]");
   }
 
+  std::size_t start_t = 1;
+  if (resume_from != nullptr) {
+    const TrainerCheckpoint& ck = *resume_from;
+    if (ck.global_params.size() != dim_) {
+      throw std::invalid_argument(
+          "FederatedSimulation: checkpoint parameter dimension mismatch");
+    }
+    if (ck.client_state.size() != num_clients ||
+        ck.compressor_state.size() != num_clients ||
+        ck.eliminations_per_client.size() != num_clients) {
+      throw std::invalid_argument(
+          "FederatedSimulation: checkpoint client count mismatch");
+    }
+    global = ck.global_params;
+    estimator.restore(ck.estimator_estimate, ck.estimator_observed);
+    validator.restore(ck.validation);
+    prev_global_update = ck.prev_global_update;
+    cumulative_rounds = static_cast<std::size_t>(ck.cumulative_rounds);
+    result.uploaded_bytes = ck.uploaded_bytes;
+    result.history = ck.history;
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      result.eliminations_per_client[k] =
+          static_cast<std::size_t>(ck.eliminations_per_client[k]);
+      clients_[k]->restore_mutable_state(ck.client_state[k]);
+      compressors[k]->restore_mutable_state(ck.compressor_state[k]);
+    }
+    util::restore_rng_state(server_rng, ck.server_rng);
+    start_t = static_cast<std::size_t>(ck.iteration) + 1;
+  }
+
+  // Captures every piece of state the loop mutates, so a resumed run
+  // replays the remaining iterations bit-identically.
+  const auto snapshot = [&](std::size_t t) {
+    TrainerCheckpoint ck;
+    ck.iteration = t;
+    ck.global_params = global;
+    const std::span<const float> est = estimator.estimate();
+    ck.estimator_estimate.assign(est.begin(), est.end());
+    ck.estimator_observed = estimator.has_observation();
+    ck.prev_global_update = prev_global_update;
+    ck.cumulative_rounds = cumulative_rounds;
+    ck.uploaded_bytes = result.uploaded_bytes;
+    ck.history = result.history;
+    ck.eliminations_per_client.assign(result.eliminations_per_client.begin(),
+                                      result.eliminations_per_client.end());
+    ck.server_rng = util::rng_state_words(server_rng);
+    ck.validation = validator.report();
+    ck.client_state.reserve(num_clients);
+    ck.compressor_state.reserve(num_clients);
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      ck.client_state.push_back(clients_[k]->mutable_state());
+      ck.compressor_state.push_back(compressors[k]->mutable_state());
+    }
+    return ck;
+  };
+
   // Bit-packed signs of ū, rebuilt once per broadcast and shared read-only
   // by every client's relevance check (tensor::SignPack in kernels.h).
   tensor::SignPack estimate_pack;
 
-  for (std::size_t t = 1; t <= options_.max_iterations; ++t) {
+  for (std::size_t t = start_t; t <= options_.max_iterations; ++t) {
     const auto lr = static_cast<float>(options_.learning_rate.at(t));
     core::FilterContext ctx;
     ctx.global_model = global;
@@ -108,14 +174,20 @@ SimulationResult FederatedSimulation::run() {
     ctx.iteration = t;
 
     // --- Client sampling (FedAvg's C; 1.0 = the paper's full sync) ---
-    std::vector<std::size_t> participants(num_clients);
-    std::iota(participants.begin(), participants.end(), 0);
+    // Quarantined clients are excluded before sampling: the server no
+    // longer broadcasts to or trains them.
+    std::vector<std::size_t> participants;
+    participants.reserve(num_clients);
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      if (!validator.quarantined(k)) participants.push_back(k);
+    }
+    if (participants.empty()) break;  // every client quarantined
     if (options_.participation < 1.0) {
       server_rng.shuffle(participants);
       const auto count = std::max<std::size_t>(
           1, static_cast<std::size_t>(options_.participation *
                                       static_cast<double>(num_clients)));
-      participants.resize(count);
+      participants.resize(std::min(count, participants.size()));
       std::sort(participants.begin(), participants.end());
     }
 
@@ -195,61 +267,84 @@ SimulationResult FederatedSimulation::run() {
         result.uploaded_bytes += enc.wire_bytes;
         updates[k] = compressors[k]->decode(enc);
       }
-      // Fused single-pass aggregation (see kernels.h): same per-element op
-      // sequence as accumulate-then-scale, one pass over the output.
-      std::vector<float> global_update(dim_);
-      std::vector<std::span<const float>> views;
-      views.reserve(uploaded.size());
-      for (std::size_t k : uploaded) views.emplace_back(updates[k]);
-      if (options_.aggregation == Aggregation::kSampleWeighted) {
-        double total_weight = 0.0;
-        for (std::size_t k : uploaded) {
-          total_weight += static_cast<double>(clients_[k]->local_samples());
+      // Server-side validation screens what was *received* — the decoded
+      // reconstruction, which is exactly what would reach the model.
+      std::vector<std::span<const float>> received;
+      received.reserve(uploaded.size());
+      for (std::size_t k : uploaded) received.emplace_back(updates[k]);
+      const std::vector<Verdict> verdicts =
+          validator.screen_round(uploaded, received);
+      std::vector<std::size_t> accepted;
+      accepted.reserve(uploaded.size());
+      for (std::size_t i = 0; i < uploaded.size(); ++i) {
+        if (verdicts[i] == Verdict::kAccept) {
+          accepted.push_back(uploaded[i]);
+        } else {
+          ++rec.rejected;
         }
-        std::vector<float> weights;
-        weights.reserve(uploaded.size());
-        for (std::size_t k : uploaded) {
-          weights.push_back(static_cast<float>(
-              static_cast<double>(clients_[k]->local_samples()) /
-              total_weight));
-        }
-        tensor::kernels::weighted_sum(views, weights, global_update);
-      } else {
-        tensor::kernels::scaled_sum(
-            views, 1.0f / static_cast<float>(uploaded.size()), global_update);
       }
-      tensor::add(global, global_update, global);
 
-      if (!prev_global_update.empty()) {
-        rec.delta_update = core::normalized_update_difference(
-            prev_global_update, global_update);
+      if (!accepted.empty()) {
+        std::vector<float> global_update(dim_);
+        std::vector<std::span<const float>> views;
+        views.reserve(accepted.size());
+        for (std::size_t k : accepted) views.emplace_back(updates[k]);
+        std::vector<float> weights;
+        if (options_.aggregation == Aggregation::kSampleWeighted) {
+          double total_weight = 0.0;
+          for (std::size_t k : accepted) {
+            total_weight += static_cast<double>(clients_[k]->local_samples());
+          }
+          weights.reserve(accepted.size());
+          for (std::size_t k : accepted) {
+            weights.push_back(static_cast<float>(
+                static_cast<double>(clients_[k]->local_samples()) /
+                total_weight));
+          }
+        }
+        aggregate_updates(options_.aggregation, views, weights,
+                          options_.robust_aggregation, global_update);
+        tensor::add(global, global_update, global);
+
+        if (!prev_global_update.empty()) {
+          rec.delta_update = core::normalized_update_difference(
+              prev_global_update, global_update);
+        }
+        prev_global_update = global_update;
+        estimator.observe(global_update);
       }
-      prev_global_update = global_update;
-      estimator.observe(global_update);
     }
 
     // --- Periodic evaluation ---
     const bool last_iteration = t == options_.max_iterations;
+    bool stop_at_target = false;
     if (options_.eval_every > 0 &&
         (t % options_.eval_every == 0 || last_iteration)) {
       const nn::EvalResult eval = evaluator_(global);
       rec.accuracy = eval.accuracy;
       rec.loss = eval.loss;
-      result.history.push_back(rec);
-      if (options_.target_accuracy > 0.0 &&
-          eval.accuracy >= options_.target_accuracy) {
-        break;
-      }
-    } else {
-      result.history.push_back(rec);
+      // A round with a non-finite loss never satisfies the target: the
+      // model may be numerically diverged despite a plausible accuracy.
+      stop_at_target = options_.target_accuracy > 0.0 &&
+                       std::isfinite(eval.loss) &&
+                       eval.accuracy >= options_.target_accuracy;
     }
+    result.history.push_back(rec);
+
+    if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty() &&
+        (t % options_.checkpoint_every == 0 || last_iteration ||
+         stop_at_target)) {
+      save_checkpoint_file(options_.checkpoint_path, snapshot(t));
+    }
+    if (stop_at_target) break;
   }
 
   // Final bookkeeping.
   result.total_rounds = cumulative_rounds;
   result.final_params = std::move(global);
+  result.validation = validator.report();
   for (auto it = result.history.rbegin(); it != result.history.rend(); ++it) {
-    if (it->evaluated()) {
+    if (!std::isnan(it->accuracy)) {
       result.final_accuracy = it->accuracy;
       break;
     }

@@ -2,11 +2,15 @@
 //
 // Each iteration: broadcast (x_{t-1}, ū_{t-1}) → every client trains locally
 // → clients self-filter their updates via an UpdateFilter → the server
-// averages the surviving updates into ū_t and applies it.  The simulation
-// records everything the paper's figures need: per-iteration upload counts
-// (communication rounds, Eq. 4), filter scores (Fig. 2), ΔUpdate (Fig. 3),
-// per-client elimination counts (Fig. 6), and periodic test accuracy
-// (Figs. 4, 5, 7).
+// validates the received updates (fl/robust_agg.h), aggregates the accepted
+// ones into ū_t, and applies it.  The simulation records everything the
+// paper's figures need: per-iteration upload counts (communication rounds,
+// Eq. 4), filter scores (Fig. 2), ΔUpdate (Fig. 3), per-client elimination
+// counts (Fig. 6), and periodic test accuracy (Figs. 4, 5, 7).
+//
+// Runs can checkpoint their full state every `checkpoint_every` iterations
+// (fl/checkpoint.h) and later resume() bit-identically — the resumed
+// trajectory matches the uninterrupted one exactly.
 #pragma once
 
 #include <cmath>
@@ -20,16 +24,13 @@
 #include "core/filter.h"
 #include "core/threshold.h"
 #include "fl/client.h"
+#include "fl/robust_agg.h"
 #include "nn/model.h"
 #include "util/thread_pool.h"
 
 namespace cmfl::fl {
 
-/// How the server combines uploaded updates.
-enum class Aggregation {
-  kUniformMean,     // Algorithm 1: ū = (1/|S|) Σ u  (the paper's rule)
-  kSampleWeighted,  // FedAvg: weight each update by its client's |P_k|
-};
+struct TrainerCheckpoint;  // fl/checkpoint.h
 
 struct SimulationOptions {
   int local_epochs = 4;              // E in the paper
@@ -37,6 +38,9 @@ struct SimulationOptions {
   core::Schedule learning_rate = core::Schedule::inv_sqrt(0.05);
   std::size_t max_iterations = 200;
   /// Stop early once test accuracy reaches this value (<= 0 disables).
+  /// Rounds whose evaluation produced a non-finite loss never trigger the
+  /// early stop: a diverged model can score a spuriously "good" accuracy on
+  /// a small test set while being numerically destroyed.
   double target_accuracy = 0.0;
   /// Evaluate the global model every `eval_every` iterations (and at the
   /// final iteration).
@@ -59,23 +63,38 @@ struct SimulationOptions {
   /// "subsample:<keep>", "structured:<density>".  Compression composes with
   /// any filter — the orthogonality the paper claims in §I.
   std::string compressor = "float32";
-  /// Server aggregation rule.
+  /// Server aggregation rule (fl/robust_agg.h).
   Aggregation aggregation = Aggregation::kUniformMean;
+  /// Knobs of the robust aggregation rules (trim fraction, clip radius).
+  RobustAggOptions robust_aggregation;
+  /// Server-side admission rules for received updates.  Defaults reject
+  /// non-finite updates and quarantine repeat offenders — non-finite values
+  /// must never reach the model.
+  ValidationPolicy validation;
   /// FedAvg's C: the fraction of clients sampled to participate each round
   /// (1.0 = full participation, the paper's synchronous scheme).
   /// Non-participants neither train nor count as communication.
   double participation = 1.0;
   /// Seed for server-side randomness (client sampling).
   std::uint64_t seed = 1234;
+  /// Write a crash-consistent checkpoint to `checkpoint_path` every
+  /// `checkpoint_every` completed iterations (0 disables).  Each write
+  /// atomically replaces the previous checkpoint.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 struct IterationRecord {
   std::size_t iteration = 0;       // t, 1-based
-  std::size_t uploads = 0;         // r_t = |S_t|
+  std::size_t uploads = 0;         // r_t = |S_t|, updates *received*
   /// Clients whose answer was counted this round: the sampled participants
   /// in the simulation, the workers whose reply arrived before the round
   /// committed in the (possibly faulty, quorum-gated) cluster.
   std::size_t participants = 0;
+  /// Received updates the server's validator refused to aggregate this
+  /// round (non-finite, norm-exploded, or from a quarantined sender).
+  /// Counted within `uploads`: a rejected update still crossed the wire.
+  std::size_t rejected = 0;
   std::size_t cumulative_rounds = 0;  // Φ up to and including t
   double mean_score = 0.0;         // mean filter score across clients
   double mean_train_loss = 0.0;
@@ -84,7 +103,12 @@ struct IterationRecord {
   double accuracy = std::numeric_limits<double>::quiet_NaN();
   double loss = std::numeric_limits<double>::quiet_NaN();
 
-  bool evaluated() const noexcept { return !std::isnan(accuracy); }
+  /// True when this iteration ran a test pass.  Both metrics are checked:
+  /// a diverged model can legitimately produce a NaN loss alongside a
+  /// finite accuracy (or vice versa), and such a round *was* evaluated.
+  bool evaluated() const noexcept {
+    return !std::isnan(accuracy) || !std::isnan(loss);
+  }
 };
 
 struct SimulationResult {
@@ -98,6 +122,9 @@ struct SimulationResult {
   std::uint64_t uploaded_bytes = 0;
   double final_accuracy = 0.0;
   std::size_t total_rounds = 0;  // Φ over the whole run
+  /// Server-side validation outcome: reject counters and which clients
+  /// ended the run quarantined.
+  ValidationReport validation;
 
   /// Accumulated communication rounds when test accuracy first reached `a`
   /// (Eq. 4 evaluated at the first eval point with accuracy >= a);
@@ -124,10 +151,21 @@ class FederatedSimulation {
   /// clients are then synchronized on the first broadcast).
   SimulationResult run();
 
+  /// Continues a checkpointed run from iteration ck.iteration + 1.  The
+  /// simulation must be constructed with the same workload spec and options
+  /// as the original run; the checkpoint supplies every piece of mutable
+  /// state (model, estimator, RNG streams, counters, history), so the
+  /// resumed trajectory is bit-identical to the uninterrupted one.  Throws
+  /// std::invalid_argument when the checkpoint does not fit this simulation
+  /// (dimension or client-count mismatch).
+  SimulationResult resume(const TrainerCheckpoint& checkpoint);
+
   std::size_t client_count() const noexcept { return clients_.size(); }
   std::size_t param_count() const noexcept { return dim_; }
 
  private:
+  SimulationResult run_internal(const TrainerCheckpoint* resume_from);
+
   std::vector<std::unique_ptr<FlClient>> clients_;
   std::unique_ptr<core::UpdateFilter> filter_;
   GlobalEvaluator evaluator_;

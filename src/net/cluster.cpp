@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/estimator.h"
+#include "fl/checkpoint.h"
 #include "tensor/vector_ops.h"
 
 namespace cmfl::net {
@@ -80,7 +81,14 @@ FlCluster::FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
   }
 }
 
-ClusterResult FlCluster::run() {
+ClusterResult FlCluster::run() { return run_internal(nullptr); }
+
+ClusterResult FlCluster::resume(const fl::TrainerCheckpoint& checkpoint) {
+  return run_internal(&checkpoint);
+}
+
+ClusterResult FlCluster::run_internal(
+    const fl::TrainerCheckpoint* resume_from) {
   const std::size_t num_workers = clients_.size();
   std::vector<WorkerEndpoint> endpoints(num_workers);
   Channel master_inbox;
@@ -96,6 +104,74 @@ ClusterResult FlCluster::run() {
 
   const int local_epochs = options_.fl.local_epochs;
   const std::size_t batch_size = options_.fl.batch_size;
+
+  ClusterResult result;
+  result.sim.eliminations_per_client.assign(num_workers, 0);
+  result.faults.max_staleness_per_client.assign(num_workers, 0);
+  std::vector<float> global(dim_);
+  clients_.front()->get_params(global);  // pre-thread-start? see note below
+  // NOTE: clients_.front() is also owned by worker thread k=0, but workers
+  // only touch clients after receiving a frame; reading initial params here
+  // happens-before the first send.
+  core::GlobalUpdateEstimator estimator(dim_, options_.fl.estimator_ema);
+  fl::UpdateValidator validator(num_workers, options_.fl.validation);
+  std::vector<float> prev_global_update;
+  std::size_t cumulative_rounds = 0;
+  std::vector<std::uint64_t> last_acked(num_workers, 0);
+  std::size_t start_t = 1;
+
+  // Immutable per-worker sample counts, snapshotted before the worker
+  // threads take ownership of the clients (needed by kSampleWeighted).
+  std::vector<std::size_t> local_samples(num_workers, 0);
+  for (std::size_t k = 0; k < num_workers; ++k) {
+    local_samples[k] = clients_[k]->local_samples();
+  }
+
+  // --- Resume: restore all mutable state before any worker thread starts
+  // (no happens-before subtleties: the threads do not exist yet) ---
+  if (resume_from != nullptr) {
+    const fl::TrainerCheckpoint& ck = *resume_from;
+    if (ck.global_params.size() != dim_) {
+      throw std::invalid_argument(
+          "FlCluster: checkpoint parameter dimension mismatch");
+    }
+    if (ck.client_state.size() != num_workers ||
+        ck.eliminations_per_client.size() != num_workers) {
+      throw std::invalid_argument(
+          "FlCluster: checkpoint worker count mismatch");
+    }
+    global = ck.global_params;
+    estimator.restore(ck.estimator_estimate, ck.estimator_observed);
+    validator.restore(ck.validation);
+    prev_global_update = ck.prev_global_update;
+    cumulative_rounds = static_cast<std::size_t>(ck.cumulative_rounds);
+    result.sim.history = ck.history;
+    result.sim.uploaded_bytes = ck.uploaded_bytes;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      result.sim.eliminations_per_client[k] =
+          static_cast<std::size_t>(ck.eliminations_per_client[k]);
+      clients_[k]->restore_mutable_state(ck.client_state[k]);
+      // A resumed worker has trivially "answered" every round up to the
+      // checkpoint — without this, staleness suspicion would fire on the
+      // first resumed rounds.
+      last_acked[k] = ck.iteration;
+    }
+    const fl::ClusterMeterState& m = ck.meters;
+    uplink_meter.restore(m.uplink_bytes, m.uplink_messages,
+                         m.uplink_retransmitted);
+    downlink_meter.restore(m.downlink_bytes, m.downlink_messages,
+                           m.downlink_retransmitted);
+    upload_frames.store(m.upload_messages, std::memory_order_relaxed);
+    elimination_frames.store(m.elimination_messages,
+                             std::memory_order_relaxed);
+    result.simulated_transfer_seconds = m.simulated_transfer_seconds;
+    result.footprint.reserve(m.footprint.size());
+    for (const auto& p : m.footprint) {
+      result.footprint.push_back({static_cast<std::size_t>(p.iteration),
+                                  p.accuracy, p.uplink_bytes});
+    }
+    start_t = static_cast<std::size_t>(ck.iteration) + 1;
+  }
 
   // --- Worker threads: the "slaves" of the paper's implementation ---
   std::vector<std::thread> workers;
@@ -196,18 +272,6 @@ ClusterResult FlCluster::run() {
   }
 
   // --- Master loop (Algorithm 1 GlobalOptimization over the wire) ---
-  ClusterResult result;
-  result.sim.eliminations_per_client.assign(num_workers, 0);
-  result.faults.max_staleness_per_client.assign(num_workers, 0);
-  std::vector<float> global(dim_);
-  clients_.front()->get_params(global);  // pre-thread-start? see note below
-  // NOTE: clients_.front() is also owned by worker thread k=0, but workers
-  // only touch clients after receiving a frame; reading initial params here
-  // happens-before the first send.
-  core::GlobalUpdateEstimator estimator(dim_, options_.fl.estimator_ema);
-  std::vector<float> prev_global_update;
-  std::size_t cumulative_rounds = 0;
-
   const RecoveryOptions& rec_opt = options_.recovery;
   const bool bounded = rec_opt.round_timeout_s > 0.0;
   std::vector<FaultyChannel> downlinks;
@@ -218,7 +282,6 @@ ClusterResult FlCluster::run() {
                            &fault_stats);
   }
   std::vector<char> alive(num_workers, 1);
-  std::vector<std::uint64_t> last_acked(num_workers, 0);
   std::vector<std::uint32_t> seq(num_workers, 0);
   std::size_t live_count = num_workers;
   std::uint64_t master_redundant = 0;
@@ -231,8 +294,55 @@ ClusterResult FlCluster::run() {
     result.faults.crashed_workers.push_back(static_cast<std::uint32_t>(k));
   };
 
-  for (std::size_t t = 1; t <= options_.fl.max_iterations && live_count > 0;
-       ++t) {
+  // Serializes every piece of trainer state the master owns or — because
+  // the round is quiesced — may safely read from the workers.
+  const auto snapshot = [&](std::size_t t) {
+    fl::TrainerCheckpoint ck;
+    ck.iteration = t;
+    ck.global_params = global;
+    const std::span<const float> est = estimator.estimate();
+    ck.estimator_estimate.assign(est.begin(), est.end());
+    ck.estimator_observed = estimator.has_observation();
+    ck.prev_global_update = prev_global_update;
+    ck.cumulative_rounds = cumulative_rounds;
+    ck.uploaded_bytes = result.sim.uploaded_bytes;
+    ck.history = result.sim.history;
+    ck.eliminations_per_client.assign(
+        result.sim.eliminations_per_client.begin(),
+        result.sim.eliminations_per_client.end());
+    ck.validation = validator.report();
+    ck.client_state.reserve(num_workers);
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      ck.client_state.push_back(clients_[k]->mutable_state());
+    }
+    fl::ClusterMeterState& m = ck.meters;
+    m.uplink_bytes = uplink_meter.total_bytes();
+    m.uplink_messages = uplink_meter.messages();
+    m.uplink_retransmitted = uplink_meter.retransmitted_bytes();
+    m.downlink_bytes = downlink_meter.total_bytes();
+    m.downlink_messages = downlink_meter.messages();
+    m.downlink_retransmitted = downlink_meter.retransmitted_bytes();
+    m.upload_messages = upload_frames.load(std::memory_order_relaxed);
+    m.elimination_messages =
+        elimination_frames.load(std::memory_order_relaxed);
+    m.simulated_transfer_seconds = result.simulated_transfer_seconds;
+    m.footprint.reserve(result.footprint.size());
+    for (const auto& p : result.footprint) {
+      m.footprint.push_back({p.iteration, p.accuracy, p.uplink_bytes});
+    }
+    return ck;
+  };
+
+  for (std::size_t t = start_t; t <= options_.fl.max_iterations; ++t) {
+    // Active = alive and not quarantined: the master no longer broadcasts
+    // to quarantined workers, so they stop training (and stop costing
+    // downlink bytes) the moment they are tripped.
+    std::size_t active_count = 0;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      if (alive[k] && !validator.quarantined(k)) ++active_count;
+    }
+    if (active_count == 0) break;
+
     const auto lr = static_cast<float>(options_.fl.learning_rate.at(t));
     BroadcastMsg bc;
     bc.iteration = t;
@@ -244,15 +354,16 @@ ClusterResult FlCluster::run() {
     std::vector<char> pending(num_workers, 0);
     std::size_t pending_count = 0;
     for (std::size_t k = 0; k < num_workers; ++k) {
-      if (alive[k]) {
+      if (alive[k] && !validator.quarantined(k)) {
         pending[k] = 1;
         ++pending_count;
         ++seq[k];  // fresh sequence number; retransmissions reuse it
       }
     }
     const auto quorum_needed = std::max<std::size_t>(
-        1, static_cast<std::size_t>(
-               std::ceil(rec_opt.quorum * static_cast<double>(live_count))));
+        1,
+        static_cast<std::size_t>(
+            std::ceil(rec_opt.quorum * static_cast<double>(active_count))));
 
     std::vector<char> answered(num_workers, 0);
     std::vector<double> scores(num_workers, 0.0);
@@ -378,13 +489,14 @@ ClusterResult FlCluster::run() {
     if (round_timed_out) ++result.faults.timed_out_rounds;
     if (round_missing > 0) ++result.faults.quorum_rounds;
     for (std::size_t k = 0; k < num_workers; ++k) {
+      if (validator.quarantined(k)) continue;  // legitimately excluded
       const std::uint64_t staleness = t - last_acked[k];
       result.faults.max_staleness_per_client[k] =
           std::max(result.faults.max_staleness_per_client[k], staleness);
     }
     if (rec_opt.suspect_after_stale_rounds > 0) {
       for (std::size_t k = 0; k < num_workers; ++k) {
-        if (alive[k] &&
+        if (alive[k] && !validator.quarantined(k) &&
             t - last_acked[k] >=
                 static_cast<std::uint64_t>(
                     rec_opt.suspect_after_stale_rounds)) {
@@ -412,35 +524,84 @@ ClusterResult FlCluster::run() {
     if (!uploads.empty()) {
       std::sort(uploads.begin(), uploads.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      std::vector<float> global_update(dim_, 0.0f);
-      for (const auto& [id, u] : uploads) tensor::axpy(1.0f, u, global_update);
-      tensor::scale(global_update,
-                    1.0f / static_cast<float>(uploads.size()));
-      tensor::add(global, global_update, global);
-      if (!prev_global_update.empty()) {
-        rec.delta_update = core::normalized_update_difference(
-            prev_global_update, global_update);
+      // Server-side validation of the received updates: non-finite or
+      // norm-exploded uploads must never touch the model, whatever the
+      // aggregation rule.
+      std::vector<std::size_t> upload_ids;
+      std::vector<std::span<const float>> received;
+      upload_ids.reserve(uploads.size());
+      received.reserve(uploads.size());
+      for (const auto& [id, u] : uploads) {
+        upload_ids.push_back(id);
+        received.emplace_back(u);
       }
-      prev_global_update = global_update;
-      estimator.observe(global_update);
+      const std::vector<fl::Verdict> verdicts =
+          validator.screen_round(upload_ids, received);
+      std::vector<std::span<const float>> views;
+      std::vector<std::size_t> accepted_ids;
+      views.reserve(uploads.size());
+      for (std::size_t i = 0; i < uploads.size(); ++i) {
+        if (verdicts[i] == fl::Verdict::kAccept) {
+          views.push_back(received[i]);
+          accepted_ids.push_back(upload_ids[i]);
+        } else {
+          ++rec.rejected;
+        }
+      }
+
+      if (!views.empty()) {
+        std::vector<float> global_update(dim_, 0.0f);
+        std::vector<float> weights;
+        if (options_.fl.aggregation == fl::Aggregation::kSampleWeighted) {
+          double total_weight = 0.0;
+          for (std::size_t id : accepted_ids) {
+            total_weight += static_cast<double>(local_samples[id]);
+          }
+          weights.reserve(accepted_ids.size());
+          for (std::size_t id : accepted_ids) {
+            weights.push_back(static_cast<float>(
+                static_cast<double>(local_samples[id]) / total_weight));
+          }
+        }
+        fl::aggregate_updates(options_.fl.aggregation, views, weights,
+                              options_.fl.robust_aggregation, global_update);
+        tensor::add(global, global_update, global);
+        if (!prev_global_update.empty()) {
+          rec.delta_update = core::normalized_update_difference(
+              prev_global_update, global_update);
+        }
+        prev_global_update = global_update;
+        estimator.observe(global_update);
+      }
     }
 
     const bool last = t == options_.fl.max_iterations;
+    bool stop_at_target = false;
     if (options_.fl.eval_every > 0 &&
         (t % options_.fl.eval_every == 0 || last)) {
       const nn::EvalResult eval = evaluator_(global);
       rec.accuracy = eval.accuracy;
       rec.loss = eval.loss;
-      result.sim.history.push_back(rec);
       result.footprint.push_back(
           {t, eval.accuracy, uplink_meter.total_bytes()});
-      if (options_.fl.target_accuracy > 0.0 &&
-          eval.accuracy >= options_.fl.target_accuracy) {
-        break;
-      }
-    } else {
-      result.sim.history.push_back(rec);
+      stop_at_target = options_.fl.target_accuracy > 0.0 &&
+                       std::isfinite(eval.loss) &&
+                       eval.accuracy >= options_.fl.target_accuracy;
     }
+    result.sim.history.push_back(rec);
+
+    // Checkpoint only when the round is quiesced: every worker this round
+    // answered (each reply happens-before this point via the channel), and
+    // no worker was ever declared crashed (a suspected worker's thread may
+    // still be running, so its client state cannot be read safely).
+    const bool quiesced =
+        round_missing == 0 && result.faults.crashed_workers.empty();
+    if (options_.fl.checkpoint_every > 0 &&
+        !options_.fl.checkpoint_path.empty() && quiesced &&
+        (t % options_.fl.checkpoint_every == 0 || last || stop_at_target)) {
+      fl::save_checkpoint_file(options_.fl.checkpoint_path, snapshot(t));
+    }
+    if (stop_at_target) break;
   }
 
   // Drain stray frames (late replies, injected duplicates) so the
@@ -463,9 +624,10 @@ ClusterResult FlCluster::run() {
 
   result.sim.total_rounds = cumulative_rounds;
   result.sim.final_params = std::move(global);
+  result.sim.validation = validator.report();
   for (auto it = result.sim.history.rbegin();
        it != result.sim.history.rend(); ++it) {
-    if (it->evaluated()) {
+    if (!std::isnan(it->accuracy)) {
       result.sim.final_accuracy = it->accuracy;
       break;
     }

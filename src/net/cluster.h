@@ -107,13 +107,30 @@ class FlCluster {
  public:
   /// Same contract as fl::FederatedSimulation, but execution flows through
   /// worker threads and serialized messages.
+  ///
+  /// Checkpointing is driven by options.fl.checkpoint_every /
+  /// checkpoint_path, exactly as in the in-process simulation.  A cluster
+  /// checkpoint is only written when the round is quiesced — every active
+  /// worker answered and none has been declared crashed — because that is
+  /// when the master can safely read worker-owned client state (the
+  /// worker's reply happens-before the master's read).  Fault-injection
+  /// counters are not checkpointed; injected fault streams restart on
+  /// resume, so at quorum 1.0 the resumed trajectory is still bit-identical
+  /// to the uninterrupted run.
   FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
             std::unique_ptr<core::UpdateFilter> filter,
             fl::GlobalEvaluator evaluator, const ClusterOptions& options);
 
   ClusterResult run();
 
+  /// Continues a checkpointed cluster run from ck.iteration + 1 (same
+  /// workload spec and options as the original run).  Throws
+  /// std::invalid_argument when the checkpoint does not fit this cluster.
+  ClusterResult resume(const fl::TrainerCheckpoint& checkpoint);
+
  private:
+  ClusterResult run_internal(const fl::TrainerCheckpoint* resume_from);
+
   std::vector<std::unique_ptr<fl::FlClient>> clients_;
   std::unique_ptr<core::UpdateFilter> filter_;
   fl::GlobalEvaluator evaluator_;

@@ -49,6 +49,16 @@ class ByteMeter {
     return retransmitted_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Checkpoint/resume support: reloads counters captured while the cluster
+  /// was quiesced.  Only safe before worker threads start recording.
+  void restore(std::uint64_t total_bytes, std::uint64_t messages,
+               std::uint64_t retransmitted_bytes) noexcept {
+    total_bytes_.store(total_bytes, std::memory_order_relaxed);
+    messages_.store(messages, std::memory_order_relaxed);
+    retransmitted_bytes_.store(retransmitted_bytes,
+                               std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::uint64_t> total_bytes_{0};
   std::atomic<std::uint64_t> messages_{0};

@@ -1,10 +1,19 @@
 #include "nn/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
+
+#include "util/crc32.h"
 
 namespace cmfl::nn {
 
@@ -23,6 +32,22 @@ T read_pod(std::istream& is) {
   is.read(reinterpret_cast<char*>(&value), sizeof(T));
   if (!is) throw std::runtime_error("load_params: truncated stream");
   return value;
+}
+
+/// Bytes left between the current read position and the end of a seekable
+/// stream; std::nullopt when the stream cannot be seeked (pipes).
+std::optional<std::uint64_t> remaining_bytes(std::istream& is) {
+  const std::istream::pos_type here = is.tellg();
+  if (here == std::istream::pos_type(-1)) return std::nullopt;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(here);
+  if (end == std::istream::pos_type(-1) || !is) {
+    is.clear();
+    is.seekg(here);
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - here);
 }
 }  // namespace
 
@@ -47,10 +72,40 @@ std::vector<float> load_params(std::istream& is) {
                              std::to_string(version));
   }
   const auto count = read_pod<std::uint64_t>(is);
-  std::vector<float> params(count);
-  is.read(reinterpret_cast<char*>(params.data()),
-          static_cast<std::streamsize>(count * sizeof(float)));
-  if (!is) throw std::runtime_error("load_params: truncated stream");
+  if (count > std::numeric_limits<std::size_t>::max() / sizeof(float)) {
+    throw std::runtime_error("load_params: absurd element count");
+  }
+  // Bound the declared count by the bytes actually present *before*
+  // allocating: a flipped length byte must raise a clean error, not a
+  // multi-GB allocation attempt.
+  if (const auto remaining = remaining_bytes(is)) {
+    if (count * sizeof(float) > *remaining) {
+      throw std::runtime_error(
+          "load_params: declared count " + std::to_string(count) +
+          " exceeds the " + std::to_string(*remaining) +
+          " bytes remaining in the stream");
+    }
+    std::vector<float> params(count);
+    is.read(reinterpret_cast<char*>(params.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    if (!is) throw std::runtime_error("load_params: truncated stream");
+    return params;
+  }
+  // Unseekable stream: read in bounded chunks so memory use tracks the
+  // data actually delivered rather than the declared count.
+  constexpr std::size_t kChunkFloats = 1 << 16;
+  std::vector<float> params;
+  std::uint64_t read_so_far = 0;
+  while (read_so_far < count) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunkFloats, count - read_so_far));
+    const std::size_t old = params.size();
+    params.resize(old + chunk);
+    is.read(reinterpret_cast<char*>(params.data() + old),
+            static_cast<std::streamsize>(chunk * sizeof(float)));
+    if (!is) throw std::runtime_error("load_params: truncated stream");
+    read_so_far += chunk;
+  }
   return params;
 }
 
@@ -65,6 +120,69 @@ std::vector<float> load_params_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_params_file: cannot open " + path);
   return load_params(is);
+}
+
+void save_blob_file(const std::string& path,
+                    const std::array<char, 4>& magic, std::uint32_t version,
+                    std::span<const std::byte> payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("save_blob_file: cannot open " + tmp);
+    os.write(magic.data(), magic.size());
+    write_pod(os, version);
+    write_pod(os, static_cast<std::uint64_t>(payload.size()));
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+    write_pod(os, util::crc32(payload));
+    if (!os) {
+      throw std::runtime_error("save_blob_file: write failed for " + tmp);
+    }
+  }
+  // Flush file contents to stable storage before the rename makes the new
+  // blob visible; otherwise a crash could publish a file whose data blocks
+  // never hit disk.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_blob_file: rename to " + path + " failed");
+  }
+}
+
+std::vector<std::byte> load_blob_file(const std::string& path,
+                                      const std::array<char, 4>& magic,
+                                      std::uint32_t version) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_blob_file: cannot open " + path);
+  char file_magic[4];
+  is.read(file_magic, sizeof(file_magic));
+  if (!is || std::memcmp(file_magic, magic.data(), magic.size()) != 0) {
+    throw std::runtime_error("load_blob_file: bad magic in " + path);
+  }
+  const auto file_version = read_pod<std::uint32_t>(is);
+  if (file_version != version) {
+    throw std::runtime_error("load_blob_file: unsupported version " +
+                             std::to_string(file_version) + " in " + path);
+  }
+  const auto size = read_pod<std::uint64_t>(is);
+  const auto remaining = remaining_bytes(is);
+  if (!remaining || size + sizeof(std::uint32_t) > *remaining) {
+    throw std::runtime_error("load_blob_file: truncated blob in " + path);
+  }
+  std::vector<std::byte> payload(static_cast<std::size_t>(size));
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  const auto stored_crc = read_pod<std::uint32_t>(is);
+  if (!is) throw std::runtime_error("load_blob_file: truncated blob in " + path);
+  if (util::crc32(payload) != stored_crc) {
+    throw std::runtime_error("load_blob_file: CRC mismatch in " + path +
+                             " (torn or corrupted checkpoint)");
+  }
+  return payload;
 }
 
 }  // namespace cmfl::nn

@@ -1,10 +1,21 @@
-// Binary checkpointing of flat parameter vectors.
+// Binary checkpointing of flat parameter vectors, and the sealed-blob file
+// framing the crash-consistent trainer checkpoints build on.
 //
-// Format (little-endian): magic "CMFL" (4 bytes), u32 version, u64 count,
-// count floats.  The same framing primitives are reused by the net wire
-// layer for update messages.
+// Parameter format (little-endian): magic "CMFL" (4 bytes), u32 version,
+// u64 count, count floats.  The same framing primitives are reused by the
+// net wire layer for update messages.
+//
+// Sealed blobs add what a crash-consistent checkpoint needs on top:
+// magic (caller-chosen, 4 bytes), u32 version, u64 payload size, payload,
+// u32 CRC-32 over the payload.  save_blob_file() writes to `path.tmp`,
+// fsyncs, then renames over `path`, so a crash mid-write can never leave a
+// half-written file at the final path — a reader sees either the complete
+// old checkpoint or the complete new one, and the CRC rejects torn or
+// bit-flipped payloads.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -16,12 +27,27 @@ namespace cmfl::nn {
 /// Writes the checkpoint; throws std::runtime_error on stream failure.
 void save_params(std::ostream& os, std::span<const float> params);
 
-/// Reads a checkpoint; throws std::runtime_error on bad magic, version, or a
-/// truncated stream.
+/// Reads a checkpoint; throws std::runtime_error on bad magic, version, or
+/// a truncated stream.  The declared element count is bounded by the bytes
+/// actually present before any allocation happens, so a corrupted length
+/// field raises a clean error instead of attempting a multi-GB allocation.
 std::vector<float> load_params(std::istream& is);
 
 /// File variants.
 void save_params_file(const std::string& path, std::span<const float> params);
 std::vector<float> load_params_file(const std::string& path);
+
+/// Crash-consistent sealed-blob file: atomic rename-on-write plus CRC-32
+/// integrity.  `magic` identifies the blob kind (e.g. "CMCK" for trainer
+/// checkpoints); `version` is the caller's payload schema version.
+void save_blob_file(const std::string& path,
+                    const std::array<char, 4>& magic, std::uint32_t version,
+                    std::span<const std::byte> payload);
+
+/// Loads a sealed blob, verifying magic, version, declared size, and CRC.
+/// Throws std::runtime_error on any mismatch, truncation, or corruption.
+std::vector<std::byte> load_blob_file(const std::string& path,
+                                      const std::array<char, 4>& magic,
+                                      std::uint32_t version);
 
 }  // namespace cmfl::nn

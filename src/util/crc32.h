@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected) over a byte range.
+//
+// One implementation shared by the two integrity layers in the repo: the
+// net wire protocol (frame seals, net/wire.h) and the crash-consistent
+// trainer checkpoints (fl/checkpoint.h).  Table-driven, computed lazily
+// once per process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cmfl::util {
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+}  // namespace cmfl::util

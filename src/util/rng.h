@@ -8,12 +8,14 @@
 // identical traces.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cmath>
 #include <limits>
 #include <numbers>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace cmfl::util {
@@ -150,6 +152,16 @@ class Rng {
     }
   }
 
+  /// The full generator state, for crash-consistent checkpointing: a
+  /// restored stream continues the exact sequence the saved one would have
+  /// produced.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  /// Restores a state captured by state().
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
   /// Derives an independent child stream; deterministic in (state, salt).
   Rng split(std::uint64_t salt) noexcept {
     SplitMix64 sm(state_[0] ^ rotl(state_[2], 13) ^
@@ -164,5 +176,23 @@ class Rng {
 
   std::array<std::uint64_t, 4> state_{};
 };
+
+/// Flattens an Rng's state into opaque u64 words — the common currency of
+/// the checkpoint layer's per-client state blobs.
+inline std::vector<std::uint64_t> rng_state_words(const Rng& rng) {
+  const auto s = rng.state();
+  return std::vector<std::uint64_t>(s.begin(), s.end());
+}
+
+/// Restores a stream from words produced by rng_state_words().  Throws
+/// std::invalid_argument if the word count is wrong.
+inline void restore_rng_state(Rng& rng, std::span<const std::uint64_t> words) {
+  std::array<std::uint64_t, 4> s{};
+  if (words.size() != s.size()) {
+    throw std::invalid_argument("restore_rng_state: expected 4 state words");
+  }
+  std::copy(words.begin(), words.end(), s.begin());
+  rng.set_state(s);
+}
 
 }  // namespace cmfl::util

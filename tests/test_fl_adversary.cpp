@@ -1,0 +1,335 @@
+// Byzantine client wrappers: deterministic attack shapes, and the
+// end-to-end defense experiment from ISSUE/DESIGN §10 — CMFL's relevance
+// filter suppresses misbehaving clients on its own, server-side validation
+// quarantines garbage senders, and robust aggregation bounds what survives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/filter.h"
+#include "fl/adversary.h"
+#include "fl/convex_testbed.h"
+#include "fl/robust_agg.h"
+#include "fl/simulation.h"
+
+namespace cmfl::fl {
+namespace {
+
+/// Minimal deterministic client: every training pass adds `lr` to every
+/// parameter, so the honest update is exactly lr per coordinate.
+class FakeClient final : public FlClient {
+ public:
+  explicit FakeClient(std::size_t dim) : params_(dim, 0.0f) {}
+  std::size_t param_count() override { return params_.size(); }
+  std::size_t local_samples() const override { return 1; }
+  void set_params(std::span<const float> p) override {
+    params_.assign(p.begin(), p.end());
+  }
+  void get_params(std::span<float> out) override {
+    std::copy(params_.begin(), params_.end(), out.begin());
+  }
+  double train_local(int, std::size_t, float lr) override {
+    for (auto& x : params_) x += lr;
+    return 1.25;
+  }
+
+ private:
+  std::vector<float> params_;
+};
+
+std::unique_ptr<ByzantineClient> wrap(Attack attack, std::uint64_t id = 0,
+                                      double scale = 3.0) {
+  AdversarySpec spec;
+  spec.attack = attack;
+  spec.scale = scale;
+  return std::make_unique<ByzantineClient>(std::make_unique<FakeClient>(4),
+                                           spec, id);
+}
+
+std::vector<float> one_round(ByzantineClient& client,
+                             const std::vector<float>& broadcast,
+                             float lr = 0.5f) {
+  client.set_params(broadcast);
+  client.train_local(1, 1, lr);
+  std::vector<float> out(broadcast.size());
+  client.get_params(out);
+  return out;
+}
+
+const std::vector<float> kBroadcast = {1.0f, -2.0f, 3.0f, 0.5f};
+
+TEST(Adversary, NamesRoundTrip) {
+  for (const auto a : {Attack::kNone, Attack::kSignFlip, Attack::kScale,
+                       Attack::kGarbage, Attack::kFreeRider,
+                       Attack::kLabelFlip}) {
+    EXPECT_EQ(parse_attack(attack_name(a)), a);
+  }
+  EXPECT_THROW(parse_attack("teleport"), std::invalid_argument);
+}
+
+TEST(Adversary, SignFlipNegatesTheUpdate) {
+  auto client = wrap(Attack::kSignFlip);
+  const auto out = one_round(*client, kBroadcast);
+  // Honest update is +0.5 everywhere; the reported one must be -0.5.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i] - kBroadcast[i], -0.5f);
+  }
+}
+
+TEST(Adversary, ScaleAmplifiesTheUpdate) {
+  auto client = wrap(Attack::kScale, 0, 3.0);
+  const auto out = one_round(*client, kBroadcast);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i] - kBroadcast[i], 3.0f * 0.5f);
+  }
+}
+
+TEST(Adversary, FreeRiderEchoesTheBroadcast) {
+  auto client = wrap(Attack::kFreeRider);
+  client->set_params(kBroadcast);
+  EXPECT_EQ(client->train_local(1, 1, 0.5f), 0.0);  // no local compute
+  std::vector<float> out(kBroadcast.size());
+  client->get_params(out);
+  EXPECT_EQ(out, kBroadcast);
+}
+
+TEST(Adversary, LabelFlipTrainsWithNegatedRate) {
+  auto client = wrap(Attack::kLabelFlip);
+  const auto out = one_round(*client, kBroadcast);
+  // Gradient ascent: the fake client adds -lr instead of +lr.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i] - kBroadcast[i], -0.5f);
+  }
+}
+
+TEST(Adversary, GarbageIsDeterministicPerSeedAndClient) {
+  auto a = wrap(Attack::kGarbage, 7);
+  auto b = wrap(Attack::kGarbage, 7);
+  auto other = wrap(Attack::kGarbage, 8);
+  const auto ua = one_round(*a, kBroadcast);
+  const auto ub = one_round(*b, kBroadcast);
+  const auto uo = one_round(*other, kBroadcast);
+  for (std::size_t i = 0; i < ua.size(); ++i) {
+    EXPECT_TRUE((std::isnan(ua[i]) && std::isnan(ub[i])) || ua[i] == ub[i]);
+  }
+  EXPECT_NE(ua, uo);  // different client id -> different stream
+}
+
+TEST(Adversary, MutableStateRestoresTheAttackStream) {
+  auto client = wrap(Attack::kGarbage, 3);
+  one_round(*client, kBroadcast);  // advance the stream
+  const auto state = client->mutable_state();
+  const auto next = one_round(*client, kBroadcast);
+  client->restore_mutable_state(state);
+  const auto replayed = one_round(*client, kBroadcast);
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    EXPECT_TRUE((std::isnan(next[i]) && std::isnan(replayed[i])) ||
+                next[i] == replayed[i]);
+  }
+}
+
+TEST(Adversary, ApplyAdversariesWrapsCeilOfFraction) {
+  std::vector<std::unique_ptr<FlClient>> clients;
+  for (int i = 0; i < 10; ++i) clients.push_back(std::make_unique<FakeClient>(2));
+  AdversarySpec spec;
+  spec.attack = Attack::kSignFlip;
+  EXPECT_EQ(apply_adversaries(clients, spec, 0.25), 3u);  // ceil(2.5)
+  std::vector<std::unique_ptr<FlClient>> more;
+  for (int i = 0; i < 10; ++i) more.push_back(std::make_unique<FakeClient>(2));
+  EXPECT_EQ(apply_adversaries(more, spec, 0.0), 0u);
+  EXPECT_THROW(apply_adversaries(more, spec, 1.5), std::invalid_argument);
+}
+
+// --- End-to-end defense experiment on the exact convex testbed ---
+
+constexpr std::size_t kClients = 20;
+constexpr double kAttackFraction = 0.4;  // 8 of 20 — well past the 20% bar
+constexpr std::size_t kIterations = 10;
+
+ConvexTestbedSpec experiment_spec() {
+  ConvexTestbedSpec spec;
+  spec.clients = kClients;
+  spec.dim = 16;
+  // Small spread: near x* the per-coordinate values of honest and sign-flip
+  // updates become statistically similar, and order-statistic aggregators
+  // inherit a center-offset bias that scales with spread².  A tight client
+  // population keeps the defended runs near the attack-free optimum.
+  spec.center_spread = 0.25;
+  spec.outlier_fraction = 0.0;
+  spec.gradient_noise = 0.05;
+  spec.local_steps = 4;
+  // Start far from x*: honest clients then share a dominant descent
+  // direction, which is what CMFL's sign-relevance keys on.
+  spec.start_offset = 3.0;
+  spec.seed = 77;
+  return spec;
+}
+
+SimulationResult run_experiment(Attack attack, double fraction,
+                                Aggregation aggregation,
+                                std::unique_ptr<core::UpdateFilter> filter,
+                                const ValidationPolicy& validation,
+                                double trim_fraction = 0.1) {
+  ConvexWorkload w = make_convex_workload(experiment_spec());
+  AdversarySpec adv;
+  adv.attack = attack;
+  adv.seed = 5;
+  apply_adversaries(w.clients, adv, fraction);
+
+  SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 1;
+  opt.learning_rate = core::Schedule::constant(0.1);
+  opt.max_iterations = kIterations;
+  opt.eval_every = 5;
+  opt.aggregation = aggregation;
+  opt.robust_aggregation.trim_fraction = trim_fraction;
+  opt.validation = validation;
+  FederatedSimulation sim(std::move(w.clients), std::move(filter),
+                          w.evaluator, opt);
+  return sim.run();
+}
+
+ValidationPolicy no_validation() {
+  ValidationPolicy off;
+  off.reject_nonfinite = false;
+  off.quarantine_after = 0;
+  return off;
+}
+
+TEST(AdversaryExperiment, SignFlipDegradesMeanButNotMedian) {
+  const SimulationResult clean =
+      run_experiment(Attack::kNone, 0.0, Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+  const SimulationResult attacked_mean =
+      run_experiment(Attack::kSignFlip, kAttackFraction,
+                     Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+  const SimulationResult attacked_median =
+      run_experiment(Attack::kSignFlip, kAttackFraction, Aggregation::kMedian,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+
+  // Vanilla mean demonstrably degrades under 40% sign-flip: the attackers
+  // drag the average update towards -u and the run stalls far from x*
+  // (measured ≈0.05 against a clean ≈0.98).
+  EXPECT_GT(clean.final_accuracy, 0.9);
+  EXPECT_LT(attacked_mean.final_accuracy, 0.3);
+  // The coordinate-wise median recovers most of it (measured ≈0.64).  It
+  // does not reach the clean optimum — with 40% attackers the order
+  // statistic keeps a bias towards the attacker centroid — but it is a
+  // multiple of the wrecked mean.
+  EXPECT_GT(attacked_median.final_accuracy, 0.45);
+  EXPECT_GT(attacked_median.final_accuracy,
+            3.0 * attacked_mean.final_accuracy);
+}
+
+TEST(AdversaryExperiment, TrimmedMeanAlsoResistsSignFlip) {
+  const SimulationResult clean =
+      run_experiment(Attack::kNone, 0.0, Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+  // Trim 45% per side: enough to discard every attacker coordinate-wise
+  // (40% of clients) while keeping a band of honest values.
+  const SimulationResult trimmed =
+      run_experiment(Attack::kSignFlip, kAttackFraction,
+                     Aggregation::kTrimmedMean,
+                     std::make_unique<core::AcceptAllFilter>(), {},
+                     /*trim_fraction=*/0.45);
+  const SimulationResult attacked_mean =
+      run_experiment(Attack::kSignFlip, kAttackFraction,
+                     Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+  // Measured ≈0.59 versus the wrecked mean's ≈0.05 (clean ≈0.98).
+  EXPECT_GT(clean.final_accuracy, 0.9);
+  EXPECT_GT(trimmed.final_accuracy, 0.45);
+  EXPECT_GT(trimmed.final_accuracy, 3.0 * attacked_mean.final_accuracy);
+}
+
+TEST(AdversaryExperiment, CmflFilterAloneSuppressesSignFlip) {
+  // The paper's §V-C claim, reproduced: the relevance filter screens out
+  // updates that disagree with the estimated global direction — a sign-flip
+  // attacker disagrees almost everywhere, so it eliminates itself at the
+  // client side, with no robust aggregation at all.
+  const SimulationResult clean =
+      run_experiment(Attack::kNone, 0.0, Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+  const SimulationResult attacked_mean =
+      run_experiment(Attack::kSignFlip, kAttackFraction,
+                     Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+  const SimulationResult cmfl = run_experiment(
+      Attack::kSignFlip, kAttackFraction, Aggregation::kUniformMean,
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.5)), {});
+
+  // Measured ≈0.94 with the filter versus ≈0.05 without (clean ≈0.98).
+  // Horizon matters: this holds in the descent phase (T=10).  Near
+  // convergence honest relevance decays towards 0.5 and a *constant*
+  // threshold starts eliminating honest clients too — the filter is a
+  // communication optimisation that doubles as a defense, not a
+  // general-horizon Byzantine aggregator.
+  EXPECT_GT(cmfl.final_accuracy, clean.final_accuracy - 0.15);
+  EXPECT_GT(cmfl.final_accuracy, 5.0 * attacked_mean.final_accuracy);
+
+  // Attackers (ids 0..7) are eliminated far more often than honest clients
+  // (measured 72 attacker vs 1 honest elimination over 10 iterations).
+  const std::size_t attackers = static_cast<std::size_t>(
+      std::ceil(kAttackFraction * static_cast<double>(kClients)));
+  std::size_t attacker_elims = 0;
+  std::size_t honest_elims = 0;
+  for (std::size_t k = 0; k < kClients; ++k) {
+    (k < attackers ? attacker_elims : honest_elims) +=
+        cmfl.eliminations_per_client[k];
+  }
+  EXPECT_GT(attacker_elims, attackers * (kIterations / 2));
+  EXPECT_LT(honest_elims, attacker_elims / 4);
+}
+
+TEST(AdversaryExperiment, GarbageSendersAreQuarantinedAndModelSurvives) {
+  const SimulationResult clean =
+      run_experiment(Attack::kNone, 0.0, Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+  // Default validation: non-finite rejection + quarantine after 3 strikes.
+  const SimulationResult defended =
+      run_experiment(Attack::kGarbage, kAttackFraction,
+                     Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(), {});
+
+  // Non-finite updates never reach the model.
+  for (const float x : defended.final_params) EXPECT_TRUE(std::isfinite(x));
+  // Measured ≈0.96 versus clean ≈0.98: after the attackers are quarantined
+  // the run converges on the honest clients' own optimum, a small bias away
+  // from the full-population x*.
+  EXPECT_GT(defended.final_accuracy, clean.final_accuracy - 0.1);
+  EXPECT_GT(defended.validation.rejected_nonfinite, 0u);
+  // Every attacker ends the run quarantined, no honest client does.
+  const std::size_t attackers = static_cast<std::size_t>(
+      std::ceil(kAttackFraction * static_cast<double>(kClients)));
+  EXPECT_EQ(defended.validation.quarantined_count(), attackers);
+  for (std::size_t k = attackers; k < kClients; ++k) {
+    EXPECT_EQ(defended.validation.quarantined[k], 0u);
+  }
+  // Rejected uploads are visible in the per-iteration records.
+  std::size_t rejected = 0;
+  for (const auto& rec : defended.history) rejected += rec.rejected;
+  EXPECT_EQ(rejected, defended.validation.total_rejected());
+}
+
+TEST(AdversaryExperiment, UnvalidatedGarbageDestroysTheMeanModel) {
+  // The negative control: with validation switched off, a single NaN
+  // coordinate in one round poisons the uniform mean irreversibly.
+  const SimulationResult wrecked =
+      run_experiment(Attack::kGarbage, kAttackFraction,
+                     Aggregation::kUniformMean,
+                     std::make_unique<core::AcceptAllFilter>(),
+                     no_validation());
+  bool any_nonfinite = false;
+  for (const float x : wrecked.final_params) {
+    if (!std::isfinite(x)) any_nonfinite = true;
+  }
+  EXPECT_TRUE(any_nonfinite);
+}
+
+}  // namespace
+}  // namespace cmfl::fl

@@ -2,6 +2,9 @@
 // communication accounting, filter behaviour, determinism.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/filter.h"
 #include "fl/metrics.h"
 #include "fl/simulation.h"
@@ -140,6 +143,59 @@ TEST(FederatedSimulation, MinUploadsRescuesStarvedRound) {
       EXPECT_EQ(rec.uploads, 2u);
     }
   }
+}
+
+TEST(IterationRecord, EvaluatedChecksBothMetrics) {
+  IterationRecord rec;
+  EXPECT_FALSE(rec.evaluated());  // both NaN: never evaluated
+  rec.loss = 1.5;                 // diverged eval: NaN accuracy, finite loss
+  EXPECT_TRUE(rec.evaluated());
+  rec.loss = std::numeric_limits<double>::quiet_NaN();
+  rec.accuracy = 0.5;             // the converse corner
+  EXPECT_TRUE(rec.evaluated());
+}
+
+TEST(FederatedSimulation, NonFiniteLossNeverTriggersEarlyStop) {
+  // An evaluator that reports a flattering accuracy alongside a NaN loss
+  // models a numerically diverged model scoring well by luck on a tiny test
+  // set.  target_accuracy must ignore such rounds and run to completion.
+  auto opt = fast_options();
+  opt.max_iterations = 8;
+  opt.eval_every = 2;
+  opt.target_accuracy = 0.5;
+  Workload w = make_digits_mlp_workload(small_spec());
+  GlobalEvaluator lying_evaluator = [](std::span<const float>) {
+    nn::EvalResult r;
+    r.accuracy = 1.0;
+    r.loss = std::numeric_limits<double>::quiet_NaN();
+    return r;
+  };
+  FederatedSimulation sim(std::move(w.clients),
+                          std::make_unique<core::AcceptAllFilter>(),
+                          lying_evaluator, opt);
+  const SimulationResult r = sim.run();
+  EXPECT_EQ(r.history.size(), 8u);  // no early stop despite accuracy = 1.0
+}
+
+TEST(FederatedSimulation, MinUploadsComposesWithSampleWeighting) {
+  // S3 regression: the min_uploads rescue path must hand the sample-weighted
+  // aggregator a weight per forced upload, not a stale weight vector.
+  auto opt = fast_options();
+  opt.max_iterations = 6;
+  opt.min_uploads = 2;
+  opt.aggregation = Aggregation::kSampleWeighted;
+  // Threshold > 1 rejects every natural upload after the cold-start round.
+  const SimulationResult r = run_with_filter(
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(1.01)),
+      opt);
+  ASSERT_EQ(r.history.size(), 6u);
+  std::size_t expected_rounds = 0;
+  for (const auto& rec : r.history) {
+    if (rec.iteration > 1) EXPECT_EQ(rec.uploads, 2u);
+    expected_rounds += rec.uploads;
+    for (float p : r.final_params) ASSERT_TRUE(std::isfinite(p));
+  }
+  EXPECT_EQ(r.total_rounds, expected_rounds);
 }
 
 TEST(FederatedSimulation, ConstructorValidation) {

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "core/filter.h"
+#include "fl/adversary.h"
+#include "fl/checkpoint.h"
 #include "fl/convex_testbed.h"
 #include "fl/simulation.h"
 #include "fl/workloads.h"
@@ -371,6 +376,127 @@ TEST(FlCluster, CrashStopWorkersAreDetectedAndExcluded) {
   // The survivors still drive the model to (near) the fault-free target.
   EXPECT_GT(r.sim.final_accuracy, 0.0);
   EXPECT_GE(r.sim.final_accuracy, clean.sim.final_accuracy - 0.15);
+}
+
+TEST(FlCluster, QuarantinesAGarbageWorker) {
+  // Worker 0 uploads garbage (noise laced with NaN/inf).  The master's
+  // validator must reject every such update, quarantine the worker after
+  // the default three strikes, and stop broadcasting to it — while the
+  // surviving workers keep the model finite.
+  fl::ConvexTestbedSpec spec;
+  spec.clients = 4;
+  spec.dim = 8;
+  spec.outlier_fraction = 0.0;
+  spec.gradient_noise = 0.02;
+  spec.local_steps = 3;
+  fl::ConvexWorkload w = fl::make_convex_workload(spec);
+
+  fl::AdversarySpec adv;
+  adv.attack = fl::Attack::kGarbage;
+  adv.seed = 17;
+  w.clients[0] = std::make_unique<fl::ByzantineClient>(
+      std::move(w.clients[0]), adv, 0);
+
+  ClusterOptions opt;
+  opt.fl.local_epochs = 1;
+  opt.fl.batch_size = 1;
+  opt.fl.learning_rate = core::Schedule::constant(0.1);
+  opt.fl.max_iterations = 8;
+  opt.fl.eval_every = 4;
+  FlCluster cluster(std::move(w.clients),
+                    std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                    opt);
+  const ClusterResult r = cluster.run();
+
+  EXPECT_EQ(r.sim.validation.quarantined_count(), 1u);
+  EXPECT_EQ(r.sim.validation.quarantined[0], 1u);
+  EXPECT_GT(r.sim.validation.rejected_nonfinite, 0u);
+  for (float p : r.sim.final_params) ASSERT_TRUE(std::isfinite(p));
+  EXPECT_GT(r.sim.final_accuracy, 0.0);
+
+  std::size_t rejected = 0;
+  for (const auto& rec : r.sim.history) {
+    rejected += rec.rejected;
+    // Once quarantined, worker 0 is no longer broadcast to: late rounds run
+    // with three participants.
+    if (rec.iteration > 4) EXPECT_EQ(rec.participants, 3u);
+  }
+  EXPECT_EQ(rejected, r.sim.validation.total_rejected());
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FlCluster, CheckpointResumeIsBitIdentical) {
+  // Kill the cluster after iteration 4, rebuild workload + cluster from
+  // scratch, resume from the checkpoint file: trajectory, byte accounting,
+  // and footprint curve all match the uninterrupted run exactly.
+  const std::string ref_path = ::testing::TempDir() + "cluster_ck_ref.bin";
+  const std::string path = ::testing::TempDir() + "cluster_ck.bin";
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+
+  auto opt = fast_options();  // 12 iterations, eval_every 4
+  opt.fl.checkpoint_every = 4;
+  opt.fl.checkpoint_path = ref_path;
+
+  fl::Workload w1 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster ref_cluster(
+      std::move(w1.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w1.evaluator, opt);
+  const ClusterResult uninterrupted = ref_cluster.run();
+
+  {
+    auto first_half = opt;
+    first_half.fl.max_iterations = 4;
+    first_half.fl.checkpoint_path = path;
+    fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+    FlCluster cluster(
+        std::move(w.clients),
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        w.evaluator, first_half);
+    cluster.run();
+  }  // master and workers torn down here
+
+  const fl::TrainerCheckpoint ck = fl::load_checkpoint_file(path);
+  EXPECT_EQ(ck.iteration, 4u);
+  auto resume_opt = opt;
+  resume_opt.fl.checkpoint_path = path;
+  fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster resumed_cluster(
+      std::move(w2.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w2.evaluator, resume_opt);
+  const ClusterResult resumed = resumed_cluster.resume(ck);
+
+  EXPECT_EQ(resumed.sim.final_params, uninterrupted.sim.final_params);
+  ASSERT_EQ(resumed.sim.history.size(), uninterrupted.sim.history.size());
+  for (std::size_t i = 0; i < uninterrupted.sim.history.size(); ++i) {
+    EXPECT_TRUE(fl::bitwise_equal(resumed.sim.history[i],
+                                  uninterrupted.sim.history[i]))
+        << "iteration record " << i;
+  }
+  EXPECT_EQ(resumed.sim.eliminations_per_client,
+            uninterrupted.sim.eliminations_per_client);
+  EXPECT_EQ(resumed.sim.total_rounds, uninterrupted.sim.total_rounds);
+  EXPECT_EQ(resumed.sim.uploaded_bytes, uninterrupted.sim.uploaded_bytes);
+  EXPECT_EQ(resumed.uplink_bytes, uninterrupted.uplink_bytes);
+  EXPECT_EQ(resumed.downlink_bytes, uninterrupted.downlink_bytes);
+  EXPECT_EQ(resumed.upload_messages, uninterrupted.upload_messages);
+  EXPECT_EQ(resumed.elimination_messages,
+            uninterrupted.elimination_messages);
+  EXPECT_EQ(resumed.simulated_transfer_seconds,
+            uninterrupted.simulated_transfer_seconds);
+  ASSERT_EQ(resumed.footprint.size(), uninterrupted.footprint.size());
+  for (std::size_t i = 0; i < uninterrupted.footprint.size(); ++i) {
+    EXPECT_EQ(resumed.footprint[i].iteration,
+              uninterrupted.footprint[i].iteration);
+    EXPECT_EQ(resumed.footprint[i].accuracy,
+              uninterrupted.footprint[i].accuracy);
+    EXPECT_EQ(resumed.footprint[i].uplink_bytes,
+              uninterrupted.footprint[i].uplink_bytes);
+  }
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
 }
 
 }  // namespace

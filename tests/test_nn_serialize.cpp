@@ -1,0 +1,164 @@
+// Corruption-hardened parameter serialization (S1) and the sealed-blob
+// file framing checkpoints build on: round trips, truncation at every byte,
+// header bit-flips, CRC detection, atomic overwrite.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/serialize.h"
+
+namespace cmfl::nn {
+namespace {
+
+std::vector<float> sample_params() {
+  std::vector<float> p;
+  for (int i = 0; i < 17; ++i) p.push_back(0.25f * static_cast<float>(i) - 2);
+  return p;
+}
+
+std::string serialized(const std::vector<float>& params) {
+  std::ostringstream os(std::ios::binary);
+  save_params(os, params);
+  return os.str();
+}
+
+TEST(Serialize, RoundTrip) {
+  const std::vector<float> params = sample_params();
+  std::istringstream is(serialized(params), std::ios::binary);
+  EXPECT_EQ(load_params(is), params);
+}
+
+TEST(Serialize, EmptyVectorRoundTrips) {
+  std::istringstream is(serialized({}), std::ios::binary);
+  EXPECT_TRUE(load_params(is).empty());
+}
+
+TEST(Serialize, TruncationAtEveryByteThrows) {
+  const std::string bytes = serialized(sample_params());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::istringstream is(bytes.substr(0, cut), std::ios::binary);
+    EXPECT_THROW(load_params(is), std::runtime_error) << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, HeaderBitFlipsFailCleanly) {
+  // Flip every bit of the 16-byte header (magic, version, count).  Each
+  // corruption must either throw a clean error or — when a count-field flip
+  // lowers the declared count — return a shorter prefix.  Crucially, a flip
+  // that inflates the count must never trigger a giant allocation: the
+  // loader bounds the count by the bytes actually present first.
+  const std::vector<float> params = sample_params();
+  const std::string bytes = serialized(params);
+  for (std::size_t byte = 0; byte < 16; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = bytes;
+      corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+      std::istringstream is(corrupted, std::ios::binary);
+      try {
+        const std::vector<float> out = load_params(is);
+        // Only a count-lowering flip can succeed, and only with fewer
+        // elements than were written.
+        EXPECT_GE(byte, 8u) << "magic/version corruption must throw";
+        EXPECT_LT(out.size(), params.size());
+      } catch (const std::runtime_error&) {
+        // Clean rejection — always acceptable.
+      }
+    }
+  }
+}
+
+TEST(Serialize, InflatedCountOnUnseekableStreamThrows) {
+  // An unseekable stream cannot pre-check the remaining size; the chunked
+  // reader must still fail on truncation instead of allocating up front.
+  std::string bytes = serialized(sample_params());
+  bytes[8] = '\xff';  // count LSB: 17 -> huge
+  bytes[9] = '\xff';
+  std::stringstream is(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(load_params(is), std::runtime_error);
+}
+
+class BlobFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "blob_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  static std::vector<std::byte> payload(std::size_t n, int salt) {
+    std::vector<std::byte> p(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = static_cast<std::byte>((i * 31 + salt) & 0xff);
+    }
+    return p;
+  }
+
+  std::string path_;
+  const std::array<char, 4> magic_ = {'T', 'E', 'S', 'T'};
+};
+
+TEST_F(BlobFileTest, RoundTrip) {
+  const auto data = payload(257, 3);
+  save_blob_file(path_, magic_, 7, data);
+  EXPECT_EQ(load_blob_file(path_, magic_, 7), data);
+  // The temporary staging file must not survive a successful save.
+  std::ifstream tmp(path_ + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(BlobFileTest, WrongMagicOrVersionThrows) {
+  save_blob_file(path_, magic_, 7, payload(64, 1));
+  EXPECT_THROW(load_blob_file(path_, {'N', 'O', 'P', 'E'}, 7),
+               std::runtime_error);
+  EXPECT_THROW(load_blob_file(path_, magic_, 8), std::runtime_error);
+}
+
+TEST_F(BlobFileTest, PayloadCorruptionIsDetectedByCrc) {
+  const auto data = payload(128, 5);
+  save_blob_file(path_, magic_, 1, data);
+  // Flip one bit in the middle of the payload region (after the 16-byte
+  // header).
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(16 + 60);
+  char c;
+  f.seekg(16 + 60);
+  f.get(c);
+  f.seekp(16 + 60);
+  f.put(static_cast<char>(c ^ 0x10));
+  f.close();
+  EXPECT_THROW(load_blob_file(path_, magic_, 1), std::runtime_error);
+}
+
+TEST_F(BlobFileTest, TruncatedFileThrows) {
+  save_blob_file(path_, magic_, 1, payload(128, 9));
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (const std::size_t keep : {0u, 3u, 4u, 8u, 15u, 16u, 70u}) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_THROW(load_blob_file(path_, magic_, 1), std::runtime_error)
+        << "truncated to " << keep;
+  }
+}
+
+TEST_F(BlobFileTest, OverwriteIsAtomicReplacement) {
+  save_blob_file(path_, magic_, 1, payload(64, 1));
+  const auto second = payload(96, 2);
+  save_blob_file(path_, magic_, 1, second);
+  EXPECT_EQ(load_blob_file(path_, magic_, 1), second);
+}
+
+}  // namespace
+}  // namespace cmfl::nn

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Scheduler smoke run: TSan pass over the sched layer plus a 100k-device
+# scale check.
+#
+#   bench/run_scale.sh [build_dir]
+#
+# Configures a separate ThreadSanitizer build tree (default build-tsan/),
+# builds the scheduler test binaries and the scale_sweep example, runs the
+# tests under TSan — the buffered-async RoundEngine trains cohorts on the
+# thread pool while the server-side event loop commits rounds, which is
+# exactly the interleaving TSan exists to check — and finishes with a
+# 100,000-device scale_sweep to confirm peak resident client state tracks
+# the cohort, not the population.
+#
+# TSan slows the binaries ~10x; the sweep below is sized to stay in the
+# tens of seconds.  For the full-speed 100k run use the default build:
+#   cmake --build build -j --target scale_sweep && build/examples/scale_sweep
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMFL_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target \
+      test_sched_population test_sched_round_engine scale_sweep
+
+for t in population round_engine; do
+  echo "== test_sched_$t (TSan) =="
+  "$BUILD_DIR/tests/test_sched_$t"
+done
+
+echo "== scale_sweep: 100k devices (TSan) =="
+"$BUILD_DIR/examples/scale_sweep" devices=100000 samples=64,256 iters=4
+
+echo "sched layer clean under ThreadSanitizer"

@@ -69,6 +69,9 @@ class ByzantineClient final : public FlClient {
   void set_params(std::span<const float> params) override;
   void get_params(std::span<float> out) override;
   double train_local(int epochs, std::size_t batch_size, float lr) override;
+  std::uint64_t lifetime_steps() const override {
+    return inner_->lifetime_steps();
+  }
   std::vector<std::uint64_t> mutable_state() const override;
   void restore_mutable_state(std::span<const std::uint64_t> state) override;
 

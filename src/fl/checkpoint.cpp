@@ -11,7 +11,9 @@ namespace cmfl::fl {
 namespace {
 
 constexpr std::array<char, 4> kMagic = {'C', 'M', 'C', 'K'};
-constexpr std::uint32_t kVersion = 1;
+// v2: IterationRecord gained cumulative_upload_bytes + staleness fields,
+// TrainerCheckpoint gained uploads_per_client and the scheduler section.
+constexpr std::uint32_t kVersion = 2;
 
 void put_u64_vec(net::WireWriter& w, std::span<const std::uint64_t> v) {
   w.u64(v.size());
@@ -34,9 +36,12 @@ void put_record(net::WireWriter& w, const IterationRecord& rec) {
   w.u64(rec.participants);
   w.u64(rec.rejected);
   w.u64(rec.cumulative_rounds);
+  w.u64(rec.cumulative_upload_bytes);
   w.f64(rec.mean_score);
   w.f64(rec.mean_train_loss);
   w.f64(rec.delta_update);
+  w.f64(rec.staleness_mean);
+  w.u64(rec.staleness_max);
   w.f64(rec.accuracy);
   w.f64(rec.loss);
 }
@@ -48,9 +53,12 @@ IterationRecord get_record(net::WireReader& r) {
   rec.participants = static_cast<std::size_t>(r.u64());
   rec.rejected = static_cast<std::size_t>(r.u64());
   rec.cumulative_rounds = static_cast<std::size_t>(r.u64());
+  rec.cumulative_upload_bytes = r.u64();
   rec.mean_score = r.f64();
   rec.mean_train_loss = r.f64();
   rec.delta_update = r.f64();
+  rec.staleness_mean = r.f64();
+  rec.staleness_max = static_cast<std::size_t>(r.u64());
   rec.accuracy = r.f64();
   rec.loss = r.f64();
   return rec;
@@ -75,6 +83,7 @@ std::vector<std::byte> encode_checkpoint(const TrainerCheckpoint& ck) {
   w.u64(ck.history.size());
   for (const auto& rec : ck.history) put_record(w, rec);
   put_u64_vec(w, ck.eliminations_per_client);
+  put_u64_vec(w, ck.uploads_per_client);
   put_u64_vec(w, ck.server_rng);
 
   w.u64(ck.validation.rejected_nonfinite);
@@ -106,6 +115,31 @@ std::vector<std::byte> encode_checkpoint(const TrainerCheckpoint& ck) {
     w.f64(p.accuracy);
     w.u64(p.uplink_bytes);
   }
+
+  const SchedulerCheckpoint& s = ck.sched;
+  w.u8(s.engaged);
+  w.u64(s.version);
+  w.f64(s.virtual_now);
+  w.u64(s.invite_counter);
+  put_u64_vec(w, s.engine_rng);
+  w.u64(s.in_flight.size());
+  for (const auto& f : s.in_flight) {
+    w.u64(f.device);
+    w.u64(f.version);
+    w.f64(f.arrival);
+    w.u8(f.kind);
+    w.f64(f.score);
+    w.f64(f.train_loss);
+    w.u64(f.local_samples);
+    w.floats(f.update);
+  }
+  put_u64_vec(w, s.population_state);
+  w.u64(s.invited);
+  w.u64(s.reported);
+  w.u64(s.unavailable_invited);
+  w.u64(s.mid_round_dropouts);
+  w.u64(s.discarded_stragglers);
+  w.u64(s.stale_discarded);
   return w.take();
 }
 
@@ -129,6 +163,7 @@ TrainerCheckpoint decode_checkpoint(std::span<const std::byte> payload) {
     ck.history.push_back(get_record(r));
   }
   ck.eliminations_per_client = get_u64_vec(r);
+  ck.uploads_per_client = get_u64_vec(r);
   ck.server_rng = get_u64_vec(r);
 
   ck.validation.rejected_nonfinite = r.u64();
@@ -187,6 +222,37 @@ TrainerCheckpoint decode_checkpoint(std::span<const std::byte> payload) {
     p.uplink_bytes = r.u64();
     m.footprint.push_back(p);
   }
+
+  SchedulerCheckpoint& s = ck.sched;
+  s.engaged = r.u8();
+  s.version = r.u64();
+  s.virtual_now = r.f64();
+  s.invite_counter = r.u64();
+  s.engine_rng = get_u64_vec(r);
+  const std::uint64_t in_flight = r.u64();
+  if (in_flight > r.remaining() / (4 * sizeof(std::uint64_t))) {
+    throw std::runtime_error("decode_checkpoint: in-flight exceeds payload");
+  }
+  s.in_flight.reserve(static_cast<std::size_t>(in_flight));
+  for (std::uint64_t i = 0; i < in_flight; ++i) {
+    SchedInFlightReport f;
+    f.device = r.u64();
+    f.version = r.u64();
+    f.arrival = r.f64();
+    f.kind = r.u8();
+    f.score = r.f64();
+    f.train_loss = r.f64();
+    f.local_samples = r.u64();
+    f.update = r.floats();
+    s.in_flight.push_back(std::move(f));
+  }
+  s.population_state = get_u64_vec(r);
+  s.invited = r.u64();
+  s.reported = r.u64();
+  s.unavailable_invited = r.u64();
+  s.mid_round_dropouts = r.u64();
+  s.discarded_stragglers = r.u64();
+  s.stale_discarded = r.u64();
   if (!r.done()) {
     throw std::runtime_error("decode_checkpoint: trailing bytes in payload");
   }
@@ -206,9 +272,12 @@ bool bitwise_equal(const IterationRecord& a, const IterationRecord& b) {
   return a.iteration == b.iteration && a.uploads == b.uploads &&
          a.participants == b.participants && a.rejected == b.rejected &&
          a.cumulative_rounds == b.cumulative_rounds &&
+         a.cumulative_upload_bytes == b.cumulative_upload_bytes &&
          same_bits(a.mean_score, b.mean_score) &&
          same_bits(a.mean_train_loss, b.mean_train_loss) &&
          same_bits(a.delta_update, b.delta_update) &&
+         same_bits(a.staleness_mean, b.staleness_mean) &&
+         a.staleness_max == b.staleness_max &&
          same_bits(a.accuracy, b.accuracy) && same_bits(a.loss, b.loss);
 }
 

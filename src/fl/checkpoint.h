@@ -59,6 +59,50 @@ struct ClusterMeterState {
   bool operator==(const ClusterMeterState&) const = default;
 };
 
+/// One report still in flight inside sched::RoundEngine's buffered-async
+/// loop: the device trained on model version `version`, its (already
+/// computed) answer arrives at virtual time `arrival`.
+struct SchedInFlightReport {
+  std::uint64_t device = 0;
+  std::uint64_t version = 0;
+  double arrival = 0.0;
+  /// 0 = elimination, 1 = upload, 2 = dropped mid-round,
+  /// 3 = invited while unavailable (never trained).
+  std::uint8_t kind = 0;
+  double score = 0.0;
+  double train_loss = 0.0;
+  std::uint64_t local_samples = 0;
+  std::vector<float> update;  // kind == 1 only
+
+  bool operator==(const SchedInFlightReport&) const = default;
+};
+
+/// Everything sched::RoundEngine needs beyond the common trainer state:
+/// the engine RNG and virtual clock, the sparse population device-state
+/// map (sched::Population::state_words), the in-flight report queue of a
+/// buffered-async run, and the schedule counters the final report
+/// accumulates.  `engaged == 0` for plain simulation / cluster checkpoints
+/// (all fields then empty).
+struct SchedulerCheckpoint {
+  std::uint8_t engaged = 0;
+  std::uint64_t version = 0;        // async: aggregations applied so far
+  double virtual_now = 0.0;         // async: virtual clock at the snapshot
+  std::uint64_t invite_counter = 0;
+  std::vector<std::uint64_t> engine_rng;
+  std::vector<SchedInFlightReport> in_flight;
+  std::vector<std::uint64_t> population_state;
+  // ScheduleReport counters (materializations/peak-resident are process-
+  // lifetime observations and deliberately excluded).
+  std::uint64_t invited = 0;
+  std::uint64_t reported = 0;
+  std::uint64_t unavailable_invited = 0;
+  std::uint64_t mid_round_dropouts = 0;
+  std::uint64_t discarded_stragglers = 0;
+  std::uint64_t stale_discarded = 0;
+
+  bool operator==(const SchedulerCheckpoint&) const = default;
+};
+
 struct TrainerCheckpoint {
   /// Last completed iteration t; a resumed run continues at t+1.
   std::uint64_t iteration = 0;
@@ -74,6 +118,7 @@ struct TrainerCheckpoint {
   std::uint64_t uploaded_bytes = 0;
   std::vector<IterationRecord> history;
   std::vector<std::uint64_t> eliminations_per_client;
+  std::vector<std::uint64_t> uploads_per_client;
 
   // Server-side randomness (client sampling).
   std::vector<std::uint64_t> server_rng;
@@ -88,6 +133,9 @@ struct TrainerCheckpoint {
 
   // Cluster byte/message accounting.
   ClusterMeterState meters;
+
+  // Device-population scheduler state (sched::RoundEngine runs only).
+  SchedulerCheckpoint sched;
 };
 
 /// Serializes to / parses from the sealed-blob payload encoding.

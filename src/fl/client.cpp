@@ -50,6 +50,7 @@ double DenseClient::train_local(int epochs, std::size_t batch_size,
       dataset_->gather(batch, bx, by);
       loss_sum += model_.train_batch(bx, by, lr);
       ++batches;
+      ++lifetime_steps_;
     }
     last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
   }
@@ -104,6 +105,7 @@ double SequenceClient::train_local(int epochs, std::size_t batch_size,
       dataset_->gather(batch, bx, by);
       loss_sum += model_.train_batch(bx, by, lr);
       ++batches;
+      ++lifetime_steps_;
     }
     last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
   }

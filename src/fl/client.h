@@ -40,6 +40,14 @@ class FlClient {
   virtual double train_local(int epochs, std::size_t batch_size,
                              float lr) = 0;
 
+  /// Total optimization steps this client instance has ever run (SGD
+  /// batches for the learning clients, gradient steps for the convex one).
+  /// A process-lifetime observation, deliberately excluded from
+  /// mutable_state(): it exists so tests can assert that unsampled clients
+  /// did no local work (the lazy-participation contract of the simulation
+  /// and the scheduler), not to survive checkpoints.
+  virtual std::uint64_t lifetime_steps() const { return 0; }
+
   /// Mutable stochastic state (batch-shuffle / noise RNG streams) as opaque
   /// u64 words.  Model parameters are deliberately excluded: the broadcast
   /// overwrites them every round, so the RNG streams are the only per-client
@@ -64,6 +72,7 @@ class DenseClient final : public FlClient {
   void set_params(std::span<const float> params) override;
   void get_params(std::span<float> out) override;
   double train_local(int epochs, std::size_t batch_size, float lr) override;
+  std::uint64_t lifetime_steps() const override { return lifetime_steps_; }
   std::vector<std::uint64_t> mutable_state() const override;
   void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
@@ -72,6 +81,7 @@ class DenseClient final : public FlClient {
   const data::DenseDataset* dataset_;
   std::vector<std::size_t> shard_;
   util::Rng rng_;
+  std::uint64_t lifetime_steps_ = 0;
 };
 
 /// LstmLm over a SequenceDataset shard (the NWP workload).
@@ -85,6 +95,7 @@ class SequenceClient final : public FlClient {
   void set_params(std::span<const float> params) override;
   void get_params(std::span<float> out) override;
   double train_local(int epochs, std::size_t batch_size, float lr) override;
+  std::uint64_t lifetime_steps() const override { return lifetime_steps_; }
   std::vector<std::uint64_t> mutable_state() const override;
   void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
@@ -93,6 +104,7 @@ class SequenceClient final : public FlClient {
   const data::SequenceDataset* dataset_;
   std::vector<std::size_t> shard_;
   util::Rng rng_;
+  std::uint64_t lifetime_steps_ = 0;
 };
 
 }  // namespace cmfl::fl

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -104,6 +106,7 @@ class ConvexClient final : public FlClient {
   void set_params(std::span<const float> params) override;
   void get_params(std::span<float> out) override;
   double train_local(int epochs, std::size_t batch_size, float lr) override;
+  std::uint64_t lifetime_steps() const override { return lifetime_steps_; }
   std::vector<std::uint64_t> mutable_state() const override;
   void restore_mutable_state(std::span<const std::uint64_t> state) override;
 
@@ -113,6 +116,7 @@ class ConvexClient final : public FlClient {
   int local_steps_;
   double gradient_noise_;
   util::Rng rng_;
+  std::uint64_t lifetime_steps_ = 0;
 };
 
 /// Clients plus exact-loss evaluator over one ConvexTestbedSpec, in the
@@ -126,5 +130,41 @@ struct ConvexWorkload {
 };
 
 ConvexWorkload make_convex_workload(const ConvexTestbedSpec& spec);
+
+/// A *virtual* convex population: per-device quadratic centers are pure
+/// hashed functions of (seed, device id) — nothing is stored per device —
+/// so the same spec can describe 50 or 100,000 devices.  The factory has
+/// the sched::ClientFactory shape (materialize device k on demand); the
+/// evaluator is exact, computed once from the streamed center statistics
+///     f(x) = ½‖x − c̄‖² + ½·mean‖c_k − c̄‖²,
+/// so evaluating never touches per-device state.  bench/bench_sched and
+/// examples/scale_sweep share this workload.
+struct VirtualConvexSpec {
+  std::uint64_t devices = 1000;
+  std::size_t dim = 32;
+  double center_spread = 1.0;
+  double outlier_fraction = 0.2;
+  double outlier_spread = 8.0;
+  double gradient_noise = 0.1;
+  int local_steps = 3;
+  double start_offset = 2.0;  // x_0 far from x* so descent is measurable
+  std::uint64_t seed = 42;
+};
+
+/// Device k's quadratic center — deterministic in (spec.seed, device).
+std::vector<float> virtual_convex_center(const VirtualConvexSpec& spec,
+                                         std::uint64_t device);
+
+struct VirtualConvexWorkload {
+  /// Materializes device k (compatible with sched::ClientFactory).
+  std::function<std::unique_ptr<FlClient>(std::uint64_t)> factory;
+  GlobalEvaluator evaluator;  // accuracy = 1/(1 + |f(x) − f(x*)|)
+  std::vector<float> optimum;  // c̄, the exact minimizer
+  double optimum_loss = 0.0;   // f(c̄) = ½·mean‖c_k − c̄‖²
+};
+
+/// Streams all `devices` centers once to fix c̄ and f(x*); O(devices·dim)
+/// setup, O(dim) per evaluation, no per-device storage afterwards.
+VirtualConvexWorkload make_virtual_convex(const VirtualConvexSpec& spec);
 
 }  // namespace cmfl::fl

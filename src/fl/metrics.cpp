@@ -13,6 +13,15 @@ std::optional<double> saving(const SimulationResult& vanilla,
   return static_cast<double>(*v) / static_cast<double>(*a);
 }
 
+std::optional<double> saving_bytes(const SimulationResult& vanilla,
+                                   const SimulationResult& algorithm,
+                                   double accuracy) {
+  const auto v = vanilla.bytes_to_accuracy(accuracy);
+  const auto a = algorithm.bytes_to_accuracy(accuracy);
+  if (!v || !a || *a == 0) return std::nullopt;
+  return static_cast<double>(*v) / static_cast<double>(*a);
+}
+
 SavingRow make_saving_row(const std::string& workload, double accuracy,
                           const SimulationResult& vanilla,
                           const SimulationResult& algorithm) {
@@ -22,6 +31,9 @@ SavingRow make_saving_row(const std::string& workload, double accuracy,
   row.vanilla_rounds = vanilla.rounds_to_accuracy(accuracy);
   row.algo_rounds = algorithm.rounds_to_accuracy(accuracy);
   row.saving = saving(vanilla, algorithm, accuracy);
+  row.vanilla_bytes = vanilla.bytes_to_accuracy(accuracy);
+  row.algo_bytes = algorithm.bytes_to_accuracy(accuracy);
+  row.byte_saving = saving_bytes(vanilla, algorithm, accuracy);
   return row;
 }
 

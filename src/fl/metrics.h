@@ -1,6 +1,7 @@
 // Communication-efficiency metrics (paper §II-B and §V).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,6 +16,16 @@ std::optional<double> saving(const SimulationResult& vanilla,
                              const SimulationResult& algorithm,
                              double accuracy);
 
+/// Byte-valued Saving^a_A: the same ratio with Φ measured in uplink bytes
+/// (bytes_to_accuracy) instead of update counts.  Counting rounds treats a
+/// compressed and an uncompressed upload as equally expensive; this metric
+/// doesn't, so compression × CMFL × scheduling comparisons stay
+/// apples-to-apples.  Returns std::nullopt if either run never reached
+/// accuracy `a` or the algorithm spent zero bytes.
+std::optional<double> saving_bytes(const SimulationResult& vanilla,
+                                   const SimulationResult& algorithm,
+                                   double accuracy);
+
 /// One row of a Table-I-style report.
 struct SavingRow {
   std::string workload;
@@ -22,6 +33,11 @@ struct SavingRow {
   std::optional<std::size_t> vanilla_rounds;
   std::optional<std::size_t> algo_rounds;
   std::optional<double> saving;
+  /// Uplink bytes each run had spent when it first reached `accuracy`, and
+  /// their ratio (saving_bytes above).
+  std::optional<std::uint64_t> vanilla_bytes;
+  std::optional<std::uint64_t> algo_bytes;
+  std::optional<double> byte_saving;
 };
 
 SavingRow make_saving_row(const std::string& workload, double accuracy,

@@ -28,6 +28,16 @@ std::optional<std::size_t> SimulationResult::iterations_to_accuracy(
   return std::nullopt;
 }
 
+std::optional<std::uint64_t> SimulationResult::bytes_to_accuracy(
+    double a) const {
+  for (const auto& rec : history) {
+    if (rec.evaluated() && rec.accuracy >= a) {
+      return rec.cumulative_upload_bytes;
+    }
+  }
+  return std::nullopt;
+}
+
 FederatedSimulation::FederatedSimulation(
     std::vector<std::unique_ptr<FlClient>> clients,
     std::unique_ptr<core::UpdateFilter> filter, GlobalEvaluator evaluator,
@@ -48,6 +58,12 @@ FederatedSimulation::FederatedSimulation(
   if (options_.max_iterations == 0) {
     throw std::invalid_argument(
         "FederatedSimulation: max_iterations must be positive");
+  }
+  options_.schedule.validate();
+  if (options_.schedule.mode != sched::RoundMode::kSync) {
+    throw std::invalid_argument(
+        "FederatedSimulation: only schedule.mode == kSync runs in-process; "
+        "over-selection and buffered-async rounds need sched::RoundEngine");
   }
   dim_ = clients_.front()->param_count();
   for (const auto& c : clients_) {
@@ -75,11 +91,14 @@ SimulationResult FederatedSimulation::run_internal(
   UpdateValidator validator(num_clients, options_.validation);
   SimulationResult result;
   result.eliminations_per_client.assign(num_clients, 0);
+  result.uploads_per_client.assign(num_clients, 0);
   result.history.reserve(options_.max_iterations);
 
-  // Per-client scratch buffers reused across iterations.
-  std::vector<std::vector<float>> updates(num_clients,
-                                          std::vector<float>(dim_));
+  // Per-client scratch buffers reused across iterations.  Update buffers
+  // are sized lazily on a client's first participation, so a mostly-idle
+  // population (small sample_size / participation) costs memory only for
+  // the clients that actually train.
+  std::vector<std::vector<float>> updates(num_clients);
   std::vector<core::FilterDecision> decisions(num_clients);
   std::vector<double> train_losses(num_clients, 0.0);
 
@@ -88,13 +107,18 @@ SimulationResult FederatedSimulation::run_internal(
     pool = std::make_unique<util::ThreadPool>();
   }
 
-  // Per-client compressors (stateful: each owns its sampling stream).
-  std::vector<std::unique_ptr<core::UpdateCompressor>> compressors;
-  compressors.reserve(num_clients);
-  for (std::size_t k = 0; k < num_clients; ++k) {
-    compressors.push_back(
-        core::make_compressor(options_.compressor, 9000 + k));
-  }
+  // Per-client compressors (stateful: each owns its sampling stream),
+  // materialized on first upload.  Construction draws nothing from the
+  // stream, so lazy materialization is bit-identical to eager.
+  std::vector<std::unique_ptr<core::UpdateCompressor>> compressors(
+      num_clients);
+  const auto compressor_for =
+      [&](std::size_t k) -> core::UpdateCompressor& {
+    if (!compressors[k]) {
+      compressors[k] = core::make_compressor(options_.compressor, 9000 + k);
+    }
+    return *compressors[k];
+  };
 
   std::vector<float> prev_global_update;
   std::size_t cumulative_rounds = 0;
@@ -113,7 +137,8 @@ SimulationResult FederatedSimulation::run_internal(
     }
     if (ck.client_state.size() != num_clients ||
         ck.compressor_state.size() != num_clients ||
-        ck.eliminations_per_client.size() != num_clients) {
+        ck.eliminations_per_client.size() != num_clients ||
+        ck.uploads_per_client.size() != num_clients) {
       throw std::invalid_argument(
           "FederatedSimulation: checkpoint client count mismatch");
     }
@@ -127,8 +152,10 @@ SimulationResult FederatedSimulation::run_internal(
     for (std::size_t k = 0; k < num_clients; ++k) {
       result.eliminations_per_client[k] =
           static_cast<std::size_t>(ck.eliminations_per_client[k]);
+      result.uploads_per_client[k] =
+          static_cast<std::size_t>(ck.uploads_per_client[k]);
       clients_[k]->restore_mutable_state(ck.client_state[k]);
-      compressors[k]->restore_mutable_state(ck.compressor_state[k]);
+      compressor_for(k).restore_mutable_state(ck.compressor_state[k]);
     }
     util::restore_rng_state(server_rng, ck.server_rng);
     start_t = static_cast<std::size_t>(ck.iteration) + 1;
@@ -149,13 +176,15 @@ SimulationResult FederatedSimulation::run_internal(
     ck.history = result.history;
     ck.eliminations_per_client.assign(result.eliminations_per_client.begin(),
                                       result.eliminations_per_client.end());
+    ck.uploads_per_client.assign(result.uploads_per_client.begin(),
+                                 result.uploads_per_client.end());
     ck.server_rng = util::rng_state_words(server_rng);
     ck.validation = validator.report();
     ck.client_state.reserve(num_clients);
     ck.compressor_state.reserve(num_clients);
     for (std::size_t k = 0; k < num_clients; ++k) {
       ck.client_state.push_back(clients_[k]->mutable_state());
-      ck.compressor_state.push_back(compressors[k]->mutable_state());
+      ck.compressor_state.push_back(compressor_for(k).mutable_state());
     }
     return ck;
   };
@@ -182,7 +211,14 @@ SimulationResult FederatedSimulation::run_internal(
       if (!validator.quarantined(k)) participants.push_back(k);
     }
     if (participants.empty()) break;  // every client quarantined
-    if (options_.participation < 1.0) {
+    if (options_.schedule.sample_size > 0) {
+      // Absolute per-round cohort size (sched::ScheduleOptions).
+      if (options_.schedule.sample_size < participants.size()) {
+        server_rng.shuffle(participants);
+        participants.resize(options_.schedule.sample_size);
+        std::sort(participants.begin(), participants.end());
+      }
+    } else if (options_.participation < 1.0) {
       server_rng.shuffle(participants);
       const auto count = std::max<std::size_t>(
           1, static_cast<std::size_t>(options_.participation *
@@ -192,8 +228,13 @@ SimulationResult FederatedSimulation::run_internal(
     }
 
     // --- LocalUpdate on every participating client (Alg. 1, 10-16) ---
+    // Only the sampled participants touch their model or data: an
+    // unsampled client runs no local training, is never asked for a filter
+    // decision, and its scratch buffer is never even allocated (see the
+    // per-client step-counter regression test in test_fl_simulation.cpp).
     auto train_one = [&](std::size_t p) {
       const std::size_t k = participants[p];
+      updates[k].resize(dim_);
       clients_[k]->set_params(global);
       train_losses[k] = clients_[k]->train_local(
           options_.local_epochs, options_.batch_size, lr);
@@ -259,13 +300,15 @@ SimulationResult FederatedSimulation::run_internal(
         loss_sum / static_cast<double>(participants.size());
 
     // --- GlobalOptimization (Algorithm 1, lines 7-9) ---
+    for (std::size_t k : uploaded) ++result.uploads_per_client[k];
     if (!uploaded.empty()) {
       // Compress exactly what crosses the wire; the server aggregates the
       // reconstructions.
       for (std::size_t k : uploaded) {
-        const core::CompressedUpdate enc = compressors[k]->encode(updates[k]);
+        core::UpdateCompressor& comp = compressor_for(k);
+        const core::CompressedUpdate enc = comp.encode(updates[k]);
         result.uploaded_bytes += enc.wire_bytes;
-        updates[k] = compressors[k]->decode(enc);
+        updates[k] = comp.decode(enc);
       }
       // Server-side validation screens what was *received* — the decoded
       // reconstruction, which is exactly what would reach the model.
@@ -314,6 +357,7 @@ SimulationResult FederatedSimulation::run_internal(
         estimator.observe(global_update);
       }
     }
+    rec.cumulative_upload_bytes = result.uploaded_bytes;
 
     // --- Periodic evaluation ---
     const bool last_iteration = t == options_.max_iterations;

@@ -26,6 +26,7 @@
 #include "fl/client.h"
 #include "fl/robust_agg.h"
 #include "nn/model.h"
+#include "sched/schedule.h"
 #include "util/thread_pool.h"
 
 namespace cmfl::fl {
@@ -75,6 +76,13 @@ struct SimulationOptions {
   /// (1.0 = full participation, the paper's synchronous scheme).
   /// Non-participants neither train nor count as communication.
   double participation = 1.0;
+  /// Scheduling policy (src/sched).  FederatedSimulation itself honours
+  /// only schedule.sample_size (an absolute per-round cohort size that
+  /// overrides the fractional `participation` when positive) and requires
+  /// schedule.mode == kSync; over-selection deadlines, availability churn
+  /// and buffered-async rounds run through sched::RoundEngine, which takes
+  /// the full SimulationOptions including this field.
+  sched::ScheduleOptions schedule;
   /// Seed for server-side randomness (client sampling).
   std::uint64_t seed = 1234;
   /// Write a crash-consistent checkpoint to `checkpoint_path` every
@@ -96,9 +104,19 @@ struct IterationRecord {
   /// Counted within `uploads`: a rejected update still crossed the wire.
   std::size_t rejected = 0;
   std::size_t cumulative_rounds = 0;  // Φ up to and including t
+  /// Cumulative uplink bytes of all uploaded (possibly compressed) updates
+  /// up to and including t — the byte-valued Φ that makes compression ×
+  /// CMFL × scheduling comparisons apples-to-apples (fl::saving_bytes).
+  std::uint64_t cumulative_upload_bytes = 0;
   double mean_score = 0.0;         // mean filter score across clients
   double mean_train_loss = 0.0;
   double delta_update = 0.0;       // Eq. 8 vs the previous global update
+  /// Staleness distribution of the updates aggregated this round (model
+  /// versions the server advanced between a client's broadcast and its
+  /// aggregation).  Always 0 in synchronous modes; populated by
+  /// sched::RoundEngine's buffered-async rounds.
+  double staleness_mean = 0.0;
+  std::size_t staleness_max = 0;
   /// Test metrics; NaN when this iteration was not evaluated.
   double accuracy = std::numeric_limits<double>::quiet_NaN();
   double loss = std::numeric_limits<double>::quiet_NaN();
@@ -114,6 +132,10 @@ struct IterationRecord {
 struct SimulationResult {
   std::vector<IterationRecord> history;
   std::vector<std::size_t> eliminations_per_client;
+  /// Per-client count of updates that crossed the uplink (the complement of
+  /// eliminations_per_client) — what Fig.-6-style outlier analysis needs
+  /// from a saved trace.
+  std::vector<std::size_t> uploads_per_client;
   std::vector<float> final_params;
   /// Per-client local parameters after the final local training pass; empty
   /// unless SimulationOptions::capture_client_params was set.
@@ -133,6 +155,11 @@ struct SimulationResult {
 
   /// Iteration index when accuracy first reached `a`.
   std::optional<std::size_t> iterations_to_accuracy(double a) const;
+
+  /// Cumulative uplink bytes when test accuracy first reached `a` (the
+  /// byte-valued analogue of rounds_to_accuracy); std::nullopt if never
+  /// reached.
+  std::optional<std::uint64_t> bytes_to_accuracy(double a) const;
 };
 
 /// Evaluates the global parameter vector on the server-side test set.

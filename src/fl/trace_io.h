@@ -1,11 +1,24 @@
 // Persistence of simulation traces.
 //
 // Benches print their tables to stdout; for downstream plotting the full
-// per-iteration history can be exported as CSV and read back.  The format
-// is one header line plus one row per iteration:
-//   iteration,uploads,cumulative_rounds,mean_score,mean_train_loss,
-//   delta_update,accuracy,loss
-// (accuracy/loss cells are empty for non-evaluated iterations).
+// per-iteration history can be exported as CSV and read back.  Two schema
+// versions exist:
+//
+//   v2 (written by write_trace_csv) opens with a version sentinel line
+//       # cmfl-trace v2
+//   followed by the column header
+//       iteration,uploads,participants,rejected,cumulative_rounds,
+//       cumulative_upload_bytes,mean_score,mean_train_loss,delta_update,
+//       staleness_mean,staleness_max,accuracy,loss
+//   one row per iteration (accuracy/loss cells empty when the iteration was
+//   not evaluated), and then one trailing row per client
+//       client,<id>,<uploads>,<eliminations>
+//   carrying the per-client communication counters (Fig.-6-style outlier
+//   analysis needs them from a saved trace).
+//
+//   v1 (the legacy schema: no sentinel, 8 columns, no client rows) is still
+//   read transparently — read_trace_csv detects the version from the first
+//   line, and v1 traces load with the newer fields defaulted to zero.
 #pragma once
 
 #include <iosfwd>
@@ -15,15 +28,15 @@
 
 namespace cmfl::fl {
 
-/// Writes `result.history` as CSV.  Throws std::runtime_error on stream
-/// failure.
+/// Writes `result.history` (and the per-client upload/elimination counters,
+/// when present) as v2 CSV.  Throws std::runtime_error on stream failure.
 void write_trace_csv(std::ostream& os, const SimulationResult& result);
 void write_trace_csv_file(const std::string& path,
                           const SimulationResult& result);
 
-/// Reads a trace back into a SimulationResult (history only; model
-/// parameters and per-client counters are not part of the CSV).  Throws
-/// std::runtime_error on malformed input.
+/// Reads a v1 or v2 trace back into a SimulationResult (history plus, for
+/// v2, the per-client counters; model parameters are not part of the CSV).
+/// Throws std::runtime_error on malformed input.
 SimulationResult read_trace_csv(std::istream& is);
 SimulationResult read_trace_csv_file(const std::string& path);
 

@@ -147,6 +147,57 @@ Workload make_digits_mlp_workload(const DigitsMlpSpec& spec) {
   return w;
 }
 
+PopulationWorkload make_digits_mlp_population(const DigitsMlpSpec& spec) {
+  // Mirrors make_digits_mlp_workload exactly: the same rng consumption
+  // order fixes the same datasets and partition, and because Rng::split is
+  // non-mutating, capturing the post-synthesis rng state lets the factory
+  // derive split(100 + k) for any device later — the identical stream the
+  // eager constructor hands client k.
+  util::Rng rng(spec.seed);
+  auto storage = std::make_shared<DenseStorage>();
+  auto train_spec = spec.digits;
+  train_spec.samples = spec.train_samples;
+  storage->train = data::make_synth_digits(train_spec, rng);
+  auto test_spec = spec.digits;
+  test_spec.samples = spec.test_samples;
+  storage->test = data::make_synth_digits(test_spec, rng);
+
+  util::Rng part_rng = rng.split(7);
+  auto partition = std::make_shared<data::Partition>(partition_dense(
+      spec.partition, storage->train.y, spec.clients, part_rng));
+
+  const std::size_t in_dim = storage->train.features();
+  util::Rng init_rng = rng.split(1);
+  const util::Rng stream_base = rng;
+
+  PopulationWorkload w;
+  w.storage = storage;
+  const auto hidden = spec.hidden;
+  const auto classes = spec.digits.classes;
+  w.factory = [storage, partition, init_rng, stream_base, in_dim, hidden,
+               classes](std::uint64_t device) -> std::unique_ptr<FlClient> {
+    if (device >= partition->client_indices.size()) {
+      throw std::out_of_range(
+          "digits_mlp_population: device id beyond spec.clients");
+    }
+    util::Rng model_rng = init_rng;  // identical weights for every device
+    nn::FeedForward model =
+        nn::make_mlp(in_dim, hidden, classes, model_rng);
+    util::Rng streams = stream_base;
+    return std::make_unique<DenseClient>(
+        std::move(model), &storage->train,
+        partition->client_indices[device], streams.split(100 + device));
+  };
+  util::Rng eval_rng = init_rng;
+  auto eval_model = std::make_shared<nn::FeedForward>(
+      nn::make_mlp(in_dim, spec.hidden, spec.digits.classes, eval_rng));
+  w.evaluator = make_dense_evaluator(eval_model, storage);
+  w.param_count = eval_model->param_count();
+  w.description = "digits_mlp_population(" + std::to_string(spec.clients) +
+                  " devices, " + std::to_string(w.param_count) + " params)";
+  return w;
+}
+
 Workload make_nwp_lstm_workload(const NwpLstmSpec& spec) {
   if (spec.test_fraction <= 0.0 || spec.test_fraction >= 1.0) {
     throw std::invalid_argument(

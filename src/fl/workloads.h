@@ -10,6 +10,8 @@
 //   * digits_mlp — small MLP variant for fast tests and the quickstart.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -54,6 +56,24 @@ struct DigitsMlpSpec {
 };
 
 Workload make_digits_mlp_workload(const DigitsMlpSpec& spec);
+
+/// A workload re-shaped for a sched::Population: the shared dataset,
+/// partition and weight-init stream are built once, and `factory(k)`
+/// materializes device k on demand — bit-identical to the k-th eager
+/// make_digits_mlp_workload client (same shard, same initial weights, same
+/// RNG stream), so a lazily materialized engine run trains the exact
+/// clients the eager simulation would.  The factory keeps `storage` alive
+/// through its captures; materializing a client costs one model init, not
+/// a dataset build.
+struct PopulationWorkload {
+  std::function<std::unique_ptr<FlClient>(std::uint64_t)> factory;
+  GlobalEvaluator evaluator;
+  std::shared_ptr<void> storage;
+  std::size_t param_count = 0;
+  std::string description;
+};
+
+PopulationWorkload make_digits_mlp_population(const DigitsMlpSpec& spec);
 
 struct NwpLstmSpec {
   data::SynthTextSpec text;       // roles == clients

@@ -107,6 +107,7 @@ ClusterResult FlCluster::run_internal(
 
   ClusterResult result;
   result.sim.eliminations_per_client.assign(num_workers, 0);
+  result.sim.uploads_per_client.assign(num_workers, 0);
   result.faults.max_staleness_per_client.assign(num_workers, 0);
   std::vector<float> global(dim_);
   clients_.front()->get_params(global);  // pre-thread-start? see note below
@@ -136,7 +137,8 @@ ClusterResult FlCluster::run_internal(
           "FlCluster: checkpoint parameter dimension mismatch");
     }
     if (ck.client_state.size() != num_workers ||
-        ck.eliminations_per_client.size() != num_workers) {
+        ck.eliminations_per_client.size() != num_workers ||
+        ck.uploads_per_client.size() != num_workers) {
       throw std::invalid_argument(
           "FlCluster: checkpoint worker count mismatch");
     }
@@ -150,6 +152,8 @@ ClusterResult FlCluster::run_internal(
     for (std::size_t k = 0; k < num_workers; ++k) {
       result.sim.eliminations_per_client[k] =
           static_cast<std::size_t>(ck.eliminations_per_client[k]);
+      result.sim.uploads_per_client[k] =
+          static_cast<std::size_t>(ck.uploads_per_client[k]);
       clients_[k]->restore_mutable_state(ck.client_state[k]);
       // A resumed worker has trivially "answered" every round up to the
       // checkpoint — without this, staleness suspicion would fire on the
@@ -310,6 +314,8 @@ ClusterResult FlCluster::run_internal(
     ck.eliminations_per_client.assign(
         result.sim.eliminations_per_client.begin(),
         result.sim.eliminations_per_client.end());
+    ck.uploads_per_client.assign(result.sim.uploads_per_client.begin(),
+                                 result.sim.uploads_per_client.end());
     ck.validation = validator.report();
     ck.client_state.reserve(num_workers);
     for (std::size_t k = 0; k < num_workers; ++k) {
@@ -372,6 +378,7 @@ ClusterResult FlCluster::run_internal(
     double round_transfer = 0.0;
     double max_upload_transfer = 0.0;
     bool round_timed_out = false;
+    bool k_committed = false;
     std::size_t round_missing = 0;
 
     int attempt = 0;
@@ -459,6 +466,20 @@ ClusterResult FlCluster::run_internal(
         } else {
           ++result.sim.eliminations_per_client[k];
         }
+        if (rec_opt.first_k_reports > 0 &&
+            accepted >= rec_opt.first_k_reports && pending_count > 0) {
+          // Over-selection: the Kth reply commits the round right now.
+          // The stragglers' late replies carry this round's iteration and
+          // are discarded idempotently by the `view.iteration < t` check
+          // once the next round is underway.
+          k_committed = true;
+          break;
+        }
+      }
+      if (k_committed) {
+        round_missing = pending_count;
+        ++result.faults.over_select_commits;
+        break;
       }
       if (pending_count == 0) break;  // every live worker answered
 
@@ -487,7 +508,7 @@ ClusterResult FlCluster::run_internal(
     }
 
     if (round_timed_out) ++result.faults.timed_out_rounds;
-    if (round_missing > 0) ++result.faults.quorum_rounds;
+    if (round_missing > 0 && !k_committed) ++result.faults.quorum_rounds;
     for (std::size_t k = 0; k < num_workers; ++k) {
       if (validator.quarantined(k)) continue;  // legitimately excluded
       const std::uint64_t staleness = t - last_acked[k];
@@ -521,6 +542,9 @@ ClusterResult FlCluster::run_internal(
     rec.mean_score =
         accepted > 0 ? score_sum / static_cast<double>(accepted) : 0.0;
 
+    for (const auto& [id, u] : uploads) {
+      ++result.sim.uploads_per_client[id];
+    }
     if (!uploads.empty()) {
       std::sort(uploads.begin(), uploads.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -574,6 +598,10 @@ ClusterResult FlCluster::run_internal(
         estimator.observe(global_update);
       }
     }
+    // Byte-valued Φ: in cluster runs "uploaded bytes" is what actually
+    // crossed the uplink — update frames, elimination frames, retransmits.
+    result.sim.uploaded_bytes = uplink_meter.total_bytes();
+    rec.cumulative_upload_bytes = result.sim.uploaded_bytes;
 
     const bool last = t == options_.fl.max_iterations;
     bool stop_at_target = false;

@@ -51,6 +51,18 @@ struct RecoveryOptions {
   /// are then detected only by retransmit exhaustion, which quorum < 1
   /// rounds may never trigger).
   int suspect_after_stale_rounds = 0;
+  /// Over-selection: commit the round as soon as this many replies have
+  /// arrived, discarding the remaining workers' late replies idempotently
+  /// (0 disables — every live worker is awaited as before).  This is the
+  /// cluster-side counterpart of sched::RoundMode::kOverSelect: broadcast
+  /// to everyone, keep the first K reporters, bound the tail.  Unlike the
+  /// quorum path it needs no deadline — the Kth reply itself commits.
+  /// Note the committed set depends on real reply arrival order (thread
+  /// timing), so — exactly as with quorum < 1 — per-round counters are not
+  /// bit-reproducible across runs; combine with suspect_after_stale_rounds
+  /// carefully, since a consistently slow worker legitimately misses
+  /// every over-selected round.
+  std::size_t first_k_reports = 0;
 };
 
 struct ClusterOptions {
@@ -81,6 +93,7 @@ struct FaultReport {
   std::uint64_t retransmits = 0;        // frames re-sent (both directions)
   std::uint64_t timed_out_rounds = 0;   // rounds with >= 1 deadline expiry
   std::uint64_t quorum_rounds = 0;      // rounds committed missing a live worker
+  std::uint64_t over_select_commits = 0;  // rounds closed by first_k_reports
   std::vector<std::uint32_t> crashed_workers;  // declared dead, in order
   /// max over committed rounds t of (t - last round client k participated).
   std::vector<std::uint64_t> max_staleness_per_client;

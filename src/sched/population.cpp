@@ -1,0 +1,278 @@
+#include "sched/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cmfl::sched {
+
+namespace {
+
+// Salts separating the independent per-device trait streams.
+constexpr std::uint64_t kSaltSpeed = 0x73706565;       // "spee"
+constexpr std::uint64_t kSaltDuty = 0x64757479;        // "duty"
+constexpr std::uint64_t kSaltAvail = 0x61766169;       // "avai"
+constexpr std::uint64_t kSaltDropout = 0x64726f70;     // "drop"
+constexpr std::uint64_t kSaltJitter = 0x6a697474;      // "jitt"
+
+std::uint64_t mix3(std::uint64_t seed, std::uint64_t device,
+                   std::uint64_t salt) {
+  util::SplitMix64 sm(seed ^ (device * 0x9e3779b97f4a7c15ULL) ^
+                      (salt * 0xbf58476d1ce4e5b9ULL));
+  sm.next();  // decorrelate nearby (device, salt) pairs
+  return sm.next();
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Standard normal from two independent unit hashes (Box–Muller).
+double hashed_normal(double u1, double u2) {
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+void PopulationSpec::validate() const {
+  if (devices == 0) {
+    throw std::invalid_argument("PopulationSpec: devices must be positive");
+  }
+  if (mean_on_fraction <= 0.0 || mean_on_fraction > 1.0) {
+    throw std::invalid_argument(
+        "PopulationSpec: mean_on_fraction must lie in (0, 1]");
+  }
+  if (dropout_mid_round < 0.0 || dropout_mid_round >= 1.0) {
+    throw std::invalid_argument(
+        "PopulationSpec: dropout_mid_round must lie in [0, 1)");
+  }
+  if (duty_period_rounds < 0.0 || latency_base_s <= 0.0 ||
+      latency_log_sigma < 0.0 || latency_jitter < 0.0) {
+    throw std::invalid_argument("PopulationSpec: negative model knob");
+  }
+}
+
+Population::Population(const PopulationSpec& spec, ClientFactory factory)
+    : spec_(spec), factory_(std::move(factory)) {
+  spec_.validate();
+  if (!factory_) {
+    throw std::invalid_argument("Population: null client factory");
+  }
+}
+
+double Population::unit_hash(std::uint64_t device, std::uint64_t salt) const {
+  return to_unit(mix3(spec_.seed, device, salt));
+}
+
+bool Population::available(std::uint64_t device, std::uint64_t round) const {
+  if (spec_.mean_on_fraction >= 1.0) return true;
+  if (spec_.duty_period_rounds > 0.0) {
+    // Device-specific deterministic duty cycle: period in
+    // [0.75, 1.25]·duty_period_rounds, device-specific phase, on for
+    // mean_on_fraction of each period.
+    const double u1 = unit_hash(device, kSaltDuty);
+    const double u2 = unit_hash(device, kSaltDuty + 1);
+    const auto period = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(
+               std::llround(spec_.duty_period_rounds * (0.75 + 0.5 * u1))));
+    const auto on_len = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            std::llround(spec_.mean_on_fraction *
+                         static_cast<double>(period))),
+        1, period - 1);
+    const auto phase = static_cast<std::uint64_t>(
+        u2 * static_cast<double>(period));
+    return (round + phase) % period < on_len;
+  }
+  // Independent per-(device, round) churn.
+  return to_unit(mix3(spec_.seed, device ^ (round * 0x94d049bb133111ebULL),
+                      kSaltAvail)) < spec_.mean_on_fraction;
+}
+
+bool Population::drops_mid_round(std::uint64_t device,
+                                 std::uint64_t round) const {
+  if (spec_.dropout_mid_round <= 0.0) return false;
+  return to_unit(mix3(spec_.seed, device ^ (round * 0xd6e8feb86659fd93ULL),
+                      kSaltDropout)) < spec_.dropout_mid_round;
+}
+
+double Population::speed_factor(std::uint64_t device) const {
+  if (spec_.latency_log_sigma <= 0.0) return 1.0;
+  const double n = hashed_normal(unit_hash(device, kSaltSpeed),
+                                 unit_hash(device, kSaltSpeed + 1));
+  return std::exp(spec_.latency_log_sigma * n);
+}
+
+double Population::draw_latency(std::uint64_t device,
+                                std::uint64_t invite_seq) const {
+  double jitter = 1.0;
+  if (spec_.latency_jitter > 0.0) {
+    const std::uint64_t k = device ^ (invite_seq * 0xda942042e4dd58b5ULL);
+    const double n =
+        hashed_normal(to_unit(mix3(spec_.seed, k, kSaltJitter)),
+                      to_unit(mix3(spec_.seed, k, kSaltJitter + 1)));
+    jitter = std::exp(spec_.latency_jitter * n);
+  }
+  return spec_.latency_base_s * speed_factor(device) * jitter;
+}
+
+std::vector<std::uint64_t> Population::sample(
+    std::uint64_t round, std::size_t count, Selection selection,
+    util::Rng& rng, const std::function<bool(std::uint64_t)>& excluded) const {
+  const bool need_available = selection == Selection::kAvailabilityAware;
+  const auto eligible = [&](std::uint64_t id) {
+    if (excluded && excluded(id)) return false;
+    return !need_available || available(id, round);
+  };
+
+  std::vector<std::uint64_t> picked;
+  if (count == 0) return picked;
+  picked.reserve(count);
+  std::unordered_set<std::uint64_t> seen;
+
+  // Rejection sampling: cheap while count << devices (the production
+  // regime).  A bounded attempt budget guards against a nearly exhausted
+  // or nearly all-offline population, after which a deterministic linear
+  // scan from a random start collects whatever is left.
+  const std::uint64_t budget =
+      64 + 16 * static_cast<std::uint64_t>(count);
+  for (std::uint64_t attempt = 0;
+       attempt < budget && picked.size() < count; ++attempt) {
+    const std::uint64_t id = rng.uniform_index(spec_.devices);
+    if (seen.contains(id) || !eligible(id)) continue;
+    seen.insert(id);
+    picked.push_back(id);
+  }
+  if (picked.size() < count) {
+    const std::uint64_t start = rng.uniform_index(spec_.devices);
+    for (std::uint64_t i = 0; i < spec_.devices && picked.size() < count;
+         ++i) {
+      const std::uint64_t id = (start + i) % spec_.devices;
+      if (seen.contains(id) || !eligible(id)) continue;
+      seen.insert(id);
+      picked.push_back(id);
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+fl::FlClient& Population::acquire(std::uint64_t device) {
+  if (device >= spec_.devices) {
+    throw std::invalid_argument("Population::acquire: device out of range");
+  }
+  auto it = resident_.find(device);
+  if (it != resident_.end()) {
+    Resident& r = it->second;
+    if (r.in_use) {
+      throw std::logic_error("Population::acquire: device already acquired");
+    }
+    lru_.erase(r.lru_pos);
+    r.in_use = true;
+    return *r.client;
+  }
+
+  std::unique_ptr<fl::FlClient> client = factory_(device);
+  if (!client) {
+    throw std::runtime_error("Population: factory returned null client");
+  }
+  ++materializations_;
+  if (const auto saved = saved_state_.find(device);
+      saved != saved_state_.end()) {
+    client->restore_mutable_state(saved->second);
+    saved_state_.erase(saved);
+  }
+  Resident r;
+  r.client = std::move(client);
+  r.in_use = true;
+  fl::FlClient& ref = *r.client;
+  resident_.emplace(device, std::move(r));
+  peak_resident_ = std::max(peak_resident_, resident_.size());
+  return ref;
+}
+
+void Population::release(std::uint64_t device) {
+  auto it = resident_.find(device);
+  if (it == resident_.end() || !it->second.in_use) {
+    throw std::logic_error("Population::release: device not acquired");
+  }
+  it->second.in_use = false;
+  it->second.lru_pos = lru_.insert(lru_.end(), device);
+  while (lru_.size() > spec_.max_resident) evict_one();
+}
+
+void Population::evict_one() {
+  const std::uint64_t device = lru_.front();
+  lru_.pop_front();
+  auto it = resident_.find(device);
+  std::vector<std::uint64_t> state = it->second.client->mutable_state();
+  if (!state.empty()) saved_state_[device] = std::move(state);
+  resident_.erase(it);
+}
+
+std::vector<std::uint64_t> Population::state_words() const {
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>> entries;
+  entries.reserve(saved_state_.size() + resident_.size());
+  for (const auto& [id, words] : saved_state_) entries.emplace_back(id, words);
+  for (const auto& [id, r] : resident_) {
+    if (r.in_use) {
+      throw std::logic_error(
+          "Population::state_words: a client is still acquired");
+    }
+    entries.emplace_back(id, r.client->mutable_state());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::uint64_t> words;
+  words.push_back(entries.size());
+  for (const auto& [id, state] : entries) {
+    words.push_back(id);
+    words.push_back(state.size());
+    words.insert(words.end(), state.begin(), state.end());
+  }
+  return words;
+}
+
+void Population::restore_state_words(std::span<const std::uint64_t> words) {
+  for (const auto& [id, r] : resident_) {
+    (void)id;
+    if (r.in_use) {
+      throw std::logic_error(
+          "Population::restore_state_words: a client is still acquired");
+    }
+  }
+  std::size_t pos = 0;
+  const auto take = [&]() {
+    if (pos >= words.size()) {
+      throw std::invalid_argument(
+          "Population::restore_state_words: truncated blob");
+    }
+    return words[pos++];
+  };
+  const std::uint64_t count = take();
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> restored;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = take();
+    const std::uint64_t n = take();
+    if (n > words.size() - pos) {
+      throw std::invalid_argument(
+          "Population::restore_state_words: state exceeds blob");
+    }
+    restored[id].assign(words.begin() + static_cast<std::ptrdiff_t>(pos),
+                        words.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+  }
+  if (pos != words.size()) {
+    throw std::invalid_argument(
+        "Population::restore_state_words: trailing words");
+  }
+  resident_.clear();
+  lru_.clear();
+  saved_state_ = std::move(restored);
+}
+
+}  // namespace cmfl::sched

@@ -1,0 +1,154 @@
+// A seeded population of virtual devices with availability churn and lazy
+// client materialization.
+//
+// The paper trains 30–142 always-on clients; a production deployment serves
+// six-figure device populations where most devices are offline at any
+// moment and a sampled cohort is all the server ever talks to.  Population
+// models exactly that regime while staying bit-deterministic:
+//
+//   * Per-device traits (speed factor, on/off duty cycle, per-round
+//     availability, mid-round dropout) are *stateless* functions of
+//     (seed, device id, round) — hashing, not stored state — so a 100k
+//     population costs no per-device memory until a device is touched.
+//   * Clients are materialized on demand through a ClientFactory and
+//     released after use.  A bounded LRU pool keeps recently used clients
+//     warm; evicted clients persist only their mutable_state() words (a few
+//     u64s), so peak resident client state is proportional to the per-round
+//     cohort, not the population.
+//   * Everything observable is reproducible from PopulationSpec::seed; the
+//     sparse device-state map plus the caller's RNG is all a checkpoint
+//     needs (state_words()/restore_state_words()).
+//
+// The factory must be deterministic: client(id) must construct an identical
+// client (same shard, same initial weights, same RNG seed) every time it is
+// called — Population restores the saved mutable state on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fl/client.h"
+#include "sched/schedule.h"
+#include "util/rng.h"
+
+namespace cmfl::sched {
+
+using ClientFactory =
+    std::function<std::unique_ptr<fl::FlClient>(std::uint64_t device_id)>;
+
+struct PopulationSpec {
+  /// Virtual device count (may be far larger than ever materialized).
+  std::uint64_t devices = 0;
+
+  // --- Availability churn ---
+  /// Expected fraction of rounds a device is available.  1.0 = always on.
+  double mean_on_fraction = 1.0;
+  /// > 0: each device follows a deterministic on/off duty cycle of roughly
+  /// this many rounds per period (device-specific period and phase), being
+  /// on for mean_on_fraction of it.  0: availability is an independent
+  /// per-(device, round) draw with probability mean_on_fraction.
+  double duty_period_rounds = 0.0;
+  /// Probability that a selected device drops mid-round: it trains (the
+  /// energy is spent) but never reports.
+  double dropout_mid_round = 0.0;
+
+  // --- Virtual latency model (drives deadlines and async arrival order) ---
+  /// Median round latency (download + train + upload) of a unit-speed
+  /// device, in virtual seconds.
+  double latency_base_s = 1.0;
+  /// Log-normal spread of the static per-device speed factor.
+  double latency_log_sigma = 0.5;
+  /// Log-normal per-invitation jitter on top of the device speed.
+  double latency_jitter = 0.2;
+
+  /// Released clients kept warm before eviction (0 = evict on release;
+  /// peak resident then equals the largest simultaneously-acquired cohort).
+  std::size_t max_resident = 0;
+
+  std::uint64_t seed = 2024;
+
+  void validate() const;
+};
+
+class Population {
+ public:
+  /// Throws std::invalid_argument on an empty population, a null factory,
+  /// or out-of-range spec knobs.
+  Population(const PopulationSpec& spec, ClientFactory factory);
+
+  std::uint64_t size() const noexcept { return spec_.devices; }
+  const PopulationSpec& spec() const noexcept { return spec_; }
+
+  // --- Stateless, seeded device traits ---
+  bool available(std::uint64_t device, std::uint64_t round) const;
+  bool drops_mid_round(std::uint64_t device, std::uint64_t round) const;
+  /// Static per-device speed multiplier (log-normal around 1).
+  double speed_factor(std::uint64_t device) const;
+  /// Virtual seconds between inviting `device` and its report arriving;
+  /// `invite_seq` individualizes the jitter per invitation.
+  double draw_latency(std::uint64_t device, std::uint64_t invite_seq) const;
+
+  // --- Cohort sampling ---
+  /// Samples up to `count` distinct device ids for `round` (sorted
+  /// ascending), drawing from `rng`.  kUniform draws over all devices —
+  /// including currently unavailable ones; kAvailabilityAware only over
+  /// devices with available(id, round).  Devices for which `excluded`
+  /// returns true (already in flight, quarantined) are never picked.
+  std::vector<std::uint64_t> sample(
+      std::uint64_t round, std::size_t count, Selection selection,
+      util::Rng& rng,
+      const std::function<bool(std::uint64_t)>& excluded = nullptr) const;
+
+  // --- Lazy client materialization ---
+  /// Materializes (or revives) the device's client and marks it in use.
+  /// Throws std::logic_error if the device is already acquired.
+  fl::FlClient& acquire(std::uint64_t device);
+  /// Returns an acquired client to the warm pool; beyond
+  /// spec().max_resident the least-recently-used warm client is destroyed,
+  /// keeping only its mutable_state() words.
+  void release(std::uint64_t device);
+
+  std::size_t resident() const noexcept { return resident_.size(); }
+  std::size_t peak_resident() const noexcept { return peak_resident_; }
+  std::uint64_t materializations() const noexcept { return materializations_; }
+
+  // --- Checkpointing ---
+  /// Flattens the sparse device-state map (saved states of evicted devices
+  /// plus the live states of resident ones) into opaque u64 words, sorted
+  /// by device id.  Throws std::logic_error while any client is acquired.
+  std::vector<std::uint64_t> state_words() const;
+  /// Restores a map captured by state_words(), dropping all resident
+  /// clients first.  Throws std::invalid_argument on a malformed blob and
+  /// std::logic_error while any client is acquired.
+  void restore_state_words(std::span<const std::uint64_t> words);
+
+ private:
+  struct Resident {
+    std::unique_ptr<fl::FlClient> client;
+    bool in_use = false;
+    /// Position in lru_ when !in_use.
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  /// Uniform double in [0, 1), pure in (seed, device, salt).
+  double unit_hash(std::uint64_t device, std::uint64_t salt) const;
+  void evict_one();
+
+  PopulationSpec spec_;
+  ClientFactory factory_;
+  std::unordered_map<std::uint64_t, Resident> resident_;
+  /// Warm (released) residents, least recently used first.
+  std::list<std::uint64_t> lru_;
+  /// mutable_state() words of devices whose client was evicted.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> saved_state_;
+  std::size_t peak_resident_ = 0;
+  std::uint64_t materializations_ = 0;
+};
+
+}  // namespace cmfl::sched

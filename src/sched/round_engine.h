@@ -1,0 +1,130 @@
+// The device-population round runtime: Algorithm 1 re-hosted on a
+// sched::Population, with production-scale round semantics.
+//
+// RoundEngine sits between the workloads and the trainer layer: where
+// fl::FederatedSimulation drives a fixed vector of always-on clients, the
+// engine drives a (possibly 100k+) population of churning virtual devices
+// through one of three round modes (sched::RoundMode):
+//
+//   * kSync        — classic synchronous rounds over a sampled cohort.
+//   * kOverSelect  — invite more than needed, commit on the first K
+//                    reporters (virtual-latency order, optional deadline),
+//                    discard stragglers — the round shape production FL
+//                    systems use to bound tail latency.
+//   * kBufferedAsync — FedBuff-style: devices report whenever they finish;
+//                    the server aggregates once `async_buffer` uploads are
+//                    buffered, weighting each by (1+staleness)^-γ.
+//
+// CMFL under staleness: each device computes its relevance score against
+// the (x, ū) pair it was actually sent — in async mode that is the ū of the
+// model version it trained on, not the version current at arrival — and
+// every aggregated round records the staleness distribution
+// (IterationRecord::staleness_mean/max), so benches can show where
+// relevance-based filtering degrades or holds as rounds desynchronize.
+//
+// Time is virtual (Population's seeded latency model), so every mode is
+// bit-deterministic for a fixed seed; local training still runs on the
+// thread pool when SimulationOptions::parallel is set.  Runs checkpoint
+// and resume bit-identically through fl::TrainerCheckpoint v2, including
+// the in-flight report queue of a buffered-async run.  See DESIGN.md §11.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/filter.h"
+#include "fl/simulation.h"
+#include "sched/population.h"
+#include "sched/schedule.h"
+
+namespace cmfl::sched {
+
+/// Scheduling outcomes beyond what SimulationResult already records.
+struct ScheduleReport {
+  std::uint64_t invited = 0;   // invitations issued (incl. wasted ones)
+  std::uint64_t reported = 0;  // reports that reached the server in time
+  std::uint64_t unavailable_invited = 0;  // invited while offline (kUniform)
+  std::uint64_t mid_round_dropouts = 0;   // trained but never reported
+  std::uint64_t discarded_stragglers = 0; // reported after commit/deadline
+  std::uint64_t stale_discarded = 0;      // async: beyond max_staleness
+  // Lazy-materialization accounting (process lifetime, not checkpointed).
+  std::uint64_t materializations = 0;
+  std::size_t peak_resident_clients = 0;
+};
+
+struct EngineResult {
+  fl::SimulationResult sim;
+  ScheduleReport sched;
+};
+
+class RoundEngine {
+ public:
+  /// `population` must outlive the engine and have no acquired clients.
+  /// The filter decides uploads exactly as in FederatedSimulation; the
+  /// evaluator runs the server-side test pass.  Only the lossless
+  /// "float32" compressor is supported (updates cross the virtual wire at
+  /// full precision; bytes are still metered exactly).
+  ///
+  /// Honoured SimulationOptions fields: local_epochs, batch_size,
+  /// learning_rate, max_iterations (rounds in sync/over-select mode,
+  /// aggregations in async mode), target_accuracy, eval_every, min_uploads
+  /// (sync/over-select), estimator_ema, parallel, aggregation /
+  /// robust_aggregation / validation, seed, checkpoint_every /
+  /// checkpoint_path, and `schedule` — everything else is either
+  /// per-client (participation: superseded by schedule.sample_size) or
+  /// unsupported here (capture_client_params, non-float32 compressors).
+  RoundEngine(Population& population,
+              std::unique_ptr<core::UpdateFilter> filter,
+              fl::GlobalEvaluator evaluator,
+              const fl::SimulationOptions& options);
+
+  /// Initializes the global model from device 0's freshly materialized
+  /// parameters (all devices then synchronize on their first broadcast).
+  EngineResult run();
+
+  /// Continues a checkpointed engine run (same population spec, factory
+  /// and options).  Bit-identical to the uninterrupted run, including a
+  /// buffered-async run's in-flight reports.  Throws std::invalid_argument
+  /// when the checkpoint does not fit (dimension/population mismatch or a
+  /// non-engine checkpoint).
+  EngineResult resume(const fl::TrainerCheckpoint& checkpoint);
+
+  std::size_t param_count() const noexcept { return dim_; }
+
+ private:
+  struct Ctx;      // per-run mutable state (round_engine.cpp)
+  struct Trained;  // one device's training outcome (round_engine.cpp)
+
+  EngineResult run_internal(const fl::TrainerCheckpoint* resume_from);
+  void run_sync_rounds(Ctx& ctx);
+  void run_buffered_async(Ctx& ctx);
+  /// Materializes, trains and releases `devices` (already invited;
+  /// `seqs[i]` is device i's invitation sequence number, `round` indexes
+  /// the availability/dropout streams, `filter_iteration` the threshold
+  /// schedule).  Parallel across devices when options_.parallel.
+  std::vector<Trained> train_cohort(Ctx& ctx,
+                                    const std::vector<std::uint64_t>& devices,
+                                    const std::vector<std::uint64_t>& seqs,
+                                    std::uint64_t round,
+                                    std::size_t filter_iteration, float lr);
+  /// Screens `views` (uploaded by `devices`), aggregates the accepted ones
+  /// and applies the result to the global model.  `raw_weights` are
+  /// pre-normalization per-upload weights, consulted when the rule is
+  /// kSampleWeighted or (`staleness_weighted` and kUniformMean); robust
+  /// rules ignore them by construction.
+  void commit_uploads(Ctx& ctx, const std::vector<std::size_t>& devices,
+                      const std::vector<std::span<const float>>& views,
+                      const std::vector<double>& raw_weights,
+                      bool staleness_weighted, fl::IterationRecord& rec);
+  fl::TrainerCheckpoint snapshot(Ctx& ctx, std::uint64_t iteration);
+
+  Population& population_;
+  std::unique_ptr<core::UpdateFilter> filter_;
+  fl::GlobalEvaluator evaluator_;
+  fl::SimulationOptions options_;
+  std::size_t dim_ = 0;
+  std::uint64_t upload_wire_bytes_ = 0;  // exact bytes of one float32 upload
+};
+
+}  // namespace cmfl::sched

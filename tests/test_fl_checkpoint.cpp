@@ -35,9 +35,12 @@ TrainerCheckpoint sample_checkpoint() {
   evaluated.participants = 9;
   evaluated.rejected = 2;
   evaluated.cumulative_rounds = 300;
+  evaluated.cumulative_upload_bytes = 77777;
   evaluated.mean_score = 0.625;
   evaluated.mean_train_loss = 1.75;
   evaluated.delta_update = 0.03125;
+  evaluated.staleness_mean = 1.25;
+  evaluated.staleness_max = 3;
   evaluated.accuracy = 0.875;
   evaluated.loss = 0.5;
   IterationRecord unevaluated;  // NaN accuracy/loss must survive the codec
@@ -45,6 +48,7 @@ TrainerCheckpoint sample_checkpoint() {
   unevaluated.uploads = 8;
   ck.history = {evaluated, unevaluated};
   ck.eliminations_per_client = {3, 0, 12};
+  ck.uploads_per_client = {39, 42, 30};
   ck.server_rng = {1, 2, 3, 4};
   ck.validation.rejected_nonfinite = 5;
   ck.validation.rejected_norm = 2;
@@ -63,6 +67,34 @@ TrainerCheckpoint sample_checkpoint() {
   ck.meters.elimination_messages = 2;
   ck.meters.simulated_transfer_seconds = 12.5;
   ck.meters.footprint = {{5, 0.5, 500}, {10, 0.75, 900}};
+  ck.sched.engaged = 1;
+  ck.sched.version = 17;
+  ck.sched.virtual_now = 123.0625;
+  ck.sched.invite_counter = 256;
+  ck.sched.engine_rng = {9, 8, 7, 6};
+  SchedInFlightReport upload;
+  upload.device = 41;
+  upload.version = 15;
+  upload.arrival = 124.5;
+  upload.kind = 1;
+  upload.score = 0.375;
+  upload.train_loss = 2.25;
+  upload.local_samples = 6;
+  upload.update = {0.5f, -0.25f, 1.0f};
+  SchedInFlightReport elimination;
+  elimination.device = 99;
+  elimination.version = 16;
+  elimination.arrival = 130.0;
+  elimination.kind = 0;
+  elimination.score = 0.125;
+  ck.sched.in_flight = {upload, elimination};
+  ck.sched.population_state = {2, 41, 4, 1, 2, 3, 4, 99, 0};
+  ck.sched.invited = 400;
+  ck.sched.reported = 350;
+  ck.sched.unavailable_invited = 30;
+  ck.sched.mid_round_dropouts = 20;
+  ck.sched.discarded_stragglers = 15;
+  ck.sched.stale_discarded = 5;
   return ck;
 }
 
@@ -80,11 +112,13 @@ void expect_checkpoints_equal(const TrainerCheckpoint& a,
     EXPECT_TRUE(bitwise_equal(a.history[i], b.history[i])) << "record " << i;
   }
   EXPECT_EQ(a.eliminations_per_client, b.eliminations_per_client);
+  EXPECT_EQ(a.uploads_per_client, b.uploads_per_client);
   EXPECT_EQ(a.server_rng, b.server_rng);
   EXPECT_EQ(a.validation, b.validation);
   EXPECT_EQ(a.client_state, b.client_state);
   EXPECT_EQ(a.compressor_state, b.compressor_state);
   EXPECT_EQ(a.meters, b.meters);
+  EXPECT_EQ(a.sched, b.sched);
 }
 
 TEST(Checkpoint, EncodeDecodeRoundTrip) {

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/filter.h"
+#include "fl/convex_testbed.h"
 #include "fl/metrics.h"
 #include "fl/simulation.h"
 #include "fl/workloads.h"
@@ -266,6 +267,52 @@ TEST(Metrics, BestRunIndexPicksCheapest) {
   EXPECT_EQ(best_run_index({a, collapsed}, 0.8, /*require_sustained=*/false),
             1u);
   EXPECT_THROW(best_run_index({}, 0.5), std::invalid_argument);
+}
+
+TEST(FederatedSimulation, NonSampledClientsDoNoLocalWork) {
+  // Regression test for the lazy-participation contract: with a per-round
+  // cohort, a client the sampler never picked must run zero optimization
+  // steps (no eager training it throws away).  ConvexClient counts its
+  // gradient steps in lifetime_steps(), so the expected total per client is
+  // exactly (participated rounds) × epochs × local_steps.
+  ConvexTestbedSpec spec;
+  spec.clients = 8;
+  spec.dim = 6;
+  spec.local_steps = 3;
+  spec.seed = 77;
+  ConvexWorkload w = make_convex_workload(spec);
+
+  std::vector<const FlClient*> observers;
+  observers.reserve(w.clients.size());
+  for (const auto& c : w.clients) observers.push_back(c.get());
+
+  SimulationOptions opt;
+  opt.local_epochs = 2;
+  opt.batch_size = 1;
+  opt.learning_rate = core::Schedule::constant(0.05);
+  opt.max_iterations = 5;
+  opt.eval_every = 5;
+  opt.schedule.sample_size = 3;  // 3-of-8 cohort per round
+  FederatedSimulation sim(std::move(w.clients),
+                          std::make_unique<core::AcceptAllFilter>(),
+                          w.evaluator, opt);
+  const SimulationResult r = sim.run();
+
+  const std::uint64_t steps_per_participation =
+      static_cast<std::uint64_t>(opt.local_epochs) *
+      static_cast<std::uint64_t>(spec.local_steps);
+  ASSERT_EQ(r.uploads_per_client.size(), observers.size());
+  std::uint64_t participant_total = 0;
+  for (std::size_t i = 0; i < observers.size(); ++i) {
+    const std::uint64_t participations =
+        r.uploads_per_client[i] + r.eliminations_per_client[i];
+    EXPECT_EQ(observers[i]->lifetime_steps(),
+              participations * steps_per_participation)
+        << "client " << i;
+    participant_total += participations;
+  }
+  // 3 sampled clients per round, every one either uploads or is eliminated.
+  EXPECT_EQ(participant_total, 3u * opt.max_iterations);
 }
 
 }  // namespace

@@ -13,10 +13,15 @@ SimulationResult sample_result() {
     IterationRecord rec;
     rec.iteration = t;
     rec.uploads = 10 - t;
+    rec.participants = 12 - t;
+    rec.rejected = t % 2;
     rec.cumulative_rounds = t * 9;
+    rec.cumulative_upload_bytes = t * 4096;
     rec.mean_score = 0.5 + 0.01 * static_cast<double>(t);
     rec.mean_train_loss = 2.0 / static_cast<double>(t);
     rec.delta_update = 0.1 * static_cast<double>(t);
+    rec.staleness_mean = 0.25 * static_cast<double>(t);
+    rec.staleness_max = t + 1;
     if (t % 2 == 0) {
       rec.accuracy = 0.1 * static_cast<double>(t);
       rec.loss = 1.0 / static_cast<double>(t);
@@ -24,7 +29,10 @@ SimulationResult sample_result() {
     r.history.push_back(rec);
   }
   r.total_rounds = r.history.back().cumulative_rounds;
+  r.uploaded_bytes = r.history.back().cumulative_upload_bytes;
   r.final_accuracy = 0.4;
+  r.uploads_per_client = {4, 0, 9};
+  r.eliminations_per_client = {1, 5, 0};
   return r;
 }
 
@@ -50,6 +58,59 @@ TEST(TraceIo, RoundTripPreservesHistory) {
   }
   EXPECT_EQ(loaded.total_rounds, original.total_rounds);
   EXPECT_NEAR(loaded.final_accuracy, original.final_accuracy, 1e-9);
+}
+
+TEST(TraceIo, V2RoundTripPreservesNewFields) {
+  const SimulationResult original = sample_result();
+  std::stringstream ss;
+  write_trace_csv(ss, original);
+  const SimulationResult loaded = read_trace_csv(ss);
+  ASSERT_EQ(loaded.history.size(), original.history.size());
+  for (std::size_t i = 0; i < original.history.size(); ++i) {
+    const auto& a = original.history[i];
+    const auto& b = loaded.history[i];
+    EXPECT_EQ(b.participants, a.participants);
+    EXPECT_EQ(b.rejected, a.rejected);
+    EXPECT_EQ(b.cumulative_upload_bytes, a.cumulative_upload_bytes);
+    EXPECT_NEAR(b.staleness_mean, a.staleness_mean, 1e-9);
+    EXPECT_EQ(b.staleness_max, a.staleness_max);
+  }
+  EXPECT_EQ(loaded.uploaded_bytes, original.uploaded_bytes);
+  EXPECT_EQ(loaded.uploads_per_client, original.uploads_per_client);
+  EXPECT_EQ(loaded.eliminations_per_client,
+            original.eliminations_per_client);
+}
+
+TEST(TraceIo, ReadsLegacyV1Traces) {
+  // A v1 trace as the previous revision wrote it: no version sentinel,
+  // 8 columns, no per-client rows.
+  const std::string v1 =
+      "iteration,uploads,cumulative_rounds,mean_score,mean_train_loss,"
+      "delta_update,accuracy,loss\n"
+      "1,9,9,0.51,2,0.1,,\n"
+      "2,8,17,0.52,1,0.2,0.2,0.5\n";
+  std::stringstream ss(v1);
+  const SimulationResult loaded = read_trace_csv(ss);
+  ASSERT_EQ(loaded.history.size(), 2u);
+  EXPECT_EQ(loaded.history[0].iteration, 1u);
+  EXPECT_EQ(loaded.history[1].uploads, 8u);
+  EXPECT_EQ(loaded.history[1].cumulative_rounds, 17u);
+  EXPECT_NEAR(loaded.history[1].accuracy, 0.2, 1e-12);
+  // v2-only fields default to zero on a v1 trace.
+  EXPECT_EQ(loaded.history[1].participants, 0u);
+  EXPECT_EQ(loaded.history[1].cumulative_upload_bytes, 0u);
+  EXPECT_TRUE(loaded.uploads_per_client.empty());
+  EXPECT_EQ(loaded.total_rounds, 17u);
+  EXPECT_NEAR(loaded.final_accuracy, 0.2, 1e-12);
+}
+
+TEST(TraceIo, RejectsMalformedClientRow) {
+  std::stringstream ss;
+  write_trace_csv(ss, sample_result());
+  std::string data = ss.str();
+  data += "client,7,oops,0\n";
+  std::stringstream broken(data);
+  EXPECT_THROW(read_trace_csv(broken), std::runtime_error);
 }
 
 TEST(TraceIo, RejectsWrongHeader) {

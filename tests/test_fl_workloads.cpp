@@ -63,6 +63,45 @@ TEST(DigitsMlpWorkload, PartitionKinds) {
   EXPECT_THROW(make_digits_mlp_workload(spec), std::invalid_argument);
 }
 
+TEST(DigitsMlpPopulation, FactoryMatchesEagerClientsExactly) {
+  DigitsMlpSpec spec;
+  spec.clients = 5;
+  spec.train_samples = 100;
+  spec.test_samples = 30;
+  spec.digits.image_size = 8;
+  Workload eager = make_digits_mlp_workload(spec);
+  PopulationWorkload lazy = make_digits_mlp_population(spec);
+  EXPECT_EQ(lazy.param_count, eager.param_count);
+
+  for (const std::size_t k : {0u, 2u, 4u}) {
+    auto made = lazy.factory(k);
+    ASSERT_TRUE(made);
+    EXPECT_EQ(made->local_samples(), eager.clients[k]->local_samples());
+    // Identical initial weights, identical RNG stream: one local training
+    // pass must land both on bit-equal parameters.
+    std::vector<float> a(eager.param_count);
+    std::vector<float> b(eager.param_count);
+    made->get_params(b);
+    eager.clients[k]->get_params(a);
+    EXPECT_EQ(a, b) << "initial params differ for device " << k;
+    eager.clients[k]->train_local(1, 2, 0.1f);
+    made->train_local(1, 2, 0.1f);
+    eager.clients[k]->get_params(a);
+    made->get_params(b);
+    EXPECT_EQ(a, b) << "post-training params differ for device " << k;
+    EXPECT_EQ(made->mutable_state(), eager.clients[k]->mutable_state());
+  }
+
+  // The two evaluators are the same model over the same test set.
+  std::vector<float> params(eager.param_count);
+  eager.clients[0]->get_params(params);
+  const auto ea = eager.evaluator(params);
+  const auto eb = lazy.evaluator(params);
+  EXPECT_EQ(ea.accuracy, eb.accuracy);
+  EXPECT_EQ(ea.loss, eb.loss);
+  EXPECT_THROW(lazy.factory(spec.clients), std::out_of_range);
+}
+
 TEST(DigitsCnnWorkload, RejectsMismatchedImageSizes) {
   DigitsCnnSpec spec;
   spec.cnn.image_size = 12;

@@ -318,6 +318,56 @@ TEST(FlCluster, QuorumCommitsRoundsPastAPersistentStraggler) {
   }
 }
 
+TEST(FlCluster, FirstKReportsCommitsWithoutWaitingForStragglers) {
+  // Over-selection on the live cluster: with first_k_reports = 3 of 4
+  // workers and one worker consistently slow, every round commits on the
+  // three fast replies — no deadline expiry needed — and the slow worker's
+  // late uploads never count.
+  fl::ConvexTestbedSpec spec;
+  spec.clients = 4;
+  spec.dim = 8;
+  spec.local_steps = 3;
+  spec.gradient_noise = 0.02;
+  fl::ConvexWorkload w = fl::make_convex_workload(spec);
+
+  ClusterOptions opt;
+  opt.fl.local_epochs = 1;
+  opt.fl.batch_size = 1;
+  opt.fl.learning_rate = core::Schedule::constant(0.1);
+  opt.fl.max_iterations = 4;
+  opt.fl.eval_every = 2;
+  opt.fault.straggler_delay_s[3] = 0.3;
+  // Timeout generous enough that the straggler would make it: only the
+  // first-K rule can be what commits the round early.
+  opt.recovery.round_timeout_s = 2.0;
+  opt.recovery.first_k_reports = 3;
+  opt.recovery.max_attempts = 30;
+  FlCluster cluster(std::move(w.clients),
+                    std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                    opt);
+  const ClusterResult r = cluster.run();
+
+  EXPECT_EQ(r.faults.over_select_commits, 4u);
+  EXPECT_EQ(r.faults.quorum_rounds, 0u);
+  ASSERT_EQ(r.sim.history.size(), 4u);
+  for (const auto& rec : r.sim.history) {
+    EXPECT_EQ(rec.participants, 3u);
+  }
+  // Per-client upload counters ride in the result: the fast workers
+  // answered every round, the straggler's replies all arrived post-commit.
+  ASSERT_EQ(r.sim.uploads_per_client.size(), 4u);
+  EXPECT_EQ(r.sim.uploads_per_client[0], 4u);
+  EXPECT_EQ(r.sim.uploads_per_client[1], 4u);
+  EXPECT_EQ(r.sim.uploads_per_client[2], 4u);
+  EXPECT_EQ(r.sim.uploads_per_client[3], 0u);
+  // Byte-valued Φ: the result carries what had crossed the uplink by the
+  // last commit (straggler frames still in flight land in the meter only).
+  EXPECT_GT(r.sim.uploaded_bytes, 0u);
+  EXPECT_EQ(r.sim.uploaded_bytes, r.sim.history.back().cumulative_upload_bytes);
+  EXPECT_LE(r.sim.uploaded_bytes, r.uplink_bytes);
+  EXPECT_EQ(r.faults.timed_out_rounds, 0u);
+}
+
 TEST(FlCluster, CrashStopWorkersAreDetectedAndExcluded) {
   // Satellite: k of n workers die mid-run; with quorum 0.5 plus staleness
   // suspicion the cluster keeps training on the survivors and still ends

@@ -1,0 +1,255 @@
+// sched::Population: deterministic hashed device traits, availability
+// churn, lazy materialization with a bounded warm pool, and checkpointable
+// sparse device state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "fl/convex_testbed.h"
+#include "sched/population.h"
+
+namespace cmfl::sched {
+namespace {
+
+ClientFactory convex_factory(std::size_t dim = 4, std::uint64_t seed = 5) {
+  return [dim, seed](std::uint64_t device) {
+    std::vector<float> center(dim);
+    for (auto& c : center) {
+      c = util::Rng(seed ^ device).normal_f(0.0f, 1.0f);
+    }
+    return std::make_unique<fl::ConvexClient>(center, /*local_steps=*/2,
+                                              /*gradient_noise=*/0.1,
+                                              util::Rng(seed).split(device),
+                                              /*start_offset=*/0.0f);
+  };
+}
+
+PopulationSpec churn_spec(std::uint64_t devices = 64) {
+  PopulationSpec spec;
+  spec.devices = devices;
+  spec.mean_on_fraction = 0.6;
+  spec.dropout_mid_round = 0.1;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(Population, ValidatesSpec) {
+  EXPECT_THROW(Population(PopulationSpec{}, convex_factory()),
+               std::invalid_argument);  // zero devices
+  PopulationSpec bad = churn_spec();
+  bad.mean_on_fraction = 1.5;
+  EXPECT_THROW(Population(bad, convex_factory()), std::invalid_argument);
+  EXPECT_THROW(Population(churn_spec(), nullptr), std::invalid_argument);
+}
+
+TEST(Population, TraitsAreDeterministicAndSeedSensitive) {
+  Population a(churn_spec(), convex_factory());
+  Population b(churn_spec(), convex_factory());
+  PopulationSpec other = churn_spec();
+  other.seed = 100;
+  Population c(other, convex_factory());
+
+  bool any_differs_across_seeds = false;
+  for (std::uint64_t d = 0; d < 64; ++d) {
+    EXPECT_EQ(a.speed_factor(d), b.speed_factor(d));
+    EXPECT_GT(a.speed_factor(d), 0.0);
+    for (std::uint64_t r = 1; r <= 10; ++r) {
+      EXPECT_EQ(a.available(d, r), b.available(d, r));
+      EXPECT_EQ(a.drops_mid_round(d, r), b.drops_mid_round(d, r));
+      EXPECT_EQ(a.draw_latency(d, r), b.draw_latency(d, r));
+      EXPECT_GT(a.draw_latency(d, r), 0.0);
+      if (a.available(d, r) != c.available(d, r)) {
+        any_differs_across_seeds = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_differs_across_seeds);
+}
+
+TEST(Population, ChurnMatchesMeanOnFraction) {
+  Population p(churn_spec(1000), convex_factory());
+  std::size_t on = 0;
+  std::size_t total = 0;
+  for (std::uint64_t d = 0; d < 1000; ++d) {
+    for (std::uint64_t r = 1; r <= 20; ++r) {
+      on += p.available(d, r) ? 1 : 0;
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(on) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.6, 0.05);
+}
+
+TEST(Population, DutyCyclesAlternateOnAndOffRuns) {
+  PopulationSpec spec = churn_spec(32);
+  spec.duty_period_rounds = 10.0;
+  Population p(spec, convex_factory());
+  // Every device must show both states over a few periods (no always-off
+  // device at mean_on_fraction 0.6), and transitions must be runs, not
+  // independent coin flips: count state changes over 60 rounds — a duty
+  // cycle of period ~10 changes state ~12 times, a Bernoulli(0.6) sequence
+  // ~28 times.
+  for (std::uint64_t d = 0; d < 32; ++d) {
+    std::size_t on = 0;
+    std::size_t switches = 0;
+    bool prev = p.available(d, 1);
+    for (std::uint64_t r = 1; r <= 60; ++r) {
+      const bool a = p.available(d, r);
+      on += a ? 1 : 0;
+      if (a != prev) ++switches;
+      prev = a;
+    }
+    EXPECT_GT(on, 0u) << "device " << d;
+    EXPECT_LT(on, 60u) << "device " << d;
+    EXPECT_LT(switches, 20u) << "device " << d;
+  }
+}
+
+TEST(Population, SampleIsDeterministicSortedAndExclusionAware) {
+  Population p(churn_spec(200), convex_factory());
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  const auto s1 = p.sample(3, 20, Selection::kUniform, rng1);
+  const auto s2 = p.sample(3, 20, Selection::kUniform, rng2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(s1.begin(), s1.end()));
+  EXPECT_EQ(std::set<std::uint64_t>(s1.begin(), s1.end()).size(), s1.size());
+
+  // Excluded devices never appear.
+  util::Rng rng3(7);
+  const auto s3 = p.sample(3, 20, Selection::kUniform, rng3,
+                           [](std::uint64_t d) { return d % 2 == 0; });
+  for (const auto d : s3) EXPECT_EQ(d % 2, 1u);
+
+  // Availability-aware sampling only picks devices on this round.
+  util::Rng rng4(7);
+  const auto s4 = p.sample(5, 20, Selection::kAvailabilityAware, rng4);
+  for (const auto d : s4) EXPECT_TRUE(p.available(d, 5));
+}
+
+TEST(Population, LazyMaterializationAndLruEviction) {
+  PopulationSpec spec = churn_spec(100);
+  spec.max_resident = 2;
+  Population p(spec, convex_factory());
+  EXPECT_EQ(p.resident(), 0u);
+  EXPECT_EQ(p.materializations(), 0u);
+
+  auto& c0 = p.acquire(0);
+  EXPECT_THROW(p.acquire(0), std::logic_error);  // double acquire
+  auto& c1 = p.acquire(1);
+  auto& c2 = p.acquire(2);
+  (void)c0;
+  (void)c1;
+  (void)c2;
+  EXPECT_EQ(p.resident(), 3u);       // in-use clients are never evicted
+  EXPECT_EQ(p.peak_resident(), 3u);
+  EXPECT_EQ(p.materializations(), 3u);
+
+  p.release(0);
+  p.release(1);
+  p.release(2);
+  // Warm pool capped at 2: the LRU client (0) was evicted on release.
+  EXPECT_EQ(p.resident(), 2u);
+
+  // Re-acquiring a warm client does not re-materialize; an evicted one does.
+  p.acquire(1);
+  p.release(1);
+  EXPECT_EQ(p.materializations(), 3u);
+  p.acquire(0);
+  p.release(0);
+  EXPECT_EQ(p.materializations(), 4u);
+}
+
+TEST(Population, EvictionPreservesMutableStateExactly) {
+  // Drive a client's RNG, evict it, revive it: the revived client must
+  // continue the stream exactly where the resident one left off.
+  PopulationSpec spec = churn_spec(10);
+  spec.max_resident = 0;  // evict immediately on release
+  Population p(spec, convex_factory(/*dim=*/4));
+
+  auto& first = p.acquire(7);
+  std::vector<float> params(4);
+  first.get_params(params);
+  first.train_local(/*epochs=*/1, /*batch_size=*/1, /*lr=*/0.1f);
+  std::vector<float> after_one(4);
+  first.get_params(after_one);
+  const auto state = first.mutable_state();
+  p.release(7);
+  EXPECT_EQ(p.resident(), 0u);
+
+  auto& revived = p.acquire(7);
+  EXPECT_EQ(revived.mutable_state(), state);
+  // A twin population trained twice without eviction must match the
+  // evict-revive trajectory bit-for-bit.
+  Population q(spec, convex_factory(/*dim=*/4));
+  auto& straight = q.acquire(7);
+  straight.train_local(1, 1, 0.1f);
+  revived.set_params(after_one);
+  straight.train_local(1, 1, 0.1f);
+  revived.train_local(1, 1, 0.1f);
+  std::vector<float> a(4);
+  std::vector<float> b(4);
+  straight.get_params(a);
+  revived.get_params(b);
+  EXPECT_EQ(a, b);
+  p.release(7);
+  q.release(7);
+}
+
+TEST(Population, StateWordsRoundTrip) {
+  PopulationSpec spec = churn_spec(50);
+  spec.max_resident = 1;
+  Population p(spec, convex_factory());
+  for (const std::uint64_t d : {3u, 14u, 15u, 9u, 26u}) {
+    auto& c = p.acquire(d);
+    c.train_local(1, 1, 0.05f);
+    p.release(d);
+  }
+  const auto words = p.state_words();
+  EXPECT_FALSE(words.empty());
+
+  // A fresh population restored from the words reports identical state.
+  Population q(spec, convex_factory());
+  q.restore_state_words(words);
+  EXPECT_EQ(q.state_words(), words);
+  // And revives clients with the saved streams.
+  auto& from_p = p.acquire(14);
+  auto& from_q = q.acquire(14);
+  EXPECT_EQ(from_p.mutable_state(), from_q.mutable_state());
+  p.release(14);
+  q.release(14);
+
+  // state_words while acquired is a logic error; malformed blobs rejected.
+  p.acquire(3);
+  EXPECT_THROW(p.state_words(), std::logic_error);
+  p.release(3);
+  std::vector<std::uint64_t> truncated(words.begin(), words.end() - 1);
+  EXPECT_THROW(q.restore_state_words(truncated), std::invalid_argument);
+}
+
+TEST(Population, PeakResidentTracksCohortNotPopulation) {
+  // 100k virtual devices, cohorts of 16: memory-resident client state must
+  // stay proportional to the cohort, never the population.
+  PopulationSpec spec;
+  spec.devices = 100000;
+  spec.mean_on_fraction = 0.7;
+  spec.max_resident = 16;
+  spec.seed = 4;
+  Population p(spec, convex_factory());
+  util::Rng rng(11);
+  for (std::uint64_t round = 1; round <= 5; ++round) {
+    const auto cohort =
+        p.sample(round, 16, Selection::kAvailabilityAware, rng);
+    for (const auto d : cohort) p.acquire(d);
+    for (const auto d : cohort) p.release(d);
+  }
+  EXPECT_LE(p.peak_resident(), 32u);
+  EXPECT_GE(p.materializations(), 16u);
+}
+
+}  // namespace
+}  // namespace cmfl::sched

@@ -1,0 +1,363 @@
+// sched::RoundEngine: sync parity with FederatedSimulation, over-selection
+// round semantics, buffered-async aggregation, and the kill-and-resume
+// bit-identity invariant in both production round modes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/filter.h"
+#include "fl/checkpoint.h"
+#include "fl/convex_testbed.h"
+#include "fl/simulation.h"
+#include "sched/population.h"
+#include "sched/round_engine.h"
+
+namespace cmfl::sched {
+namespace {
+
+fl::ConvexTestbedSpec testbed_spec(std::size_t clients) {
+  fl::ConvexTestbedSpec spec;
+  spec.clients = clients;
+  spec.dim = 8;
+  spec.local_steps = 3;
+  spec.gradient_noise = 0.1;
+  spec.seed = 23;
+  return spec;
+}
+
+/// Deterministic factory producing exactly the clients
+/// make_convex_workload builds (same centers, same RNG streams), so the
+/// engine and the simulation train identical devices.
+ClientFactory factory_for(const fl::ConvexTestbedSpec& spec,
+                          std::shared_ptr<fl::ConvexTestbed> testbed) {
+  return [spec, testbed](std::uint64_t k) {
+    return std::make_unique<fl::ConvexClient>(
+        testbed->centers()[k], spec.local_steps, spec.gradient_noise,
+        util::Rng(spec.seed ^ 0xFEEDFACEULL).split(k),
+        static_cast<float>(spec.start_offset));
+  };
+}
+
+fl::GlobalEvaluator evaluator_for(std::shared_ptr<fl::ConvexTestbed> testbed) {
+  return [testbed](std::span<const float> x) {
+    nn::EvalResult eval;
+    eval.loss = testbed->global_loss(x);
+    eval.accuracy =
+        1.0 / (1.0 + std::fabs(eval.loss - testbed->optimum_loss()));
+    eval.samples = testbed->centers().size();
+    return eval;
+  };
+}
+
+fl::SimulationOptions base_options() {
+  fl::SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 1;
+  opt.learning_rate = core::Schedule::constant(0.1);
+  opt.max_iterations = 8;
+  opt.eval_every = 2;
+  opt.seed = 1234;
+  return opt;
+}
+
+void expect_sim_bit_identical(const fl::SimulationResult& a,
+                              const fl::SimulationResult& b) {
+  EXPECT_EQ(a.final_params, b.final_params);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_TRUE(fl::bitwise_equal(a.history[i], b.history[i]))
+        << "iteration record " << i;
+  }
+  EXPECT_EQ(a.eliminations_per_client, b.eliminations_per_client);
+  EXPECT_EQ(a.uploads_per_client, b.uploads_per_client);
+  EXPECT_EQ(a.uploaded_bytes, b.uploaded_bytes);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  EXPECT_EQ(a.validation, b.validation);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+TEST(RoundEngine, SyncFullParticipationMatchesSimulation) {
+  const auto spec = testbed_spec(10);
+  auto testbed = std::make_shared<fl::ConvexTestbed>(spec);
+  const auto opt = base_options();
+
+  // Reference: the existing trainer over an eager client vector.
+  fl::ConvexWorkload w = fl::make_convex_workload(spec);
+  fl::FederatedSimulation sim(
+      std::move(w.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w.evaluator, opt);
+  const fl::SimulationResult reference = sim.run();
+
+  // Engine: the same devices behind a lazily materializing population.
+  PopulationSpec pop_spec;
+  pop_spec.devices = spec.clients;
+  pop_spec.max_resident = 4;  // force evictions mid-run
+  Population population(pop_spec, factory_for(spec, testbed));
+  RoundEngine engine(
+      population,
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      evaluator_for(testbed), opt);
+  const EngineResult result = engine.run();
+
+  expect_sim_bit_identical(result.sim, reference);
+  EXPECT_EQ(result.sched.invited, 10u * opt.max_iterations);
+  EXPECT_EQ(result.sched.reported, result.sched.invited);
+  EXPECT_EQ(result.sched.discarded_stragglers, 0u);
+  // The warm pool stayed bounded even though every device participated.
+  EXPECT_LE(result.sched.peak_resident_clients,
+            pop_spec.max_resident + 10u);
+}
+
+TEST(RoundEngine, OverSelectionKeepsFirstKAndCountsStragglers) {
+  const auto spec = testbed_spec(40);
+  auto testbed = std::make_shared<fl::ConvexTestbed>(spec);
+
+  auto opt = base_options();
+  opt.max_iterations = 6;
+  opt.schedule.mode = RoundMode::kOverSelect;
+  opt.schedule.selection = Selection::kAvailabilityAware;
+  opt.schedule.sample_size = 12;
+  opt.schedule.target_reports = 8;
+
+  PopulationSpec pop_spec;
+  pop_spec.devices = spec.clients;
+  pop_spec.mean_on_fraction = 0.8;
+  pop_spec.dropout_mid_round = 0.05;
+  pop_spec.max_resident = 12;
+  pop_spec.seed = 5;
+  Population population(pop_spec, factory_for(spec, testbed));
+  RoundEngine engine(population, std::make_unique<core::AcceptAllFilter>(),
+                     evaluator_for(testbed), opt);
+  const EngineResult r = engine.run();
+
+  ASSERT_EQ(r.sim.history.size(), 6u);
+  EXPECT_EQ(r.sched.invited, 12u * 6u);
+  for (const auto& rec : r.sim.history) {
+    // First-K commit: never more than K counted reports per round.
+    EXPECT_LE(rec.participants, 8u);
+    EXPECT_LE(rec.uploads, rec.participants);
+  }
+  // 12 invited for 8 kept: stragglers must exist (minus dropouts/offline).
+  EXPECT_GT(r.sched.discarded_stragglers, 0u);
+  EXPECT_EQ(r.sched.reported + r.sched.unavailable_invited +
+                r.sched.mid_round_dropouts + r.sched.discarded_stragglers,
+            r.sched.invited);
+  EXPECT_GT(r.sim.uploaded_bytes, 0u);
+}
+
+TEST(RoundEngine, BufferedAsyncAggregatesWithStaleness) {
+  const auto spec = testbed_spec(60);
+  auto testbed = std::make_shared<fl::ConvexTestbed>(spec);
+
+  auto opt = base_options();
+  opt.max_iterations = 12;  // aggregations, not rounds
+  opt.eval_every = 4;
+  opt.schedule.mode = RoundMode::kBufferedAsync;
+  opt.schedule.selection = Selection::kAvailabilityAware;
+  opt.schedule.sample_size = 16;
+  opt.schedule.async_buffer = 6;
+  opt.schedule.staleness_exponent = 0.5;
+
+  PopulationSpec pop_spec;
+  pop_spec.devices = spec.clients;
+  pop_spec.mean_on_fraction = 0.9;
+  pop_spec.latency_log_sigma = 0.6;  // heavy-tailed latency -> staleness
+  pop_spec.max_resident = 16;
+  pop_spec.seed = 6;
+  Population population(pop_spec, factory_for(spec, testbed));
+  RoundEngine engine(population, std::make_unique<core::AcceptAllFilter>(),
+                     evaluator_for(testbed), opt);
+  const EngineResult r = engine.run();
+
+  ASSERT_EQ(r.sim.history.size(), 12u);
+  bool any_stale = false;
+  for (std::size_t i = 0; i < r.sim.history.size(); ++i) {
+    const auto& rec = r.sim.history[i];
+    EXPECT_EQ(rec.iteration, i + 1);
+    EXPECT_GE(rec.uploads, opt.schedule.async_buffer);
+    any_stale = any_stale || rec.staleness_max > 0;
+  }
+  // With 16 in flight and aggregation every 6 uploads, some updates must
+  // arrive after the model version they trained on has moved.
+  EXPECT_TRUE(any_stale);
+  EXPECT_GT(r.sim.final_accuracy, 0.0);
+  EXPECT_EQ(r.sched.stale_discarded, 0u);  // max_staleness == 0 keeps all
+}
+
+TEST(RoundEngine, MaxStalenessDiscardsLateUploads) {
+  const auto spec = testbed_spec(60);
+  auto testbed = std::make_shared<fl::ConvexTestbed>(spec);
+
+  auto opt = base_options();
+  opt.max_iterations = 12;
+  opt.eval_every = 0;
+  opt.schedule.mode = RoundMode::kBufferedAsync;
+  opt.schedule.selection = Selection::kAvailabilityAware;
+  opt.schedule.sample_size = 16;
+  opt.schedule.async_buffer = 4;
+  opt.schedule.max_staleness = 1;
+
+  PopulationSpec pop_spec;
+  pop_spec.devices = spec.clients;
+  pop_spec.latency_log_sigma = 0.8;
+  pop_spec.max_resident = 16;
+  pop_spec.seed = 6;
+  Population population(pop_spec, factory_for(spec, testbed));
+  RoundEngine engine(population, std::make_unique<core::AcceptAllFilter>(),
+                     evaluator_for(testbed), opt);
+  const EngineResult r = engine.run();
+  EXPECT_GT(r.sched.stale_discarded, 0u);
+  for (const auto& rec : r.sim.history) {
+    EXPECT_LE(rec.staleness_max, 1u);
+  }
+}
+
+// --- Kill-and-resume bit-identity in the production round modes ---
+
+struct EngineRun {
+  fl::SimulationOptions opt;
+  PopulationSpec pop_spec;
+  fl::ConvexTestbedSpec spec;
+  std::shared_ptr<fl::ConvexTestbed> testbed;
+
+  EngineResult run() const {
+    Population population(pop_spec, factory_for(spec, testbed));
+    RoundEngine engine(population,
+                       std::make_unique<core::AcceptAllFilter>(),
+                       evaluator_for(testbed), opt);
+    return engine.run();
+  }
+
+  EngineResult crash_and_resume(std::size_t crash_at) const {
+    {
+      auto first_half = opt;
+      first_half.max_iterations = crash_at;
+      Population population(pop_spec, factory_for(spec, testbed));
+      RoundEngine engine(population,
+                         std::make_unique<core::AcceptAllFilter>(),
+                         evaluator_for(testbed), first_half);
+      engine.run();
+    }  // the engine and its population die here
+    const fl::TrainerCheckpoint ck =
+        fl::load_checkpoint_file(opt.checkpoint_path);
+    EXPECT_EQ(ck.iteration, crash_at);
+    EXPECT_EQ(ck.sched.engaged, 1);
+    Population population(pop_spec, factory_for(spec, testbed));
+    RoundEngine engine(population,
+                       std::make_unique<core::AcceptAllFilter>(),
+                       evaluator_for(testbed), opt);
+    return engine.resume(ck);
+  }
+};
+
+EngineRun overselect_run(const std::string& path) {
+  EngineRun r;
+  r.spec = testbed_spec(40);
+  r.testbed = std::make_shared<fl::ConvexTestbed>(r.spec);
+  r.opt = base_options();
+  r.opt.max_iterations = 10;
+  r.opt.eval_every = 5;
+  r.opt.checkpoint_every = 5;
+  r.opt.checkpoint_path = path;
+  r.opt.schedule.mode = RoundMode::kOverSelect;
+  r.opt.schedule.selection = Selection::kAvailabilityAware;
+  r.opt.schedule.sample_size = 10;
+  r.opt.schedule.target_reports = 7;
+  r.pop_spec.devices = r.spec.clients;
+  r.pop_spec.mean_on_fraction = 0.8;
+  r.pop_spec.dropout_mid_round = 0.05;
+  r.pop_spec.max_resident = 6;
+  r.pop_spec.seed = 5;
+  return r;
+}
+
+TEST(RoundEngineResume, OverSelectionResumesBitIdentically) {
+  const std::string path = ::testing::TempDir() + "ck_sched_osel.bin";
+  std::remove(path.c_str());
+  const EngineRun run = overselect_run(path);
+
+  const EngineResult uninterrupted = run.run();
+  const EngineResult resumed = run.crash_and_resume(5);
+
+  expect_sim_bit_identical(resumed.sim, uninterrupted.sim);
+  EXPECT_EQ(resumed.sched.invited, uninterrupted.sched.invited);
+  EXPECT_EQ(resumed.sched.reported, uninterrupted.sched.reported);
+  EXPECT_EQ(resumed.sched.discarded_stragglers,
+            uninterrupted.sched.discarded_stragglers);
+  EXPECT_EQ(resumed.sched.mid_round_dropouts,
+            uninterrupted.sched.mid_round_dropouts);
+  std::remove(path.c_str());
+}
+
+TEST(RoundEngineResume, BufferedAsyncResumesBitIdentically) {
+  const std::string path = ::testing::TempDir() + "ck_sched_async.bin";
+  std::remove(path.c_str());
+
+  EngineRun run;
+  run.spec = testbed_spec(50);
+  run.testbed = std::make_shared<fl::ConvexTestbed>(run.spec);
+  run.opt = base_options();
+  run.opt.max_iterations = 12;
+  // Must divide the crash iteration so the killed run's forced final eval
+  // coincides with a scheduled one (same caveat as the simulation tests).
+  run.opt.eval_every = 3;
+  run.opt.checkpoint_every = 6;
+  run.opt.checkpoint_path = path;
+  run.opt.schedule.mode = RoundMode::kBufferedAsync;
+  run.opt.schedule.selection = Selection::kAvailabilityAware;
+  run.opt.schedule.sample_size = 14;
+  run.opt.schedule.async_buffer = 5;
+  run.opt.schedule.staleness_exponent = 0.5;
+  run.pop_spec.devices = run.spec.clients;
+  run.pop_spec.mean_on_fraction = 0.85;
+  run.pop_spec.latency_log_sigma = 0.6;
+  run.pop_spec.max_resident = 8;
+  run.pop_spec.seed = 9;
+
+  const EngineResult uninterrupted = run.run();
+  // The async checkpoint carries the in-flight report queue: reports
+  // trained before the crash arrive after the resume.
+  const EngineResult resumed = run.crash_and_resume(6);
+
+  expect_sim_bit_identical(resumed.sim, uninterrupted.sim);
+  EXPECT_EQ(resumed.sched.reported, uninterrupted.sched.reported);
+  EXPECT_EQ(resumed.sched.stale_discarded,
+            uninterrupted.sched.stale_discarded);
+  std::remove(path.c_str());
+}
+
+TEST(RoundEngine, RejectsUnsupportedOptionsAndForeignCheckpoints) {
+  const auto spec = testbed_spec(4);
+  auto testbed = std::make_shared<fl::ConvexTestbed>(spec);
+  PopulationSpec pop_spec;
+  pop_spec.devices = spec.clients;
+  Population population(pop_spec, factory_for(spec, testbed));
+
+  auto lossy = base_options();
+  lossy.compressor = "quantize8";
+  EXPECT_THROW(RoundEngine(population,
+                           std::make_unique<core::AcceptAllFilter>(),
+                           evaluator_for(testbed), lossy),
+               std::invalid_argument);
+
+  auto capture = base_options();
+  capture.capture_client_params = true;
+  EXPECT_THROW(RoundEngine(population,
+                           std::make_unique<core::AcceptAllFilter>(),
+                           evaluator_for(testbed), capture),
+               std::invalid_argument);
+
+  RoundEngine engine(population, std::make_unique<core::AcceptAllFilter>(),
+                     evaluator_for(testbed), base_options());
+  fl::TrainerCheckpoint not_engine;  // sched.engaged == 0
+  not_engine.iteration = 1;
+  not_engine.global_params.assign(engine.param_count(), 0.0f);
+  EXPECT_THROW(engine.resume(not_engine), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmfl::sched

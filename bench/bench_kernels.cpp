@@ -213,4 +213,23 @@ BENCHMARK(BM_AggregateAxpyThenScale)->Arg(1 << 17);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef CMFL_BUILD_TYPE
+#define CMFL_BUILD_TYPE "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  // library_build_type in the JSON describes how *libbenchmark* was
+  // compiled (always "debug" for the distro package); the tracked baseline
+  // is gated on this binary's own build type instead (run_kernels.sh).
+  benchmark::AddCustomContext("cmfl_build_type", CMFL_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("cmfl_ndebug", "1");
+#else
+  benchmark::AddCustomContext("cmfl_ndebug", "0");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,27 +1,37 @@
 #!/usr/bin/env sh
-# Records the kernel-throughput baseline BENCH_kernels.json at the repo root.
+# Records the kernel-throughput baseline BENCH_kernels.json at the repo root
+# from a Release build.
 #
 #   bench/run_kernels.sh [build_dir] [--benchmark_* flags...]
 #
-# Equivalent CMake target: `cmake --build build --target bench_baseline`.
-# Compare a fresh run against the checked-in baseline before merging any
-# change that touches tensor/kernels.cpp — regressions must be explained.
+# The build dir (default build-release/) is configured
+# -DCMAKE_BUILD_TYPE=Release; a tracked baseline recorded from a debug or
+# unoptimized binary is meaningless, so the script verifies the binary's own
+# build-type stamp in the recorded JSON (custom context `cmfl_build_type` —
+# the library_build_type key only describes how libbenchmark was compiled)
+# and fails loudly on a mismatch.  Compare a fresh run against the
+# checked-in baseline before merging any change that touches
+# tensor/kernels.cpp — regressions must be explained.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-BUILD_DIR="$REPO_ROOT/build"
+BUILD_DIR="$REPO_ROOT/build-release"
 case "${1:-}" in
   --*) ;;                        # first arg is a benchmark flag, keep default
   "") ;;
   *) BUILD_DIR=$1; shift ;;
 esac
-BIN="$BUILD_DIR/bench/bench_kernels"
 
-if [ ! -x "$BIN" ]; then
-  echo "bench_kernels not built at $BIN — run: cmake --build $BUILD_DIR -j" >&2
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target bench_kernels
+
+OUT="$REPO_ROOT/BENCH_kernels.json"
+"$BUILD_DIR/bench/bench_kernels" --benchmark_out="$OUT" \
+                                 --benchmark_out_format=json "$@"
+
+if ! grep -q '"cmfl_build_type": "Release"' "$OUT"; then
+  echo "ERROR: $OUT was not recorded from a Release build" >&2
+  echo "       (cmfl_build_type context: $(grep -o '"cmfl_build_type":[^,]*' "$OUT" || echo missing))" >&2
   exit 1
 fi
-
-"$BIN" --benchmark_out="$REPO_ROOT/BENCH_kernels.json" \
-       --benchmark_out_format=json "$@"
-echo "wrote $REPO_ROOT/BENCH_kernels.json"
+echo "wrote $OUT (Release provenance verified)"

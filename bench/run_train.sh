@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Records the end-to-end training baseline BENCH_train.json at the repo root
+# from a Release build, then re-runs the hot-path correctness gates
+# (allocation regression + conv im2col equivalence) under AddressSanitizer.
+#
+#   bench/run_train.sh [build_dir] [--benchmark_* flags...]
+#
+# Steps:
+#   1. Configure/build bench_train with -DCMAKE_BUILD_TYPE=Release
+#      (default dir build-release/) and record BENCH_train.json.
+#   2. Verify the JSON's `cmfl_build_type` stamp says Release (the
+#      library_build_type key only describes libbenchmark) — fail loudly
+#      otherwise.
+#   3. Verify the im2col/GEMM CNN path is >= 2x the retained naive path
+#      (BM_TrainStep_CNN vs BM_TrainStep_CNN_NaiveRef steps/sec).
+#   4. Build test_nn_alloc + test_nn_conv_im2col with -DCMFL_SANITIZE=address
+#      (dir <build_dir>-asan) and run them, so the workspace-reuse paths are
+#      exercised under ASan before a baseline is accepted.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR="$REPO_ROOT/build-release"
+case "${1:-}" in
+  --*) ;;                        # first arg is a benchmark flag, keep default
+  "") ;;
+  *) BUILD_DIR=$1; shift ;;
+esac
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target bench_train
+
+OUT="$REPO_ROOT/BENCH_train.json"
+# Repetitions + median comparison: the tracked ratio must not depend on a
+# noise burst hitting one benchmark of the pair.
+"$BUILD_DIR/bench/bench_train" --benchmark_out="$OUT" \
+                               --benchmark_out_format=json \
+                               --benchmark_repetitions=7 \
+                               --benchmark_report_aggregates_only=true "$@"
+
+if ! grep -q '"cmfl_build_type": "Release"' "$OUT"; then
+  echo "ERROR: $OUT was not recorded from a Release build" >&2
+  echo "       (cmfl_build_type context: $(grep -o '"cmfl_build_type":[^,]*' "$OUT" || echo missing))" >&2
+  exit 1
+fi
+
+# steps/sec ratio: im2col/GEMM CNN step must be >= 2x the naive path.
+python3 - "$OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+rate = {b["name"]: b["items_per_second"]
+        for b in data["benchmarks"]
+        if "items_per_second" in b}
+def median_rate(name):
+    return rate.get(name + "_median", rate.get(name))
+ratio = median_rate("BM_TrainStep_CNN") / median_rate("BM_TrainStep_CNN_NaiveRef")
+print(f"CNN steps/sec ratio (im2col vs naive): {ratio:.2f}x")
+if ratio < 2.0:
+    print(f"ERROR: im2col CNN path is {ratio:.2f}x the naive path "
+          "(< 2x floor)", file=sys.stderr)
+    sys.exit(1)
+EOF
+echo "wrote $OUT (Release provenance + 2x CNN floor verified)"
+
+# --- ASan gate over the hot-path correctness tests ---
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMFL_SANITIZE=address
+cmake --build "$ASAN_DIR" -j --target test_nn_alloc test_nn_conv_im2col
+"$ASAN_DIR/tests/test_nn_conv_im2col"
+"$ASAN_DIR/tests/test_nn_alloc"
+echo "ASan hot-path gates passed"

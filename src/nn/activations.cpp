@@ -18,20 +18,27 @@ void ReLU::forward(const tensor::Matrix& in, tensor::Matrix& out,
   if (in.cols() != dim_) {
     throw std::invalid_argument("ReLU::forward: input width mismatch");
   }
-  cached_in_ = in;
-  out = in;
-  for (float& v : out.flat()) v = v > 0.0f ? v : 0.0f;
+  cached_in_ = &in;
+  out.resize(in.rows(), in.cols());
+  auto src = in.flat();
+  auto dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float v = src[i];
+    dst[i] = v > 0.0f ? v : 0.0f;
+  }
 }
 
 void ReLU::backward(const tensor::Matrix& grad_out, tensor::Matrix& grad_in) {
-  if (grad_out.rows() != cached_in_.rows() || grad_out.cols() != dim_) {
+  if (cached_in_ == nullptr || grad_out.rows() != cached_in_->rows() ||
+      grad_out.cols() != dim_) {
     throw std::invalid_argument("ReLU::backward: gradient shape mismatch");
   }
-  grad_in = grad_out;
+  grad_in.resize(grad_out.rows(), grad_out.cols());
+  auto go = grad_out.flat();
   auto gi = grad_in.flat();
-  auto ci = cached_in_.flat();
+  auto ci = cached_in_->flat();
   for (std::size_t i = 0; i < gi.size(); ++i) {
-    if (ci[i] <= 0.0f) gi[i] = 0.0f;
+    gi[i] = ci[i] <= 0.0f ? 0.0f : go[i];
   }
 }
 
@@ -46,19 +53,25 @@ void Tanh::forward(const tensor::Matrix& in, tensor::Matrix& out,
   if (in.cols() != dim_) {
     throw std::invalid_argument("Tanh::forward: input width mismatch");
   }
-  out = in;
-  for (float& v : out.flat()) v = std::tanh(v);
-  cached_out_ = out;
+  out.resize(in.rows(), in.cols());
+  auto src = in.flat();
+  auto dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = std::tanh(src[i]);
+  cached_out_ = &out;
 }
 
 void Tanh::backward(const tensor::Matrix& grad_out, tensor::Matrix& grad_in) {
-  if (grad_out.rows() != cached_out_.rows() || grad_out.cols() != dim_) {
+  if (cached_out_ == nullptr || grad_out.rows() != cached_out_->rows() ||
+      grad_out.cols() != dim_) {
     throw std::invalid_argument("Tanh::backward: gradient shape mismatch");
   }
-  grad_in = grad_out;
+  grad_in.resize(grad_out.rows(), grad_out.cols());
+  auto go = grad_out.flat();
   auto gi = grad_in.flat();
-  auto co = cached_out_.flat();
-  for (std::size_t i = 0; i < gi.size(); ++i) gi[i] *= 1.0f - co[i] * co[i];
+  auto co = cached_out_->flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) {
+    gi[i] = go[i] * (1.0f - co[i] * co[i]);
+  }
 }
 
 }  // namespace cmfl::nn

@@ -20,7 +20,7 @@ class ReLU final : public Layer {
 
  private:
   std::size_t dim_;
-  tensor::Matrix cached_in_;
+  const tensor::Matrix* cached_in_ = nullptr;  // forward input (see Layer)
 };
 
 class Tanh final : public Layer {
@@ -38,7 +38,9 @@ class Tanh final : public Layer {
 
  private:
   std::size_t dim_;
-  tensor::Matrix cached_out_;  // tanh' = 1 - tanh², so cache the output
+  // tanh' = 1 - tanh², so reference the output buffer (owned by the caller,
+  // alive until backward per the Layer lifetime contract).
+  const tensor::Matrix* cached_out_ = nullptr;
 };
 
 /// Scalar helpers shared with the LSTM cell.

@@ -2,6 +2,21 @@
 // padding.  The paper's MNIST model is "a CNN with two 5×5 convolution
 // layers, a fully connected layer, and a final output layer"; Conv2D is the
 // workhorse for that architecture.
+//
+// The default forward lowers to im2col over a cached per-layer workspace and
+// dispatches to the blocked GEMM kernels in tensor/kernels.h; the backward
+// keeps the naive nonzero-skipping scatter (in training the incoming
+// gradient has passed ReLU and MaxPool backward, so 50–90% of its entries
+// are exact zeros — a dense col2im/GEMM formulation pays full MACs for them
+// and measures slower end to end).  The original 7-deep naive loops are
+// retained behind set_reference_impl(true) (the *_ref convention of
+// tensor/kernels.h) for equivalence tests and the old-vs-new training
+// benchmark.  Both paths are bit-identical: the forward GEMM preserves the
+// naive per-output-element accumulation order (bias first, then taps with
+// (ic, kh, kw) increasing) and the explicit zeros im2col writes for padding
+// taps are ±0-safe no-ops; the backward shares the naive loop order
+// outright, with the bias gradient hoisted into tensor::add_col_sums (whose
+// extra zero-gradient terms are the same ±0 no-ops).
 #pragma once
 
 #include "nn/layer.h"
@@ -30,6 +45,11 @@ class Conv2d final : public Layer {
   std::size_t out_width() const noexcept { return out_w_; }
   std::size_t out_channels() const noexcept { return spec_.out_channels; }
 
+  /// Switches to the retained naive loops (per-step allocating, no GEMM).
+  /// Used by equivalence tests and bench_train's pre-PR baseline.
+  void set_reference_impl(bool ref) noexcept { ref_mode_ = ref; }
+  bool reference_impl() const noexcept { return ref_mode_; }
+
   void forward(const tensor::Matrix& in, tensor::Matrix& out,
                bool training) override;
   void backward(const tensor::Matrix& grad_out,
@@ -46,6 +66,21 @@ class Conv2d final : public Layer {
   float weight(std::size_t oc, std::size_t ic, std::size_t kh,
                std::size_t kw) const noexcept;
 
+  void forward_ref(const tensor::Matrix& in, tensor::Matrix& out);
+  void backward_ref(const tensor::Matrix& grad_out, tensor::Matrix& grad_in);
+
+  /// Writes sample row `x` as a (K × P) column matrix into `col`
+  /// (K = in_c·k·k patch taps, P = out_h·out_w output pixels); padding taps
+  /// become explicit zeros.
+  void im2col_row(std::span<const float> x, float* col) const;
+
+  /// Sparsity-aware gW/gX accumulation for one sample: walks nonzero
+  /// gradient entries in the naive (oc, oh, ow) order and scatters their
+  /// weight/input taps, skipping the ~50–90% of entries the upstream
+  /// ReLU/MaxPool backward zeroed.  `gx` must be pre-zeroed.
+  void scatter_grads_row(std::span<const float> x, std::span<const float> gy,
+                         std::span<float> gx);
+
   Conv2dSpec spec_;
   std::size_t out_h_;
   std::size_t out_w_;
@@ -53,7 +88,12 @@ class Conv2d final : public Layer {
   std::vector<float> b_;   // [out_c]
   std::vector<float> gw_;
   std::vector<float> gb_;
-  tensor::Matrix cached_in_;
+  bool ref_mode_ = false;
+  std::size_t cached_batch_ = 0;
+  tensor::Matrix cached_in_;        // reference mode only (seed deep-copy)
+  const tensor::Matrix* in_ptr_ = nullptr;  // hot path: caller-owned input
+  // im2col workspace, sized on first use and reused across steps:
+  tensor::Matrix col_;  // batch × (K·P): per-sample patch matrix
 };
 
 }  // namespace cmfl::nn

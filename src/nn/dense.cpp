@@ -29,8 +29,8 @@ void Dense::forward(const tensor::Matrix& in, tensor::Matrix& out,
                                 std::to_string(in.cols()) + ", expected " +
                                 std::to_string(in_));
   }
-  cached_in_ = in;
-  out = tensor::Matrix(in.rows(), out_);
+  cached_in_ = &in;
+  out.resize(in.rows(), out_);
   // Dispatches to the blocked GEMM in tensor/kernels.cpp; large batches
   // shard output rows across the kernel pool (deterministic either way).
   tensor::matmul_nt(in, w_, out);
@@ -39,20 +39,18 @@ void Dense::forward(const tensor::Matrix& in, tensor::Matrix& out,
 
 void Dense::backward(const tensor::Matrix& grad_out,
                      tensor::Matrix& grad_in) {
-  if (grad_out.cols() != out_ || grad_out.rows() != cached_in_.rows()) {
+  if (cached_in_ == nullptr || grad_out.cols() != out_ ||
+      grad_out.rows() != cached_in_->rows()) {
     throw std::invalid_argument("Dense::backward: gradient shape mismatch");
   }
   // gW += grad_outᵀ · in   ((out×B)ᵀ-style accumulation)
-  tensor::Matrix gw_batch(out_, in_);
-  tensor::matmul_tn(grad_out, cached_in_, gw_batch);
-  tensor::accumulate(gw_, gw_batch);
+  gw_batch_.resize(out_, in_);
+  tensor::matmul_tn(grad_out, *cached_in_, gw_batch_);
+  tensor::accumulate(gw_, gw_batch_);
   // gb += column sums of grad_out
-  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
-    auto row = grad_out.row(r);
-    for (std::size_t c = 0; c < out_; ++c) gb_[c] += row[c];
-  }
+  tensor::add_col_sums(grad_out, gb_);
   // grad_in = grad_out · W
-  grad_in = tensor::Matrix(grad_out.rows(), in_);
+  grad_in.resize(grad_out.rows(), in_);
   tensor::matmul(grad_out, w_, grad_in);
 }
 

@@ -34,7 +34,8 @@ class Dense final : public Layer {
   std::vector<float> b_;   // out
   tensor::Matrix gw_;
   std::vector<float> gb_;
-  tensor::Matrix cached_in_;  // saved activation for backward
+  const tensor::Matrix* cached_in_ = nullptr;  // forward input (see Layer)
+  tensor::Matrix gw_batch_;  // persistent per-step scratch for gW
 };
 
 }  // namespace cmfl::nn

@@ -14,7 +14,14 @@ Embedding::Embedding(std::size_t vocab, std::size_t dim)
 }
 
 tensor::Matrix Embedding::lookup(std::span<const int> tokens) const {
-  tensor::Matrix out(tokens.size(), dim_);
+  tensor::Matrix out;
+  lookup_into(tokens, out);
+  return out;
+}
+
+void Embedding::lookup_into(std::span<const int> tokens,
+                            tensor::Matrix& out) const {
+  out.resize(tokens.size(), dim_);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const int t = tokens[i];
     if (t < 0 || static_cast<std::size_t>(t) >= vocab_) {
@@ -25,7 +32,6 @@ tensor::Matrix Embedding::lookup(std::span<const int> tokens) const {
     auto dst = out.row(i);
     std::copy(src.begin(), src.end(), dst.begin());
   }
-  return out;
 }
 
 void Embedding::accumulate_grad(std::span<const int> tokens,

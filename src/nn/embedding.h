@@ -22,6 +22,10 @@ class Embedding {
   /// matrix.  Throws std::invalid_argument on out-of-range tokens.
   tensor::Matrix lookup(std::span<const int> tokens) const;
 
+  /// Allocation-free form: gathers into `out` (resized to batch × dim,
+  /// reusing capacity).
+  void lookup_into(std::span<const int> tokens, tensor::Matrix& out) const;
+
   /// Scatters `grad` (batch × dim) back into the gradient table for the
   /// same token batch used in lookup().
   void accumulate_grad(std::span<const int> tokens, const tensor::Matrix& grad);

@@ -27,36 +27,47 @@ FeedForward::FeedForward(Sequential net) : net_(std::move(net)) {
   }
 }
 
-std::size_t FeedForward::param_count() { return net_.params().total_size(); }
+ParamPack& FeedForward::params_pack() {
+  if (!packs_built_) {
+    params_cache_ = net_.params();
+    grads_cache_ = net_.grads();
+    packs_built_ = true;
+  }
+  return params_cache_;
+}
+
+ParamPack& FeedForward::grads_pack() {
+  params_pack();  // builds both
+  return grads_cache_;
+}
+
+std::size_t FeedForward::param_count() { return params_pack().total_size(); }
 
 void FeedForward::get_params(std::span<float> out) {
-  net_.params().copy_to(out);
+  params_pack().copy_to(out);
 }
 
 void FeedForward::set_params(std::span<const float> in) {
-  net_.params().copy_from(in);
+  params_pack().copy_from(in);
 }
 
 void FeedForward::get_grads(std::span<float> out) {
-  net_.grads().copy_to(out);
+  grads_pack().copy_to(out);
 }
 
 double FeedForward::compute_grads(const tensor::Matrix& x,
                                   std::span<const int> y) {
   net_.zero_grads();
-  tensor::Matrix logits;
-  net_.forward(x, logits, /*training=*/true);
-  tensor::Matrix grad;
-  const double loss = softmax_cross_entropy(logits, y, grad);
-  net_.backward(grad);
+  net_.forward(x, logits_, /*training=*/true);
+  const double loss = softmax_cross_entropy(logits_, y, loss_grad_);
+  net_.backward(loss_grad_);
   return loss;
 }
 
 double FeedForward::train_batch(const tensor::Matrix& x,
                                 std::span<const int> y, float lr) {
   const double loss = compute_grads(x, y);
-  auto params = net_.params();
-  params.axpy_from(-lr, net_.grads());
+  params_pack().axpy_from(-lr, grads_pack());
   return loss;
 }
 
@@ -64,26 +75,23 @@ double FeedForward::train_batch(const tensor::Matrix& x,
                                 std::span<const int> y, Optimizer& opt,
                                 float lr) {
   const double loss = compute_grads(x, y);
-  auto params = net_.params();
-  const auto grads = net_.grads();
-  opt.step(params, grads, lr);
+  opt.step(params_pack(), grads_pack(), lr);
   return loss;
 }
 
 EvalResult FeedForward::evaluate(const tensor::Matrix& x,
                                  std::span<const int> y) {
-  tensor::Matrix logits;
-  net_.forward(x, logits, /*training=*/false);
-  tensor::Matrix grad_unused = softmax(logits);
+  net_.forward(x, logits_, /*training=*/false);
+  tensor::Matrix probs = softmax(logits_);
   EvalResult result;
   result.samples = x.rows();
-  result.accuracy = accuracy(logits, y);
+  result.accuracy = accuracy(logits_, y);
   // Mean negative log-likelihood from the already-computed probabilities.
   double loss = 0.0;
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
+  for (std::size_t r = 0; r < logits_.rows(); ++r) {
     const double p = std::max(
-        1e-12, static_cast<double>(
-                   grad_unused.at(r, static_cast<std::size_t>(y[r]))));
+        1e-12,
+        static_cast<double>(probs.at(r, static_cast<std::size_t>(y[r]))));
     loss -= std::log(p);
   }
   result.loss = x.rows() ? loss / static_cast<double>(x.rows()) : 0.0;

@@ -51,8 +51,24 @@ class FeedForward {
   /// gradient-checking tests and by ablations that need raw gradients.
   double compute_grads(const tensor::Matrix& x, std::span<const int> y);
 
+  /// Direct access to the underlying network (benchmarks flip Conv2d
+  /// reference mode through this).
+  Sequential& net() noexcept { return net_; }
+
  private:
+  ParamPack& params_pack();
+  ParamPack& grads_pack();
+
   Sequential net_;
+  // Train-step workspace: logits/loss-gradient buffers plus parameter and
+  // gradient packs built once (spans point into layer heap storage, which is
+  // stable across FeedForward moves), so a steady-state step allocates
+  // nothing.
+  tensor::Matrix logits_;
+  tensor::Matrix loss_grad_;
+  ParamPack params_cache_;
+  ParamPack grads_cache_;
+  bool packs_built_ = false;
 };
 
 /// Builders for the paper's two image-model scales (see DESIGN.md §5 on the

@@ -31,11 +31,19 @@ class Layer {
   /// Computes `out` from `in` (resizing `out` as needed) and caches whatever
   /// backward() will need.  `training` toggles stochastic behaviour
   /// (dropout); inference paths pass false.
+  ///
+  /// Lifetime contract (zero-allocation hot path): layers cache *pointers*
+  /// to `in` (and may reference `out`) instead of deep-copying, so both
+  /// matrices must stay alive and unmodified until the matching backward()
+  /// completes.  Sequential owns the inter-layer activation buffers and
+  /// guarantees this for the stack; direct callers (LstmLm's head, tests)
+  /// must keep their activations alive themselves.
   virtual void forward(const tensor::Matrix& in, tensor::Matrix& out,
                        bool training) = 0;
 
   /// Given d(loss)/d(out), accumulates parameter gradients and writes
-  /// d(loss)/d(in) into grad_in.  Must be called after a matching forward().
+  /// d(loss)/d(in) into grad_in (resizing as needed; grad_in must not alias
+  /// grad_out).  Must be called after a matching forward().
   virtual void backward(const tensor::Matrix& grad_out,
                         tensor::Matrix& grad_in) = 0;
 

@@ -7,7 +7,13 @@
 namespace cmfl::nn {
 
 tensor::Matrix softmax(const tensor::Matrix& logits) {
-  tensor::Matrix probs(logits.rows(), logits.cols());
+  tensor::Matrix probs;
+  softmax_into(logits, probs);
+  return probs;
+}
+
+void softmax_into(const tensor::Matrix& logits, tensor::Matrix& probs) {
+  probs.resize(logits.rows(), logits.cols());
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     auto in = logits.row(r);
     auto out = probs.row(r);
@@ -20,7 +26,6 @@ tensor::Matrix softmax(const tensor::Matrix& logits) {
     const float inv = static_cast<float>(1.0 / sum);
     for (float& v : out) v *= inv;
   }
-  return probs;
 }
 
 double softmax_cross_entropy(const tensor::Matrix& logits,
@@ -32,7 +37,7 @@ double softmax_cross_entropy(const tensor::Matrix& logits,
   if (logits.rows() == 0) {
     throw std::invalid_argument("softmax_cross_entropy: empty batch");
   }
-  grad = softmax(logits);
+  softmax_into(logits, grad);
   const double inv_batch = 1.0 / static_cast<double>(logits.rows());
   double loss = 0.0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {

@@ -22,6 +22,11 @@ double softmax_cross_entropy(const tensor::Matrix& logits,
 /// evaluation paths that need calibrated scores.
 tensor::Matrix softmax(const tensor::Matrix& logits);
 
+/// Allocation-free form: writes the row-wise softmax of `logits` into
+/// `probs` (resized to match; may not alias logits).  Same op sequence as
+/// softmax().
+void softmax_into(const tensor::Matrix& logits, tensor::Matrix& probs);
+
 /// Index of the max logit per row.
 std::vector<int> argmax_rows(const tensor::Matrix& logits);
 

@@ -22,44 +22,49 @@ Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim)
   }
 }
 
-tensor::Matrix Lstm::forward(const std::vector<tensor::Matrix>& inputs) {
+const tensor::Matrix& Lstm::forward(
+    const std::vector<tensor::Matrix>& inputs) {
   if (inputs.empty()) throw std::invalid_argument("Lstm::forward: no steps");
   const std::size_t batch = inputs.front().rows();
-  cache_.clear();
-  cache_.reserve(inputs.size());
+  if (cache_.size() != inputs.size()) cache_.resize(inputs.size());
 
-  tensor::Matrix h(batch, hidden_);
-  tensor::Matrix c(batch, hidden_);
+  // Zero initial state.  h0_/c0_ are never written elsewhere, so after the
+  // resize they are all-zero (Matrix value-initializes grown storage).
+  h0_.resize(batch, hidden_);
+  h0_.zero();
+  c0_.resize(batch, hidden_);
+  c0_.zero();
+  const tensor::Matrix* h = &h0_;
+  const tensor::Matrix* c = &c0_;
 
-  for (const auto& x : inputs) {
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    const tensor::Matrix& x = inputs[t];
     if (x.rows() != batch || x.cols() != in_) {
       throw std::invalid_argument("Lstm::forward: inconsistent step shape");
     }
-    StepCache step;
-    step.x = x;
-    step.h_prev = h;
-    step.c_prev = c;
+    StepCache& step = cache_[t];
+    step.x = &x;
 
     // pre = x Wᵀ + h_prev Uᵀ + b, shape batch × 4H.  Both products dispatch
     // to the blocked GEMM in tensor/kernels.cpp (pool-sharded when large).
-    tensor::Matrix pre(batch, 4 * hidden_);
-    tensor::matmul_nt(x, w_, pre);
-    tensor::Matrix rec(batch, 4 * hidden_);
-    tensor::matmul_nt(h, u_, rec);
-    tensor::accumulate(pre, rec);
-    tensor::add_row_bias(pre, b_);
+    pre_.resize(batch, 4 * hidden_);
+    tensor::matmul_nt(x, w_, pre_);
+    rec_.resize(batch, 4 * hidden_);
+    tensor::matmul_nt(*h, u_, rec_);
+    tensor::accumulate(pre_, rec_);
+    tensor::add_row_bias(pre_, b_);
 
-    step.i = tensor::Matrix(batch, hidden_);
-    step.f = tensor::Matrix(batch, hidden_);
-    step.g = tensor::Matrix(batch, hidden_);
-    step.o = tensor::Matrix(batch, hidden_);
-    step.c = tensor::Matrix(batch, hidden_);
-    step.tanh_c = tensor::Matrix(batch, hidden_);
-    tensor::Matrix h_new(batch, hidden_);
+    step.i.resize(batch, hidden_);
+    step.f.resize(batch, hidden_);
+    step.g.resize(batch, hidden_);
+    step.o.resize(batch, hidden_);
+    step.c.resize(batch, hidden_);
+    step.tanh_c.resize(batch, hidden_);
+    step.h.resize(batch, hidden_);
 
     for (std::size_t n = 0; n < batch; ++n) {
-      auto p = pre.row(n);
-      auto cp = c.row(n);
+      auto p = pre_.row(n);
+      auto cp = c->row(n);
       for (std::size_t j = 0; j < hidden_; ++j) {
         const float iv = sigmoid(p[j]);
         const float fv = sigmoid(p[hidden_ + j]);
@@ -73,16 +78,14 @@ tensor::Matrix Lstm::forward(const std::vector<tensor::Matrix>& inputs) {
         step.o.at(n, j) = ov;
         step.c.at(n, j) = cv;
         step.tanh_c.at(n, j) = tc;
-        h_new.at(n, j) = ov * tc;
+        step.h.at(n, j) = ov * tc;
       }
     }
 
-    h = h_new;
-    c = step.c;
-    cache_.push_back(std::move(step));
+    h = &step.h;
+    c = &step.c;
   }
-  h_last_ = h;
-  return h;
+  return cache_.back().h;
 }
 
 std::vector<tensor::Matrix> Lstm::hidden_states() const {
@@ -91,28 +94,26 @@ std::vector<tensor::Matrix> Lstm::hidden_states() const {
   }
   std::vector<tensor::Matrix> states;
   states.reserve(cache_.size());
-  // h_t for t < T is the h_prev cached by step t+1; h_T is stored separately.
-  for (std::size_t t = 1; t < cache_.size(); ++t) {
-    states.push_back(cache_[t].h_prev);
-  }
-  states.push_back(h_last_);
+  for (const StepCache& step : cache_) states.push_back(step.h);
   return states;
 }
 
-std::vector<tensor::Matrix> Lstm::backward(const tensor::Matrix& grad_h_last) {
+const std::vector<tensor::Matrix>& Lstm::backward(
+    const tensor::Matrix& grad_h_last) {
   if (cache_.empty()) {
     throw std::logic_error("Lstm::backward: forward() not called");
   }
-  std::vector<tensor::Matrix> grad_h(cache_.size());
-  const std::size_t batch = cache_.front().x.rows();
-  for (std::size_t t = 0; t + 1 < cache_.size(); ++t) {
-    grad_h[t] = tensor::Matrix(batch, hidden_);
+  const std::size_t batch = cache_.front().x->rows();
+  if (grad_h_last.rows() != batch || grad_h_last.cols() != hidden_) {
+    throw std::invalid_argument("Lstm::backward_steps: gradient shape mismatch");
   }
-  grad_h.back() = grad_h_last;
-  return backward_steps(grad_h);
+  // Zero gradient (nullptr) on every step but the last.
+  ghp_.assign(cache_.size(), nullptr);
+  ghp_.back() = &grad_h_last;
+  return run_bptt(ghp_.data());
 }
 
-std::vector<tensor::Matrix> Lstm::backward_steps(
+const std::vector<tensor::Matrix>& Lstm::backward_steps(
     const std::vector<tensor::Matrix>& grad_h) {
   if (cache_.empty()) {
     throw std::logic_error("Lstm::backward_steps: forward() not called");
@@ -120,67 +121,74 @@ std::vector<tensor::Matrix> Lstm::backward_steps(
   if (grad_h.size() != cache_.size()) {
     throw std::invalid_argument("Lstm::backward_steps: step count mismatch");
   }
-  const std::size_t batch = cache_.front().x.rows();
+  const std::size_t batch = cache_.front().x->rows();
   for (const auto& g : grad_h) {
     if (g.rows() != batch || g.cols() != hidden_) {
       throw std::invalid_argument(
           "Lstm::backward_steps: gradient shape mismatch");
     }
   }
+  ghp_.resize(grad_h.size());
+  for (std::size_t t = 0; t < grad_h.size(); ++t) ghp_[t] = &grad_h[t];
+  return run_bptt(ghp_.data());
+}
 
-  std::vector<tensor::Matrix> grad_inputs(cache_.size());
-  tensor::Matrix dh(batch, hidden_);        // d loss / d h_t
-  tensor::Matrix dc(batch, hidden_);        // d loss / d c_t (from future)
+const std::vector<tensor::Matrix>& Lstm::run_bptt(
+    const tensor::Matrix* const* grad_h) {
+  const std::size_t batch = cache_.front().x->rows();
+  if (grad_inputs_.size() != cache_.size()) grad_inputs_.resize(cache_.size());
+  dh_.resize(batch, hidden_);
+  dh_.zero();
+  dc_.resize(batch, hidden_);
+  dc_.zero();
 
   for (std::size_t t = cache_.size(); t-- > 0;) {
-    tensor::accumulate(dh, grad_h[t]);
+    if (grad_h[t] != nullptr) tensor::accumulate(dh_, *grad_h[t]);
     const StepCache& step = cache_[t];
+    const tensor::Matrix& cprev = c_prev(t);
     // Pre-activation gate gradients, stacked batch × 4H in [i; f; g; o].
-    tensor::Matrix dpre(batch, 4 * hidden_);
+    dpre_.resize(batch, 4 * hidden_);
     for (std::size_t n = 0; n < batch; ++n) {
-      auto dp = dpre.row(n);
+      auto dp = dpre_.row(n);
       for (std::size_t j = 0; j < hidden_; ++j) {
         const float iv = step.i.at(n, j);
         const float fv = step.f.at(n, j);
         const float gv = step.g.at(n, j);
         const float ov = step.o.at(n, j);
         const float tc = step.tanh_c.at(n, j);
-        const float dhv = dh.at(n, j);
+        const float dhv = dh_.at(n, j);
         // h = o ⊙ tanh(c)
         const float do_ = dhv * tc;
-        float dcv = dc.at(n, j) + dhv * ov * (1.0f - tc * tc);
+        float dcv = dc_.at(n, j) + dhv * ov * (1.0f - tc * tc);
         const float di = dcv * gv;
-        const float df = dcv * step.c_prev.at(n, j);
+        const float df = dcv * cprev.at(n, j);
         const float dg = dcv * iv;
         dp[j] = di * iv * (1.0f - iv);
         dp[hidden_ + j] = df * fv * (1.0f - fv);
         dp[2 * hidden_ + j] = dg * (1.0f - gv * gv);
         dp[3 * hidden_ + j] = do_ * ov * (1.0f - ov);
         // carry to c_{t-1}
-        dc.at(n, j) = dcv * fv;
+        dc_.at(n, j) = dcv * fv;
       }
     }
 
     // Parameter gradients: gW += dpreᵀ x, gU += dpreᵀ h_prev, gb += Σ dpre.
-    tensor::Matrix gw_batch(4 * hidden_, in_);
-    tensor::matmul_tn(dpre, step.x, gw_batch);
-    tensor::accumulate(gw_, gw_batch);
-    tensor::Matrix gu_batch(4 * hidden_, hidden_);
-    tensor::matmul_tn(dpre, step.h_prev, gu_batch);
-    tensor::accumulate(gu_, gu_batch);
-    for (std::size_t n = 0; n < batch; ++n) {
-      auto dp = dpre.row(n);
-      for (std::size_t j = 0; j < 4 * hidden_; ++j) gb_[j] += dp[j];
-    }
+    gwb_.resize(4 * hidden_, in_);
+    tensor::matmul_tn(dpre_, *step.x, gwb_);
+    tensor::accumulate(gw_, gwb_);
+    gub_.resize(4 * hidden_, hidden_);
+    tensor::matmul_tn(dpre_, h_prev(t), gub_);
+    tensor::accumulate(gu_, gub_);
+    tensor::add_col_sums(dpre_, gb_);
 
-    // Input and recurrent gradients: dx = dpre W, dh_prev = dpre U.
-    grad_inputs[t] = tensor::Matrix(batch, in_);
-    tensor::matmul(dpre, w_, grad_inputs[t]);
-    tensor::Matrix dh_prev(batch, hidden_);
-    tensor::matmul(dpre, u_, dh_prev);
-    dh = std::move(dh_prev);
+    // Input and recurrent gradients: dx = dpre W, dh_prev = dpre U (written
+    // straight into dh_ for the next-older step — dh_ is not an input of
+    // this product).
+    grad_inputs_[t].resize(batch, in_);
+    tensor::matmul(dpre_, w_, grad_inputs_[t]);
+    tensor::matmul(dpre_, u_, dh_);
   }
-  return grad_inputs;
+  return grad_inputs_;
 }
 
 void Lstm::init_params(util::Rng& rng) {

@@ -20,20 +20,26 @@ LstmLm::LstmLm(const LstmLmSpec& spec)
   }
 }
 
-ParamPack LstmLm::params() {
-  std::vector<std::span<float>> views;
-  views.push_back(embedding_.params());
-  for (auto& lstm : lstms_) lstm.collect_params(views);
-  head_.collect_params(views);
-  return ParamPack(std::move(views));
+ParamPack& LstmLm::params_pack() {
+  if (!packs_built_) {
+    std::vector<std::span<float>> views;
+    views.push_back(embedding_.params());
+    for (auto& lstm : lstms_) lstm.collect_params(views);
+    head_.collect_params(views);
+    params_cache_ = ParamPack(std::move(views));
+    std::vector<std::span<float>> gviews;
+    gviews.push_back(embedding_.grads());
+    for (auto& lstm : lstms_) lstm.collect_grads(gviews);
+    head_.collect_grads(gviews);
+    grads_cache_ = ParamPack(std::move(gviews));
+    packs_built_ = true;
+  }
+  return params_cache_;
 }
 
-ParamPack LstmLm::grads() {
-  std::vector<std::span<float>> views;
-  views.push_back(embedding_.grads());
-  for (auto& lstm : lstms_) lstm.collect_grads(views);
-  head_.collect_grads(views);
-  return ParamPack(std::move(views));
+ParamPack& LstmLm::grads_pack() {
+  params_pack();
+  return grads_cache_;
 }
 
 void LstmLm::zero_grads() {
@@ -42,13 +48,15 @@ void LstmLm::zero_grads() {
   head_.zero_grads();
 }
 
-std::size_t LstmLm::param_count() { return params().total_size(); }
+std::size_t LstmLm::param_count() { return params_pack().total_size(); }
 
-void LstmLm::get_params(std::span<float> out) { params().copy_to(out); }
+void LstmLm::get_params(std::span<float> out) { params_pack().copy_to(out); }
 
-void LstmLm::set_params(std::span<const float> in) { params().copy_from(in); }
+void LstmLm::set_params(std::span<const float> in) {
+  params_pack().copy_from(in);
+}
 
-void LstmLm::get_grads(std::span<float> out) { grads().copy_to(out); }
+void LstmLm::get_grads(std::span<float> out) { grads_pack().copy_to(out); }
 
 void LstmLm::init_params(util::Rng& rng) {
   embedding_.init_params(rng);
@@ -56,35 +64,30 @@ void LstmLm::init_params(util::Rng& rng) {
   head_.init_params(rng);
 }
 
-tensor::Matrix LstmLm::forward(const SeqBatch& x, bool training) {
+const tensor::Matrix& LstmLm::forward_into(const SeqBatch& x, bool training) {
   if (x.batch == 0 || x.seq_len == 0 ||
       x.tokens.size() != x.batch * x.seq_len) {
     throw std::invalid_argument("LstmLm::forward: malformed SeqBatch");
   }
-  // Gather per-timestep token columns and embed them.
-  cached_step_tokens_.assign(x.seq_len, std::vector<int>(x.batch));
-  std::vector<tensor::Matrix> embedded(x.seq_len);
+  // Gather per-timestep token columns and embed them into reused buffers.
+  step_tokens_.resize(x.seq_len * x.batch);
+  if (embedded_.size() != x.seq_len) embedded_.resize(x.seq_len);
   for (std::size_t t = 0; t < x.seq_len; ++t) {
-    auto& col = cached_step_tokens_[t];
+    int* col = step_tokens_.data() + t * x.batch;
     for (std::size_t i = 0; i < x.batch; ++i) {
       col[i] = x.tokens[i * x.seq_len + t];
     }
-    embedded[t] = embedding_.lookup(col);
+    embedding_.lookup_into(step_tokens(t, x.batch), embedded_[t]);
   }
 
-  cached_layer_inputs_.clear();
-  cached_layer_inputs_.push_back(std::move(embedded));
-  tensor::Matrix h_last;
-  for (std::size_t layer = 0; layer < lstms_.size(); ++layer) {
-    h_last = lstms_[layer].forward(cached_layer_inputs_[layer]);
-    if (layer + 1 < lstms_.size()) {
-      cached_layer_inputs_.push_back(lstms_[layer].hidden_states());
-    }
+  const tensor::Matrix* h_last = &lstms_.front().forward(embedded_);
+  if (lstms_.size() == 2) {
+    hidden1_ = lstms_.front().hidden_states();
+    h_last = &lstms_.back().forward(hidden1_);
   }
 
-  tensor::Matrix logits;
-  head_.forward(h_last, logits, training);
-  return logits;
+  head_.forward(*h_last, logits_, training);
+  return logits_;
 }
 
 double LstmLm::compute_grads(const SeqBatch& x,
@@ -93,21 +96,20 @@ double LstmLm::compute_grads(const SeqBatch& x,
     throw std::invalid_argument("LstmLm::compute_grads: label count mismatch");
   }
   zero_grads();
-  const tensor::Matrix logits = forward(x, /*training=*/true);
-  tensor::Matrix grad_logits;
-  const double loss = softmax_cross_entropy(logits, next_token, grad_logits);
+  forward_into(x, /*training=*/true);
+  const double loss = softmax_cross_entropy(logits_, next_token, loss_grad_);
 
-  tensor::Matrix grad_h_last;
-  head_.backward(grad_logits, grad_h_last);
+  head_.backward(loss_grad_, grad_h_last_);
 
-  // Backprop through the stack, deepest layer first.
-  std::vector<tensor::Matrix> grad_inputs =
-      lstms_.back().backward(grad_h_last);
+  // Backprop through the stack, deepest layer first.  Each backward returns
+  // a reference into the layer's own workspace, so the chain is copy-free.
+  const std::vector<tensor::Matrix>* grad_inputs =
+      &lstms_.back().backward(grad_h_last_);
   for (std::size_t layer = lstms_.size() - 1; layer-- > 0;) {
-    grad_inputs = lstms_[layer].backward_steps(grad_inputs);
+    grad_inputs = &lstms_[layer].backward_steps(*grad_inputs);
   }
-  for (std::size_t t = 0; t < grad_inputs.size(); ++t) {
-    embedding_.accumulate_grad(cached_step_tokens_[t], grad_inputs[t]);
+  for (std::size_t t = 0; t < grad_inputs->size(); ++t) {
+    embedding_.accumulate_grad(step_tokens(t, x.batch), (*grad_inputs)[t]);
   }
   return loss;
 }
@@ -115,12 +117,12 @@ double LstmLm::compute_grads(const SeqBatch& x,
 double LstmLm::train_batch(const SeqBatch& x, std::span<const int> next_token,
                            float lr) {
   const double loss = compute_grads(x, next_token);
-  params().axpy_from(-lr, grads());
+  params_pack().axpy_from(-lr, grads_pack());
   return loss;
 }
 
 tensor::Matrix LstmLm::predict(const SeqBatch& x) {
-  return forward(x, /*training=*/false);
+  return forward_into(x, /*training=*/false);
 }
 
 EvalResult LstmLm::evaluate(const SeqBatch& x,
@@ -128,7 +130,7 @@ EvalResult LstmLm::evaluate(const SeqBatch& x,
   if (next_token.size() != x.batch) {
     throw std::invalid_argument("LstmLm::evaluate: label count mismatch");
   }
-  const tensor::Matrix logits = forward(x, /*training=*/false);
+  const tensor::Matrix& logits = forward_into(x, /*training=*/false);
   const tensor::Matrix probs = softmax(logits);
   EvalResult result;
   result.samples = x.batch;

@@ -65,18 +65,37 @@ class LstmLm {
   double compute_grads(const SeqBatch& x, std::span<const int> next_token);
 
  private:
-  tensor::Matrix forward(const SeqBatch& x, bool training);
-  ParamPack params();
-  ParamPack grads();
+  /// Forward pass into the member logits buffer; the returned reference is
+  /// valid until the next forward.
+  const tensor::Matrix& forward_into(const SeqBatch& x, bool training);
+  ParamPack& params_pack();
+  ParamPack& grads_pack();
   void zero_grads();
+
+  std::span<const int> step_tokens(std::size_t t, std::size_t batch) const {
+    return {step_tokens_.data() + t * batch, batch};
+  }
 
   LstmLmSpec spec_;
   Embedding embedding_;
   std::vector<Lstm> lstms_;
   Dense head_;
-  // Cached per-timestep activations from the last forward pass.
-  std::vector<std::vector<int>> cached_step_tokens_;
-  std::vector<std::vector<tensor::Matrix>> cached_layer_inputs_;
+  // Train-step workspace, sized on first use and reused across steps so a
+  // steady-state step allocates nothing (the 2-layer stacking path still
+  // allocates via Lstm::hidden_states()).  step_tokens_ holds the transposed
+  // token batch flat (seq_len × batch); embedded_ owns the per-timestep
+  // inputs the first LSTM caches pointers into.
+  std::vector<int> step_tokens_;
+  std::vector<tensor::Matrix> embedded_;
+  std::vector<tensor::Matrix> hidden1_;  // layer-2 inputs (2-layer only)
+  tensor::Matrix logits_;
+  tensor::Matrix loss_grad_;
+  tensor::Matrix grad_h_last_;
+  // Parameter/gradient packs built once; spans point into layer heap
+  // storage, which is stable across LstmLm moves.
+  ParamPack params_cache_;
+  ParamPack grads_cache_;
+  bool packs_built_ = false;
 };
 
 }  // namespace cmfl::nn

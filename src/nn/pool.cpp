@@ -38,13 +38,13 @@ void MaxPool2d::forward(const tensor::Matrix& in, tensor::Matrix& out,
   }
   const std::size_t batch = in.rows();
   cached_batch_ = batch;
-  out = tensor::Matrix(batch, out_dim());
-  argmax_.assign(batch, std::vector<std::size_t>(out_dim(), 0));
+  out.resize(batch, out_dim());
+  argmax_.resize(batch * out_dim());
   const auto ih = spec_.in_height, iw = spec_.in_width, win = spec_.window;
   for (std::size_t n = 0; n < batch; ++n) {
     auto x = in.row(n);
     auto y = out.row(n);
-    auto& amax = argmax_[n];
+    std::size_t* amax = argmax_.data() + n * out_dim();
     for (std::size_t c = 0; c < spec_.channels; ++c) {
       const float* xp = x.data() + c * ih * iw;
       for (std::size_t oh = 0; oh < out_h_; ++oh) {
@@ -75,11 +75,12 @@ void MaxPool2d::backward(const tensor::Matrix& grad_out,
   if (grad_out.cols() != out_dim() || grad_out.rows() != cached_batch_) {
     throw std::invalid_argument("MaxPool2d::backward: gradient shape mismatch");
   }
-  grad_in = tensor::Matrix(cached_batch_, in_dim());
+  grad_in.resize(cached_batch_, in_dim());
+  grad_in.zero();  // scatter-accumulate below needs a zeroed base
   for (std::size_t n = 0; n < cached_batch_; ++n) {
     auto gy = grad_out.row(n);
     auto gx = grad_in.row(n);
-    const auto& amax = argmax_[n];
+    const std::size_t* amax = argmax_.data() + n * out_dim();
     for (std::size_t i = 0; i < gy.size(); ++i) gx[amax[i]] += gy[i];
   }
 }

@@ -33,8 +33,9 @@ class MaxPool2d final : public Layer {
   Pool2dSpec spec_;
   std::size_t out_h_;
   std::size_t out_w_;
-  // argmax_[n][flat output index] = flat input index of the winning element
-  std::vector<std::vector<std::size_t>> argmax_;
+  // argmax_[n * out_dim() + flat output index] = flat input index of the
+  // winning element (flat buffer, reused across steps without reallocating)
+  std::vector<std::size_t> argmax_;
   std::size_t cached_batch_ = 0;
 };
 

@@ -37,26 +37,32 @@ std::string Sequential::summary() const {
 void Sequential::forward(const tensor::Matrix& in, tensor::Matrix& out,
                          bool training) {
   if (layers_.empty()) throw std::logic_error("Sequential: empty model");
-  tensor::Matrix current = in;
-  tensor::Matrix next;
-  for (auto& layer : layers_) {
-    layer->forward(current, next, training);
-    current = std::move(next);
-    next = tensor::Matrix();
+  const std::size_t count = layers_.size();
+  if (count == 1) {
+    layers_[0]->forward(in, out, training);
+    return;
   }
-  out = std::move(current);
+  // acts_[i] receives layer i's output; layer i+1 reads it in place.  The
+  // vector keeps its Matrix elements (and their heap buffers) across steps.
+  if (acts_.size() != count - 1) acts_.resize(count - 1);
+  layers_[0]->forward(in, acts_[0], training);
+  for (std::size_t i = 1; i + 1 < count; ++i) {
+    layers_[i]->forward(acts_[i - 1], acts_[i], training);
+  }
+  layers_[count - 1]->forward(acts_[count - 2], out, training);
 }
 
-tensor::Matrix Sequential::backward(const tensor::Matrix& grad_out) {
+const tensor::Matrix& Sequential::backward(const tensor::Matrix& grad_out) {
   if (layers_.empty()) throw std::logic_error("Sequential: empty model");
-  tensor::Matrix grad = grad_out;
-  tensor::Matrix grad_prev;
+  const tensor::Matrix* grad = &grad_out;
+  tensor::Matrix* next = &gbuf_a_;
+  tensor::Matrix* spare = &gbuf_b_;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    (*it)->backward(grad, grad_prev);
-    grad = std::move(grad_prev);
-    grad_prev = tensor::Matrix();
+    (*it)->backward(*grad, *next);
+    grad = next;
+    std::swap(next, spare);
   }
-  return grad;
+  return *grad;
 }
 
 void Sequential::init_params(util::Rng& rng) {

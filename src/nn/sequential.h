@@ -20,16 +20,27 @@ class Sequential {
   std::size_t in_dim() const;
   std::size_t out_dim() const;
 
+  /// Direct layer access (benchmarks flip Conv2d reference mode; tests
+  /// inspect layers).  Index must be < layer_count().
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
   /// One-line architecture summary, e.g. "Conv2d(...) -> ReLU -> Dense(...)".
   std::string summary() const;
 
-  /// Runs all layers; `out` receives the final activation.
+  /// Runs all layers; `out` receives the final activation.  Inter-layer
+  /// activations live in buffers owned by this Sequential and are reused
+  /// across steps (steady state allocates nothing).  Per the Layer lifetime
+  /// contract, `in` and `out` must stay alive and unmodified until
+  /// backward() completes.
   void forward(const tensor::Matrix& in, tensor::Matrix& out, bool training);
 
   /// Backpropagates d(loss)/d(output); parameter gradients accumulate in the
-  /// layers.  Returns d(loss)/d(input) for callers that chain further
-  /// (the LSTM language model backpropagates through its projection head).
-  tensor::Matrix backward(const tensor::Matrix& grad_out);
+  /// layers.  Returns d(loss)/d(input) for callers that chain further (the
+  /// LSTM language model backpropagates through its projection head).  The
+  /// reference points at an internal ping-pong buffer, valid until the next
+  /// forward()/backward().
+  const tensor::Matrix& backward(const tensor::Matrix& grad_out);
 
   void init_params(util::Rng& rng);
   void zero_grads();
@@ -40,6 +51,12 @@ class Sequential {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Training workspace: acts_[i] holds layer i's output (the last layer
+  // writes the caller's `out`), gbuf_a_/gbuf_b_ ping-pong the gradient
+  // through backward().  Sized on first use, reused every step.
+  std::vector<tensor::Matrix> acts_;
+  tensor::Matrix gbuf_a_;
+  tensor::Matrix gbuf_b_;
 };
 
 }  // namespace cmfl::nn

@@ -43,14 +43,15 @@ util::ThreadPool* pool() {
   return &shared;
 }
 
-void parallel_rows(std::size_t rows, std::size_t total_macs,
-                   const std::function<void(std::size_t, std::size_t)>& fn) {
-  util::ThreadPool* p =
-      (rows >= 2 && total_macs >= kParallelMacThreshold) ? pool() : nullptr;
-  if (p == nullptr || p->size() < 2) {
-    fn(0, rows);
-    return;
-  }
+bool parallel_rows_active(std::size_t rows, std::size_t total_macs) {
+  if (rows < 2 || total_macs < kParallelMacThreshold) return false;
+  util::ThreadPool* p = pool();
+  return p != nullptr && p->size() >= 2;
+}
+
+void parallel_rows_dispatch(
+    std::size_t rows, const std::function<void(std::size_t, std::size_t)>& fn) {
+  util::ThreadPool* p = pool();
   const std::size_t chunks = std::min(rows, p->size());
   p->parallel_for(chunks, [&](std::size_t c) {
     // Fixed partition: chunk c owns rows [c*rows/chunks, (c+1)*rows/chunks).
@@ -116,6 +117,71 @@ void gemm_nn(const float* a, const float* b, float* c, std::size_t /*m*/,
         }
       }
     }
+  }
+}
+
+void gemm_nn_acc(const float* a, const float* b, float* c, std::size_t /*m*/,
+                 std::size_t k, std::size_t n, std::size_t i0, std::size_t i1) {
+  // gemm_nn minus the zero-fill: identical blocked loop nest, so each output
+  // element still sees its k taps in strictly increasing order — just seeded
+  // from the caller-provided c values instead of 0.
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t jn = std::min(kNC, n - jc);
+    for (std::size_t kc = 0; kc < k; kc += kKC) {
+      const std::size_t kn = std::min(kKC, k - kc);
+      std::size_t i = i0;
+      for (; i + kMR <= i1; i += kMR) {
+        float* __restrict__ c0 = c + (i + 0) * n + jc;
+        float* __restrict__ c1 = c + (i + 1) * n + jc;
+        float* __restrict__ c2 = c + (i + 2) * n + jc;
+        float* __restrict__ c3 = c + (i + 3) * n + jc;
+        for (std::size_t kk = kc; kk < kc + kn; ++kk) {
+          const float a0 = a[(i + 0) * k + kk];
+          const float a1 = a[(i + 1) * k + kk];
+          const float a2 = a[(i + 2) * k + kk];
+          const float a3 = a[(i + 3) * k + kk];
+          const float* __restrict__ br = b + kk * n + jc;
+          for (std::size_t j = 0; j < jn; ++j) {
+            const float bv = br[j];
+            c0[j] += a0 * bv;
+            c1[j] += a1 * bv;
+            c2[j] += a2 * bv;
+            c3[j] += a3 * bv;
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        float* __restrict__ cr = c + i * n + jc;
+        for (std::size_t kk = kc; kk < kc + kn; ++kk) {
+          const float ai = a[i * k + kk];
+          const float* __restrict__ br = b + kk * n + jc;
+          for (std::size_t j = 0; j < jn; ++j) cr[j] += ai * br[j];
+        }
+      }
+    }
+  }
+}
+
+void add_col_sums(const float* m, std::size_t rows, std::size_t cols,
+                  std::size_t row_stride, std::size_t col_stride,
+                  std::span<float> acc) {
+  check_same_size(acc.size(), cols, "add_col_sums");
+  if (col_stride == 1) {
+    // Row-major contiguous layout: stream whole rows (r outer) so every
+    // accumulator still sees its rows in increasing order.
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* mr = m + r * row_stride;
+      for (std::size_t c = 0; c < cols; ++c) acc[c] += mr[c];
+    }
+    return;
+  }
+  // Strided columns: a per-column register accumulator walks rows in
+  // increasing order — the same per-accumulator sequence as above.
+  for (std::size_t c = 0; c < cols; ++c) {
+    const float* mc = m + c * col_stride;
+    float s = acc[c];
+    for (std::size_t r = 0; r < rows; ++r) s += mc[r * row_stride];
+    acc[c] = s;
   }
 }
 

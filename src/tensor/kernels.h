@@ -57,12 +57,34 @@ util::ThreadPool* pool();
 /// tier-1 tests stay comfortably under it and run serial).
 inline constexpr std::size_t kParallelMacThreshold = std::size_t{1} << 22;
 
+/// True when a (rows, total_macs) dispatch should shard across the pool:
+/// rows >= 2, total_macs >= kParallelMacThreshold, and the pool has >= 2
+/// workers.  The pool is only (lazily) created once the thresholds pass.
+bool parallel_rows_active(std::size_t rows, std::size_t total_macs);
+
+/// Pool-sharded row partition used by parallel_rows once active; fn may be a
+/// cheap reference wrapper — it is invoked synchronously before returning.
+void parallel_rows_dispatch(
+    std::size_t rows, const std::function<void(std::size_t, std::size_t)>& fn);
+
 /// Runs fn(row_begin, row_end) over a fixed contiguous partition of
-/// [0, rows).  Serial (one call covering everything) when the pool is
-/// unavailable, rows < 2, or total_macs < kParallelMacThreshold.  The
-/// partition depends only on (rows, pool size) — never on load.
-void parallel_rows(std::size_t rows, std::size_t total_macs,
-                   const std::function<void(std::size_t, std::size_t)>& fn);
+/// [0, rows).  Serial (one direct call covering everything — no type
+/// erasure, no heap) when the pool is unavailable, rows < 2, or
+/// total_macs < kParallelMacThreshold.  The partition depends only on
+/// (rows, pool size) — never on load.  The serial fast path is what keeps
+/// the training hot path allocation-free: wrapping a capturing lambda in
+/// std::function would heap-allocate on every call, and the parallel path
+/// avoids the same by type-erasing a std::reference_wrapper (which fits the
+/// small-buffer optimization).
+template <typename Fn>
+void parallel_rows(std::size_t rows, std::size_t total_macs, Fn&& fn) {
+  if (!parallel_rows_active(rows, total_macs)) {
+    fn(0, rows);
+    return;
+  }
+  parallel_rows_dispatch(
+      rows, std::function<void(std::size_t, std::size_t)>(std::ref(fn)));
+}
 
 // ---------------------------------------------------------------------------
 // GEMM kernels (row-major, fully packed: lda == k etc.)
@@ -74,6 +96,23 @@ void parallel_rows(std::size_t rows, std::size_t total_macs,
 /// c[m×n] = a[m×k] · b[k×n], rows [i0, i1).
 void gemm_nn(const float* a, const float* b, float* c, std::size_t m,
              std::size_t k, std::size_t n, std::size_t i0, std::size_t i1);
+
+/// c[m×n] += a[m×k] · b[k×n], rows [i0, i1) — gemm_nn without the zero-fill
+/// prologue, so each output element accumulates k-increasing on top of the
+/// value already in c.  Used by the im2col Conv2d forward, where c is
+/// preloaded with the bias: the per-element op sequence (bias, then taps in
+/// k order) reproduces the naive conv loop bit-for-bit.
+void gemm_nn_acc(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n, std::size_t i0, std::size_t i1);
+
+/// acc[col] += Σ_row m[row·row_stride + col·col_stride], each accumulator
+/// updated with row strictly increasing — the exact order of the scalar
+/// bias-gradient loops (Dense, Lstm: row-major batch×cols with
+/// row_stride = cols, col_stride = 1; im2col Conv2d: per-sample gradient
+/// viewed out_c-major with row_stride = 1, col_stride = pixels).
+void add_col_sums(const float* m, std::size_t rows, std::size_t cols,
+                  std::size_t row_stride, std::size_t col_stride,
+                  std::span<float> acc);
 
 /// c[m×n] = a[k×m]ᵀ · b[k×n], rows [i0, i1) of c (columns of a).
 void gemm_tn(const float* a, const float* b, float* c, std::size_t m,

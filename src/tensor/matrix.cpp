@@ -37,6 +37,12 @@ float Matrix::checked_at(std::size_t r, std::size_t c) const {
   return at(r, c);
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void Matrix::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
@@ -121,6 +127,11 @@ void accumulate(Matrix& accum, const Matrix& m) {
   auto dst = accum.flat();
   auto src = m.flat();
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+void add_col_sums(const Matrix& m, std::span<float> acc) {
+  if (acc.size() != m.cols()) shape_error("add_col_sums");
+  kernels::add_col_sums(m.flat().data(), m.rows(), m.cols(), m.cols(), 1, acc);
 }
 
 }  // namespace cmfl::tensor

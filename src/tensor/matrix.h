@@ -44,6 +44,13 @@ class Matrix {
   std::span<float> flat() noexcept { return data_; }
   std::span<const float> flat() const noexcept { return data_; }
 
+  /// Reshapes to rows × cols, reusing the existing heap buffer whenever its
+  /// capacity suffices (the training hot path resizes every workspace to the
+  /// same shape each step, so steady-state resizes never allocate).  Element
+  /// values are unspecified after a resize — callers must fully overwrite
+  /// (or zero()) the matrix before reading it.
+  void resize(std::size_t rows, std::size_t cols);
+
   void fill(float value);
   void zero() { fill(0.0f); }
 
@@ -79,5 +86,12 @@ void add_row_bias(Matrix& m, std::span<const float> bias);
 
 /// accum += m (shape-checked).
 void accumulate(Matrix& accum, const Matrix& m);
+
+/// acc[c] += Σ_r m(r, c), each column accumulated with r strictly
+/// increasing — the exact order of the scalar bias-gradient loops this
+/// kernel replaces (Dense::backward, Lstm gate biases, and the im2col
+/// Conv2d bias gradient via the strided kernels:: form).  `acc` must have
+/// m.cols() entries.
+void add_col_sums(const Matrix& m, std::span<float> acc);
 
 }  // namespace cmfl::tensor

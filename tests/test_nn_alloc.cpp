@@ -1,0 +1,118 @@
+// Heap-allocation regression tests for the training hot path.
+//
+// The steady-state contract (DESIGN.md §12): after a warm-up step has sized
+// every layer workspace, FeedForward::train_batch and LstmLm::train_batch
+// must not touch the heap at all.  The global operator-new hook in
+// alloc_counter.cpp counts every allocation across all threads, so a
+// regression anywhere in the step (layer temporaries, std::function
+// type-erasure, ParamPack rebuilds, ...) fails these tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc_counter.h"
+#include "nn/feed_forward.h"
+#include "nn/lstm_lm.h"
+#include "util/rng.h"
+
+namespace cmfl::nn {
+namespace {
+
+constexpr int kWarmupSteps = 3;
+constexpr int kMeasuredSteps = 5;
+
+void fill_batch(tensor::Matrix& x, std::vector<int>& y, std::size_t classes,
+                util::Rng& rng) {
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    y[static_cast<std::size_t>(i)] = static_cast<int>(i % classes);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      x.at(i, j) = rng.normal_f(0.0f, 1.0f);
+    }
+  }
+}
+
+TEST(AllocFreeTrainStep, MlpSteadyStateAllocatesNothing) {
+  util::Rng rng(11);
+  FeedForward model = make_mlp(32, {24, 16}, 10, rng);
+  tensor::Matrix x(8, 32);
+  std::vector<int> y(8);
+  fill_batch(x, y, 10, rng);
+
+  for (int s = 0; s < kWarmupSteps; ++s) model.train_batch(x, y, 0.05f);
+
+  testing::reset_alloc_count();
+  for (int s = 0; s < kMeasuredSteps; ++s) model.train_batch(x, y, 0.05f);
+  EXPECT_EQ(testing::alloc_count(), 0u)
+      << "steady-state MLP train step touched the heap";
+}
+
+TEST(AllocFreeTrainStep, CnnSteadyStateAllocatesNothing) {
+  util::Rng rng(12);
+  CnnSpec spec;
+  spec.image_size = 8;
+  spec.conv1_filters = 4;
+  spec.conv2_filters = 8;
+  spec.fc_width = 16;
+  FeedForward model = make_digits_cnn(spec, rng);
+  tensor::Matrix x(4, 64);
+  std::vector<int> y(4);
+  fill_batch(x, y, 10, rng);
+
+  for (int s = 0; s < kWarmupSteps; ++s) model.train_batch(x, y, 0.05f);
+
+  testing::reset_alloc_count();
+  for (int s = 0; s < kMeasuredSteps; ++s) model.train_batch(x, y, 0.05f);
+  EXPECT_EQ(testing::alloc_count(), 0u)
+      << "steady-state CNN train step touched the heap";
+}
+
+TEST(AllocFreeTrainStep, LstmLmSteadyStateAllocatesNothing) {
+  util::Rng rng(13);
+  LstmLmSpec spec;
+  spec.vocab = 32;
+  spec.embed_dim = 8;
+  spec.hidden_dim = 12;
+  spec.layers = 1;  // the 2-layer stacking path is documented as not
+                    // allocation-free (Lstm::hidden_states copies)
+  LstmLm model(spec);
+  model.init_params(rng);
+
+  SeqBatch x;
+  x.batch = 4;
+  x.seq_len = 6;
+  x.tokens.resize(x.batch * x.seq_len);
+  std::vector<int> next(x.batch);
+  for (auto& t : x.tokens) t = static_cast<int>(rng.uniform_index(32));
+  for (auto& t : next) t = static_cast<int>(rng.uniform_index(32));
+
+  for (int s = 0; s < kWarmupSteps; ++s) model.train_batch(x, next, 0.05f);
+
+  testing::reset_alloc_count();
+  for (int s = 0; s < kMeasuredSteps; ++s) model.train_batch(x, next, 0.05f);
+  EXPECT_EQ(testing::alloc_count(), 0u)
+      << "steady-state LSTM-LM train step touched the heap";
+}
+
+// Changing the batch size legitimately re-sizes workspaces; the step after
+// that must be allocation-free again.
+TEST(AllocFreeTrainStep, ReSteadyAfterBatchSizeChange) {
+  util::Rng rng(14);
+  FeedForward model = make_mlp(16, {12}, 4, rng);
+  tensor::Matrix x8(8, 16), x4(4, 16);
+  std::vector<int> y8(8), y4(4);
+  fill_batch(x8, y8, 4, rng);
+  fill_batch(x4, y4, 4, rng);
+
+  for (int s = 0; s < kWarmupSteps; ++s) model.train_batch(x8, y8, 0.05f);
+  model.train_batch(x4, y4, 0.05f);  // shrink: capacity reused
+  model.train_batch(x8, y8, 0.05f);  // grow back: capacity still there
+
+  testing::reset_alloc_count();
+  model.train_batch(x4, y4, 0.05f);
+  model.train_batch(x8, y8, 0.05f);
+  EXPECT_EQ(testing::alloc_count(), 0u)
+      << "alternating warmed-up batch sizes touched the heap";
+}
+
+}  // namespace
+}  // namespace cmfl::nn

@@ -1,0 +1,170 @@
+// Randomized bitwise equivalence of the optimized Conv2d path (im2col/GEMM
+// forward, hoisted-bounds sparse scatter backward) against the retained
+// naive reference loops (set_reference_impl(true)), across kernel /
+// padding / channel / rectangular-shape edge cases.  Equality is checked
+// with memcmp — bit-identical, not just approximately equal — because the
+// optimized path is designed to preserve the naive accumulation order
+// exactly (see conv2d.h).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "util/rng.h"
+
+namespace cmfl::nn {
+namespace {
+
+bool bitwise_equal(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+void copy_params(Conv2d& from, Conv2d& to) {
+  std::vector<std::span<float>> src, dst;
+  from.collect_params(src);
+  to.collect_params(dst);
+  ASSERT_EQ(src.size(), dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(src[i].size(), dst[i].size());
+    std::memcpy(dst[i].data(), src[i].data(), src[i].size() * sizeof(float));
+  }
+}
+
+void check_equivalence(const Conv2dSpec& spec, std::size_t batch,
+                       util::Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "in_c=" << spec.in_channels << " ih=" << spec.in_height
+               << " iw=" << spec.in_width << " out_c=" << spec.out_channels
+               << " k=" << spec.kernel << " pad=" << spec.padding
+               << " batch=" << batch);
+  Conv2d gemm(spec);
+  Conv2d ref(spec);
+  ref.set_reference_impl(true);
+  gemm.init_params(rng);
+  copy_params(gemm, ref);
+
+  tensor::Matrix x(batch, gemm.in_dim());
+  for (float& v : x.flat()) v = rng.normal_f(0.0f, 1.0f);
+
+  tensor::Matrix out_gemm, out_ref;
+  gemm.forward(x, out_gemm, /*training=*/true);
+  ref.forward(x, out_ref, /*training=*/true);
+  EXPECT_TRUE(bitwise_equal(out_gemm.flat(), out_ref.flat()))
+      << "forward outputs diverge";
+
+  // ~30% exact zeros in the upstream gradient exercise the naive path's
+  // `g == 0` skip against the GEMM's explicit multiply-by-zero.
+  tensor::Matrix gy(batch, gemm.out_dim());
+  for (float& v : gy.flat()) {
+    v = rng.uniform() < 0.3 ? 0.0f : rng.normal_f(0.0f, 1.0f);
+  }
+
+  gemm.zero_grads();
+  ref.zero_grads();
+  tensor::Matrix gx_gemm, gx_ref;
+  gemm.backward(gy, gx_gemm);
+  ref.backward(gy, gx_ref);
+  EXPECT_TRUE(bitwise_equal(gx_gemm.flat(), gx_ref.flat()))
+      << "input gradients diverge";
+
+  std::vector<std::span<float>> g_gemm, g_ref;
+  gemm.collect_grads(g_gemm);
+  ref.collect_grads(g_ref);
+  ASSERT_EQ(g_gemm.size(), g_ref.size());
+  for (std::size_t i = 0; i < g_gemm.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(g_gemm[i], g_ref[i]))
+        << "parameter gradient segment " << i << " diverges";
+  }
+}
+
+Conv2dSpec make_spec(std::size_t in_c, std::size_t ih, std::size_t iw,
+                     std::size_t out_c, std::size_t k, std::size_t pad) {
+  Conv2dSpec spec;
+  spec.in_channels = in_c;
+  spec.in_height = ih;
+  spec.in_width = iw;
+  spec.out_channels = out_c;
+  spec.kernel = k;
+  spec.padding = pad;
+  return spec;
+}
+
+TEST(ConvIm2colEquivalence, KernelPaddingChannelEdgeCases) {
+  util::Rng rng(101);
+  // kernel 1 (pointwise), no padding
+  check_equivalence(make_spec(1, 5, 5, 1, 1, 0), 2, rng);
+  check_equivalence(make_spec(3, 4, 6, 2, 1, 0), 3, rng);
+  // kernel 3, `same` padding, rectangular input
+  check_equivalence(make_spec(2, 6, 4, 3, 3, 1), 2, rng);
+  check_equivalence(make_spec(3, 7, 5, 3, 3, 1), 1, rng);
+  // kernel 3, no padding, minimal input -> 1×1 output
+  check_equivalence(make_spec(1, 3, 3, 2, 3, 0), 2, rng);
+  // kernel 3, full padding (pad = k−1): output larger than input
+  check_equivalence(make_spec(2, 4, 4, 1, 3, 2), 2, rng);
+  // kernel 5, `same` padding (the paper's CNN shape)
+  check_equivalence(make_spec(3, 8, 8, 2, 5, 2), 2, rng);
+  // kernel 5, full padding, rectangular
+  check_equivalence(make_spec(2, 5, 7, 2, 5, 4), 1, rng);
+  // 1×1 input, 1×1 kernel: degenerate single-pixel case
+  check_equivalence(make_spec(1, 1, 1, 1, 1, 0), 1, rng);
+}
+
+TEST(ConvIm2colEquivalence, RandomizedConfigs) {
+  util::Rng rng(202);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t k = 1 + 2 * rng.uniform_index(3);  // 1, 3, 5
+    const std::size_t pad = rng.uniform_index(k);        // 0 .. k−1
+    // Input large enough for at least one output pixel.
+    const std::size_t min_side = k > 2 * pad ? k - 2 * pad : 1;
+    const std::size_t ih = min_side + rng.uniform_index(6);
+    const std::size_t iw = min_side + rng.uniform_index(6);
+    const std::size_t in_c = 1 + rng.uniform_index(3);
+    const std::size_t out_c = 1 + rng.uniform_index(3);
+    const std::size_t batch = 1 + rng.uniform_index(4);
+    check_equivalence(make_spec(in_c, ih, iw, out_c, k, pad), batch, rng);
+  }
+}
+
+// Repeated steps through the same instance must keep the workspace-cached
+// GEMM path equivalent (stale-buffer regression guard).
+TEST(ConvIm2colEquivalence, RepeatedStepsReuseWorkspaces) {
+  util::Rng rng(303);
+  const Conv2dSpec spec = make_spec(2, 6, 6, 3, 3, 1);
+  Conv2d gemm(spec);
+  Conv2d ref(spec);
+  ref.set_reference_impl(true);
+  gemm.init_params(rng);
+  copy_params(gemm, ref);
+
+  for (int step = 0; step < 4; ++step) {
+    // Vary the batch size to exercise workspace re-sizing.
+    const std::size_t batch = 1 + (static_cast<std::size_t>(step) % 3);
+    tensor::Matrix x(batch, gemm.in_dim());
+    for (float& v : x.flat()) v = rng.normal_f(0.0f, 1.0f);
+    tensor::Matrix gy(batch, gemm.out_dim());
+    for (float& v : gy.flat()) v = rng.normal_f(0.0f, 1.0f);
+
+    tensor::Matrix out_gemm, out_ref, gx_gemm, gx_ref;
+    gemm.forward(x, out_gemm, true);
+    ref.forward(x, out_ref, true);
+    EXPECT_TRUE(bitwise_equal(out_gemm.flat(), out_ref.flat()))
+        << "step " << step;
+    gemm.backward(gy, gx_gemm);
+    ref.backward(gy, gx_ref);
+    EXPECT_TRUE(bitwise_equal(gx_gemm.flat(), gx_ref.flat()))
+        << "step " << step;
+  }
+  // Accumulated parameter gradients across all steps must match too.
+  std::vector<std::span<float>> g_gemm, g_ref;
+  gemm.collect_grads(g_gemm);
+  ref.collect_grads(g_ref);
+  for (std::size_t i = 0; i < g_gemm.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(g_gemm[i], g_ref[i])) << "grad segment " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cmfl::nn

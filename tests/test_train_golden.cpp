@@ -1,0 +1,177 @@
+// Golden-trajectory pins for the training hot path.
+//
+// The PR-5 workspace/im2col refactor promises *bit-identical* training: the
+// optimized layers must reproduce the exact float trajectory of the original
+// per-step-allocating implementations.  These tests pin seeded end-to-end
+// runs (digits MLP + CNN + NWP LSTM through FederatedSimulation, and a
+// thread-pooled digits-MLP cohort through sched::RoundEngine) to CRC32
+// digests recorded from the pre-refactor revision.  Any change to the
+// floating-point accumulation order of forward/backward shows up here as a
+// digest mismatch.
+//
+// Regenerate (only when a trajectory change is *intended* and explained):
+//   CMFL_PRINT_GOLDEN=1 ./test_train_golden
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/filter.h"
+#include "fl/simulation.h"
+#include "fl/workloads.h"
+#include "sched/population.h"
+#include "sched/round_engine.h"
+#include "util/crc32.h"
+
+namespace cmfl::fl {
+namespace {
+
+std::uint32_t crc_floats(std::span<const float> v) {
+  return util::crc32(std::as_bytes(v));
+}
+
+std::uint32_t crc_doubles(std::span<const double> v) {
+  return util::crc32(std::as_bytes(v));
+}
+
+/// One digest over everything bit-sensitive in a run: final parameters,
+/// per-iteration train losses, and the upload/elimination pattern (which
+/// shifts if any relevance score moves by even one ulp).
+std::uint32_t run_digest(const SimulationResult& r) {
+  std::vector<double> scalars;
+  for (const auto& rec : r.history) {
+    scalars.push_back(rec.mean_train_loss);
+    scalars.push_back(rec.mean_score);
+    scalars.push_back(static_cast<double>(rec.uploads));
+  }
+  std::uint32_t crc = crc_floats(r.final_params);
+  crc ^= crc_doubles(scalars);
+  for (std::size_t e : r.eliminations_per_client) {
+    crc = crc * 31u + static_cast<std::uint32_t>(e);
+  }
+  return crc;
+}
+
+bool print_golden() {
+  return std::getenv("CMFL_PRINT_GOLDEN") != nullptr;
+}
+
+void check_or_print(const char* name, std::uint32_t got,
+                    std::uint32_t expected) {
+  if (print_golden()) {
+    std::printf("GOLDEN %s = 0x%08xu\n", name, got);
+    return;
+  }
+  EXPECT_EQ(got, expected) << name << ": trajectory digest changed — the "
+                           << "training hot path is no longer bit-identical";
+}
+
+TEST(TrainGolden, DigitsMlpCmflTrace) {
+  DigitsMlpSpec spec;
+  spec.clients = 8;
+  spec.train_samples = 240;
+  spec.test_samples = 80;
+  spec.hidden = {16};
+  spec.digits.image_size = 8;
+  spec.seed = 77;
+  Workload w = make_digits_mlp_workload(spec);
+
+  SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 4;
+  opt.learning_rate = core::Schedule::constant(0.1);
+  opt.max_iterations = 5;
+  opt.eval_every = 2;
+  opt.seed = 99;
+  FederatedSimulation sim(std::move(w.clients),
+                          core::make_filter("cmfl", core::Schedule::constant(0.5)),
+                          w.evaluator, opt);
+  check_or_print("digits_mlp_cmfl", run_digest(sim.run()), 0xb81ed8d1u);
+}
+
+TEST(TrainGolden, DigitsCnnTrace) {
+  DigitsCnnSpec spec;
+  spec.clients = 4;
+  spec.train_samples = 64;
+  spec.test_samples = 32;
+  spec.cnn.image_size = 8;
+  spec.cnn.conv1_filters = 4;
+  spec.cnn.conv2_filters = 8;
+  spec.cnn.fc_width = 16;
+  spec.digits.image_size = 8;
+  spec.seed = 41;
+  Workload w = make_digits_cnn_workload(spec);
+
+  SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 4;
+  opt.learning_rate = core::Schedule::constant(0.1);
+  opt.max_iterations = 3;
+  opt.eval_every = 1;
+  opt.seed = 7;
+  FederatedSimulation sim(std::move(w.clients),
+                          core::make_filter("cmfl", core::Schedule::constant(0.5)),
+                          w.evaluator, opt);
+  check_or_print("digits_cnn_cmfl", run_digest(sim.run()), 0x1d43a834u);
+}
+
+TEST(TrainGolden, NwpLstmTrace) {
+  NwpLstmSpec spec;
+  spec.text.roles = 4;
+  spec.text.words_per_role = 60;
+  spec.text.seq_len = 6;
+  spec.lm.embed_dim = 8;
+  spec.lm.hidden_dim = 12;
+  spec.lm.layers = 1;
+  spec.seed = 13;
+  Workload w = make_nwp_lstm_workload(spec);
+
+  SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 2;
+  opt.learning_rate = core::Schedule::constant(0.5);
+  opt.max_iterations = 3;
+  opt.eval_every = 1;
+  opt.seed = 5;
+  FederatedSimulation sim(std::move(w.clients),
+                          core::make_filter("cmfl", core::Schedule::constant(0.5)),
+                          w.evaluator, opt);
+  check_or_print("nwp_lstm_cmfl", run_digest(sim.run()), 0x0cf2e903u);
+}
+
+TEST(TrainGolden, RoundEngineMlpCohortTrace) {
+  DigitsMlpSpec spec;
+  spec.clients = 8;
+  spec.train_samples = 240;
+  spec.test_samples = 80;
+  spec.hidden = {16};
+  spec.digits.image_size = 8;
+  spec.seed = 77;
+  PopulationWorkload w = make_digits_mlp_population(spec);
+
+  sched::PopulationSpec pop_spec;
+  pop_spec.devices = 8;
+  pop_spec.seed = 3;
+  sched::Population population(pop_spec, w.factory);
+
+  SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 4;
+  opt.learning_rate = core::Schedule::constant(0.1);
+  opt.max_iterations = 4;
+  opt.eval_every = 2;
+  opt.seed = 21;
+  opt.parallel = true;  // thread-pooled training must stay deterministic
+  opt.schedule.sample_size = 4;
+  sched::RoundEngine engine(
+      population, core::make_filter("cmfl", core::Schedule::constant(0.5)),
+      w.evaluator, opt);
+  check_or_print("round_engine_mlp", run_digest(engine.run().sim), 0xe58bd81au);
+}
+
+}  // namespace
+}  // namespace cmfl::fl

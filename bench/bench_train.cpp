@@ -21,11 +21,19 @@
 #include "nn/conv2d.h"
 #include "nn/feed_forward.h"
 #include "nn/lstm_lm.h"
+#include "tensor/kernels.h"
 #include "util/rng.h"
 
 using namespace cmfl;
 
 namespace {
+
+/// Pins the kernel tier for one benchmark body; un-suffixed rows measure the
+/// bit-exact tier (the historical baseline), *_Fast rows the AVX2/FMA tier.
+struct TierScope {
+  explicit TierScope(tensor::kernels::Tier t) { tensor::kernels::set_tier(t); }
+  ~TierScope() { tensor::kernels::set_tier(tensor::kernels::Tier::kAuto); }
+};
 
 void fill_normal(tensor::Matrix& x, util::Rng& rng) {
   for (float& v : x.flat()) v = rng.normal_f(0.0f, 1.0f);
@@ -49,6 +57,7 @@ void run_train_steps(benchmark::State& state, nn::FeedForward& model,
 // --- Digits MLP (paper-scale fully connected model) ---
 
 void BM_TrainStep_MLP(benchmark::State& state) {
+  TierScope tier(tensor::kernels::Tier::kExact);
   util::Rng rng(1);
   nn::FeedForward model = nn::make_mlp(64, {32}, 10, rng);
   tensor::Matrix x(32, 64);
@@ -74,6 +83,7 @@ void set_conv_reference_mode(nn::FeedForward& model, bool ref) {
 }
 
 void BM_TrainStep_CNN(benchmark::State& state) {
+  TierScope tier(tensor::kernels::Tier::kExact);
   util::Rng rng(2);
   nn::FeedForward model = make_bench_cnn(rng);
   tensor::Matrix x(8, model.input_dim());
@@ -82,7 +92,21 @@ void BM_TrainStep_CNN(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep_CNN);
 
+// The vector-tier CNN step: the same model with every kernel dispatched to
+// the AVX2/FMA tier.  run_train.sh holds this row to its own (higher)
+// steps/sec floor, separate from the bit-exact ≥2× old-vs-new check.
+void BM_TrainStep_CNN_Fast(benchmark::State& state) {
+  TierScope tier(tensor::kernels::Tier::kFast);
+  util::Rng rng(2);
+  nn::FeedForward model = make_bench_cnn(rng);
+  tensor::Matrix x(8, model.input_dim());
+  fill_normal(x, rng);
+  run_train_steps(state, model, x, cyclic_labels(8, 10));
+}
+BENCHMARK(BM_TrainStep_CNN_Fast);
+
 void BM_TrainStep_CNN_NaiveRef(benchmark::State& state) {
+  TierScope tier(tensor::kernels::Tier::kExact);
   util::Rng rng(2);
   nn::FeedForward model = make_bench_cnn(rng);
   set_conv_reference_mode(model, true);
@@ -95,6 +119,7 @@ BENCHMARK(BM_TrainStep_CNN_NaiveRef);
 // --- NWP LSTM language model ---
 
 void BM_TrainStep_LSTM(benchmark::State& state) {
+  TierScope tier(tensor::kernels::Tier::kExact);
   util::Rng rng(3);
   nn::LstmLmSpec spec;
   spec.vocab = 64;
@@ -124,6 +149,7 @@ BENCHMARK(BM_TrainStep_LSTM);
 // aggregation), including model/shard setup per iteration (untimed) ---
 
 void BM_FederatedRound_MLP(benchmark::State& state) {
+  TierScope tier(tensor::kernels::Tier::kExact);
   for (auto _ : state) {
     state.PauseTiming();
     fl::DigitsMlpSpec spec;
@@ -167,6 +193,9 @@ int main(int argc, char** argv) {
 #else
   benchmark::AddCustomContext("cmfl_ndebug", "0");
 #endif
+  // SIMD provenance: whether the *_Fast rows actually ran the AVX2/FMA tier
+  // on this host or silently fell back to the exact kernels.
+  benchmark::AddCustomContext("cmfl_simd", tensor::kernels::simd_level());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Records the kernel-throughput baseline BENCH_kernels.json at the repo root
-# from a Release build.
+# from a Release build, then re-runs the SIMD equivalence tests under
+# AddressSanitizer+UBSan.
 #
 #   bench/run_kernels.sh [build_dir] [--benchmark_* flags...]
 #
@@ -8,10 +9,19 @@
 # -DCMAKE_BUILD_TYPE=Release; a tracked baseline recorded from a debug or
 # unoptimized binary is meaningless, so the script verifies the binary's own
 # build-type stamp in the recorded JSON (custom context `cmfl_build_type` —
-# the library_build_type key only describes how libbenchmark was compiled)
-# and fails loudly on a mismatch.  Compare a fresh run against the
-# checked-in baseline before merging any change that touches
-# tensor/kernels.cpp — regressions must be explained.
+# the library_build_type key only describes how libbenchmark was compiled;
+# with the vendored benchmark_lite it reads "release" by construction) and
+# fails loudly on a mismatch.  The JSON also carries a `cmfl_simd` stamp
+# ("avx2-fma" or "scalar") recording whether the *_Fast tier rows actually
+# ran vector kernels on this host; the script requires the stamp to be
+# present.  Compare a fresh run against the checked-in baseline before
+# merging any change that touches tensor/kernels*.cpp — regressions must be
+# explained.
+#
+# Thread pinning: the MT roofline rows (BM_GemmNN_MT/N, BM_GemmNN_FastMT/N)
+# pin their own worker counts in-process.  Everything else honors the
+# CMFL_THREADS environment variable when the kernel thread setting is auto,
+# e.g. `CMFL_THREADS=1 bench/run_kernels.sh` for a fully serial record.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -34,4 +44,21 @@ if ! grep -q '"cmfl_build_type": "Release"' "$OUT"; then
   echo "       (cmfl_build_type context: $(grep -o '"cmfl_build_type":[^,]*' "$OUT" || echo missing))" >&2
   exit 1
 fi
-echo "wrote $OUT (Release provenance verified)"
+if ! grep -q '"cmfl_simd": "' "$OUT"; then
+  echo "ERROR: $OUT carries no cmfl_simd provenance stamp" >&2
+  exit 1
+fi
+SIMD=$(grep -o '"cmfl_simd": "[^"]*"' "$OUT" | cut -d'"' -f4)
+echo "wrote $OUT (Release provenance verified, simd=$SIMD)"
+
+# --- ASan+UBSan gate over the SIMD equivalence tests ---
+# The fast-tier kernels read with vector loads near buffer tails; the
+# equivalence suites must stay clean under address+undefined before a
+# baseline recorded from them is accepted.
+ASAN_DIR="${BUILD_DIR}-asan-ubsan"
+cmake -B "$ASAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMFL_SANITIZE=address,undefined
+cmake --build "$ASAN_DIR" -j --target test_tensor_simd test_tensor_kernels
+"$ASAN_DIR/tests/test_tensor_simd"
+"$ASAN_DIR/tests/test_tensor_kernels"
+echo "ASan+UBSan SIMD equivalence gates passed"

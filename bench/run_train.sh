@@ -12,7 +12,11 @@
 #      library_build_type key only describes libbenchmark) — fail loudly
 #      otherwise.
 #   3. Verify the im2col/GEMM CNN path is >= 2x the retained naive path
-#      (BM_TrainStep_CNN vs BM_TrainStep_CNN_NaiveRef steps/sec).
+#      (BM_TrainStep_CNN vs BM_TrainStep_CNN_NaiveRef steps/sec), and —
+#      when the binary reports cmfl_simd=avx2-fma — that the vector-tier
+#      step (BM_TrainStep_CNN_Fast) clears its own higher floor of 3x the
+#      naive path.  The kernel thread setting honors CMFL_THREADS when set
+#      (auto otherwise); the tracked baseline is single-core.
 #   4. Build test_nn_alloc + test_nn_conv_im2col with -DCMFL_SANITIZE=address
 #      (dir <build_dir>-asan) and run them, so the workspace-reuse paths are
 #      exercised under ASan before a baseline is accepted.
@@ -43,7 +47,9 @@ if ! grep -q '"cmfl_build_type": "Release"' "$OUT"; then
   exit 1
 fi
 
-# steps/sec ratio: im2col/GEMM CNN step must be >= 2x the naive path.
+# steps/sec ratios: the bit-exact im2col/GEMM CNN step must be >= 2x the
+# naive path, and the vector tier must clear its own higher 3x floor when
+# the host actually ran AVX2/FMA (cmfl_simd stamp).
 python3 - "$OUT" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -53,14 +59,25 @@ rate = {b["name"]: b["items_per_second"]
         if "items_per_second" in b}
 def median_rate(name):
     return rate.get(name + "_median", rate.get(name))
-ratio = median_rate("BM_TrainStep_CNN") / median_rate("BM_TrainStep_CNN_NaiveRef")
+naive = median_rate("BM_TrainStep_CNN_NaiveRef")
+ratio = median_rate("BM_TrainStep_CNN") / naive
 print(f"CNN steps/sec ratio (im2col vs naive): {ratio:.2f}x")
 if ratio < 2.0:
     print(f"ERROR: im2col CNN path is {ratio:.2f}x the naive path "
           "(< 2x floor)", file=sys.stderr)
     sys.exit(1)
+if data["context"].get("cmfl_simd") == "avx2-fma":
+    fast = median_rate("BM_TrainStep_CNN_Fast")
+    fast_ratio = fast / naive
+    print(f"CNN steps/sec ratio (vector tier vs naive): {fast_ratio:.2f}x")
+    if fast_ratio < 3.0:
+        print(f"ERROR: vector-tier CNN path is {fast_ratio:.2f}x the naive "
+              "path (< 3x floor)", file=sys.stderr)
+        sys.exit(1)
+else:
+    print("cmfl_simd != avx2-fma: vector-tier floor skipped")
 EOF
-echo "wrote $OUT (Release provenance + 2x CNN floor verified)"
+echo "wrote $OUT (Release provenance + CNN floors verified)"
 
 # --- ASan gate over the hot-path correctness tests ---
 ASAN_DIR="${BUILD_DIR}-asan"

@@ -170,9 +170,20 @@ void Conv2d::forward(const tensor::Matrix& in, tensor::Matrix& out,
             float* yr = y.data() + oc * pixels;
             std::fill(yr, yr + pixels, b_[oc]);
           }
-          tensor::kernels::gemm_nn_acc(w_.data(), col, y.data(),
-                                       spec_.out_channels, patch, pixels, 0,
-                                       spec_.out_channels);
+          // The per-sample GEMM itself tiles its out_channels row range over
+          // the pool: when the batch loop above ran serial (small batch,
+          // e.g. single-image inference on a large plane) this is where the
+          // threads come from, and when the batch loop is already sharded
+          // the per-sample MAC count sits below the threshold so this stays
+          // a single direct call.  Row ranges compose bitwise (kernels.h),
+          // so the nesting never changes results.
+          tensor::kernels::parallel_rows(
+              spec_.out_channels, macs_per_row,
+              [&](std::size_t oc0, std::size_t oc1) {
+                tensor::kernels::gemm_nn_acc(w_.data(), col, y.data(),
+                                             spec_.out_channels, patch, pixels,
+                                             oc0, oc1);
+              });
         }
       });
 }

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
+#include "tensor/kernels_simd.h"
 #include "util/thread_pool.h"
 
 namespace cmfl::tensor {
@@ -14,12 +18,70 @@ namespace cmfl::tensor {
 namespace kernels {
 
 // ---------------------------------------------------------------------------
+// Tier selection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<Tier> g_tier{Tier::kAuto};
+
+/// True when the current dispatch should take the AVX2/FMA backend.
+inline bool use_fast() noexcept {
+#if CMFL_SIMD_X86
+  return active_tier() == Tier::kFast;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void set_tier(Tier t) noexcept { g_tier.store(t); }
+
+Tier tier() noexcept { return g_tier.load(); }
+
+bool fast_tier_compiled() noexcept { return CMFL_SIMD_X86 != 0; }
+
+bool fast_tier_available() noexcept {
+#if CMFL_SIMD_X86
+  static const bool ok = simd::cpu_has_avx2_fma();
+  return ok;
+#else
+  return false;
+#endif
+}
+
+Tier active_tier() noexcept {
+  const Tier t = g_tier.load();
+  if (t == Tier::kExact) return Tier::kExact;
+  // kAuto and kFast both resolve against hardware support; kFast is never
+  // emulated on machines without AVX2+FMA.
+  return fast_tier_available() ? Tier::kFast : Tier::kExact;
+}
+
+const char* simd_level() noexcept {
+  return fast_tier_available() ? "avx2-fma" : "scalar";
+}
+
+// ---------------------------------------------------------------------------
 // Threading configuration
 // ---------------------------------------------------------------------------
 
 namespace {
 
-std::atomic<std::size_t> g_max_threads{0};  // 0 = hardware concurrency
+std::atomic<std::size_t> g_max_threads{0};  // 0 = env override / hw conc.
+
+std::mutex g_pool_mutex;
+std::unique_ptr<util::ThreadPool> g_pool;
+std::size_t g_pool_built_for = 0;  // effective setting the pool was built for
+
+/// The worker-count setting dispatches resolve: explicit set_max_threads()
+/// wins, then the CMFL_THREADS environment override, then 0 (hardware
+/// concurrency, resolved inside ThreadPool).
+std::size_t effective_threads() noexcept {
+  const std::size_t n = g_max_threads.load();
+  return n != 0 ? n : env_max_threads();
+}
 
 void check_same_size(std::size_t a, std::size_t b, const char* what) {
   if (a != b) {
@@ -35,12 +97,33 @@ void set_max_threads(std::size_t n) { g_max_threads.store(n); }
 
 std::size_t max_threads() noexcept { return g_max_threads.load(); }
 
+std::size_t env_max_threads() noexcept {
+  static const std::size_t cached = []() noexcept -> std::size_t {
+    const char* s = std::getenv("CMFL_THREADS");
+    if (s == nullptr || *s == '\0') return 0;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    // Reject trailing garbage, zero, and absurd counts; 0 means "unset".
+    if (end == s || *end != '\0' || v == 0 || v > 4096) return 0;
+    return static_cast<std::size_t>(v);
+  }();
+  return cached;
+}
+
 util::ThreadPool* pool() {
-  if (g_max_threads.load() == 1) return nullptr;
-  // Created once with the setting in force at first dispatch; lives for the
-  // process so repeated GEMMs never pay thread spawn cost.
-  static util::ThreadPool shared(g_max_threads.load());
-  return &shared;
+  const std::size_t want = effective_threads();
+  if (want == 1) return nullptr;
+  // Rebuilt (pending tasks drain first — the destructor joins) whenever the
+  // effective setting changed since the last dispatch, so benches can record
+  // single- and multi-threaded rows in one process.  Callers must not change
+  // the setting concurrently with an in-flight kernel.
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr || g_pool_built_for != want) {
+    g_pool.reset();
+    g_pool = std::make_unique<util::ThreadPool>(want);
+    g_pool_built_for = want;
+  }
+  return g_pool.get();
 }
 
 bool parallel_rows_active(std::size_t rows, std::size_t total_macs) {
@@ -83,6 +166,12 @@ void gemm_nn(const float* a, const float* b, float* c, std::size_t /*m*/,
   for (std::size_t i = i0; i < i1; ++i) {
     std::fill(c + i * n, c + (i + 1) * n, 0.0f);
   }
+#if CMFL_SIMD_X86
+  if (use_fast()) {
+    simd::gemm_nn_acc_avx2(a, b, c, k, n, i0, i1);
+    return;
+  }
+#endif
   for (std::size_t jc = 0; jc < n; jc += kNC) {
     const std::size_t jn = std::min(kNC, n - jc);
     for (std::size_t kc = 0; kc < k; kc += kKC) {
@@ -125,6 +214,12 @@ void gemm_nn_acc(const float* a, const float* b, float* c, std::size_t /*m*/,
   // gemm_nn minus the zero-fill: identical blocked loop nest, so each output
   // element still sees its k taps in strictly increasing order — just seeded
   // from the caller-provided c values instead of 0.
+#if CMFL_SIMD_X86
+  if (use_fast()) {
+    simd::gemm_nn_acc_avx2(a, b, c, k, n, i0, i1);
+    return;
+  }
+#endif
   for (std::size_t jc = 0; jc < n; jc += kNC) {
     const std::size_t jn = std::min(kNC, n - jc);
     for (std::size_t kc = 0; kc < k; kc += kKC) {
@@ -166,6 +261,21 @@ void add_col_sums(const float* m, std::size_t rows, std::size_t cols,
                   std::size_t row_stride, std::size_t col_stride,
                   std::span<float> acc) {
   check_same_size(acc.size(), cols, "add_col_sums");
+#if CMFL_SIMD_X86
+  if (use_fast()) {
+    if (col_stride == 1) {
+      // Lanes are independent per-column accumulators: bit-identical.
+      simd::add_col_sums_rowmajor_avx2(m, rows, cols, row_stride, acc.data());
+      return;
+    }
+    if (row_stride == 1) {
+      // Contiguous per-column reduce in 8 partial lanes (ULP-bounded).
+      simd::add_col_sums_colwise_avx2(m, rows, cols, col_stride, acc.data());
+      return;
+    }
+    // Doubly-strided layouts (unused today) fall through to the scalar loop.
+  }
+#endif
   if (col_stride == 1) {
     // Row-major contiguous layout: stream whole rows (r outer) so every
     // accumulator still sees its rows in increasing order.
@@ -190,6 +300,12 @@ void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
   for (std::size_t i = i0; i < i1; ++i) {
     std::fill(c + i * n, c + (i + 1) * n, 0.0f);
   }
+#if CMFL_SIMD_X86
+  if (use_fast()) {
+    simd::gemm_tn_acc_avx2(a, b, c, m, k, n, i0, i1);
+    return;
+  }
+#endif
   // a is (k×m): element (kk, i) sits at a[kk*m + i].
   for (std::size_t jc = 0; jc < n; jc += kNC) {
     const std::size_t jn = std::min(kNC, n - jc);
@@ -225,6 +341,12 @@ void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
 
 void gemm_nt(const float* a, const float* b, float* c, std::size_t /*m*/,
              std::size_t k, std::size_t n, std::size_t i0, std::size_t i1) {
+#if CMFL_SIMD_X86
+  if (use_fast()) {
+    simd::gemm_nt_avx2(a, b, c, k, n, i0, i1);
+    return;
+  }
+#endif
   // Row-dot kernel: a 2×2 register tile of double accumulators reuses each
   // loaded a/b element twice while keeping per-element k order intact.
   std::size_t i = i0;
@@ -276,6 +398,12 @@ void gemm_nt(const float* a, const float* b, float* c, std::size_t /*m*/,
 
 void gemv(const float* a, const float* x, float* y, std::size_t /*m*/,
           std::size_t n, std::size_t i0, std::size_t i1) {
+#if CMFL_SIMD_X86
+  if (use_fast()) {
+    simd::gemv_avx2(a, x, y, n, i0, i1);
+    return;
+  }
+#endif
   std::size_t i = i0;
   for (; i + kMR <= i1; i += kMR) {
     const float* a0 = a + (i + 0) * n;
@@ -374,10 +502,36 @@ namespace {
 constexpr std::size_t kAggBlock = 1024;  // floats; one block stays in L1
 }
 
+namespace {
+
+#if CMFL_SIMD_X86
+/// Raw data pointers for the SIMD aggregation backends.  Aggregation runs
+/// server-side (not in the allocation-free client training step), so a
+/// small heap vector per call is fine.
+std::vector<const float*> view_pointers(
+    std::span<const std::span<const float>> xs) {
+  std::vector<const float*> ps;
+  ps.reserve(xs.size());
+  for (const auto& x : xs) ps.push_back(x.data());
+  return ps;
+}
+#endif
+
+}  // namespace
+
 void scaled_sum(std::span<const std::span<const float>> xs, float scale,
                 std::span<float> out) {
   for (const auto& x : xs) check_same_size(x.size(), out.size(), "scaled_sum");
   const std::size_t d = out.size();
+#if CMFL_SIMD_X86
+  if (use_fast()) {
+    const auto ps = view_pointers(xs);
+    // Lane-independent adds in the exact client order plus one multiply:
+    // bit-identical to the exact tier (and the seed's accumulate-then-scale).
+    simd::scaled_sum_avx2(ps.data(), ps.size(), scale, out.data(), d);
+    return;
+  }
+#endif
   for (std::size_t b0 = 0; b0 < d; b0 += kAggBlock) {
     const std::size_t b1 = std::min(d, b0 + kAggBlock);
     std::fill(out.begin() + b0, out.begin() + b1, 0.0f);
@@ -396,6 +550,13 @@ void weighted_sum(std::span<const std::span<const float>> xs,
     check_same_size(x.size(), out.size(), "weighted_sum");
   }
   const std::size_t d = out.size();
+#if CMFL_SIMD_X86
+  if (use_fast()) {
+    const auto ps = view_pointers(xs);
+    simd::weighted_sum_avx2(ps.data(), w.data(), ps.size(), out.data(), d);
+    return;
+  }
+#endif
   for (std::size_t b0 = 0; b0 < d; b0 += kAggBlock) {
     const std::size_t b1 = std::min(d, b0 + kAggBlock);
     std::fill(out.begin() + b0, out.begin() + b1, 0.0f);
@@ -472,12 +633,35 @@ inline std::uint64_t match_word(std::uint64_t negx, std::uint64_t nzx,
 
 }  // namespace
 
+namespace {
+
+/// SIMD backends are pure bit classification (no float arithmetic), so the
+/// fast SignPack path is bit-for-bit equal to the scalar one on every input;
+/// tier forcing still selects the implementation for testability.
+inline bool signpack_use_fast() noexcept {
+#if CMFL_SIMD_X86
+  return kernels::active_tier() == kernels::Tier::kFast;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
 void SignPack::assign(std::span<const float> v) {
   n_ = v.size();
   const std::size_t words = (n_ + 63) / 64;
   neg_.assign(words, 0);
   nz_.assign(words, 0);
-  for (std::size_t w = 0; w < words; ++w) {
+  std::size_t w = 0;
+#if CMFL_SIMD_X86
+  if (signpack_use_fast()) {
+    const std::size_t full = n_ / 64;
+    simd::signpack_words_avx2(v.data(), full, neg_.data(), nz_.data());
+    w = full;  // any partial tail word packs below with the scalar path
+  }
+#endif
+  for (; w < words; ++w) {
     const std::size_t base = w * 64;
     pack_chunk(v.data() + base, std::min<std::size_t>(64, n_ - base), neg_[w],
                nz_[w]);
@@ -498,6 +682,20 @@ std::size_t count_sign_matches(const SignPack& x, const SignPack& y) {
   const auto nzx = x.nonzero_words(), nzy = y.nonzero_words();
   const std::size_t words = nzx.size();
   std::size_t matches = 0;
+#if CMFL_SIMD_X86
+  if (signpack_use_fast()) {
+    // Hardware-popcount sweep over every full word; the tail word below is
+    // shared with the scalar path (identical bits either way).
+    matches = simd::count_matches_packed_popcnt(negx.data(), nzx.data(),
+                                                negy.data(), nzy.data(),
+                                                words - 1);
+    matches += static_cast<std::size_t>(
+        std::popcount(match_word(negx[words - 1], nzx[words - 1],
+                                 negy[words - 1], nzy[words - 1]) &
+                      tail_mask(x.size())));
+    return matches;
+  }
+#endif
   for (std::size_t w = 0; w + 1 < words; ++w) {
     matches += static_cast<std::size_t>(
         std::popcount(match_word(negx[w], nzx[w], negy[w], nzy[w])));
@@ -516,7 +714,16 @@ std::size_t count_sign_matches(std::span<const float> x, const SignPack& y) {
   const auto nzy = y.nonzero_words();
   const std::size_t words = nzy.size();
   std::size_t matches = 0;
-  for (std::size_t w = 0; w < words; ++w) {
+  std::size_t w = 0;
+#if CMFL_SIMD_X86
+  if (signpack_use_fast()) {
+    const std::size_t full = x.size() / 64;
+    matches = simd::count_matches_words_avx2(x.data(), negy.data(), nzy.data(),
+                                             full);
+    w = full;  // the partial tail word (if any) runs through the scalar path
+  }
+#endif
+  for (; w < words; ++w) {
     const std::size_t base = w * 64;
     const std::size_t lanes = std::min<std::size_t>(64, x.size() - base);
     std::uint64_t negx, nzx;

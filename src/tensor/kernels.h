@@ -22,6 +22,17 @@
 // by exactly one thread with the serial per-row kernel.  Results are
 // therefore bit-identical whether threading is on or off, and independent of
 // thread count.  No atomics touch float accumulation.
+//
+// Tiers (DESIGN.md §13): the kernels above are the *bit-exact* tier — the
+// reference float trajectory every golden digest pins.  A second *fast* tier
+// (AVX2/FMA, kernels_simd.cpp) reaches much higher throughput by fusing
+// multiply-adds and, for dot-product-shaped kernels, reducing in 8 partial
+// lanes; it is numerically equivalent within a documented ULP bound but not
+// bit-identical.  Both tiers keep the determinism contract: a forced tier
+// plus a seed yields bit-identical results across runs and thread counts.
+// Dispatch happens inside every public kernel according to set_tier():
+// kAuto (the default) resolves to kFast when the binary was built with SIMD
+// support and the CPU reports AVX2+FMA, and to kExact otherwise.
 #pragma once
 
 #include <cstddef>
@@ -39,17 +50,58 @@ namespace cmfl::tensor {
 namespace kernels {
 
 // ---------------------------------------------------------------------------
+// Tier selection
+// ---------------------------------------------------------------------------
+
+/// Which implementation every public kernel dispatches to.
+enum class Tier {
+  kAuto,   ///< kFast when compiled in and the CPU supports it, else kExact.
+  kExact,  ///< Bit-exact blocked kernels (the golden-trajectory reference).
+  kFast,   ///< AVX2/FMA vector kernels (ULP-bounded, not bit-identical).
+};
+
+/// Forces a tier (tests/benches) or restores kAuto.  Forcing kFast on a
+/// machine without AVX2+FMA silently resolves to kExact — the fast tier is
+/// never emulated.  Not thread-safe against in-flight kernels; set it at
+/// startup or between dispatches, like set_max_threads().
+void set_tier(Tier t) noexcept;
+
+/// The raw setting (kAuto until someone forces a tier).
+Tier tier() noexcept;
+
+/// The tier dispatches actually use: kExact or kFast, never kAuto.
+Tier active_tier() noexcept;
+
+/// True when the binary carries the AVX2/FMA backends (x86-64, GCC/Clang).
+bool fast_tier_compiled() noexcept;
+
+/// True when fast_tier_compiled() and the CPU reports AVX2 and FMA3.
+bool fast_tier_available() noexcept;
+
+/// Short provenance stamp for benchmark JSON: "avx2-fma" when the fast tier
+/// is available on this host, "scalar" otherwise.
+const char* simd_level() noexcept;
+
+// ---------------------------------------------------------------------------
 // Threading configuration
 // ---------------------------------------------------------------------------
 
 /// Maximum worker threads the kernel layer may use.  0 (the default) means
-/// hardware concurrency; 1 disables the parallel path entirely.  The shared
-/// pool is created lazily on first parallel dispatch with the setting in
-/// force at that moment, so call this before the first large kernel.
+/// the CMFL_THREADS environment override when set, else hardware
+/// concurrency; 1 disables the parallel path entirely.  The shared pool is
+/// created lazily on first parallel dispatch and transparently rebuilt when
+/// the effective setting changes, so benches and tests may re-pin thread
+/// counts mid-process — just never concurrently with an in-flight kernel.
 void set_max_threads(std::size_t n);
 std::size_t max_threads() noexcept;
 
-/// Shared lazily-created pool, or nullptr when max_threads() == 1.
+/// Worker count parsed from the CMFL_THREADS environment variable (cached at
+/// first use), or 0 when unset/invalid.  Honored whenever max_threads() is 0
+/// (the auto default), so CI and bench scripts can pin thread counts
+/// reproducibly without code changes.
+std::size_t env_max_threads() noexcept;
+
+/// Shared lazily-created pool, or nullptr when the effective setting is 1.
 util::ThreadPool* pool();
 
 /// Minimum multiply-accumulate count before a kernel shards rows across the

@@ -12,10 +12,19 @@
 #include <vector>
 
 #include "nn/conv2d.h"
+#include "tensor/kernels.h"
 #include "util/rng.h"
 
 namespace cmfl::nn {
 namespace {
+
+// This file asserts *bitwise* equality against the naive reference loops,
+// which is a property of the exact kernel tier; the FMA fast tier is
+// ULP-bounded instead (test_tensor_simd.cpp), so pin the tier here.
+const bool kForceExactTier = [] {
+  tensor::kernels::set_tier(tensor::kernels::Tier::kExact);
+  return true;
+}();
 
 bool bitwise_equal(std::span<const float> a, std::span<const float> b) {
   return a.size() == b.size() &&

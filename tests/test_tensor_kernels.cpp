@@ -25,9 +25,13 @@ namespace {
 
 // Force a multi-worker kernel pool before any test triggers its lazy
 // creation, so matmul on large shapes actually exercises row sharding even
-// on a single-core CI machine.
+// on a single-core CI machine.  This file tests the *exact* tier — every
+// bit-identity assertion below (sparse inputs, pool sharding, fused
+// aggregation vs axpy) is a statement about the blocked reference kernels,
+// so pin the tier; the fast tier has its own suite (test_tensor_simd.cpp).
 const bool kForcePool = [] {
   kernels::set_max_threads(4);
+  kernels::set_tier(kernels::Tier::kExact);
   return true;
 }();
 

@@ -13,6 +13,8 @@
 //   CMFL_PRINT_GOLDEN=1 ./test_train_golden
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,10 +27,20 @@
 #include "fl/workloads.h"
 #include "sched/population.h"
 #include "sched/round_engine.h"
+#include "tensor/kernels.h"
 #include "util/crc32.h"
 
 namespace cmfl::fl {
 namespace {
+
+// The CRC digests below pin the *exact* kernel tier (the golden reference
+// trajectory).  The default tier is kAuto → kFast on AVX2 hosts, so force
+// kExact for this whole file; the fast tier gets its own tolerance-gated
+// trajectory test at the bottom (FastTierTrajectoryWithinTolerance).
+const bool kForceExactTier = [] {
+  tensor::kernels::set_tier(tensor::kernels::Tier::kExact);
+  return true;
+}();
 
 std::uint32_t crc_floats(std::span<const float> v) {
   return util::crc32(std::as_bytes(v));
@@ -171,6 +183,125 @@ TEST(TrainGolden, RoundEngineMlpCohortTrace) {
       population, core::make_filter("cmfl", core::Schedule::constant(0.5)),
       w.evaluator, opt);
   check_or_print("round_engine_mlp", run_digest(engine.run().sim), 0xe58bd81au);
+}
+
+// --- fast-tier trajectory tolerance (DESIGN.md §13) -------------------------
+
+/// Runs the golden MLP configuration under the given tier.
+SimulationResult run_mlp_under_tier(tensor::kernels::Tier t) {
+  tensor::kernels::set_tier(t);
+  DigitsMlpSpec spec;
+  spec.clients = 8;
+  spec.train_samples = 240;
+  spec.test_samples = 80;
+  spec.hidden = {16};
+  spec.digits.image_size = 8;
+  spec.seed = 77;
+  Workload w = make_digits_mlp_workload(spec);
+  SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 4;
+  opt.learning_rate = core::Schedule::constant(0.1);
+  opt.max_iterations = 5;
+  opt.eval_every = 2;
+  opt.seed = 99;
+  FederatedSimulation sim(
+      std::move(w.clients),
+      core::make_filter("cmfl", core::Schedule::constant(0.5)), w.evaluator,
+      opt);
+  SimulationResult r = sim.run();
+  tensor::kernels::set_tier(tensor::kernels::Tier::kExact);
+  return r;
+}
+
+/// Runs the golden CNN configuration (exercises the im2col / gemm_nn_acc
+/// fast path end to end) under the given tier.
+SimulationResult run_cnn_under_tier(tensor::kernels::Tier t) {
+  tensor::kernels::set_tier(t);
+  DigitsCnnSpec spec;
+  spec.clients = 4;
+  spec.train_samples = 64;
+  spec.test_samples = 32;
+  spec.cnn.image_size = 8;
+  spec.cnn.conv1_filters = 4;
+  spec.cnn.conv2_filters = 8;
+  spec.cnn.fc_width = 16;
+  spec.digits.image_size = 8;
+  spec.seed = 41;
+  Workload w = make_digits_cnn_workload(spec);
+  SimulationOptions opt;
+  opt.local_epochs = 1;
+  opt.batch_size = 4;
+  opt.learning_rate = core::Schedule::constant(0.1);
+  opt.max_iterations = 3;
+  opt.eval_every = 1;
+  opt.seed = 7;
+  FederatedSimulation sim(
+      std::move(w.clients),
+      core::make_filter("cmfl", core::Schedule::constant(0.5)), w.evaluator,
+      opt);
+  SimulationResult r = sim.run();
+  tensor::kernels::set_tier(tensor::kernels::Tier::kExact);
+  return r;
+}
+
+/// The documented fast-tier accuracy gate: the ULP-level per-kernel
+/// differences (|fast − exact| ≤ 2·γ_k·Σ|a||b| per element) may compound
+/// over a training run, but the *trajectory* must stay equivalent: same
+/// convergence behaviour within loose, absolute tolerances.  DESIGN.md §13
+/// documents these numbers as the fast-tier accuracy contract.
+void expect_trajectory_equivalent(const SimulationResult& fast,
+                                  const SimulationResult& exact) {
+  ASSERT_EQ(fast.history.size(), exact.history.size());
+  // Per-iteration mean train loss tracks within 5% relative (early
+  // iterations are identical to ~6 decimal places; the bound is loose to
+  // absorb compounding).
+  for (std::size_t i = 0; i < fast.history.size(); ++i) {
+    const double want = exact.history[i].mean_train_loss;
+    const double got = fast.history[i].mean_train_loss;
+    EXPECT_NEAR(got, want, 0.05 * std::max(1.0, std::fabs(want)))
+        << "iteration " << i;
+  }
+  // Final evaluation accuracy within 5 points absolute.
+  ASSERT_FALSE(fast.history.empty());
+  double fast_acc = -1.0, exact_acc = -1.0;
+  for (const auto& rec : fast.history) {
+    if (rec.evaluated()) fast_acc = rec.accuracy;
+  }
+  for (const auto& rec : exact.history) {
+    if (rec.evaluated()) exact_acc = rec.accuracy;
+  }
+  EXPECT_NEAR(fast_acc, exact_acc, 0.05);
+  // Final parameters stay close in an L2 sense: the relative gap of the
+  // whole parameter vector is far below the gradient-noise floor.
+  ASSERT_EQ(fast.final_params.size(), exact.final_params.size());
+  double diff2 = 0.0, norm2 = 0.0;
+  for (std::size_t i = 0; i < fast.final_params.size(); ++i) {
+    const double d = static_cast<double>(fast.final_params[i]) -
+                     static_cast<double>(exact.final_params[i]);
+    const double e = static_cast<double>(exact.final_params[i]);
+    diff2 += d * d;
+    norm2 += e * e;
+  }
+  EXPECT_LE(std::sqrt(diff2), 1e-2 * std::max(1.0, std::sqrt(norm2)));
+}
+
+TEST(TrainGoldenFastTier, MlpTrajectoryWithinTolerance) {
+  if (!tensor::kernels::fast_tier_available()) {
+    GTEST_SKIP() << "AVX2+FMA not available; fast tier untested";
+  }
+  SimulationResult exact = run_mlp_under_tier(tensor::kernels::Tier::kExact);
+  SimulationResult fast = run_mlp_under_tier(tensor::kernels::Tier::kFast);
+  expect_trajectory_equivalent(fast, exact);
+}
+
+TEST(TrainGoldenFastTier, CnnTrajectoryWithinTolerance) {
+  if (!tensor::kernels::fast_tier_available()) {
+    GTEST_SKIP() << "AVX2+FMA not available; fast tier untested";
+  }
+  SimulationResult exact = run_cnn_under_tier(tensor::kernels::Tier::kExact);
+  SimulationResult fast = run_cnn_under_tier(tensor::kernels::Tier::kFast);
+  expect_trajectory_equivalent(fast, exact);
 }
 
 }  // namespace

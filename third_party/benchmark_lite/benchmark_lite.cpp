@@ -1,0 +1,501 @@
+// benchmark_lite implementation.  Single TU, no dependencies beyond the
+// C++ standard library and POSIX clocks.
+//
+// Timing model (matches google-benchmark): real time via CLOCK_MONOTONIC,
+// CPU time via CLOCK_THREAD_CPUTIME_ID of the benchmarking thread.  Rate
+// quantities (items/bytes per second, Counter::kIsRate) divide by CPU
+// seconds, like the original.  Iteration counts are chosen by geometric
+// probing until a run lasts at least --benchmark_min_time seconds, then
+// every repetition re-runs that fixed count so repetitions are comparable.
+#include "benchmark/benchmark.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+namespace {
+
+double now_real() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+double now_cpu() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+struct Flags {
+  std::string out_path;
+  std::string out_format = "json";  // only json is emitted
+  std::string filter;
+  int repetitions = 1;
+  bool report_aggregates_only = false;
+  double min_time = 0.5;
+};
+
+Flags g_flags;
+std::vector<std::pair<std::string, std::string>>& custom_context() {
+  static std::vector<std::pair<std::string, std::string>> ctx;
+  return ctx;
+}
+
+std::vector<internal::Benchmark*>& registry() {
+  static std::vector<internal::Benchmark*> r;
+  return r;
+}
+
+/// One measured run (a repetition) of one benchmark instance.
+struct RunResult {
+  std::string run_name;
+  std::int64_t family_index = 0;
+  std::int64_t instance_index = 0;
+  std::int64_t repetition_index = 0;
+  std::int64_t iterations = 0;
+  double real_ns = 0.0;  // per-iteration
+  double cpu_ns = 0.0;   // per-iteration
+  // Derived rates and user counters, already resolved to reportable values.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+State::State(std::int64_t max_iterations, std::vector<std::int64_t> args)
+    : max_iterations_(max_iterations), args_(std::move(args)) {}
+
+std::int64_t State::range(std::size_t i) const {
+  if (i >= args_.size()) {
+    std::fprintf(stderr, "benchmark_lite: range(%zu) but only %zu args\n", i,
+                 args_.size());
+    std::abort();
+  }
+  return args_[i];
+}
+
+void State::start_run() {
+  completed_ = 0;
+  real_seconds_ = 0.0;
+  cpu_seconds_ = 0.0;
+  timing_ = true;
+  real_mark_ = now_real();
+  cpu_mark_ = now_cpu();
+}
+
+void State::finish_run() {
+  if (timing_) {
+    real_seconds_ += now_real() - real_mark_;
+    cpu_seconds_ += now_cpu() - cpu_mark_;
+    timing_ = false;
+  }
+  completed_ = max_iterations_;
+}
+
+void State::PauseTiming() {
+  if (!timing_) return;
+  real_seconds_ += now_real() - real_mark_;
+  cpu_seconds_ += now_cpu() - cpu_mark_;
+  timing_ = false;
+}
+
+void State::ResumeTiming() {
+  if (timing_) return;
+  timing_ = true;
+  real_mark_ = now_real();
+  cpu_mark_ = now_cpu();
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+Benchmark::Benchmark(std::string name, Function* fn)
+    : name_(std::move(name)), fn_(fn) {}
+
+Benchmark* Benchmark::Arg(std::int64_t a) {
+  instances_.push_back({a});
+  return this;
+}
+
+Benchmark* RegisterBenchmarkInternal(const char* name, Function* fn) {
+  auto* b = new Benchmark(name, fn);  // lives for the process, like gbench
+  registry().push_back(b);
+  return b;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Flag handling
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool consume_flag(const char* arg, const char* name, std::string* value) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  return false;
+}
+
+bool parse_bool(const std::string& v) {
+  return v.empty() || v == "true" || v == "1" || v == "yes";
+}
+
+}  // namespace
+
+void Initialize(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string v;
+    if (consume_flag(argv[i], "--benchmark_out", &v)) {
+      g_flags.out_path = v;
+    } else if (consume_flag(argv[i], "--benchmark_out_format", &v)) {
+      g_flags.out_format = v;
+    } else if (consume_flag(argv[i], "--benchmark_filter", &v)) {
+      g_flags.filter = v;
+    } else if (consume_flag(argv[i], "--benchmark_repetitions", &v)) {
+      g_flags.repetitions = std::max(1, std::atoi(v.c_str()));
+    } else if (consume_flag(argv[i], "--benchmark_report_aggregates_only",
+                            &v)) {
+      g_flags.report_aggregates_only = parse_bool(v);
+    } else if (consume_flag(argv[i], "--benchmark_min_time", &v)) {
+      double t = std::atof(v.c_str());
+      if (t > 0) g_flags.min_time = t;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "%s: error: unrecognized command-line flag: %s\n",
+                 argv[0], argv[i]);
+  }
+  return argc > 1;
+}
+
+void AddCustomContext(const std::string& key, const std::string& value) {
+  custom_context().emplace_back(key, value);
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string instance_name(const internal::Benchmark& b,
+                          const std::vector<std::int64_t>& args) {
+  std::string name = b.name();
+  for (auto a : args) name += "/" + std::to_string(a);
+  return name;
+}
+
+RunResult run_once(const internal::Benchmark& b,
+                   const std::vector<std::int64_t>& args,
+                   std::int64_t iters) {
+  State state(iters, args);
+  b.fn()(state);
+  RunResult r;
+  r.iterations = iters;
+  double di = static_cast<double>(iters);
+  r.real_ns = state.real_seconds() * 1e9 / di;
+  r.cpu_ns = state.cpu_seconds() * 1e9 / di;
+  double cpu_s = std::max(state.cpu_seconds(), 1e-12);
+  if (state.items_processed() > 0) {
+    r.extra.emplace_back("items_per_second",
+                         static_cast<double>(state.items_processed()) / cpu_s);
+  }
+  if (state.bytes_processed() > 0) {
+    r.extra.emplace_back("bytes_per_second",
+                         static_cast<double>(state.bytes_processed()) / cpu_s);
+  }
+  for (const auto& [key, counter] : state.counters) {
+    double v = counter.value;
+    if (counter.flags & Counter::kIsRate) v /= cpu_s;
+    r.extra.emplace_back(key, v);
+  }
+  return r;
+}
+
+std::int64_t choose_iterations(const internal::Benchmark& b,
+                               const std::vector<std::int64_t>& args) {
+  std::int64_t iters = 1;
+  for (;;) {
+    State state(iters, args);
+    b.fn()(state);
+    double elapsed = state.real_seconds();
+    if (elapsed >= g_flags.min_time || iters >= (std::int64_t{1} << 40)) {
+      return iters;
+    }
+    // Geometric growth toward the target, overshooting slightly (gbench's
+    // multiplier heuristic) so the loop converges in a few probes.
+    double mult = 10.0;
+    if (elapsed > 1e-9) {
+      mult = std::clamp(1.4 * g_flags.min_time / elapsed, 2.0, 10.0);
+    }
+    iters = static_cast<std::int64_t>(static_cast<double>(iters) * mult) + 1;
+  }
+}
+
+double aggregate(const std::vector<double>& xs, const std::string& how) {
+  if (xs.empty()) return 0.0;
+  if (how == "mean") {
+    double s = 0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+  }
+  if (how == "median") {
+    std::vector<double> v = xs;
+    std::sort(v.begin(), v.end());
+    std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  }
+  double mean = aggregate(xs, "mean");
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  double sd = xs.size() > 1
+                  ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                  : 0.0;
+  if (how == "stddev") return sd;
+  // cv
+  return mean != 0.0 ? sd / std::fabs(mean) : 0.0;
+}
+
+void write_json_entry(FILE* f, const RunResult& r, const std::string& run_type,
+                      const std::string& aggregate_name, int repetitions,
+                      bool* first) {
+  if (!*first) std::fprintf(f, ",\n");
+  *first = false;
+  std::string name = r.run_name;
+  if (!aggregate_name.empty()) name += "_" + aggregate_name;
+  std::fprintf(f, "    {\n");
+  std::fprintf(f, "      \"name\": \"%s\",\n", json_escape(name).c_str());
+  std::fprintf(f, "      \"family_index\": %lld,\n",
+               static_cast<long long>(r.family_index));
+  std::fprintf(f, "      \"per_family_instance_index\": %lld,\n",
+               static_cast<long long>(r.instance_index));
+  std::fprintf(f, "      \"run_name\": \"%s\",\n",
+               json_escape(r.run_name).c_str());
+  std::fprintf(f, "      \"run_type\": \"%s\",\n", run_type.c_str());
+  std::fprintf(f, "      \"repetitions\": %d,\n", repetitions);
+  if (aggregate_name.empty()) {
+    std::fprintf(f, "      \"repetition_index\": %lld,\n",
+                 static_cast<long long>(r.repetition_index));
+  } else {
+    std::fprintf(f, "      \"aggregate_name\": \"%s\",\n",
+                 aggregate_name.c_str());
+    std::fprintf(f, "      \"aggregate_unit\": \"%s\",\n",
+                 aggregate_name == "cv" ? "percentage" : "time");
+  }
+  std::fprintf(f, "      \"threads\": 1,\n");
+  std::fprintf(f, "      \"iterations\": %lld,\n",
+               static_cast<long long>(r.iterations));
+  std::fprintf(f, "      \"real_time\": %s,\n", json_num(r.real_ns).c_str());
+  std::fprintf(f, "      \"cpu_time\": %s,\n", json_num(r.cpu_ns).c_str());
+  for (const auto& [key, value] : r.extra) {
+    std::fprintf(f, "      \"%s\": %s,\n", json_escape(key).c_str(),
+                 json_num(value).c_str());
+  }
+  std::fprintf(f, "      \"time_unit\": \"ns\"\n");
+  std::fprintf(f, "    }");
+}
+
+void print_console(const RunResult& r, const std::string& suffix) {
+  std::string name = r.run_name;
+  if (!suffix.empty()) name += "_" + suffix;
+  std::string extras;
+  for (const auto& [key, value] : r.extra) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %s=%.5g%s", key.c_str(), value,
+                  key.find("per_second") != std::string::npos ||
+                          key == "GFLOPS"
+                      ? "/s"
+                      : "");
+    extras += buf;
+  }
+  std::printf("%-40s %12.0f ns %12.0f ns %10lld%s\n", name.c_str(), r.real_ns,
+              r.cpu_ns, static_cast<long long>(r.iterations), extras.c_str());
+}
+
+void write_context(FILE* f) {
+  char host[256] = "unknown";
+  gethostname(host, sizeof(host) - 1);
+  char datebuf[64];
+  std::time_t t = std::time(nullptr);
+  std::tm tmv;
+  localtime_r(&t, &tmv);
+  std::strftime(datebuf, sizeof(datebuf), "%Y-%m-%dT%H:%M:%S%z", &tmv);
+  std::fprintf(f, "  \"context\": {\n");
+  std::fprintf(f, "    \"date\": \"%s\",\n", datebuf);
+  std::fprintf(f, "    \"host_name\": \"%s\",\n", json_escape(host).c_str());
+  std::fprintf(f, "    \"num_cpus\": %ld,\n", sysconf(_SC_NPROCESSORS_ONLN));
+  std::fprintf(f, "    \"mhz_per_cpu\": 0,\n");
+  std::fprintf(f, "    \"cpu_scaling_enabled\": false,\n");
+  std::fprintf(f, "    \"caches\": [\n    ],\n");
+  std::fprintf(f, "    \"load_avg\": [],\n");
+  for (const auto& [key, value] : custom_context()) {
+    std::fprintf(f, "    \"%s\": \"%s\",\n", json_escape(key).c_str(),
+                 json_escape(value).c_str());
+  }
+  // Always "release": this TU is compiled -O2 -DNDEBUG regardless of the
+  // enclosing build type (the whole point of vendoring — see README.md).
+#ifdef NDEBUG
+  std::fprintf(f, "    \"library_build_type\": \"release\"\n");
+#else
+  std::fprintf(f, "    \"library_build_type\": \"debug\"\n");
+#endif
+  std::fprintf(f, "  },\n");
+}
+
+}  // namespace
+
+std::size_t RunSpecifiedBenchmarks() {
+  std::regex filter(g_flags.filter.empty() ? std::string(".*")
+                                           : g_flags.filter);
+  // (family, instance, reps) for every matching instance, measured first so
+  // the console report and the JSON file see identical results.
+  std::vector<std::vector<RunResult>> all_reps;
+  std::printf("%-40s %15s %15s %10s\n", "Benchmark", "Time", "CPU",
+              "Iterations");
+  std::printf("%s\n", std::string(86, '-').c_str());
+  std::int64_t family = 0;
+  for (const internal::Benchmark* b : registry()) {
+    std::vector<std::vector<std::int64_t>> instances = b->instances();
+    if (instances.empty()) instances.push_back({});
+    std::int64_t instance = 0;
+    for (const auto& args : instances) {
+      std::string name = instance_name(*b, args);
+      if (!std::regex_search(name, filter)) {
+        ++instance;
+        continue;
+      }
+      std::int64_t iters = choose_iterations(*b, args);
+      std::vector<RunResult> reps;
+      for (int rep = 0; rep < g_flags.repetitions; ++rep) {
+        RunResult r = run_once(*b, args, iters);
+        r.run_name = name;
+        r.family_index = family;
+        r.instance_index = instance;
+        r.repetition_index = rep;
+        reps.push_back(std::move(r));
+        if (!g_flags.report_aggregates_only) print_console(reps.back(), "");
+      }
+      if (g_flags.repetitions > 1) {
+        for (const char* how : {"mean", "median", "stddev", "cv"}) {
+          RunResult agg = reps.front();
+          agg.iterations = g_flags.repetitions;
+          std::vector<double> real, cpu;
+          for (const auto& r : reps) {
+            real.push_back(r.real_ns);
+            cpu.push_back(r.cpu_ns);
+          }
+          agg.real_ns = aggregate(real, how);
+          agg.cpu_ns = aggregate(cpu, how);
+          for (std::size_t e = 0; e < agg.extra.size(); ++e) {
+            std::vector<double> vals;
+            for (const auto& r : reps) vals.push_back(r.extra[e].second);
+            agg.extra[e].second = aggregate(vals, how);
+          }
+          print_console(agg, how);
+          agg.run_name = name;  // JSON writer appends the aggregate suffix
+          reps.push_back(std::move(agg));
+        }
+      }
+      all_reps.push_back(std::move(reps));
+      ++instance;
+    }
+    ++family;
+  }
+
+  std::size_t reported = 0;
+  FILE* f = nullptr;
+  if (!g_flags.out_path.empty()) {
+    f = std::fopen(g_flags.out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "benchmark_lite: cannot open %s\n",
+                   g_flags.out_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    write_context(f);
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    bool first = true;
+    for (const auto& reps : all_reps) {
+      int n_iter_entries =
+          static_cast<int>(reps.size()) - (g_flags.repetitions > 1 ? 4 : 0);
+      const char* aggs[] = {"mean", "median", "stddev", "cv"};
+      for (std::size_t i = 0; i < reps.size(); ++i) {
+        bool is_agg = static_cast<int>(i) >= n_iter_entries;
+        if (!is_agg && g_flags.report_aggregates_only &&
+            g_flags.repetitions > 1) {
+          continue;
+        }
+        write_json_entry(f, reps[i], is_agg ? "aggregate" : "iteration",
+                         is_agg ? aggs[i - n_iter_entries] : "",
+                         g_flags.repetitions, &first);
+        ++reported;
+      }
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  } else {
+    for (const auto& reps : all_reps) reported += reps.size();
+  }
+  return reported;
+}
+
+void Shutdown() {}
+
+}  // namespace benchmark

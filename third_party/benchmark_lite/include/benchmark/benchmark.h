@@ -1,0 +1,189 @@
+// benchmark_lite — API-compatible subset of google/benchmark.
+//
+// See third_party/benchmark_lite/README.md for scope and the list of
+// intentional deviations.  The subset is exactly what bench/ uses:
+//
+//   BENCHMARK(fn)->Arg(a)->Arg(b);          registration + arg chaining
+//   for (auto _ : state) { ... }            timed iteration protocol
+//   state.range(0) / iterations()           run parameters
+//   state.SetItemsProcessed / SetBytesProcessed
+//   state.PauseTiming() / ResumeTiming()
+//   state.counters["X"] = Counter(v, Counter::kIsRate)
+//   benchmark::Initialize / ReportUnrecognizedArguments /
+//   benchmark::AddCustomContext / RunSpecifiedBenchmarks / Shutdown
+//   benchmark::DoNotOptimize(expr)
+//
+// JSON output follows the google-benchmark schema: a "context" object
+// (including custom context key/values and "library_build_type"), then a
+// "benchmarks" array with per-repetition entries (run_type "iteration")
+// and, when --benchmark_repetitions > 1, aggregate entries named
+// "<run>_mean|_median|_stddev|_cv" (run_type "aggregate").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  enum Flags {
+    kDefaults = 0,
+    /// Value is divided by elapsed CPU seconds when reported.
+    kIsRate = 1 << 0,
+  };
+
+  double value = 0.0;
+  Flags flags = kDefaults;
+
+  Counter(double v = 0.0, Flags f = kDefaults) : value(v), flags(f) {}
+  operator double() const { return value; }
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+// ---------------------------------------------------------------------------
+// State — the per-run handle passed to every benchmark function
+// ---------------------------------------------------------------------------
+
+class State {
+ public:
+  /// Planned-iteration loop.  begin() starts the timers; advancing past the
+  /// final iteration stops them, so only the body of `for (auto _ : state)`
+  /// is measured (minus Pause/Resume windows).
+  struct iterator {
+    State* parent;
+    std::int64_t remaining;
+
+    struct Value {};
+    Value operator*() const { return {}; }
+    iterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    bool operator!=(const iterator& other) const {
+      if (remaining != other.remaining) return true;
+      parent->finish_run();
+      return false;
+    }
+  };
+
+  iterator begin() {
+    start_run();
+    return {this, max_iterations_};
+  }
+  iterator end() { return {this, 0}; }
+
+  std::int64_t range(std::size_t i = 0) const;
+  /// Iterations completed so far; after the loop, the total for this run.
+  std::int64_t iterations() const { return completed_; }
+
+  void SetItemsProcessed(std::int64_t n) { items_processed_ = n; }
+  void SetBytesProcessed(std::int64_t n) { bytes_processed_ = n; }
+
+  /// Excludes a window from the measured time.  Only valid while timing
+  /// (i.e. inside the iteration loop).
+  void PauseTiming();
+  void ResumeTiming();
+
+  UserCounters counters;
+
+  // -- internal (used by the runner; not part of the public surface) --------
+  State(std::int64_t max_iterations, std::vector<std::int64_t> args);
+  double real_seconds() const { return real_seconds_; }
+  double cpu_seconds() const { return cpu_seconds_; }
+  std::int64_t items_processed() const { return items_processed_; }
+  std::int64_t bytes_processed() const { return bytes_processed_; }
+
+ private:
+  void start_run();
+  void finish_run();
+
+  std::int64_t max_iterations_ = 0;
+  std::int64_t completed_ = 0;
+  std::vector<std::int64_t> args_;
+  std::int64_t items_processed_ = 0;
+  std::int64_t bytes_processed_ = 0;
+  bool timing_ = false;
+  double real_seconds_ = 0.0;
+  double cpu_seconds_ = 0.0;
+  double real_mark_ = 0.0;  // segment start stamps while timing
+  double cpu_mark_ = 0.0;
+};
+
+using Function = void(State&);
+
+namespace internal {
+
+/// Registration handle returned by BENCHMARK(); ->Arg() appends one
+/// single-argument instance ("name/arg").  With no Arg() calls the
+/// benchmark runs once with no argument.
+class Benchmark {
+ public:
+  Benchmark(std::string name, Function* fn);
+  Benchmark* Arg(std::int64_t a);
+
+  const std::string& name() const { return name_; }
+  Function* fn() const { return fn_; }
+  const std::vector<std::vector<std::int64_t>>& instances() const {
+    return instances_;
+  }
+
+ private:
+  std::string name_;
+  Function* fn_;
+  std::vector<std::vector<std::int64_t>> instances_;
+};
+
+Benchmark* RegisterBenchmarkInternal(const char* name, Function* fn);
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Harness entry points
+// ---------------------------------------------------------------------------
+
+/// Parses and removes recognized --benchmark_* flags from argv.
+void Initialize(int* argc, char** argv);
+
+/// Prints any argv entries left after Initialize(); true when any remain.
+bool ReportUnrecognizedArguments(int argc, char** argv);
+
+/// Stamps an extra key into the JSON "context" object.
+void AddCustomContext(const std::string& key, const std::string& value);
+
+/// Runs every registered benchmark matching --benchmark_filter; returns the
+/// number of runs reported.
+std::size_t RunSpecifiedBenchmarks();
+
+void Shutdown();
+
+// ---------------------------------------------------------------------------
+// DoNotOptimize — compiler barrier keeping `value` alive
+// ---------------------------------------------------------------------------
+
+template <class Tp>
+inline __attribute__((always_inline)) void DoNotOptimize(Tp const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <class Tp>
+inline __attribute__((always_inline)) void DoNotOptimize(Tp& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK_LITE_CONCAT2(a, b) a##b
+#define BENCHMARK_LITE_CONCAT(a, b) BENCHMARK_LITE_CONCAT2(a, b)
+
+#define BENCHMARK(fn)                                                 \
+  static ::benchmark::internal::Benchmark* BENCHMARK_LITE_CONCAT(     \
+      benchmark_lite_reg_, __LINE__) [[maybe_unused]] =               \
+      ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Sanitizer pass over the replicated control plane (DESIGN.md §14).
+#
+#   bench/run_failover.sh [asan_build_dir] [tsan_build_dir]
+#
+# The master-failover path is the most concurrent code in the repo: three
+# replica threads exchanging Raft frames, worker threads re-sending cached
+# replies after redirects, and crash schedules that kill a leader thread
+# mid-round.  Every protocol change gets two sanitizer passes:
+#
+#   1. ASan+UBSan (-DCMFL_SANITIZE=address,undefined) — memory errors and
+#      UB in the wire codecs and log/snapshot handling.
+#   2. TSan (-DCMFL_SANITIZE=thread) — data races across the
+#      replica/worker thread fabric.  TSan slows the tests ~10x; the round
+#      deadlines in the failover tests are sized so that margin holds.
+#
+# Both passes run the `failover`-labelled ctest suite (test_net_replicated)
+# plus the raft unit tests, i.e. the same binaries
+#   ctest -L failover
+# selects in a regular build.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+ASAN_DIR="${1:-$REPO_ROOT/build-asan}"
+TSAN_DIR="${2:-$REPO_ROOT/build-tsan}"
+
+echo "=== pass 1: AddressSanitizer + UndefinedBehaviorSanitizer ==="
+cmake -B "$ASAN_DIR" -S "$REPO_ROOT" -DCMFL_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_DIR" -j --target test_net_raft test_net_replicated
+
+echo "== test_net_raft (ASan+UBSan) =="
+"$ASAN_DIR/tests/test_net_raft"
+echo "== test_net_replicated (ASan+UBSan) =="
+"$ASAN_DIR/tests/test_net_replicated"
+
+echo "=== pass 2: ThreadSanitizer ==="
+cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DCMFL_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_DIR" -j --target test_net_raft test_net_replicated
+
+echo "== test_net_raft (TSan) =="
+"$TSAN_DIR/tests/test_net_raft"
+echo "== test_net_replicated (TSan) =="
+"$TSAN_DIR/tests/test_net_replicated"
+
+echo "failover suite clean under ASan+UBSan and TSan"

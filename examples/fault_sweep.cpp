@@ -121,5 +121,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(crashed.faults.quorum_rounds));
   std::printf("  final accuracy      : %.3f (fault-free baseline %.3f)\n",
               crashed.sim.final_accuracy, baseline.sim.final_accuracy);
+
+  // Control-plane counters are part of every FaultReport; without
+  // replication they must all read zero (see failover_sweep for the
+  // replicated runs that exercise them).
+  std::printf("\ncontrol plane (single master — all zero by construction)\n");
+  std::printf("  elections held      : %llu\n",
+              static_cast<unsigned long long>(crashed.faults.elections_held));
+  std::printf("  leader crashes      : %llu\n",
+              static_cast<unsigned long long>(crashed.faults.leader_crashes));
+  std::printf(
+      "  log entries repl.   : %llu\n",
+      static_cast<unsigned long long>(crashed.faults.log_entries_replicated));
+  std::printf(
+      "  snapshot transfers  : %llu\n",
+      static_cast<unsigned long long>(crashed.faults.snapshot_transfers));
+  std::printf(
+      "  leader redirects    : %llu\n",
+      static_cast<unsigned long long>(crashed.faults.leader_redirects));
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include "core/estimator.h"
 #include "fl/checkpoint.h"
+#include "net/raft.h"
+#include "net/replicated_master.h"
 #include "tensor/vector_ops.h"
 
 namespace cmfl::net {
@@ -74,10 +76,57 @@ FlCluster::FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
     throw std::invalid_argument(
         "FlCluster: suspect_after_stale_rounds must be >= 0");
   }
+  if (rec.backoff_jitter < 0.0) {
+    throw std::invalid_argument("FlCluster: backoff_jitter must be >= 0");
+  }
   if (options_.fault.enabled() && rec.round_timeout_s <= 0.0) {
     throw std::invalid_argument(
         "FlCluster: fault injection requires a positive recovery "
         "round_timeout_s (a dropped frame would hang the round forever)");
+  }
+  const ReplicationOptions& rep = options_.replication;
+  if (rep.replicas == 0) {
+    if (!options_.fault.leader_crash.empty() ||
+        !options_.fault.replica_partition.empty()) {
+      throw std::invalid_argument(
+          "FlCluster: leader-crash / partition schedules need "
+          "replication.replicas >= 3");
+    }
+    return;
+  }
+  if (rep.replicas < 3) {
+    throw std::invalid_argument(
+        "FlCluster: replication needs >= 3 replicas (a majority must "
+        "survive one crash)");
+  }
+  if (rec.quorum != 1.0 || rec.first_k_reports != 0 ||
+      rec.suspect_after_stale_rounds != 0) {
+    throw std::invalid_argument(
+        "FlCluster: replicated mode supports quorum 1.0 only (no "
+        "first_k_reports / staleness suspicion): the committed cohort must "
+        "be a pure function of replicated state");
+  }
+  if (rep.tick_interval_s <= 0.0) {
+    throw std::invalid_argument(
+        "FlCluster: replication tick_interval_s must be positive");
+  }
+  RaftConfig raft_check;
+  raft_check.cluster_size = static_cast<std::uint32_t>(rep.replicas);
+  raft_check.heartbeat_ticks = rep.heartbeat_ticks;
+  raft_check.election_timeout_min_ticks = rep.election_timeout_min_ticks;
+  raft_check.election_timeout_max_ticks = rep.election_timeout_max_ticks;
+  raft_check.validate();
+  for (const auto& [r, _] : options_.fault.replica_partition) {
+    if (r >= static_cast<std::uint32_t>(rep.replicas)) {
+      throw std::invalid_argument(
+          "FlCluster: replica_partition id out of range");
+    }
+  }
+  if (options_.fault.leader_crash.size() >
+      static_cast<std::size_t>(rep.replicas - 1) / 2) {
+    throw std::invalid_argument(
+        "FlCluster: leader_crash schedule may kill at most a minority of "
+        "replicas (each entry fires once)");
   }
 }
 
@@ -89,6 +138,10 @@ ClusterResult FlCluster::resume(const fl::TrainerCheckpoint& checkpoint) {
 
 ClusterResult FlCluster::run_internal(
     const fl::TrainerCheckpoint* resume_from) {
+  if (options_.replication.replicas > 0) {
+    return run_replicated_cluster(clients_, *filter_, evaluator_, options_,
+                                  dim_, resume_from);
+  }
   const std::size_t num_workers = clients_.size();
   std::vector<WorkerEndpoint> endpoints(num_workers);
   Channel master_inbox;
@@ -119,6 +172,11 @@ ClusterResult FlCluster::run_internal(
   std::vector<float> prev_global_update;
   std::size_t cumulative_rounds = 0;
   std::vector<std::uint64_t> last_acked(num_workers, 0);
+  // Consecutive *deadline-expired* rounds a worker was invited to but did
+  // not answer.  Deliberately not `t - last_acked`: a worker that answers
+  // slowly and keeps losing first_k_reports races is late, not crashed, so
+  // K-committed rounds never count as misses (see RecoveryOptions).
+  std::vector<std::uint64_t> stale_misses(num_workers, 0);
   std::size_t start_t = 1;
 
   // Immutable per-worker sample counts, snapshotted before the worker
@@ -278,6 +336,9 @@ ClusterResult FlCluster::run_internal(
   // --- Master loop (Algorithm 1 GlobalOptimization over the wire) ---
   const RecoveryOptions& rec_opt = options_.recovery;
   const bool bounded = rec_opt.round_timeout_s > 0.0;
+  // Backoff-jitter stream: salted far outside the link_rng namespace
+  // (worker*2 + dir) so it never collides with a fault stream.
+  util::Rng jitter_rng = util::Rng(options_.fault.seed).split(0x6a177e5ULL);
   std::vector<FaultyChannel> downlinks;
   downlinks.reserve(num_workers);
   for (std::size_t k = 0; k < num_workers; ++k) {
@@ -366,6 +427,7 @@ ClusterResult FlCluster::run_internal(
         ++seq[k];  // fresh sequence number; retransmissions reuse it
       }
     }
+    const std::vector<char> invited = pending;
     const auto quorum_needed = std::max<std::size_t>(
         1,
         static_cast<std::size_t>(
@@ -402,10 +464,13 @@ ClusterResult FlCluster::run_internal(
 
       // Gather replies until every pending worker answered or — in the
       // bounded regime — the attempt deadline expires.
+      double deadline_scale = std::pow(rec_opt.backoff, attempt);
+      if (rec_opt.backoff_jitter > 0.0) {
+        deadline_scale *= 1.0 + rec_opt.backoff_jitter * jitter_rng.uniform();
+      }
       const auto deadline =
           Clock::now() +
-          seconds_to_duration(rec_opt.round_timeout_s *
-                              std::pow(rec_opt.backoff, attempt));
+          seconds_to_duration(rec_opt.round_timeout_s * deadline_scale);
       while (pending_count > 0) {
         std::optional<std::vector<std::byte>> reply_frame;
         if (bounded) {
@@ -515,12 +580,21 @@ ClusterResult FlCluster::run_internal(
       result.faults.max_staleness_per_client[k] =
           std::max(result.faults.max_staleness_per_client[k], staleness);
     }
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      if (!invited[k]) continue;
+      if (answered[k]) {
+        stale_misses[k] = 0;
+      } else if (!k_committed) {
+        ++stale_misses[k];
+      }
+      // Losing an over-selected race leaves the counter untouched: only a
+      // deadline the worker actually blew is evidence towards a crash.
+    }
     if (rec_opt.suspect_after_stale_rounds > 0) {
       for (std::size_t k = 0; k < num_workers; ++k) {
         if (alive[k] && !validator.quarantined(k) &&
-            t - last_acked[k] >=
-                static_cast<std::uint64_t>(
-                    rec_opt.suspect_after_stale_rounds)) {
+            stale_misses[k] >= static_cast<std::uint64_t>(
+                                   rec_opt.suspect_after_stale_rounds)) {
           declare_dead(k);
         }
       }

@@ -49,7 +49,10 @@ struct RecoveryOptions {
   /// Declare a live worker crashed once it has missed this many
   /// consecutive committed rounds (0 disables staleness suspicion; crashes
   /// are then detected only by retransmit exhaustion, which quorum < 1
-  /// rounds may never trigger).
+  /// rounds may never trigger).  Rounds that committed through
+  /// first_k_reports never count as misses: a consistently slow-but-live
+  /// worker merely loses over-selected races, and losing a race is not
+  /// evidence of a crash (only deadline-expired rounds are).
   int suspect_after_stale_rounds = 0;
   /// Over-selection: commit the round as soon as this many replies have
   /// arrived, discarding the remaining workers' late replies idempotently
@@ -59,10 +62,39 @@ struct RecoveryOptions {
   /// quorum path it needs no deadline — the Kth reply itself commits.
   /// Note the committed set depends on real reply arrival order (thread
   /// timing), so — exactly as with quorum < 1 — per-round counters are not
-  /// bit-reproducible across runs; combine with suspect_after_stale_rounds
-  /// carefully, since a consistently slow worker legitimately misses
-  /// every over-selected round.
+  /// bit-reproducible across runs.  Workers that only ever lose
+  /// over-selected races are exempt from suspect_after_stale_rounds (see
+  /// above), so in a run where every round K-commits, crash-stop workers
+  /// are only detected once a deadline actually expires below K.
   std::size_t first_k_reports = 0;
+  /// Seeded multiplicative jitter on the retransmission backoff: attempt
+  /// deadlines become round_timeout_s * backoff^attempt * (1 + u * jitter)
+  /// with u ~ U[0, 1) drawn from a stream derived from the fault-plan
+  /// seed.  Desynchronizes retry storms that would otherwise pile onto a
+  /// recovering master in lockstep.  The default 0 skips the draw entirely
+  /// and reproduces the unjittered deadline schedule byte-for-byte.
+  double backoff_jitter = 0.0;
+};
+
+/// Replicated control plane (DESIGN.md §14): `replicas` master replicas run
+/// a Raft-style consensus (net/raft.h) over per-round control state, so a
+/// leader crash mid-round loses nothing — the surviving quorum elects a new
+/// leader that finishes the round bit-identically.  0 keeps the PR-2
+/// single-master path.
+struct ReplicationOptions {
+  /// Number of master replicas (0 = single master; otherwise >= 3 so one
+  /// crash still leaves a majority).
+  int replicas = 0;
+  /// Raft tick granularity in seconds; heartbeats and election timeouts
+  /// are measured in these ticks.
+  double tick_interval_s = 0.002;
+  int heartbeat_ticks = 2;
+  /// Election timeout range in ticks, drawn per node from a stream seeded
+  /// by (seed, replica id) — randomized against split votes, seeded so the
+  /// timeout sequences are reproducible.
+  int election_timeout_min_ticks = 10;
+  int election_timeout_max_ticks = 20;
+  std::uint64_t seed = 7;
 };
 
 struct ClusterOptions {
@@ -71,6 +103,7 @@ struct ClusterOptions {
   LinkModel downlink;         // broadcast link model
   FaultPlan fault;            // injected faults (default: none)
   RecoveryOptions recovery;   // deadlines / retransmit / quorum policy
+  ReplicationOptions replication;  // master failover (default: off)
 };
 
 struct FootprintPoint {
@@ -94,6 +127,14 @@ struct FaultReport {
   std::uint64_t timed_out_rounds = 0;   // rounds with >= 1 deadline expiry
   std::uint64_t quorum_rounds = 0;      // rounds committed missing a live worker
   std::uint64_t over_select_commits = 0;  // rounds closed by first_k_reports
+  // Replicated control plane (always 0 in single-master runs).  These are
+  // wall-clock-coupled — a slow machine may hold extra elections — so they
+  // are excluded from bit-reproducibility claims, unlike the trajectory.
+  std::uint64_t elections_held = 0;       // leaderships won across replicas
+  std::uint64_t leader_crashes = 0;       // scheduled leader kills fired
+  std::uint64_t log_entries_replicated = 0;  // entries appended on followers
+  std::uint64_t snapshot_transfers = 0;   // snapshots installed on followers
+  std::uint64_t leader_redirects = 0;     // stale-leader redirects served
   std::vector<std::uint32_t> crashed_workers;  // declared dead, in order
   /// max over committed rounds t of (t - last round client k participated).
   std::vector<std::uint64_t> max_staleness_per_client;
@@ -109,6 +150,12 @@ struct ClusterResult {
   std::uint64_t downlink_retransmitted_bytes = 0;
   std::uint64_t upload_messages = 0;       // full update frames
   std::uint64_t elimination_messages = 0;  // status-only frames
+  /// Replicated runs: bytes of Raft traffic (votes, AppendEntries,
+  /// heartbeats, snapshot transfers) between master replicas.  Control
+  /// overhead is deliberately metered apart from the data plane so Fig.-7b
+  /// numbers stay comparable; heartbeat volume scales with wall-clock time
+  /// and is therefore not bit-reproducible.
+  std::uint64_t control_plane_bytes = 0;
   /// Simulated transfer time had the links been real edge connections
   /// (per-iteration max across workers, summed).
   double simulated_transfer_seconds = 0.0;

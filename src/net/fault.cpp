@@ -28,7 +28,8 @@ bool FaultPlan::enabled() const noexcept {
   for (const auto& [_, d] : straggler_delay_s) {
     if (d > 0.0) return true;
   }
-  return !crash_at_iteration.empty();
+  return !crash_at_iteration.empty() || !leader_crash.empty() ||
+         !replica_partition.empty();
 }
 
 LinkFaults FaultPlan::downlink_for(std::size_t worker) const {
@@ -57,6 +58,15 @@ util::Rng FaultPlan::link_rng(std::size_t worker,
                               bool is_uplink) const noexcept {
   util::Rng base(seed);
   return base.split(worker * 2 + (is_uplink ? 1 : 0));
+}
+
+util::Rng FaultPlan::replica_link_rng(std::uint32_t replica,
+                                      std::size_t worker,
+                                      bool is_uplink) const noexcept {
+  // Salted into a range link_rng can never produce (it uses 2w + dir).
+  util::Rng base(seed ^ 0x5ca1ab1e0000ULL);
+  return base.split((static_cast<std::uint64_t>(replica) << 32) ^
+                    (worker * 2 + (is_uplink ? 1 : 0)));
 }
 
 void FaultPlan::validate(std::size_t num_workers) const {
@@ -90,6 +100,19 @@ void FaultPlan::validate(std::size_t num_workers) const {
       throw std::invalid_argument("FaultPlan: crash schedule for worker " +
                                   std::to_string(k) + " out of range");
     }
+  }
+  for (const LeaderCrash& c : leader_crash) {
+    if (c.round == 0) {
+      throw std::invalid_argument(
+          "FaultPlan: leader_crash round is 1-based (round 0 never runs)");
+    }
+  }
+  for (const auto& [r, window] : replica_partition) {
+    if (window.from_round == 0 || window.to_round < window.from_round) {
+      throw std::invalid_argument(
+          "FaultPlan: replica_partition window must satisfy 1 <= from <= to");
+    }
+    (void)r;  // replica-count bound is checked by the replicated master
   }
 }
 

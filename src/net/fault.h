@@ -40,6 +40,28 @@ struct LinkFaults {
   void validate(const char* what) const;
 };
 
+/// One scheduled leader kill for the replicated control plane: whichever
+/// replica leads round `round` crashes (stops processing, silently) once it
+/// has accepted `after_replies` worker replies for that round —
+/// `after_replies == 0` kills it right after broadcasting.  Each entry
+/// fires at most once per run, so the replacement leader that re-drives the
+/// same round is not killed by the same entry (schedule a second entry for
+/// the same round to kill successive leaders).
+struct LeaderCrash {
+  std::uint64_t round = 0;
+  std::uint32_t after_replies = 0;
+};
+
+/// A control-plane partition window for one replica: while any *other*
+/// replica's working round lies in [from_round, to_round], it discards all
+/// Raft frames to and from `replica`.  The partitioned replica misses log
+/// entries (and, once the survivors compact, can only be caught back up by
+/// a snapshot transfer); the 2-of-3 quorum keeps training untouched.
+struct ReplicaPartition {
+  std::uint64_t from_round = 0;
+  std::uint64_t to_round = 0;
+};
+
 /// A complete seeded fault scenario for one cluster run.
 struct FaultPlan {
   std::uint64_t seed = 1;
@@ -59,6 +81,12 @@ struct FaultPlan {
   /// (before training that iteration; it never answers again).
   std::map<std::size_t, std::uint64_t> crash_at_iteration;
 
+  /// Replicated control plane only (ClusterOptions::replication): seeded
+  /// leader-kill and partition schedules.  Ignored by the single-master
+  /// path.
+  std::vector<LeaderCrash> leader_crash;
+  std::map<std::uint32_t, ReplicaPartition> replica_partition;
+
   /// True when any link fault, straggler, or crash is configured.
   bool enabled() const noexcept;
 
@@ -70,6 +98,12 @@ struct FaultPlan {
 
   /// Independent deterministic stream for one (worker, direction) link.
   util::Rng link_rng(std::size_t worker, bool is_uplink) const noexcept;
+
+  /// Replicated mode: each (replica, worker, direction) link is its own
+  /// single-sender channel, so it owns an independent stream too.  Streams
+  /// are disjoint from link_rng's by construction.
+  util::Rng replica_link_rng(std::uint32_t replica, std::size_t worker,
+                             bool is_uplink) const noexcept;
 
   /// Throws std::invalid_argument on malformed probabilities.
   void validate(std::size_t num_workers) const;

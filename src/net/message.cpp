@@ -12,6 +12,7 @@ FrameType frame_type(const Message& msg) {
   if (std::holds_alternative<EliminationMsg>(msg)) {
     return FrameType::kElimination;
   }
+  if (std::holds_alternative<RedirectMsg>(msg)) return FrameType::kRedirect;
   return FrameType::kShutdown;
 }
 
@@ -21,6 +22,7 @@ std::vector<std::byte> encode(const Message& msg) {
     w.u8(static_cast<std::uint8_t>(FrameType::kBroadcast));
     w.u32(b->seq);
     w.u64(b->iteration);
+    w.u32(b->leader_id);
     w.f32(b->learning_rate);
     w.floats(b->global_params);
     w.floats(b->global_update);
@@ -37,6 +39,10 @@ std::vector<std::byte> encode(const Message& msg) {
     w.u64(e->iteration);
     w.u32(e->client_id);
     w.f64(e->score);
+  } else if (const auto* rd = std::get_if<RedirectMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kRedirect));
+    w.u64(rd->iteration);
+    w.u32(rd->leader_id);
   } else {
     w.u8(static_cast<std::uint8_t>(FrameType::kShutdown));
   }
@@ -51,6 +57,7 @@ Message decode(std::span<const std::byte> frame) {
       BroadcastMsg b;
       b.seq = r.u32();
       b.iteration = r.u64();
+      b.leader_id = r.u32();
       b.learning_rate = r.f32();
       b.global_params = r.floats();
       b.global_update = r.floats();
@@ -79,6 +86,13 @@ Message decode(std::span<const std::byte> frame) {
     case FrameType::kShutdown: {
       if (!r.done()) throw std::runtime_error("decode: trailing bytes");
       return ShutdownMsg{};
+    }
+    case FrameType::kRedirect: {
+      RedirectMsg rd;
+      rd.iteration = r.u64();
+      rd.leader_id = r.u32();
+      if (!r.done()) throw std::runtime_error("decode: trailing bytes");
+      return rd;
     }
   }
   throw std::runtime_error("decode: unknown frame type " +

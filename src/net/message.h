@@ -30,11 +30,15 @@ enum class FrameType : std::uint8_t {
   kUpdateUpload = 2,
   kElimination = 3,
   kShutdown = 4,
+  kRedirect = 5,
 };
 
 struct BroadcastMsg {
   std::uint32_t seq = 0;  // per-link transmission id (reused on retransmit)
   std::uint64_t iteration = 0;
+  /// Replicated control plane: the master replica that sent this broadcast
+  /// and expects the reply.  Always 0 in single-master runs.
+  std::uint32_t leader_id = 0;
   std::vector<float> global_params;
   std::vector<float> global_update;  // ū_{t-1} feedback
   float learning_rate = 0.0f;
@@ -57,8 +61,16 @@ struct EliminationMsg {
 
 struct ShutdownMsg {};
 
-using Message =
-    std::variant<BroadcastMsg, UpdateUploadMsg, EliminationMsg, ShutdownMsg>;
+/// Replicated control plane: a replica that receives a worker reply while
+/// it is not the leader answers with a redirect so the worker can re-send
+/// its cached reply to the replica it believes leads now.
+struct RedirectMsg {
+  std::uint64_t iteration = 0;
+  std::uint32_t leader_id = 0;
+};
+
+using Message = std::variant<BroadcastMsg, UpdateUploadMsg, EliminationMsg,
+                             ShutdownMsg, RedirectMsg>;
 
 /// Serializes to a framed byte buffer: [u8 type][payload].
 std::vector<std::byte> encode(const Message& msg);

@@ -1,0 +1,542 @@
+#include "net/raft.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace cmfl::net {
+
+namespace {
+
+// Raft frame type bytes; FL data frames (net/message.h) use 1..6.
+enum class RaftFrame : std::uint8_t {
+  kRequestVote = 16,
+  kVoteReply = 17,
+  kAppendEntries = 18,
+  kAppendReply = 19,
+  kInstallSnapshot = 20,
+  kSnapshotReply = 21,
+};
+
+void write_bytes(WireWriter& w, std::span<const std::byte> data) {
+  w.u64(data.size());
+  for (const std::byte b : data) w.u8(static_cast<std::uint8_t>(b));
+}
+
+std::vector<std::byte> read_bytes(WireReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n > r.remaining()) {
+    throw std::runtime_error("decode_raft: byte array length " +
+                             std::to_string(n) + " exceeds frame");
+  }
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(r.u8());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_raft(const RaftMessage& msg) {
+  WireWriter w;
+  if (const auto* rv = std::get_if<RequestVoteMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RaftFrame::kRequestVote));
+    w.u64(rv->term);
+    w.u32(rv->candidate);
+    w.u64(rv->last_log_index);
+    w.u64(rv->last_log_term);
+  } else if (const auto* vr = std::get_if<VoteReplyMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RaftFrame::kVoteReply));
+    w.u64(vr->term);
+    w.u32(vr->voter);
+    w.u8(vr->granted);
+  } else if (const auto* ae = std::get_if<AppendEntriesMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RaftFrame::kAppendEntries));
+    w.u64(ae->term);
+    w.u32(ae->leader);
+    w.u64(ae->prev_index);
+    w.u64(ae->prev_term);
+    w.u64(ae->commit);
+    w.u64(ae->entries.size());
+    for (const RaftEntry& e : ae->entries) {
+      w.u64(e.term);
+      write_bytes(w, e.command);
+    }
+  } else if (const auto* ar = std::get_if<AppendReplyMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RaftFrame::kAppendReply));
+    w.u64(ar->term);
+    w.u32(ar->follower);
+    w.u8(ar->success);
+    w.u64(ar->match_index);
+  } else if (const auto* is = std::get_if<InstallSnapshotMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RaftFrame::kInstallSnapshot));
+    w.u64(is->term);
+    w.u32(is->leader);
+    w.u64(is->last_index);
+    w.u64(is->last_term);
+    write_bytes(w, is->data);
+  } else {
+    const auto& sr = std::get<SnapshotReplyMsg>(msg);
+    w.u8(static_cast<std::uint8_t>(RaftFrame::kSnapshotReply));
+    w.u64(sr.term);
+    w.u32(sr.follower);
+    w.u64(sr.last_index);
+  }
+  return w.take();
+}
+
+RaftMessage decode_raft(std::span<const std::byte> frame) {
+  WireReader r(frame);
+  const auto type = static_cast<RaftFrame>(r.u8());
+  switch (type) {
+    case RaftFrame::kRequestVote: {
+      RequestVoteMsg m;
+      m.term = r.u64();
+      m.candidate = r.u32();
+      m.last_log_index = r.u64();
+      m.last_log_term = r.u64();
+      if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
+      return m;
+    }
+    case RaftFrame::kVoteReply: {
+      VoteReplyMsg m;
+      m.term = r.u64();
+      m.voter = r.u32();
+      m.granted = r.u8();
+      if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
+      return m;
+    }
+    case RaftFrame::kAppendEntries: {
+      AppendEntriesMsg m;
+      m.term = r.u64();
+      m.leader = r.u32();
+      m.prev_index = r.u64();
+      m.prev_term = r.u64();
+      m.commit = r.u64();
+      const std::uint64_t n = r.u64();
+      if (n > r.remaining()) {
+        throw std::runtime_error("decode_raft: entry count exceeds frame");
+      }
+      m.entries.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        RaftEntry e;
+        e.term = r.u64();
+        e.command = read_bytes(r);
+        m.entries.push_back(std::move(e));
+      }
+      if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
+      return m;
+    }
+    case RaftFrame::kAppendReply: {
+      AppendReplyMsg m;
+      m.term = r.u64();
+      m.follower = r.u32();
+      m.success = r.u8();
+      m.match_index = r.u64();
+      if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
+      return m;
+    }
+    case RaftFrame::kInstallSnapshot: {
+      InstallSnapshotMsg m;
+      m.term = r.u64();
+      m.leader = r.u32();
+      m.last_index = r.u64();
+      m.last_term = r.u64();
+      m.data = read_bytes(r);
+      if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
+      return m;
+    }
+    case RaftFrame::kSnapshotReply: {
+      SnapshotReplyMsg m;
+      m.term = r.u64();
+      m.follower = r.u32();
+      m.last_index = r.u64();
+      if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
+      return m;
+    }
+  }
+  throw std::runtime_error("decode_raft: unknown frame type " +
+                           std::to_string(static_cast<int>(type)));
+}
+
+bool is_raft_frame(std::span<const std::byte> payload) noexcept {
+  if (payload.empty()) return false;
+  const auto t = static_cast<std::uint8_t>(payload[0]);
+  return t >= static_cast<std::uint8_t>(RaftFrame::kRequestVote) &&
+         t <= static_cast<std::uint8_t>(RaftFrame::kSnapshotReply);
+}
+
+std::uint32_t raft_sender(const RaftMessage& msg) noexcept {
+  if (const auto* rv = std::get_if<RequestVoteMsg>(&msg)) return rv->candidate;
+  if (const auto* vr = std::get_if<VoteReplyMsg>(&msg)) return vr->voter;
+  if (const auto* ae = std::get_if<AppendEntriesMsg>(&msg)) return ae->leader;
+  if (const auto* ar = std::get_if<AppendReplyMsg>(&msg)) return ar->follower;
+  if (const auto* is = std::get_if<InstallSnapshotMsg>(&msg)) {
+    return is->leader;
+  }
+  return std::get<SnapshotReplyMsg>(msg).follower;
+}
+
+// -------------------------------------------------------------------- node
+
+void RaftConfig::validate() const {
+  if (cluster_size < 1) {
+    throw std::invalid_argument("RaftConfig: cluster_size must be >= 1");
+  }
+  if (id >= cluster_size) {
+    throw std::invalid_argument("RaftConfig: id out of range");
+  }
+  if (heartbeat_ticks < 1) {
+    throw std::invalid_argument("RaftConfig: heartbeat_ticks must be >= 1");
+  }
+  if (election_timeout_min_ticks < 1 ||
+      election_timeout_max_ticks < election_timeout_min_ticks) {
+    throw std::invalid_argument(
+        "RaftConfig: need 1 <= election_timeout_min_ticks <= "
+        "election_timeout_max_ticks");
+  }
+  if (election_timeout_min_ticks <= heartbeat_ticks) {
+    throw std::invalid_argument(
+        "RaftConfig: election timeout must exceed the heartbeat cadence");
+  }
+}
+
+RaftNode::RaftNode(const RaftConfig& config)
+    : config_(config),
+      timeout_rng_(util::Rng(config.seed).split(config.id)) {
+  config_.validate();
+  votes_.assign(config_.cluster_size, 0);
+  next_index_.assign(config_.cluster_size, 1);
+  match_index_.assign(config_.cluster_size, 0);
+  reset_election_timer();
+}
+
+std::uint64_t RaftNode::last_log_index() const noexcept {
+  return snapshot_index_ + log_.size();
+}
+
+std::uint64_t RaftNode::peer_match_index(std::uint32_t peer) const noexcept {
+  if (role_ != Role::kLeader || peer >= match_index_.size()) return 0;
+  return match_index_[peer];
+}
+
+std::uint64_t RaftNode::term_at(std::uint64_t index) const {
+  if (index == snapshot_index_) return snapshot_term_;
+  return entry_at(index).term;
+}
+
+const RaftEntry& RaftNode::entry_at(std::uint64_t index) const {
+  // index is 1-based and must lie in (snapshot_index_, last_log_index()].
+  return log_[index - snapshot_index_ - 1];
+}
+
+void RaftNode::reset_election_timer() {
+  ticks_ = 0;
+  election_timeout_ = static_cast<int>(timeout_rng_.uniform_int(
+      config_.election_timeout_min_ticks, config_.election_timeout_max_ticks));
+}
+
+void RaftNode::become_follower(std::uint64_t term) {
+  if (term > term_) {
+    term_ = term;
+    voted_for_.reset();
+  }
+  role_ = Role::kFollower;
+  reset_election_timer();
+}
+
+void RaftNode::become_candidate() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = config_.id;
+  votes_.assign(config_.cluster_size, 0);
+  votes_[config_.id] = 1;
+  reset_election_timer();
+  if (config_.cluster_size == 1) {
+    become_leader();
+    return;
+  }
+  RequestVoteMsg rv;
+  rv.term = term_;
+  rv.candidate = config_.id;
+  rv.last_log_index = last_log_index();
+  rv.last_log_term = term_at(last_log_index());
+  for (std::uint32_t p = 0; p < config_.cluster_size; ++p) {
+    if (p != config_.id) outbox_.push_back({p, rv});
+  }
+}
+
+void RaftNode::become_leader() {
+  role_ = Role::kLeader;
+  leader_hint_ = config_.id;
+  ++counters_.elections_won;
+  for (std::uint32_t p = 0; p < config_.cluster_size; ++p) {
+    next_index_[p] = last_log_index() + 1;
+    match_index_[p] = 0;
+  }
+  match_index_[config_.id] = last_log_index();
+  // A fresh no-op barrier: committing it commits every earlier entry still
+  // pending from previous terms (the "no counting for old terms" rule) and
+  // tells the application when the new leader's state machine is current.
+  log_.push_back(RaftEntry{term_, {}});
+  match_index_[config_.id] = last_log_index();
+  ticks_ = 0;
+  broadcast_heartbeat();
+  advance_commit();  // single-node cluster commits immediately
+}
+
+void RaftNode::tick() {
+  if (role_ == Role::kLeader) {
+    if (++ticks_ >= config_.heartbeat_ticks) {
+      ticks_ = 0;
+      broadcast_heartbeat();
+    }
+    return;
+  }
+  if (++ticks_ >= election_timeout_) become_candidate();
+}
+
+void RaftNode::broadcast_heartbeat() {
+  for (std::uint32_t p = 0; p < config_.cluster_size; ++p) {
+    if (p != config_.id) send_append(p);
+  }
+}
+
+void RaftNode::send_append(std::uint32_t peer) {
+  if (next_index_[peer] <= snapshot_index_) {
+    // The entries this follower needs were compacted away: ship the
+    // application snapshot instead.
+    InstallSnapshotMsg is;
+    is.term = term_;
+    is.leader = config_.id;
+    is.last_index = snapshot_index_;
+    is.last_term = snapshot_term_;
+    is.data = snapshot_;
+    outbox_.push_back({peer, std::move(is)});
+    return;
+  }
+  AppendEntriesMsg ae;
+  ae.term = term_;
+  ae.leader = config_.id;
+  ae.prev_index = next_index_[peer] - 1;
+  ae.prev_term = term_at(ae.prev_index);
+  ae.commit = commit_;
+  for (std::uint64_t i = next_index_[peer]; i <= last_log_index(); ++i) {
+    ae.entries.push_back(entry_at(i));
+  }
+  outbox_.push_back({peer, std::move(ae)});
+}
+
+bool RaftNode::propose(std::vector<std::byte> command) {
+  if (role_ != Role::kLeader) return false;
+  log_.push_back(RaftEntry{term_, std::move(command)});
+  match_index_[config_.id] = last_log_index();
+  broadcast_heartbeat();
+  advance_commit();  // single-node cluster
+  return true;
+}
+
+void RaftNode::advance_commit() {
+  if (role_ != Role::kLeader) return;
+  for (std::uint64_t idx = last_log_index(); idx > commit_; --idx) {
+    if (idx <= snapshot_index_) break;    // already compacted => committed
+    if (term_at(idx) != term_) break;     // only current-term entries count
+    std::uint32_t replicas = 0;
+    for (std::uint32_t p = 0; p < config_.cluster_size; ++p) {
+      if (match_index_[p] >= idx) ++replicas;
+    }
+    if (replicas * 2 > config_.cluster_size) {
+      commit_ = idx;
+      break;
+    }
+  }
+  enqueue_committed();
+}
+
+void RaftNode::enqueue_committed() {
+  while (delivered_ < commit_) {
+    ++delivered_;
+    if (delivered_ <= snapshot_index_) continue;  // superseded by snapshot
+    const RaftEntry& e = entry_at(delivered_);
+    if (e.command.empty()) continue;  // no-op barrier
+    committed_out_.push_back({delivered_, e.command});
+  }
+}
+
+void RaftNode::step(const RaftMessage& msg) {
+  std::visit([this](const auto& m) { handle(m); }, msg);
+}
+
+void RaftNode::handle(const RequestVoteMsg& m) {
+  if (m.term > term_) become_follower(m.term);
+  VoteReplyMsg reply;
+  reply.term = term_;
+  reply.voter = config_.id;
+  const bool up_to_date =
+      m.last_log_term > term_at(last_log_index()) ||
+      (m.last_log_term == term_at(last_log_index()) &&
+       m.last_log_index >= last_log_index());
+  if (m.term == term_ && up_to_date &&
+      (!voted_for_ || *voted_for_ == m.candidate)) {
+    voted_for_ = m.candidate;
+    reply.granted = 1;
+    reset_election_timer();
+  }
+  outbox_.push_back({m.candidate, reply});
+}
+
+void RaftNode::handle(const VoteReplyMsg& m) {
+  if (m.term > term_) {
+    become_follower(m.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || m.term != term_ || !m.granted) return;
+  votes_[m.voter] = 1;
+  std::uint32_t granted = 0;
+  for (const std::uint8_t v : votes_) granted += v;
+  if (granted * 2 > config_.cluster_size) become_leader();
+}
+
+void RaftNode::handle(const AppendEntriesMsg& m) {
+  AppendReplyMsg reply;
+  reply.follower = config_.id;
+  if (m.term < term_) {
+    reply.term = term_;
+    reply.match_index = last_log_index();
+    outbox_.push_back({m.leader, reply});
+    return;
+  }
+  become_follower(m.term);
+  leader_hint_ = m.leader;
+  reply.term = term_;
+
+  // Consistency check: our log must contain m.prev_index with m.prev_term.
+  if (m.prev_index > last_log_index() ||
+      (m.prev_index > snapshot_index_ &&
+       term_at(m.prev_index) != m.prev_term) ||
+      m.prev_index < snapshot_index_) {
+    // (prev_index < snapshot_index_ means the leader is behind our
+    // snapshot — stale leader; the hint re-syncs it.)
+    reply.success = 0;
+    reply.match_index = last_log_index();
+    outbox_.push_back({m.leader, reply});
+    return;
+  }
+
+  // Append new entries, truncating any conflicting suffix.
+  std::uint64_t index = m.prev_index;
+  for (const RaftEntry& e : m.entries) {
+    ++index;
+    if (index <= last_log_index()) {
+      if (term_at(index) == e.term) continue;  // already have it
+      // Conflict: drop this entry and everything after it.
+      log_.resize(index - snapshot_index_ - 1);
+    }
+    log_.push_back(e);
+    ++counters_.entries_appended;
+  }
+  if (m.commit > commit_) {
+    commit_ = std::min(m.commit, last_log_index());
+    enqueue_committed();
+  }
+  reply.success = 1;
+  reply.match_index = index > last_log_index() ? last_log_index() : index;
+  if (reply.match_index < m.prev_index) reply.match_index = m.prev_index;
+  outbox_.push_back({m.leader, reply});
+}
+
+void RaftNode::handle(const AppendReplyMsg& m) {
+  if (m.term > term_) {
+    become_follower(m.term);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term != term_) return;
+  if (m.success) {
+    if (m.match_index > match_index_[m.follower]) {
+      match_index_[m.follower] = m.match_index;
+    }
+    next_index_[m.follower] = match_index_[m.follower] + 1;
+    advance_commit();
+    if (next_index_[m.follower] <= last_log_index()) {
+      send_append(m.follower);  // keep streaming the remainder
+    }
+    return;
+  }
+  // Conflict hint: jump straight past the follower's log end.
+  next_index_[m.follower] =
+      std::min(next_index_[m.follower] > 1 ? next_index_[m.follower] - 1
+                                           : 1,
+               m.match_index + 1);
+  if (next_index_[m.follower] < 1) next_index_[m.follower] = 1;
+  send_append(m.follower);
+}
+
+void RaftNode::handle(const InstallSnapshotMsg& m) {
+  if (m.term < term_) {
+    SnapshotReplyMsg reply{term_, config_.id, last_log_index()};
+    outbox_.push_back({m.leader, reply});
+    return;
+  }
+  become_follower(m.term);
+  leader_hint_ = m.leader;
+  if (m.last_index > snapshot_index_) {
+    // Discard the log the snapshot supersedes; keep any suffix beyond it
+    // that is consistent (same slot still present).  Simplest safe rule:
+    // drop everything — the leader streams the suffix next.
+    log_.clear();
+    snapshot_index_ = m.last_index;
+    snapshot_term_ = m.last_term;
+    snapshot_ = m.data;
+    if (commit_ < snapshot_index_) commit_ = snapshot_index_;
+    if (delivered_ < snapshot_index_) delivered_ = snapshot_index_;
+    installed_ = InstalledSnapshot{m.last_index, m.data};
+    ++counters_.snapshots_installed;
+  }
+  SnapshotReplyMsg reply{term_, config_.id, last_log_index()};
+  outbox_.push_back({m.leader, reply});
+}
+
+void RaftNode::handle(const SnapshotReplyMsg& m) {
+  if (m.term > term_) {
+    become_follower(m.term);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term != term_) return;
+  if (m.last_index > match_index_[m.follower]) {
+    match_index_[m.follower] = m.last_index;
+  }
+  next_index_[m.follower] = match_index_[m.follower] + 1;
+  advance_commit();
+  if (next_index_[m.follower] <= last_log_index()) send_append(m.follower);
+}
+
+void RaftNode::compact(std::uint64_t index, std::vector<std::byte> snapshot) {
+  if (index <= snapshot_index_) return;
+  if (index > commit_) {
+    throw std::invalid_argument(
+        "RaftNode::compact: cannot compact past the commit index");
+  }
+  const std::uint64_t drop = index - snapshot_index_;
+  snapshot_term_ = term_at(index);
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<std::ptrdiff_t>(drop));
+  snapshot_index_ = index;
+  snapshot_ = std::move(snapshot);
+}
+
+std::vector<RaftNode::Send> RaftNode::take_outbox() {
+  return std::exchange(outbox_, {});
+}
+
+std::vector<RaftNode::Committed> RaftNode::take_committed() {
+  return std::exchange(committed_out_, {});
+}
+
+std::optional<RaftNode::InstalledSnapshot>
+RaftNode::take_installed_snapshot() {
+  return std::exchange(installed_, std::nullopt);
+}
+
+}  // namespace cmfl::net

@@ -1,0 +1,1284 @@
+#include "net/replicated_master.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.h"
+#include "fl/checkpoint.h"
+#include "net/raft.h"
+#include "tensor/vector_ops.h"
+
+namespace cmfl::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration seconds_to_duration(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+struct WorkerEndpoint {
+  Channel inbox;
+};
+
+// ------------------------------------------------------------ log commands
+//
+// The replicated state machine's command set.  Every apply is idempotent —
+// a leadership change can re-propose a command a deposed leader already got
+// committed, and the second copy must be a no-op.
+
+enum class Cmd : std::uint8_t {
+  kRoundStart = 1,    // open round t, account the broadcast
+  kReply = 2,         // one accepted worker reply (upload or elimination)
+  kRoundCommit = 3,   // aggregate round t and close it
+  kClientStates = 4,  // quiesced per-worker state blobs -> checkpoint files
+  kWorkerCrash = 5,   // a worker exhausted its retransmit budget
+  kFinish = 6,        // the run is over
+};
+
+void write_bytes(WireWriter& w, std::span<const std::byte> data) {
+  w.u64(data.size());
+  for (const std::byte b : data) w.u8(static_cast<std::uint8_t>(b));
+}
+
+std::vector<std::byte> encode_round_start(std::uint64_t t,
+                                          std::uint64_t broadcast_bytes) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Cmd::kRoundStart));
+  w.u64(t);
+  w.u64(broadcast_bytes);
+  return w.take();
+}
+
+struct ReplyCmd {
+  std::uint64_t round = 0;
+  std::uint32_t worker = 0;
+  std::uint8_t is_upload = 0;
+  double score = 0.0;
+  std::uint64_t frame_bytes = 0;  // physical size of the reply frame
+  std::vector<float> update;      // empty for eliminations
+};
+
+std::vector<std::byte> encode_reply_cmd(const ReplyCmd& c) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Cmd::kReply));
+  w.u64(c.round);
+  w.u32(c.worker);
+  w.u8(c.is_upload);
+  w.f64(c.score);
+  w.u64(c.frame_bytes);
+  w.floats(c.update);
+  return w.take();
+}
+
+std::vector<std::byte> encode_round_commit(std::uint64_t t) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Cmd::kRoundCommit));
+  w.u64(t);
+  return w.take();
+}
+
+std::vector<std::byte> encode_client_states(
+    std::uint64_t t, const std::vector<std::vector<std::uint64_t>>& states) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Cmd::kClientStates));
+  w.u64(t);
+  w.u32(static_cast<std::uint32_t>(states.size()));
+  for (const auto& s : states) {
+    w.u64(s.size());
+    for (const std::uint64_t word : s) w.u64(word);
+  }
+  return w.take();
+}
+
+std::vector<std::byte> encode_worker_crash(std::uint64_t t,
+                                           std::uint32_t worker) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Cmd::kWorkerCrash));
+  w.u64(t);
+  w.u32(worker);
+  return w.take();
+}
+
+std::vector<std::byte> encode_finish() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Cmd::kFinish));
+  return w.take();
+}
+
+// --------------------------------------------------------------- shared ctx
+
+struct Replica;
+
+/// Everything the replica and worker threads share.  Mutable members are
+/// atomics or externally synchronized (channels, the eval mutex).
+struct Shared {
+  const ClusterOptions* options = nullptr;
+  std::size_t dim = 0;
+  std::size_t num_workers = 0;
+  const std::vector<std::size_t>* local_samples = nullptr;
+  std::vector<std::unique_ptr<fl::FlClient>>* clients = nullptr;
+  core::UpdateFilter* filter = nullptr;
+  const fl::GlobalEvaluator* evaluator = nullptr;
+  std::mutex eval_mutex;  // the evaluator is shared by all replicas
+
+  std::vector<std::unique_ptr<Replica>>* replicas = nullptr;
+  std::vector<WorkerEndpoint>* workers = nullptr;
+
+  ByteMeter* uplink_meter = nullptr;
+  ByteMeter* downlink_meter = nullptr;
+  ByteMeter* control_meter = nullptr;
+  FaultStats* fault_stats = nullptr;
+
+  std::atomic<std::uint64_t> worker_corrupt{0};
+  std::atomic<std::uint64_t> worker_redundant{0};
+  std::atomic<std::uint64_t> worker_retransmits{0};
+  std::atomic<std::uint64_t> master_corrupt{0};
+  std::atomic<std::uint64_t> master_redundant{0};
+  std::atomic<std::uint64_t> master_retransmits{0};
+  std::atomic<std::uint64_t> timed_out_rounds{0};
+  std::atomic<std::uint64_t> leader_redirects{0};
+  std::atomic<std::uint64_t> leader_crashes{0};
+
+  // One flag per FaultPlan::leader_crash entry: each entry fires once.
+  std::unique_ptr<std::atomic<bool>[]> crash_fired;
+  std::unique_ptr<std::atomic<bool>[]> replica_crashed;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> finished_replica{-1};
+};
+
+// ------------------------------------------------------ the state machine
+//
+// One copy per replica, advanced ONLY by applying committed log entries, so
+// every replica's copy walks through the identical sequence of states.  All
+// byte accounting in here is *logical* (exactly once per accepted frame) —
+// this is what makes the footprint curve bit-identical under failover.
+
+struct StateMachine {
+  StateMachine(const ClusterOptions& opt, std::size_t dim, std::size_t n,
+               std::vector<float> initial_global)
+      : global(std::move(initial_global)),
+        estimator(dim, opt.fl.estimator_ema),
+        validator(n, opt.fl.validation) {
+    eliminations_per_client.assign(n, 0);
+    uploads_per_client.assign(n, 0);
+    alive.assign(n, 1);
+    last_acked.assign(n, 0);
+    max_staleness.assign(n, 0);
+    active.assign(n, 0);
+    answered.assign(n, 0);
+    scores.assign(n, 0.0);
+    reply_bytes.assign(n, 0);
+  }
+
+  // Closed-round trainer state.
+  std::vector<float> global;
+  core::GlobalUpdateEstimator estimator;
+  fl::UpdateValidator validator;
+  std::vector<float> prev_global_update;
+  std::size_t cumulative_rounds = 0;
+  std::vector<fl::IterationRecord> history;
+  std::vector<std::size_t> eliminations_per_client;
+  std::vector<std::size_t> uploads_per_client;
+  std::vector<FootprintPoint> footprint;
+  double sim_transfer = 0.0;
+
+  // Logical byte accounting (replicated; drives the footprint).
+  std::uint64_t up_bytes = 0;
+  std::uint64_t up_msgs = 0;
+  std::uint64_t down_bytes = 0;
+  std::uint64_t down_msgs = 0;
+  std::uint64_t upload_frames = 0;
+  std::uint64_t elimination_frames = 0;
+
+  // Worker liveness.
+  std::vector<char> alive;
+  std::vector<std::uint64_t> last_acked;
+  std::vector<std::uint64_t> max_staleness;
+  std::vector<std::uint32_t> crashed_workers;
+  std::uint64_t quorum_rounds = 0;
+
+  // Round in flight (valid while round_open).
+  std::uint64_t round = 0;  // last started round
+  bool round_open = false;
+  std::uint64_t broadcast_bytes = 0;
+  std::vector<char> active;
+  std::vector<char> answered;
+  std::vector<double> scores;
+  std::vector<std::uint64_t> reply_bytes;
+  std::vector<std::pair<std::uint32_t, std::vector<float>>> uploads;
+  std::size_t accepted = 0;
+  bool crashed_this_round = false;
+
+  std::uint64_t states_round = 0;  // last round whose ClientStates applied
+  bool stop = false;               // target accuracy reached
+  bool finished = false;
+
+  void apply(std::span<const std::byte> command, Shared& sh,
+             std::uint32_t replica_id);
+  std::vector<std::byte> snapshot_blob() const;
+  void restore_snapshot(std::span<const std::byte> blob);
+  void restore_checkpoint(const fl::TrainerCheckpoint& ck);
+  fl::TrainerCheckpoint build_checkpoint(
+      std::vector<std::vector<std::uint64_t>> client_states) const;
+
+ private:
+  void apply_round_start(std::uint64_t t, std::uint64_t bytes);
+  void apply_reply(const ReplyCmd& c);
+  void apply_round_commit(std::uint64_t t, Shared& sh);
+  void apply_client_states(std::uint64_t t,
+                           std::vector<std::vector<std::uint64_t>> states,
+                           Shared& sh, std::uint32_t replica_id);
+  void apply_worker_crash(std::uint64_t t, std::uint32_t worker);
+};
+
+void StateMachine::apply_round_start(std::uint64_t t, std::uint64_t bytes) {
+  if (round_open || t != round + 1) return;  // duplicate or stale
+  round = t;
+  round_open = true;
+  broadcast_bytes = bytes;
+  accepted = 0;
+  crashed_this_round = false;
+  uploads.clear();
+  for (std::size_t k = 0; k < alive.size(); ++k) {
+    active[k] = alive[k] && !validator.quarantined(k) ? 1 : 0;
+    answered[k] = 0;
+    scores[k] = 0.0;
+    reply_bytes[k] = 0;
+    if (active[k]) {
+      down_bytes += bytes;
+      ++down_msgs;
+    }
+  }
+}
+
+void StateMachine::apply_reply(const ReplyCmd& c) {
+  if (!round_open || c.round != round) return;  // stale re-proposal
+  const std::size_t k = c.worker;
+  if (k >= alive.size() || !active[k] || answered[k]) return;  // duplicate
+  answered[k] = 1;
+  scores[k] = c.score;
+  reply_bytes[k] = c.frame_bytes;
+  last_acked[k] = round;
+  ++accepted;
+  up_bytes += c.frame_bytes;
+  ++up_msgs;
+  if (c.is_upload) {
+    uploads.emplace_back(c.worker, c.update);
+    ++upload_frames;
+  } else {
+    ++eliminations_per_client[k];
+    ++elimination_frames;
+  }
+}
+
+void StateMachine::apply_worker_crash(std::uint64_t t, std::uint32_t worker) {
+  if (worker >= alive.size() || !alive[worker]) return;
+  alive[worker] = 0;
+  crashed_workers.push_back(worker);
+  if (round_open && t == round && active[worker] && !answered[worker]) {
+    active[worker] = 0;  // the round completes without it
+    crashed_this_round = true;
+  }
+}
+
+void StateMachine::apply_round_commit(std::uint64_t t, Shared& sh) {
+  if (!round_open || t != round) return;
+  const fl::SimulationOptions& flopt = sh.options->fl;
+  const std::size_t n = alive.size();
+
+  fl::IterationRecord rec;
+  rec.iteration = static_cast<std::size_t>(t);
+  rec.uploads = uploads.size();
+  rec.participants = accepted;
+  cumulative_rounds += uploads.size();
+  rec.cumulative_rounds = cumulative_rounds;
+  double score_sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (answered[k]) score_sum += scores[k];  // fixed id order
+  }
+  rec.mean_score =
+      accepted > 0 ? score_sum / static_cast<double>(accepted) : 0.0;
+
+  for (const auto& [id, u] : uploads) ++uploads_per_client[id];
+  if (!uploads.empty()) {
+    std::sort(uploads.begin(), uploads.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::size_t> upload_ids;
+    std::vector<std::span<const float>> received;
+    upload_ids.reserve(uploads.size());
+    received.reserve(uploads.size());
+    for (const auto& [id, u] : uploads) {
+      upload_ids.push_back(id);
+      received.emplace_back(u);
+    }
+    const std::vector<fl::Verdict> verdicts =
+        validator.screen_round(upload_ids, received);
+    std::vector<std::span<const float>> views;
+    std::vector<std::size_t> accepted_ids;
+    views.reserve(uploads.size());
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      if (verdicts[i] == fl::Verdict::kAccept) {
+        views.push_back(received[i]);
+        accepted_ids.push_back(upload_ids[i]);
+      } else {
+        ++rec.rejected;
+      }
+    }
+    if (!views.empty()) {
+      std::vector<float> global_update(sh.dim, 0.0f);
+      std::vector<float> weights;
+      if (flopt.aggregation == fl::Aggregation::kSampleWeighted) {
+        double total_weight = 0.0;
+        for (std::size_t id : accepted_ids) {
+          total_weight += static_cast<double>((*sh.local_samples)[id]);
+        }
+        weights.reserve(accepted_ids.size());
+        for (std::size_t id : accepted_ids) {
+          weights.push_back(static_cast<float>(
+              static_cast<double>((*sh.local_samples)[id]) / total_weight));
+        }
+      }
+      fl::aggregate_updates(flopt.aggregation, views, weights,
+                            flopt.robust_aggregation, global_update);
+      tensor::add(global, global_update, global);
+      if (!prev_global_update.empty()) {
+        rec.delta_update = core::normalized_update_difference(
+            prev_global_update, global_update);
+      }
+      prev_global_update = global_update;
+      estimator.observe(global_update);
+    }
+  }
+  rec.cumulative_upload_bytes = up_bytes;
+
+  double max_upload_transfer = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (answered[k]) {
+      max_upload_transfer =
+          std::max(max_upload_transfer,
+                   sh.options->uplink.transfer_seconds(reply_bytes[k]));
+    }
+  }
+  sim_transfer += sh.options->downlink.transfer_seconds(broadcast_bytes) +
+                  max_upload_transfer;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    if (validator.quarantined(k)) continue;
+    max_staleness[k] = std::max(max_staleness[k], t - last_acked[k]);
+  }
+  if (crashed_this_round) ++quorum_rounds;
+
+  const bool last = t == flopt.max_iterations;
+  if (flopt.eval_every > 0 && (t % flopt.eval_every == 0 || last)) {
+    nn::EvalResult eval;
+    {
+      std::lock_guard<std::mutex> lock(sh.eval_mutex);
+      eval = (*sh.evaluator)(global);
+    }
+    rec.accuracy = eval.accuracy;
+    rec.loss = eval.loss;
+    footprint.push_back(
+        {static_cast<std::size_t>(t), eval.accuracy, up_bytes});
+    if (flopt.target_accuracy > 0.0 && std::isfinite(eval.loss) &&
+        eval.accuracy >= flopt.target_accuracy) {
+      stop = true;
+    }
+  }
+  history.push_back(rec);
+  round_open = false;
+}
+
+void StateMachine::apply_client_states(
+    std::uint64_t t, std::vector<std::vector<std::uint64_t>> states,
+    Shared& sh, std::uint32_t replica_id) {
+  if (round_open || t != round || states_round >= t) return;
+  states_round = t;
+  const std::string& path = sh.options->fl.checkpoint_path;
+  if (path.empty()) return;
+  fl::save_checkpoint_file(path + ".replica" + std::to_string(replica_id),
+                           build_checkpoint(std::move(states)));
+}
+
+void StateMachine::apply(std::span<const std::byte> command, Shared& sh,
+                         std::uint32_t replica_id) {
+  WireReader r(command);
+  const auto cmd = static_cast<Cmd>(r.u8());
+  switch (cmd) {
+    case Cmd::kRoundStart: {
+      const std::uint64_t t = r.u64();
+      apply_round_start(t, r.u64());
+      return;
+    }
+    case Cmd::kReply: {
+      ReplyCmd c;
+      c.round = r.u64();
+      c.worker = r.u32();
+      c.is_upload = r.u8();
+      c.score = r.f64();
+      c.frame_bytes = r.u64();
+      c.update = r.floats();
+      apply_reply(c);
+      return;
+    }
+    case Cmd::kRoundCommit:
+      apply_round_commit(r.u64(), sh);
+      return;
+    case Cmd::kClientStates: {
+      const std::uint64_t t = r.u64();
+      const std::uint32_t n = r.u32();
+      std::vector<std::vector<std::uint64_t>> states(n);
+      for (auto& s : states) {
+        const std::uint64_t words = r.u64();
+        if (words > r.remaining() / sizeof(std::uint64_t)) {
+          throw std::runtime_error("ClientStates: blob exceeds command");
+        }
+        s.resize(words);
+        for (auto& word : s) word = r.u64();
+      }
+      apply_client_states(t, std::move(states), sh, replica_id);
+      return;
+    }
+    case Cmd::kWorkerCrash: {
+      const std::uint64_t t = r.u64();
+      apply_worker_crash(t, r.u32());
+      return;
+    }
+    case Cmd::kFinish:
+      finished = true;
+      return;
+  }
+  throw std::runtime_error("replicated master: unknown log command");
+}
+
+fl::TrainerCheckpoint StateMachine::build_checkpoint(
+    std::vector<std::vector<std::uint64_t>> client_states) const {
+  fl::TrainerCheckpoint ck;
+  ck.iteration = round;
+  ck.global_params = global;
+  const std::span<const float> est = estimator.estimate();
+  ck.estimator_estimate.assign(est.begin(), est.end());
+  ck.estimator_observed = estimator.has_observation();
+  ck.prev_global_update = prev_global_update;
+  ck.cumulative_rounds = cumulative_rounds;
+  ck.uploaded_bytes = up_bytes;
+  ck.history = history;
+  ck.eliminations_per_client.assign(eliminations_per_client.begin(),
+                                    eliminations_per_client.end());
+  ck.uploads_per_client.assign(uploads_per_client.begin(),
+                               uploads_per_client.end());
+  ck.validation = validator.report();
+  ck.client_state = std::move(client_states);
+  fl::ClusterMeterState& m = ck.meters;
+  // Logical counters, zero retransmissions: a replicated checkpoint records
+  // the reproducible footprint, not one process's physical recovery traffic.
+  m.uplink_bytes = up_bytes;
+  m.uplink_messages = up_msgs;
+  m.downlink_bytes = down_bytes;
+  m.downlink_messages = down_msgs;
+  m.upload_messages = upload_frames;
+  m.elimination_messages = elimination_frames;
+  m.simulated_transfer_seconds = sim_transfer;
+  m.footprint.reserve(footprint.size());
+  for (const auto& p : footprint) {
+    m.footprint.push_back({p.iteration, p.accuracy, p.uplink_bytes});
+  }
+  return ck;
+}
+
+void StateMachine::restore_checkpoint(const fl::TrainerCheckpoint& ck) {
+  global = ck.global_params;
+  estimator.restore(ck.estimator_estimate, ck.estimator_observed);
+  validator.restore(ck.validation);
+  prev_global_update = ck.prev_global_update;
+  cumulative_rounds = static_cast<std::size_t>(ck.cumulative_rounds);
+  history = ck.history;
+  const std::size_t n = alive.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    eliminations_per_client[k] =
+        static_cast<std::size_t>(ck.eliminations_per_client[k]);
+    uploads_per_client[k] = static_cast<std::size_t>(ck.uploads_per_client[k]);
+    last_acked[k] = ck.iteration;
+  }
+  const fl::ClusterMeterState& m = ck.meters;
+  up_bytes = m.uplink_bytes;
+  up_msgs = m.uplink_messages;
+  down_bytes = m.downlink_bytes;
+  down_msgs = m.downlink_messages;
+  upload_frames = m.upload_messages;
+  elimination_frames = m.elimination_messages;
+  sim_transfer = m.simulated_transfer_seconds;
+  footprint.clear();
+  footprint.reserve(m.footprint.size());
+  for (const auto& p : m.footprint) {
+    footprint.push_back(
+        {static_cast<std::size_t>(p.iteration), p.accuracy, p.uplink_bytes});
+  }
+  round = ck.iteration;
+  round_open = false;
+  states_round = round;
+}
+
+std::vector<std::byte> StateMachine::snapshot_blob() const {
+  // Snapshots are cut only at RoundCommit boundaries, so there is never an
+  // open round to serialize.
+  WireWriter w;
+  w.u64(round);
+  w.u8(stop ? 1 : 0);
+  w.u8(finished ? 1 : 0);
+  w.u64(states_round);
+  w.u64(quorum_rounds);
+  w.u32(static_cast<std::uint32_t>(alive.size()));
+  for (std::size_t k = 0; k < alive.size(); ++k) {
+    w.u8(alive[k] ? 1 : 0);
+    w.u64(last_acked[k]);
+    w.u64(max_staleness[k]);
+  }
+  w.u32(static_cast<std::uint32_t>(crashed_workers.size()));
+  for (const std::uint32_t c : crashed_workers) w.u32(c);
+  write_bytes(w, fl::encode_checkpoint(build_checkpoint({})));
+  return w.take();
+}
+
+void StateMachine::restore_snapshot(std::span<const std::byte> blob) {
+  WireReader r(blob);
+  const std::uint64_t snap_round = r.u64();
+  const bool snap_stop = r.u8() != 0;
+  const bool snap_finished = r.u8() != 0;
+  const std::uint64_t snap_states_round = r.u64();
+  const std::uint64_t snap_quorum = r.u64();
+  const std::uint32_t n = r.u32();
+  if (n != alive.size()) {
+    throw std::runtime_error("snapshot: worker count mismatch");
+  }
+  std::vector<char> snap_alive(n);
+  std::vector<std::uint64_t> snap_acked(n), snap_stale(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    snap_alive[k] = static_cast<char>(r.u8());
+    snap_acked[k] = r.u64();
+    snap_stale[k] = r.u64();
+  }
+  const std::uint32_t crashed = r.u32();
+  std::vector<std::uint32_t> snap_crashed(crashed);
+  for (auto& c : snap_crashed) c = r.u32();
+  const std::uint64_t ck_size = r.u64();
+  if (ck_size > r.remaining()) {
+    throw std::runtime_error("snapshot: truncated checkpoint payload");
+  }
+  std::vector<std::byte> payload(ck_size);
+  for (auto& b : payload) b = static_cast<std::byte>(r.u8());
+
+  restore_checkpoint(fl::decode_checkpoint(payload));
+  round = snap_round;
+  states_round = snap_states_round;
+  stop = snap_stop;
+  finished = snap_finished;
+  quorum_rounds = snap_quorum;
+  alive = std::move(snap_alive);
+  last_acked = std::move(snap_acked);
+  max_staleness = std::move(snap_stale);
+  crashed_workers = std::move(snap_crashed);
+}
+
+// ------------------------------------------------------------ the replicas
+
+struct Replica {
+  Replica(std::uint32_t rid, const RaftConfig& rc, StateMachine machine)
+      : id(rid), node(rc), sm(std::move(machine)) {}
+
+  std::uint32_t id;
+  RaftNode node;
+  Channel inbox;  // Raft frames from peers + data frames from workers
+  StateMachine sm;
+};
+
+/// Volatile (non-replicated) leader bookkeeping.  Reset whenever this
+/// replica (re)gains leadership — the replicated state is the only carrier
+/// of round progress across leadership changes.
+struct Driver {
+  bool leading = false;
+  std::uint64_t term = 0;
+  std::uint64_t started_round = 0;  // rounds whose RoundStart *we* proposed
+  std::uint64_t bcast_round = 0;    // round our broadcasts currently target
+  int attempt = 0;
+  Clock::time_point deadline{};
+  std::uint64_t proposed_commit = 0;
+  std::uint64_t proposed_states = 0;
+  bool proposed_finish = false;
+  std::vector<char> proposed_reply;  // per worker, current round
+  std::vector<char> proposed_crash;
+  std::uint64_t accepted = 0;  // replies accepted under this leadership
+  util::Rng jitter{0};
+  std::optional<Clock::time_point> finish_deadline;
+};
+
+/// True when `self` (non-partitioned, working round inside the window) must
+/// cut the control-plane link to/from `other`.
+bool partition_blocks(const Shared& sh, const Replica& self,
+                      std::uint32_t other) {
+  if (other == self.id) return false;
+  const auto& map = sh.options->fault.replica_partition;
+  if (map.count(self.id) != 0) return false;  // partitioned: cannot enforce
+  const auto it = map.find(other);
+  if (it == map.end()) return false;
+  return self.sm.round >= it->second.from_round &&
+         self.sm.round <= it->second.to_round;
+}
+
+/// Drains the node's outputs: outbox frames to peers, committed entries into
+/// the state machine (compacting at every round commit), and any snapshot a
+/// leader installed over us.  Must run after every step()/tick()/propose()
+/// batch so a snapshot installation can never interleave wrongly with
+/// entry application.
+void pump(Replica& self, Shared& sh) {
+  for (auto& send : self.node.take_outbox()) {
+    if (partition_blocks(sh, self, send.to)) continue;
+    if (sh.replica_crashed[send.to].load(std::memory_order_relaxed)) continue;
+    auto frame = encode_raft(send.msg);
+    seal_frame(frame);
+    sh.control_meter->record(frame.size());
+    (*sh.replicas)[send.to]->inbox.send(std::move(frame));
+  }
+  if (const auto snap = self.node.take_installed_snapshot()) {
+    self.sm.restore_snapshot(snap->data);
+  }
+  for (auto& c : self.node.take_committed()) {
+    const bool is_commit =
+        static_cast<Cmd>(std::to_integer<std::uint8_t>(c.command[0])) ==
+        Cmd::kRoundCommit;
+    self.sm.apply(c.command, sh, self.id);
+    if (is_commit) {
+      // Compact at every closed round: the log never outgrows one round,
+      // and a partitioned replica is caught back up by snapshot transfer.
+      self.node.compact(c.index, self.sm.snapshot_blob());
+    }
+  }
+}
+
+/// Fires any leader-crash schedule entry matching the open round once the
+/// leader has accepted enough replies.  Returns true when this replica must
+/// die (silently, mid-flight: queued proposals in the outbox die with it).
+bool maybe_crash(Replica& self, Shared& sh, const Driver& drv) {
+  if (!self.sm.round_open) return false;
+  const auto& schedule = sh.options->fault.leader_crash;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (schedule[i].round != self.sm.round) continue;
+    if (drv.accepted < schedule[i].after_replies) continue;
+    if (sh.crash_fired[i].exchange(true)) continue;  // already fired
+    sh.leader_crashes.fetch_add(1, std::memory_order_relaxed);
+    sh.replica_crashed[self.id].store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+/// Builds this round's broadcast frame from the replicated state.  Frame
+/// size is leader-independent (leader_id is fixed-width), which is what
+/// lets RoundStart carry the byte count all replicas account identically.
+std::vector<std::byte> make_broadcast(const Replica& self, const Shared& sh,
+                                      std::uint64_t t) {
+  BroadcastMsg bc;
+  bc.seq = static_cast<std::uint32_t>(t);  // replicated mode: seq == round
+  bc.iteration = t;
+  bc.leader_id = self.id;
+  bc.learning_rate =
+      static_cast<float>(sh.options->fl.learning_rate.at(t));
+  bc.global_params = self.sm.global;
+  bc.global_update.assign(self.sm.estimator.estimate().begin(),
+                          self.sm.estimator.estimate().end());
+  auto frame = encode(Message(bc));
+  seal_frame(frame);
+  return frame;
+}
+
+void send_broadcasts(Replica& self, Shared& sh,
+                     std::vector<FaultyChannel>& downlinks, bool original) {
+  const auto frame = make_broadcast(self, sh, self.sm.round);
+  for (std::size_t k = 0; k < sh.num_workers; ++k) {
+    if (!self.sm.active[k] || self.sm.answered[k]) continue;
+    if (original) {
+      sh.downlink_meter->record(frame.size());
+    } else {
+      sh.downlink_meter->record_retransmit(frame.size());
+      sh.master_retransmits.fetch_add(1, std::memory_order_relaxed);
+    }
+    downlinks[k].send(frame);
+  }
+}
+
+Clock::time_point next_deadline(const Shared& sh, Driver& drv) {
+  const RecoveryOptions& rec = sh.options->recovery;
+  double scale = std::pow(rec.backoff, drv.attempt);
+  if (rec.backoff_jitter > 0.0) {
+    scale *= 1.0 + rec.backoff_jitter * drv.jitter.uniform();
+  }
+  return Clock::now() + seconds_to_duration(rec.round_timeout_s * scale);
+}
+
+enum class DriveResult { kOk, kCrash };
+
+/// The leader's control loop: a pure function of the *applied* state plus
+/// volatile retransmission bookkeeping.  Followers no-op.  Progress gates on
+/// applied (= committed) state only, which forces the log order
+/// RoundStart < all Replies < RoundCommit < ClientStates and makes every
+/// apply deterministic.
+DriveResult drive(Replica& self, Shared& sh, Driver& drv,
+                  std::vector<FaultyChannel>& downlinks) {
+  if (self.node.role() != RaftNode::Role::kLeader) {
+    drv.leading = false;
+    return DriveResult::kOk;
+  }
+  if (!drv.leading || drv.term != self.node.term()) {
+    const std::uint64_t started = drv.leading ? drv.started_round : 0;
+    drv = Driver{};
+    drv.leading = true;
+    drv.term = self.node.term();
+    drv.started_round = started;
+    drv.proposed_reply.assign(sh.num_workers, 0);
+    drv.proposed_crash.assign(sh.num_workers, 0);
+    drv.jitter = util::Rng(sh.options->fault.seed ^ (0x6a1700ULL + self.id));
+  }
+  StateMachine& sm = self.sm;
+  const fl::SimulationOptions& flopt = sh.options->fl;
+  const RecoveryOptions& rec = sh.options->recovery;
+
+  if (sm.finished) {
+    // Linger until surviving followers hold the whole log (so each can
+    // apply the final checkpoint entry), then tear the cluster down.
+    const auto now = Clock::now();
+    if (!drv.finish_deadline) {
+      const double linger_s =
+          std::max(0.5, 100.0 * sh.options->replication.tick_interval_s);
+      drv.finish_deadline = now + seconds_to_duration(linger_s);
+    }
+    bool caught_up = true;
+    for (std::uint32_t p = 0;
+         p < static_cast<std::uint32_t>(sh.options->replication.replicas);
+         ++p) {
+      if (p == self.id) continue;
+      if (sh.replica_crashed[p].load(std::memory_order_relaxed)) continue;
+      if (self.node.peer_match_index(p) < self.node.last_log_index()) {
+        caught_up = false;
+      }
+    }
+    if (caught_up || now >= *drv.finish_deadline) {
+      int expected = -1;
+      sh.finished_replica.compare_exchange_strong(
+          expected, static_cast<int>(self.id));
+      sh.done.store(true, std::memory_order_release);
+    }
+    return DriveResult::kOk;
+  }
+
+  if (sm.round_open) {
+    const std::uint64_t t = sm.round;
+    const bool bounded = rec.round_timeout_s > 0.0;
+    if (drv.bcast_round != t) {
+      drv.bcast_round = t;
+      drv.attempt = 0;
+      drv.accepted = 0;
+      drv.proposed_reply.assign(sh.num_workers, 0);
+      drv.proposed_crash.assign(sh.num_workers, 0);
+      // A leader that did not start this round is re-driving a predecessor's
+      // round: its (re)broadcasts are recovery traffic, not originals.
+      send_broadcasts(self, sh, downlinks,
+                      /*original=*/drv.started_round == t);
+      if (bounded) drv.deadline = next_deadline(sh, drv);
+      if (maybe_crash(self, sh, drv)) return DriveResult::kCrash;
+    } else if (bounded && Clock::now() >= drv.deadline) {
+      bool unanswered = false;
+      for (std::size_t k = 0; k < sh.num_workers; ++k) {
+        if (sm.active[k] && !sm.answered[k] && !drv.proposed_reply[k]) {
+          unanswered = true;
+        }
+      }
+      if (unanswered) {
+        if (drv.attempt == 0) {  // count the round, not every expiry
+          sh.timed_out_rounds.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++drv.attempt;
+        if (drv.attempt >= rec.max_attempts) {
+          for (std::size_t k = 0; k < sh.num_workers; ++k) {
+            if (sm.active[k] && !sm.answered[k] && !drv.proposed_reply[k] &&
+                !drv.proposed_crash[k]) {
+              self.node.propose(
+                  encode_worker_crash(t, static_cast<std::uint32_t>(k)));
+              drv.proposed_crash[k] = 1;
+            }
+          }
+          drv.deadline = Clock::now() + seconds_to_duration(3600.0);
+        } else {
+          send_broadcasts(self, sh, downlinks, /*original=*/false);
+          drv.deadline = next_deadline(sh, drv);
+        }
+      } else {
+        drv.deadline = next_deadline(sh, drv);  // replies in flight to commit
+      }
+    }
+    bool all_answered = true;
+    for (std::size_t k = 0; k < sh.num_workers; ++k) {
+      if (sm.active[k] && !sm.answered[k]) all_answered = false;
+    }
+    if (all_answered && drv.proposed_commit != t) {
+      self.node.propose(encode_round_commit(t));
+      drv.proposed_commit = t;
+    }
+    return DriveResult::kOk;
+  }
+
+  // Between rounds: checkpoint if due, then advance or finish.
+  const std::uint64_t t = sm.round;
+  const bool last = t >= flopt.max_iterations;
+  const bool checkpoint_due =
+      flopt.checkpoint_every > 0 && !flopt.checkpoint_path.empty() &&
+      t >= 1 && sm.states_round < t && sm.crashed_workers.empty() &&
+      (t % flopt.checkpoint_every == 0 || last || sm.stop);
+  if (checkpoint_due) {
+    if (drv.proposed_states != t) {
+      // Safe to read worker-owned state: every active worker's round-t
+      // reply is *applied*, and application happens-after the worker's
+      // uplink send (two channel hops), so the training writes are visible
+      // here even if a different replica physically received the frame.
+      std::vector<std::vector<std::uint64_t>> states;
+      states.reserve(sh.num_workers);
+      for (std::size_t k = 0; k < sh.num_workers; ++k) {
+        states.push_back((*sh.clients)[k]->mutable_state());
+      }
+      self.node.propose(encode_client_states(t, states));
+      drv.proposed_states = t;
+    }
+    return DriveResult::kOk;  // wait for the entry to commit and apply
+  }
+  std::size_t active_count = 0;
+  for (std::size_t k = 0; k < sh.num_workers; ++k) {
+    if (sm.alive[k] && !sm.validator.quarantined(k)) ++active_count;
+  }
+  if (sm.stop || last || active_count == 0) {
+    if (!drv.proposed_finish) {
+      self.node.propose(encode_finish());
+      drv.proposed_finish = true;
+    }
+    return DriveResult::kOk;
+  }
+  if (drv.started_round != t + 1) {
+    const auto frame = make_broadcast(self, sh, t + 1);
+    self.node.propose(encode_round_start(t + 1, frame.size()));
+    drv.started_round = t + 1;
+  }
+  return DriveResult::kOk;
+}
+
+/// One frame out of the replica's inbox: Raft traffic steps the node; data
+/// frames hit the leader path (propose a Reply entry) or earn a redirect.
+DriveResult handle_frame(Replica& self, Shared& sh, Driver& drv,
+                         const std::vector<std::byte>& frame) {
+  const auto payload = try_open_frame(frame);
+  if (!payload) {
+    sh.master_corrupt.fetch_add(1, std::memory_order_relaxed);
+    return DriveResult::kOk;
+  }
+  if (is_raft_frame(*payload)) {
+    RaftMessage msg;
+    try {
+      msg = decode_raft(*payload);
+    } catch (const std::exception&) {
+      sh.master_corrupt.fetch_add(1, std::memory_order_relaxed);
+      return DriveResult::kOk;
+    }
+    if (partition_blocks(sh, self, raft_sender(msg))) return DriveResult::kOk;
+    self.node.step(msg);
+    return DriveResult::kOk;
+  }
+  Message msg;
+  try {
+    msg = decode(*payload);
+  } catch (const std::exception&) {
+    sh.master_corrupt.fetch_add(1, std::memory_order_relaxed);
+    return DriveResult::kOk;
+  }
+  std::uint64_t iteration = 0;
+  std::uint32_t client_id = 0;
+  double score = 0.0;
+  const UpdateUploadMsg* upload = nullptr;
+  if (const auto* up = std::get_if<UpdateUploadMsg>(&msg)) {
+    iteration = up->iteration;
+    client_id = up->client_id;
+    score = up->score;
+    upload = up;
+  } else if (const auto* el = std::get_if<EliminationMsg>(&msg)) {
+    iteration = el->iteration;
+    client_id = el->client_id;
+    score = el->score;
+  } else {
+    throw std::runtime_error("replicated master: unexpected frame");
+  }
+  if (client_id >= sh.num_workers) {
+    throw std::runtime_error("replicated master: malformed reply frame");
+  }
+  if (self.node.role() != RaftNode::Role::kLeader) {
+    // A lagging follower may legitimately see replies for rounds it has not
+    // applied yet (stale leader_hint chains), so no iteration check here.
+    // Stale-leader data frame: tell the worker who leads now so it can
+    // re-send its cached reply there.
+    RedirectMsg rd;
+    rd.iteration = iteration;
+    rd.leader_id = self.node.leader_hint();
+    auto out = encode(Message(rd));
+    seal_frame(out);
+    sh.control_meter->record(out.size());
+    sh.leader_redirects.fetch_add(1, std::memory_order_relaxed);
+    (*sh.workers)[client_id].inbox.send(std::move(out));
+    return DriveResult::kOk;
+  }
+  StateMachine& sm = self.sm;
+  if (iteration > sm.round) {
+    // Leader completeness: a committed RoundStart is always in the leader's
+    // applied prefix before any worker could have seen its broadcast.
+    throw std::runtime_error("replicated master: reply from the future");
+  }
+  if (!sm.round_open || iteration < sm.round || sm.answered[client_id] ||
+      !sm.active[client_id] ||
+      (client_id < drv.proposed_reply.size() &&
+       drv.proposed_reply[client_id])) {
+    sh.master_redundant.fetch_add(1, std::memory_order_relaxed);
+    return DriveResult::kOk;
+  }
+  if (upload && upload->update.size() != sh.dim) {
+    throw std::runtime_error("replicated master: bad update size");
+  }
+  ReplyCmd cmd;
+  cmd.round = sm.round;
+  cmd.worker = client_id;
+  cmd.is_upload = upload ? 1 : 0;
+  cmd.score = score;
+  cmd.frame_bytes = frame.size();
+  if (upload) cmd.update = upload->update;
+  self.node.propose(encode_reply_cmd(cmd));
+  drv.proposed_reply[client_id] = 1;
+  ++drv.accepted;
+  if (maybe_crash(self, sh, drv)) return DriveResult::kCrash;
+  return DriveResult::kOk;
+}
+
+void replica_main(Replica& self, Shared& sh) {
+  std::vector<FaultyChannel> downlinks;
+  downlinks.reserve(sh.num_workers);
+  for (std::size_t k = 0; k < sh.num_workers; ++k) {
+    downlinks.emplace_back(
+        (*sh.workers)[k].inbox, sh.options->fault.downlink_for(k),
+        sh.options->fault.replica_link_rng(self.id, k, /*is_uplink=*/false),
+        sh.fault_stats);
+  }
+  const auto tick = seconds_to_duration(
+      sh.options->replication.tick_interval_s);
+  Driver drv;
+  auto next_tick = Clock::now() + tick;
+  while (!sh.done.load(std::memory_order_acquire)) {
+    pump(self, sh);
+    if (drive(self, sh, drv, downlinks) == DriveResult::kCrash) return;
+    pump(self, sh);
+    const auto now = Clock::now();
+    if (now >= next_tick) {
+      self.node.tick();
+      next_tick = now + tick;
+      continue;  // pump on the next pass
+    }
+    auto frame = self.inbox.recv_for(next_tick - now);
+    if (!frame) continue;
+    if (handle_frame(self, sh, drv, *frame) == DriveResult::kCrash) return;
+  }
+}
+
+// ------------------------------------------------------------- the workers
+
+void worker_main(std::size_t k, Shared& sh) {
+  fl::FlClient& client = *(*sh.clients)[k];
+  const ClusterOptions& opt = *sh.options;
+  const auto replicas = static_cast<std::uint32_t>(opt.replication.replicas);
+  std::vector<FaultyChannel> uplinks;
+  uplinks.reserve(replicas);
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    uplinks.emplace_back((*sh.replicas)[r]->inbox, opt.fault.uplink_for(k),
+                         opt.fault.replica_link_rng(r, k, /*is_uplink=*/true),
+                         sh.fault_stats);
+  }
+  const auto crash_at = opt.fault.crash_iteration_for(k);
+  const double straggle_s = opt.fault.straggler_delay_for(k);
+  const int local_epochs = opt.fl.local_epochs;
+  const std::size_t batch_size = opt.fl.batch_size;
+  std::vector<float> update(sh.dim);
+  std::uint32_t last_seq = 0;
+  std::vector<std::byte> cached_reply;
+  Channel& inbox = (*sh.workers)[k].inbox;
+  for (;;) {
+    auto frame = inbox.recv();
+    if (!frame) return;
+    const auto payload = try_open_frame(*frame);
+    if (!payload) {
+      sh.worker_corrupt.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Message msg;
+    try {
+      msg = decode(*payload);
+    } catch (const std::exception&) {
+      sh.worker_corrupt.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (std::holds_alternative<ShutdownMsg>(msg)) return;
+    if (const auto* rd = std::get_if<RedirectMsg>(&msg)) {
+      if (rd->iteration == last_seq && !cached_reply.empty() &&
+          rd->leader_id < replicas) {
+        sh.worker_retransmits.fetch_add(1, std::memory_order_relaxed);
+        sh.uplink_meter->record_retransmit(cached_reply.size());
+        uplinks[rd->leader_id].send(cached_reply);
+      } else {
+        sh.worker_redundant.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    const auto& bc = std::get<BroadcastMsg>(msg);
+    if (bc.global_params.size() != sh.dim || bc.leader_id >= replicas) {
+      throw std::runtime_error("worker: malformed broadcast");
+    }
+    if (bc.seq == last_seq && !cached_reply.empty()) {
+      // Same round seen again — either a failover re-broadcast from a new
+      // leader or a network duplicate.  Re-send the cached reply (identical
+      // bytes) to whichever replica asked; no retraining.
+      sh.worker_redundant.fetch_add(1, std::memory_order_relaxed);
+      sh.worker_retransmits.fetch_add(1, std::memory_order_relaxed);
+      sh.uplink_meter->record_retransmit(cached_reply.size());
+      uplinks[bc.leader_id].send(cached_reply);
+      continue;
+    }
+    if (bc.seq < last_seq) {  // stale duplicate of an older round
+      sh.worker_redundant.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (crash_at && bc.iteration >= *crash_at) return;  // crash-stop
+    if (straggle_s > 0.0) {
+      std::this_thread::sleep_for(seconds_to_duration(straggle_s));
+    }
+
+    client.set_params(bc.global_params);
+    client.train_local(local_epochs, batch_size, bc.learning_rate);
+    client.get_params(update);
+    for (std::size_t i = 0; i < sh.dim; ++i) {
+      update[i] -= bc.global_params[i];
+    }
+
+    core::FilterContext ctx;
+    ctx.global_model = bc.global_params;
+    ctx.estimated_global_update = bc.global_update;
+    ctx.iteration = bc.iteration;
+    const core::FilterDecision decision = sh.filter->decide(update, ctx);
+
+    Message reply;
+    if (decision.upload) {
+      UpdateUploadMsg up;
+      up.seq = bc.seq;
+      up.iteration = bc.iteration;
+      up.client_id = static_cast<std::uint32_t>(k);
+      up.update = update;
+      up.score = decision.score;
+      reply = std::move(up);
+    } else {
+      EliminationMsg el;
+      el.seq = bc.seq;
+      el.iteration = bc.iteration;
+      el.client_id = static_cast<std::uint32_t>(k);
+      el.score = decision.score;
+      reply = el;
+    }
+    auto bytes = encode(reply);
+    seal_frame(bytes);
+    sh.uplink_meter->record(bytes.size());
+    cached_reply = bytes;
+    last_seq = bc.seq;
+    uplinks[bc.leader_id].send(std::move(bytes));
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- entry
+
+ClusterResult run_replicated_cluster(
+    std::vector<std::unique_ptr<fl::FlClient>>& clients,
+    core::UpdateFilter& filter, const fl::GlobalEvaluator& evaluator,
+    const ClusterOptions& options, std::size_t dim,
+    const fl::TrainerCheckpoint* resume_from) {
+  const std::size_t num_workers = clients.size();
+  const auto num_replicas =
+      static_cast<std::uint32_t>(options.replication.replicas);
+
+  std::vector<std::size_t> local_samples(num_workers, 0);
+  for (std::size_t k = 0; k < num_workers; ++k) {
+    local_samples[k] = clients[k]->local_samples();
+  }
+  std::vector<float> global(dim);
+  clients.front()->get_params(global);
+
+  if (resume_from != nullptr) {
+    const fl::TrainerCheckpoint& ck = *resume_from;
+    if (ck.global_params.size() != dim) {
+      throw std::invalid_argument(
+          "FlCluster: checkpoint parameter dimension mismatch");
+    }
+    if (ck.client_state.size() != num_workers ||
+        ck.eliminations_per_client.size() != num_workers ||
+        ck.uploads_per_client.size() != num_workers) {
+      throw std::invalid_argument(
+          "FlCluster: checkpoint worker count mismatch");
+    }
+    global = ck.global_params;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      clients[k]->restore_mutable_state(ck.client_state[k]);
+    }
+  }
+
+  std::vector<WorkerEndpoint> endpoints(num_workers);
+  std::vector<std::unique_ptr<Replica>> replicas;
+  replicas.reserve(num_replicas);
+  for (std::uint32_t r = 0; r < num_replicas; ++r) {
+    RaftConfig rc;
+    rc.id = r;
+    rc.cluster_size = num_replicas;
+    rc.seed = options.replication.seed;
+    rc.heartbeat_ticks = options.replication.heartbeat_ticks;
+    rc.election_timeout_min_ticks =
+        options.replication.election_timeout_min_ticks;
+    rc.election_timeout_max_ticks =
+        options.replication.election_timeout_max_ticks;
+    StateMachine sm(options, dim, num_workers, global);
+    if (resume_from != nullptr) sm.restore_checkpoint(*resume_from);
+    replicas.push_back(std::make_unique<Replica>(r, rc, std::move(sm)));
+  }
+
+  ByteMeter uplink_meter;
+  ByteMeter downlink_meter;
+  ByteMeter control_meter;
+  FaultStats fault_stats;
+  if (resume_from != nullptr) {
+    const fl::ClusterMeterState& m = resume_from->meters;
+    uplink_meter.restore(m.uplink_bytes, m.uplink_messages,
+                         m.uplink_retransmitted);
+    downlink_meter.restore(m.downlink_bytes, m.downlink_messages,
+                           m.downlink_retransmitted);
+  }
+
+  Shared sh;
+  sh.options = &options;
+  sh.dim = dim;
+  sh.num_workers = num_workers;
+  sh.local_samples = &local_samples;
+  sh.clients = &clients;
+  sh.filter = &filter;
+  sh.evaluator = &evaluator;
+  sh.replicas = &replicas;
+  sh.workers = &endpoints;
+  sh.uplink_meter = &uplink_meter;
+  sh.downlink_meter = &downlink_meter;
+  sh.control_meter = &control_meter;
+  sh.fault_stats = &fault_stats;
+  const std::size_t crash_entries = options.fault.leader_crash.size();
+  sh.crash_fired =
+      std::make_unique<std::atomic<bool>[]>(std::max<std::size_t>(1,
+                                                                  crash_entries));
+  for (std::size_t i = 0; i < crash_entries; ++i) sh.crash_fired[i] = false;
+  sh.replica_crashed = std::make_unique<std::atomic<bool>[]>(num_replicas);
+  for (std::uint32_t r = 0; r < num_replicas; ++r) {
+    sh.replica_crashed[r] = false;
+  }
+
+  std::vector<std::thread> replica_threads;
+  replica_threads.reserve(num_replicas);
+  for (std::uint32_t r = 0; r < num_replicas; ++r) {
+    replica_threads.emplace_back(
+        [&, r] { replica_main(*replicas[r], sh); });
+  }
+  std::vector<std::thread> worker_threads;
+  worker_threads.reserve(num_workers);
+  for (std::size_t k = 0; k < num_workers; ++k) {
+    worker_threads.emplace_back([&, k] { worker_main(k, sh); });
+  }
+
+  for (auto& t : replica_threads) t.join();
+
+  // Management-plane shutdown: bypasses fault injection so workers always
+  // terminate.
+  auto shutdown = encode(Message(ShutdownMsg{}));
+  seal_frame(shutdown);
+  for (auto& ep : endpoints) ep.inbox.send(shutdown);
+  for (auto& t : worker_threads) t.join();
+
+  const int fid = sh.finished_replica.load(std::memory_order_acquire);
+  if (fid < 0) {
+    throw std::runtime_error(
+        "replicated cluster: no replica finished the run (did the fault "
+        "plan crash a majority of replicas?)");
+  }
+  const StateMachine& sm = replicas[static_cast<std::size_t>(fid)]->sm;
+
+  ClusterResult result;
+  result.sim.history = sm.history;
+  result.sim.eliminations_per_client = sm.eliminations_per_client;
+  result.sim.uploads_per_client = sm.uploads_per_client;
+  result.sim.final_params = sm.global;
+  result.sim.uploaded_bytes = sm.up_bytes;
+  result.sim.total_rounds = sm.cumulative_rounds;
+  result.sim.validation = sm.validator.report();
+  for (auto it = result.sim.history.rbegin(); it != result.sim.history.rend();
+       ++it) {
+    if (!std::isnan(it->accuracy)) {
+      result.sim.final_accuracy = it->accuracy;
+      break;
+    }
+  }
+  result.uplink_bytes = uplink_meter.total_bytes();
+  result.downlink_bytes = downlink_meter.total_bytes();
+  result.uplink_retransmitted_bytes = uplink_meter.retransmitted_bytes();
+  result.downlink_retransmitted_bytes = downlink_meter.retransmitted_bytes();
+  result.upload_messages = sm.upload_frames;
+  result.elimination_messages = sm.elimination_frames;
+  result.control_plane_bytes = control_meter.total_bytes();
+  result.simulated_transfer_seconds = sm.sim_transfer;
+  result.footprint = sm.footprint;
+
+  FaultReport& faults = result.faults;
+  faults.frames_dropped = fault_stats.frames_dropped.load();
+  faults.frames_corrupted = fault_stats.frames_corrupted.load();
+  faults.frames_duplicated = fault_stats.frames_duplicated.load();
+  faults.corrupt_rejected = sh.master_corrupt.load() + sh.worker_corrupt.load();
+  faults.redundant_frames =
+      sh.master_redundant.load() + sh.worker_redundant.load();
+  faults.retransmits =
+      sh.master_retransmits.load() + sh.worker_retransmits.load();
+  faults.timed_out_rounds = sh.timed_out_rounds.load();
+  faults.quorum_rounds = sm.quorum_rounds;
+  faults.leader_redirects = sh.leader_redirects.load();
+  faults.leader_crashes = sh.leader_crashes.load();
+  for (const auto& replica : replicas) {
+    const RaftCounters& c = replica->node.counters();
+    faults.elections_held += c.elections_won;
+    faults.log_entries_replicated += c.entries_appended;
+    faults.snapshot_transfers += c.snapshots_installed;
+  }
+  faults.crashed_workers = sm.crashed_workers;
+  faults.max_staleness_per_client = sm.max_staleness;
+  return result;
+}
+
+}  // namespace cmfl::net

@@ -549,5 +549,113 @@ TEST(FlCluster, CheckpointResumeIsBitIdentical) {
   std::remove(path.c_str());
 }
 
+TEST(FlCluster, BackoffJitterIsValidatedAndOffByDefault) {
+  // Negative jitter is nonsense; zero (the default) must leave the
+  // retransmit schedule — and therefore every byte counter — exactly
+  // deterministic, which SeededFaultRunIsReproducible relies on.
+  {
+    fl::ConvexTestbedSpec spec;
+    spec.clients = 4;
+    spec.dim = 4;
+    fl::ConvexWorkload w = fl::make_convex_workload(spec);
+    auto opt = fast_options();
+    opt.recovery.backoff_jitter = -0.1;
+    EXPECT_THROW(FlCluster(std::move(w.clients),
+                           std::make_unique<core::AcceptAllFilter>(),
+                           w.evaluator, opt),
+                 std::invalid_argument);
+  }
+  // Regression: at jitter = 0 two identically-seeded faulty runs agree on
+  // every byte counter, not just the trajectory.
+  auto opt = faulty_options();
+  ASSERT_EQ(opt.recovery.backoff_jitter, 0.0);
+  fl::Workload w1 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster c1(std::move(w1.clients),
+               std::make_unique<core::AcceptAllFilter>(), w1.evaluator, opt);
+  const ClusterResult a = c1.run();
+  fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster c2(std::move(w2.clients),
+               std::make_unique<core::AcceptAllFilter>(), w2.evaluator, opt);
+  const ClusterResult b = c2.run();
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.uplink_bytes, b.uplink_bytes);
+  EXPECT_EQ(a.downlink_bytes, b.downlink_bytes);
+  EXPECT_EQ(a.uplink_retransmitted_bytes, b.uplink_retransmitted_bytes);
+  EXPECT_EQ(a.downlink_retransmitted_bytes, b.downlink_retransmitted_bytes);
+}
+
+TEST(FlCluster, BackoffJitterChangesTimingButNotTheTrajectory) {
+  // Jitter desynchronizes retransmit deadlines (the thundering-herd fix);
+  // at quorum 1.0 it must not change what the master learns.
+  auto opt = faulty_options();
+  fl::Workload w1 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster c1(std::move(w1.clients),
+               std::make_unique<core::AcceptAllFilter>(), w1.evaluator, opt);
+  const ClusterResult plain = c1.run();
+
+  opt.recovery.backoff_jitter = 0.5;
+  fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster c2(std::move(w2.clients),
+               std::make_unique<core::AcceptAllFilter>(), w2.evaluator, opt);
+  const ClusterResult jittered = c2.run();
+
+  // Same learning trajectory (byte meters may differ: retransmit timing
+  // is exactly what jitter perturbs).
+  ASSERT_EQ(jittered.sim.history.size(), plain.sim.history.size());
+  for (std::size_t i = 0; i < plain.sim.history.size(); ++i) {
+    EXPECT_EQ(jittered.sim.history[i].uploads, plain.sim.history[i].uploads);
+    EXPECT_EQ(jittered.sim.history[i].participants,
+              plain.sim.history[i].participants);
+    EXPECT_DOUBLE_EQ(jittered.sim.history[i].mean_score,
+                     plain.sim.history[i].mean_score);
+  }
+  EXPECT_EQ(jittered.sim.final_params, plain.sim.final_params);
+  EXPECT_EQ(jittered.sim.eliminations_per_client,
+            plain.sim.eliminations_per_client);
+  EXPECT_EQ(jittered.upload_messages, plain.upload_messages);
+  EXPECT_EQ(jittered.elimination_messages, plain.elimination_messages);
+}
+
+TEST(FlCluster, LostOverSelectRacesAreNotCrashEvidence) {
+  // Footgun regression: combining first_k_reports with staleness suspicion
+  // used to declare a merely-slow worker dead — losing the over-selection
+  // race every round looked identical to blowing every deadline.  Only
+  // rounds that time out (not rounds the fast K committed early) may feed
+  // the suspicion counter.
+  fl::ConvexTestbedSpec spec;
+  spec.clients = 4;
+  spec.dim = 8;
+  spec.local_steps = 3;
+  spec.gradient_noise = 0.02;
+  fl::ConvexWorkload w = fl::make_convex_workload(spec);
+
+  ClusterOptions opt;
+  opt.fl.local_epochs = 1;
+  opt.fl.batch_size = 1;
+  opt.fl.learning_rate = core::Schedule::constant(0.1);
+  opt.fl.max_iterations = 4;
+  opt.fl.eval_every = 2;
+  opt.fault.straggler_delay_s[3] = 0.3;
+  // Generous deadline: the straggler never actually times out, it only
+  // keeps losing first-K races.
+  opt.recovery.round_timeout_s = 2.0;
+  opt.recovery.first_k_reports = 3;
+  opt.recovery.suspect_after_stale_rounds = 1;  // hair trigger
+  opt.recovery.max_attempts = 30;
+  FlCluster cluster(std::move(w.clients),
+                    std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                    opt);
+  const ClusterResult r = cluster.run();
+
+  EXPECT_TRUE(r.faults.crashed_workers.empty());
+  EXPECT_EQ(r.faults.over_select_commits, 4u);
+  EXPECT_EQ(r.faults.timed_out_rounds, 0u);
+  // The slow worker stays invited (alive) through the whole run.
+  for (const auto& rec : r.sim.history) {
+    EXPECT_EQ(rec.participants, 3u);
+  }
+  EXPECT_GE(r.faults.max_staleness_per_client[3], 1u);
+}
+
 }  // namespace
 }  // namespace cmfl::net

@@ -97,6 +97,54 @@ TEST(Channel, RecvForReportsClosureImmediately) {
   EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(5));
 }
 
+TEST(Channel, RecvForNegativeTimeoutStillDrainsQueuedFrames) {
+  // A replica that spent its whole tick budget handling frames calls
+  // recv_for with an already-expired deadline; that must behave like a
+  // poll, not an error and not a wait.
+  Channel ch;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.recv_for(std::chrono::milliseconds(-50)).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(1));
+  ch.send(frame_of(4));
+  const auto frame = ch.recv_for(std::chrono::milliseconds(-50));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ((*frame)[0], std::byte{4});
+}
+
+TEST(Channel, CloseDuringBlockedRecvForWakesTheWaiter) {
+  // A worker blocked in recv_for must notice the master closing its inbox
+  // right away, not after the full timeout.
+  Channel ch;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.close();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.recv_for(std::chrono::seconds(30)).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(5));
+  closer.join();
+}
+
+TEST(Channel, FrameRacingTheDeadlineIsNeverDropped) {
+  // send() and deadline expiry race repeatedly: whichever wins, the frame
+  // must be delivered by this recv_for or the next poll — never lost.
+  Channel ch;
+  for (int i = 0; i < 50; ++i) {
+    std::thread producer([&] { ch.send(frame_of(1)); });
+    auto frame = ch.recv_for(std::chrono::microseconds(50));
+    if (!frame.has_value()) {
+      frame = ch.recv_for(std::chrono::milliseconds(0));
+    }
+    producer.join();
+    if (!frame.has_value()) {
+      frame = ch.recv_for(std::chrono::milliseconds(0));
+    }
+    ASSERT_TRUE(frame.has_value()) << "frame lost on iteration " << i;
+    EXPECT_EQ((*frame)[0], std::byte{1});
+  }
+}
+
 TEST(Channel, SendManyDeliversWholeBatchInOrder) {
   Channel ch;
   std::vector<std::vector<std::byte>> batch;

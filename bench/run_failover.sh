@@ -14,9 +14,10 @@
 #      replica/worker thread fabric.  TSan slows the tests ~10x; the round
 #      deadlines in the failover tests are sized so that margin holds.
 #
-# Both passes run the `failover`-labelled ctest suite (test_net_replicated)
-# plus the raft unit tests, i.e. the same binaries
-#   ctest -L failover
+# Both passes run the `failover`- and `durability`-labelled ctest suites
+# (test_net_replicated, test_util_durable_file, test_net_durable) plus the
+# raft unit tests, i.e. the same binaries
+#   ctest -L 'failover|durability'
 # selects in a regular build.
 set -eu
 
@@ -24,24 +25,29 @@ REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 ASAN_DIR="${1:-$REPO_ROOT/build-asan}"
 TSAN_DIR="${2:-$REPO_ROOT/build-tsan}"
 
+TARGETS="test_net_raft test_net_replicated test_util_durable_file test_net_durable"
+
+run_suite() {
+  build_dir="$1"
+  label="$2"
+  for t in $TARGETS; do
+    echo "== $t ($label) =="
+    "$build_dir/tests/$t"
+  done
+}
+
 echo "=== pass 1: AddressSanitizer + UndefinedBehaviorSanitizer ==="
 cmake -B "$ASAN_DIR" -S "$REPO_ROOT" -DCMFL_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$ASAN_DIR" -j --target test_net_raft test_net_replicated
-
-echo "== test_net_raft (ASan+UBSan) =="
-"$ASAN_DIR/tests/test_net_raft"
-echo "== test_net_replicated (ASan+UBSan) =="
-"$ASAN_DIR/tests/test_net_replicated"
+# shellcheck disable=SC2086
+cmake --build "$ASAN_DIR" -j --target $TARGETS
+run_suite "$ASAN_DIR" "ASan+UBSan"
 
 echo "=== pass 2: ThreadSanitizer ==="
 cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DCMFL_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_DIR" -j --target test_net_raft test_net_replicated
+# shellcheck disable=SC2086
+cmake --build "$TSAN_DIR" -j --target $TARGETS
+run_suite "$TSAN_DIR" "TSan"
 
-echo "== test_net_raft (TSan) =="
-"$TSAN_DIR/tests/test_net_raft"
-echo "== test_net_replicated (TSan) =="
-"$TSAN_DIR/tests/test_net_replicated"
-
-echo "failover suite clean under ASan+UBSan and TSan"
+echo "failover + durability suites clean under ASan+UBSan and TSan"

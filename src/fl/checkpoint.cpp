@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "net/wire.h"  // header-only WireWriter/WireReader primitives
-#include "nn/serialize.h"
+#include "util/durable_file.h"
 
 namespace cmfl::fl {
 
@@ -261,11 +261,11 @@ TrainerCheckpoint decode_checkpoint(std::span<const std::byte> payload) {
 
 void save_checkpoint_file(const std::string& path,
                           const TrainerCheckpoint& ck) {
-  nn::save_blob_file(path, kMagic, kVersion, encode_checkpoint(ck));
+  util::save_sealed_file(path, kMagic, kVersion, encode_checkpoint(ck));
 }
 
 TrainerCheckpoint load_checkpoint_file(const std::string& path) {
-  return decode_checkpoint(nn::load_blob_file(path, kMagic, kVersion));
+  return decode_checkpoint(util::load_sealed_file(path, kMagic, kVersion));
 }
 
 bool bitwise_equal(const IterationRecord& a, const IterationRecord& b) {

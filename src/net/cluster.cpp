@@ -87,9 +87,10 @@ FlCluster::FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
   const ReplicationOptions& rep = options_.replication;
   if (rep.replicas == 0) {
     if (!options_.fault.leader_crash.empty() ||
+        !options_.fault.replica_restart.empty() ||
         !options_.fault.replica_partition.empty()) {
       throw std::invalid_argument(
-          "FlCluster: leader-crash / partition schedules need "
+          "FlCluster: leader-crash / restart / partition schedules need "
           "replication.replicas >= 3");
     }
     return;
@@ -127,6 +128,12 @@ FlCluster::FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
     throw std::invalid_argument(
         "FlCluster: leader_crash schedule may kill at most a minority of "
         "replicas (each entry fires once)");
+  }
+  if (!options_.fault.replica_restart.empty() && rep.storage_dir.empty()) {
+    throw std::invalid_argument(
+        "FlCluster: replica_restart schedules need "
+        "replication.storage_dir (a restarted replica recovers from its "
+        "durable Raft storage)");
   }
 }
 

@@ -95,6 +95,17 @@ struct ReplicationOptions {
   int election_timeout_min_ticks = 10;
   int election_timeout_max_ticks = 20;
   std::uint64_t seed = 7;
+  /// Durable Raft storage (DESIGN.md §15): when non-empty, each replica i
+  /// persists term/vote/log/snapshot under `storage_dir/replica<i>/` with
+  /// persist-before-ack discipline, and FaultPlan::replica_restart crash-
+  /// restart schedules become available.  Empty keeps replicas in-memory
+  /// crash-stop (the PR-7 behavior).  The directory is created if missing;
+  /// any state from a previous run in it is wiped at run start.
+  std::string storage_dir;
+  /// Raft pre-vote (on by default): a timed-out replica polls the cluster
+  /// before incrementing its term, so a healed partitioned replica cannot
+  /// depose a stable leader through term inflation.
+  bool pre_vote = true;
 };
 
 struct ClusterOptions {
@@ -135,6 +146,12 @@ struct FaultReport {
   std::uint64_t log_entries_replicated = 0;  // entries appended on followers
   std::uint64_t snapshot_transfers = 0;   // snapshots installed on followers
   std::uint64_t leader_redirects = 0;     // stale-leader redirects served
+  std::uint64_t leader_probes = 0;        // worker round-robin leader probes
+  // Durable storage (0 unless ReplicationOptions::storage_dir is set).
+  std::uint64_t replica_restarts = 0;     // crash-restart recoveries completed
+  std::uint64_t restart_load_errors = 0;  // restarts refused by loud recovery
+  std::uint64_t wal_bytes_fsynced = 0;    // WAL bytes covered by an fsync
+  std::uint64_t wal_replay_entries = 0;   // log entries replayed at restarts
   std::vector<std::uint32_t> crashed_workers;  // declared dead, in order
   /// max over committed rounds t of (t - last round client k participated).
   std::vector<std::uint64_t> max_staleness_per_client;

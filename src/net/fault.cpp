@@ -1,7 +1,13 @@
 #include "net/fault.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
+
+#include "util/durable_file.h"
 
 namespace cmfl::net {
 
@@ -29,7 +35,7 @@ bool FaultPlan::enabled() const noexcept {
     if (d > 0.0) return true;
   }
   return !crash_at_iteration.empty() || !leader_crash.empty() ||
-         !replica_partition.empty();
+         !replica_restart.empty() || !replica_partition.empty();
 }
 
 LinkFaults FaultPlan::downlink_for(std::size_t worker) const {
@@ -107,6 +113,16 @@ void FaultPlan::validate(std::size_t num_workers) const {
           "FaultPlan: leader_crash round is 1-based (round 0 never runs)");
     }
   }
+  for (const ReplicaRestart& r : replica_restart) {
+    if (r.round == 0) {
+      throw std::invalid_argument(
+          "FaultPlan: replica_restart round is 1-based (round 0 never runs)");
+    }
+    if (!(r.restart_after_ms >= 0.0)) {
+      throw std::invalid_argument(
+          "FaultPlan: replica_restart.restart_after_ms must be >= 0");
+    }
+  }
   for (const auto& [r, window] : replica_partition) {
     if (window.from_round == 0 || window.to_round < window.from_round) {
       throw std::invalid_argument(
@@ -114,6 +130,81 @@ void FaultPlan::validate(std::size_t num_workers) const {
     }
     (void)r;  // replica-count bound is checked by the replicated master
   }
+}
+
+std::optional<StorageFaultInjector::Action> StorageFaultInjector::apply(
+    StorageFault fault, const std::string& path) {
+  if (fault == StorageFault::kNone) return std::nullopt;
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return std::nullopt;
+  const auto spans = util::DurableFile::record_spans(path);
+
+  Action a;
+  a.fault = fault;
+  a.old_size = size;
+  a.new_size = size;
+
+  const auto truncate_to = [&](std::uint64_t new_size) {
+    std::filesystem::resize_file(path, new_size, ec);
+    if (ec) {
+      throw std::runtime_error("StorageFaultInjector: cannot truncate " +
+                               path);
+    }
+    a.offset = new_size;
+    a.new_size = new_size;
+  };
+
+  switch (fault) {
+    case StorageFault::kTornFinalWrite: {
+      // Cut strictly inside the last record's bytes — what a crash between
+      // write() and fsync() leaves behind.
+      if (spans.empty()) return std::nullopt;
+      const auto [off, len] = spans.back();
+      truncate_to(off + 1 + rng_.uniform_index(len - 1));
+      break;
+    }
+    case StorageFault::kBitFlip: {
+      // Flip one bit inside a seeded record (silent media corruption); the
+      // CRC on the real read path must catch it.
+      if (spans.empty()) return std::nullopt;
+      const auto [off, len] = spans[rng_.uniform_index(spans.size())];
+      a.offset = off + rng_.uniform_index(len);
+      a.bit = static_cast<unsigned>(rng_.uniform_index(8));
+      std::fstream f(path,
+                     std::ios::in | std::ios::out | std::ios::binary);
+      if (!f) {
+        throw std::runtime_error("StorageFaultInjector: cannot open " + path);
+      }
+      f.seekg(static_cast<std::streamoff>(a.offset));
+      char c = 0;
+      f.get(c);
+      c = static_cast<char>(c ^ static_cast<char>(1u << a.bit));
+      f.seekp(static_cast<std::streamoff>(a.offset));
+      f.put(c);
+      if (!f) {
+        throw std::runtime_error("StorageFaultInjector: flip failed in " +
+                                 path);
+      }
+      break;
+    }
+    case StorageFault::kTruncate:
+      // Arbitrary cut — may land mid-record, mid-header, or at zero.
+      truncate_to(rng_.uniform_index(size));
+      break;
+    case StorageFault::kFsyncDroppedTail: {
+      // 1..3 whole records vanish from the end: appends that were written
+      // but whose fsync never reached the platter.
+      if (spans.empty()) return std::nullopt;
+      const std::size_t drop =
+          1 + rng_.uniform_index(std::min<std::size_t>(3, spans.size()));
+      truncate_to(spans[spans.size() - drop].first);
+      break;
+    }
+    case StorageFault::kNone:
+      return std::nullopt;
+  }
+  return a;
 }
 
 bool FaultyChannel::send(std::vector<std::byte> frame) {

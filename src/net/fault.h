@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "net/link.h"
@@ -62,6 +63,56 @@ struct ReplicaPartition {
   std::uint64_t to_round = 0;
 };
 
+/// What a StorageFaultInjector does to a Raft WAL between a crash and the
+/// restart that recovers from it.
+enum class StorageFault : std::uint8_t {
+  kNone = 0,
+  kTornFinalWrite,    // cut the file inside the last record's bytes
+  kBitFlip,           // flip one seeded bit inside a seeded record
+  kTruncate,          // cut the file at a seeded arbitrary byte offset
+  kFsyncDroppedTail,  // drop 1..3 whole records from the end (lost fsync)
+};
+
+/// One scheduled crash-*restart* for the replicated control plane: the
+/// leader of round `round` crashes after accepting `after_replies` worker
+/// replies (like LeaderCrash), then — `restart_after_ms` of wall time later
+/// — the same replica restarts, recovers from its durable storage, and
+/// rejoins as a follower.  `wal_fault` optionally damages the WAL while the
+/// process is down, exercising the recovery path's corruption handling.
+/// Requires ReplicationOptions::storage_dir.
+struct ReplicaRestart {
+  std::uint64_t round = 0;
+  std::uint32_t after_replies = 0;
+  double restart_after_ms = 50.0;
+  StorageFault wal_fault = StorageFault::kNone;
+};
+
+/// Deterministically damages WAL/snapshot files on disk through their real
+/// byte layout — the durability twin of FaultyChannel's bit-level link
+/// faults.  Seeded: the same (seed, fault, file) triple always damages the
+/// same bytes.
+class StorageFaultInjector {
+ public:
+  explicit StorageFaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// What apply() did, for reports and test assertions.
+  struct Action {
+    StorageFault fault = StorageFault::kNone;
+    std::uint64_t offset = 0;    // byte offset damaged (flip/cut point)
+    unsigned bit = 0;            // kBitFlip only
+    std::uint64_t old_size = 0;  // file size before the damage
+    std::uint64_t new_size = 0;  // file size after (== old for kBitFlip)
+  };
+
+  /// Applies `fault` to the record log at `path`.  Returns std::nullopt
+  /// when the file is missing or too small to damage meaningfully (e.g. no
+  /// records yet); throws std::runtime_error on I/O failure.
+  std::optional<Action> apply(StorageFault fault, const std::string& path);
+
+ private:
+  util::Rng rng_;
+};
+
 /// A complete seeded fault scenario for one cluster run.
 struct FaultPlan {
   std::uint64_t seed = 1;
@@ -82,9 +133,10 @@ struct FaultPlan {
   std::map<std::size_t, std::uint64_t> crash_at_iteration;
 
   /// Replicated control plane only (ClusterOptions::replication): seeded
-  /// leader-kill and partition schedules.  Ignored by the single-master
-  /// path.
+  /// leader-kill, crash-restart, and partition schedules.  Ignored by the
+  /// single-master path.
   std::vector<LeaderCrash> leader_crash;
+  std::vector<ReplicaRestart> replica_restart;
   std::map<std::uint32_t, ReplicaPartition> replica_partition;
 
   /// True when any link fault, straggler, or crash is configured.

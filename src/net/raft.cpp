@@ -1,6 +1,7 @@
 #include "net/raft.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -19,6 +20,8 @@ enum class RaftFrame : std::uint8_t {
   kAppendReply = 19,
   kInstallSnapshot = 20,
   kSnapshotReply = 21,
+  kPreVote = 22,
+  kPreVoteReply = 23,
 };
 
 void write_bytes(WireWriter& w, std::span<const std::byte> data) {
@@ -77,12 +80,23 @@ std::vector<std::byte> encode_raft(const RaftMessage& msg) {
     w.u64(is->last_index);
     w.u64(is->last_term);
     write_bytes(w, is->data);
-  } else {
-    const auto& sr = std::get<SnapshotReplyMsg>(msg);
+  } else if (const auto* sr = std::get_if<SnapshotReplyMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(RaftFrame::kSnapshotReply));
-    w.u64(sr.term);
-    w.u32(sr.follower);
-    w.u64(sr.last_index);
+    w.u64(sr->term);
+    w.u32(sr->follower);
+    w.u64(sr->last_index);
+  } else if (const auto* pv = std::get_if<PreVoteMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RaftFrame::kPreVote));
+    w.u64(pv->term);
+    w.u32(pv->candidate);
+    w.u64(pv->last_log_index);
+    w.u64(pv->last_log_term);
+  } else {
+    const auto& pr = std::get<PreVoteReplyMsg>(msg);
+    w.u8(static_cast<std::uint8_t>(RaftFrame::kPreVoteReply));
+    w.u64(pr.term);
+    w.u32(pr.voter);
+    w.u8(pr.granted);
   }
   return w.take();
 }
@@ -156,6 +170,23 @@ RaftMessage decode_raft(std::span<const std::byte> frame) {
       if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
       return m;
     }
+    case RaftFrame::kPreVote: {
+      PreVoteMsg m;
+      m.term = r.u64();
+      m.candidate = r.u32();
+      m.last_log_index = r.u64();
+      m.last_log_term = r.u64();
+      if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
+      return m;
+    }
+    case RaftFrame::kPreVoteReply: {
+      PreVoteReplyMsg m;
+      m.term = r.u64();
+      m.voter = r.u32();
+      m.granted = r.u8();
+      if (!r.done()) throw std::runtime_error("decode_raft: trailing bytes");
+      return m;
+    }
   }
   throw std::runtime_error("decode_raft: unknown frame type " +
                            std::to_string(static_cast<int>(type)));
@@ -165,7 +196,7 @@ bool is_raft_frame(std::span<const std::byte> payload) noexcept {
   if (payload.empty()) return false;
   const auto t = static_cast<std::uint8_t>(payload[0]);
   return t >= static_cast<std::uint8_t>(RaftFrame::kRequestVote) &&
-         t <= static_cast<std::uint8_t>(RaftFrame::kSnapshotReply);
+         t <= static_cast<std::uint8_t>(RaftFrame::kPreVoteReply);
 }
 
 std::uint32_t raft_sender(const RaftMessage& msg) noexcept {
@@ -176,7 +207,211 @@ std::uint32_t raft_sender(const RaftMessage& msg) noexcept {
   if (const auto* is = std::get_if<InstallSnapshotMsg>(&msg)) {
     return is->leader;
   }
-  return std::get<SnapshotReplyMsg>(msg).follower;
+  if (const auto* sr = std::get_if<SnapshotReplyMsg>(&msg)) {
+    return sr->follower;
+  }
+  if (const auto* pv = std::get_if<PreVoteMsg>(&msg)) return pv->candidate;
+  return std::get<PreVoteReplyMsg>(msg).voter;
+}
+
+// ----------------------------------------------------------------- storage
+
+namespace {
+
+constexpr std::array<char, 4> kWalMagic = {'C', 'M', 'R', 'W'};
+constexpr std::uint32_t kWalVersion = 1;
+constexpr std::array<char, 4> kSnapshotMagic = {'C', 'M', 'R', 'S'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+// WAL record kinds.  Payloads are WireWriter-framed.
+enum : std::uint8_t {
+  kRecHardState = 1,  // u64 term, u8 has_vote, u32 vote
+  kRecEntry = 2,      // u64 index, u64 term, byte array command
+  kRecTruncate = 3,   // u64 last_kept (conflict-suffix truncation)
+};
+
+std::vector<std::byte> entry_record(std::uint64_t index,
+                                    const RaftEntry& entry) {
+  WireWriter w;
+  w.u8(kRecEntry);
+  w.u64(index);
+  w.u64(entry.term);
+  write_bytes(w, entry.command);
+  return w.take();
+}
+
+}  // namespace
+
+RaftStorage::RaftStorage(std::string dir, bool sync)
+    : dir_(std::move(dir)), sync_(sync) {
+  std::filesystem::create_directories(dir_);
+  // Stale .tmp files are debris of a crash mid-rotation or mid-snapshot;
+  // the rename never happened, so they hold no committed state.
+  std::error_code ec;
+  std::filesystem::remove(wal_path() + ".tmp", ec);
+  std::filesystem::remove(snapshot_path() + ".tmp", ec);
+
+  if (std::filesystem::exists(snapshot_path())) {
+    const std::vector<std::byte> payload =
+        util::load_sealed_file(snapshot_path(), kSnapshotMagic,
+                               kSnapshotVersion);
+    WireReader r(payload);
+    state_.snapshot_index = r.u64();
+    state_.snapshot_term = r.u64();
+    state_.snapshot = read_bytes(r);
+    if (!r.done()) {
+      throw std::runtime_error("RaftStorage: trailing bytes in snapshot " +
+                               snapshot_path());
+    }
+    state_.any = true;
+  }
+
+  wal_.emplace(wal_path(), kWalMagic, kWalVersion, sync_);
+  state_.wal_tail_truncated = wal_->recovered().tail_truncated;
+  for (const std::vector<std::byte>& rec : wal_->recovered().records) {
+    replay_record(rec);
+    state_.any = true;
+  }
+  hard_term_ = state_.term;
+  hard_vote_ = state_.voted_for;
+}
+
+std::string RaftStorage::wal_path() const { return dir_ + "/wal"; }
+
+std::string RaftStorage::snapshot_path() const { return dir_ + "/snapshot"; }
+
+void RaftStorage::replay_record(std::span<const std::byte> record) {
+  WireReader r(record);
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case kRecHardState: {
+      state_.term = r.u64();
+      const bool has_vote = r.u8() != 0;
+      const std::uint32_t vote = r.u32();
+      state_.voted_for =
+          has_vote ? std::optional<std::uint32_t>(vote) : std::nullopt;
+      break;
+    }
+    case kRecEntry: {
+      const std::uint64_t index = r.u64();
+      RaftEntry e;
+      e.term = r.u64();
+      e.command = read_bytes(r);
+      // Entries at or below the snapshot horizon are superseded (the WAL
+      // rotation that would have dropped them raced a crash).
+      if (index <= state_.snapshot_index) break;
+      const std::uint64_t last = state_.snapshot_index + state_.log.size();
+      if (index == last + 1) {
+        state_.log.push_back(std::move(e));
+      } else if (index <= last) {
+        // A re-appended slot implies the suffix from here was replaced.
+        state_.log.resize(
+            static_cast<std::size_t>(index - state_.snapshot_index - 1));
+        state_.log.push_back(std::move(e));
+      } else {
+        throw std::runtime_error(
+            "RaftStorage: WAL entry gap at index " + std::to_string(index) +
+            " (log ends at " + std::to_string(last) + ") in " + wal_path());
+      }
+      ++counters_.replay_entries;
+      break;
+    }
+    case kRecTruncate: {
+      const std::uint64_t last_kept = r.u64();
+      const std::uint64_t keep =
+          last_kept > state_.snapshot_index
+              ? last_kept - state_.snapshot_index
+              : 0;
+      if (keep < state_.log.size()) {
+        state_.log.resize(static_cast<std::size_t>(keep));
+      }
+      break;
+    }
+    default:
+      throw std::runtime_error("RaftStorage: unknown WAL record kind " +
+                               std::to_string(kind) + " in " + wal_path());
+  }
+  if (!r.done()) {
+    throw std::runtime_error("RaftStorage: trailing bytes in WAL record in " +
+                             wal_path());
+  }
+}
+
+std::vector<std::byte> RaftStorage::hard_state_record() const {
+  WireWriter w;
+  w.u8(kRecHardState);
+  w.u64(hard_term_);
+  w.u8(hard_vote_ ? 1 : 0);
+  w.u32(hard_vote_ ? *hard_vote_ : 0);
+  return w.take();
+}
+
+void RaftStorage::persist_hard_state(std::uint64_t term,
+                                     std::optional<std::uint32_t> voted_for) {
+  if (term == hard_term_ && voted_for == hard_vote_) return;
+  hard_term_ = term;
+  hard_vote_ = voted_for;
+  wal_->append(hard_state_record(), /*sync_now=*/true);
+}
+
+void RaftStorage::append_entry(std::uint64_t index, const RaftEntry& entry,
+                               bool sync_now) {
+  wal_->append(entry_record(index, entry), sync_now);
+}
+
+void RaftStorage::truncate_suffix(std::uint64_t last_kept) {
+  WireWriter w;
+  w.u8(kRecTruncate);
+  w.u64(last_kept);
+  // Unsynced on purpose: a truncate record is only ever written together
+  // with the replacement entries, whose sync() covers it.  If the batch is
+  // lost to a crash, the pre-conflict log survives intact — safe, because
+  // nothing about the replacement batch was acknowledged.
+  wal_->append(w.take(), /*sync_now=*/false);
+}
+
+void RaftStorage::sync() { wal_->sync(); }
+
+void RaftStorage::install_snapshot(std::uint64_t index, std::uint64_t term,
+                                   std::span<const std::byte> data,
+                                   std::span<const RaftEntry> tail) {
+  WireWriter w;
+  w.u64(index);
+  w.u64(term);
+  write_bytes(w, data);
+  const std::vector<std::byte> payload = w.take();
+  util::save_sealed_file(snapshot_path(), kSnapshotMagic, kSnapshotVersion,
+                         payload);
+  ++counters_.snapshots_written;
+
+  // Rotate the WAL: everything at or below `index` is superseded by the
+  // snapshot just sealed.  A crash between the two writes is safe — replay
+  // skips WAL entries at or below the snapshot horizon.
+  std::vector<std::vector<std::byte>> records;
+  records.reserve(1 + tail.size());
+  records.push_back(hard_state_record());
+  std::uint64_t idx = index;
+  for (const RaftEntry& e : tail) records.push_back(entry_record(++idx, e));
+
+  const util::DurableFileStats& live = wal_->stats();
+  retired_.bytes_fsynced += live.bytes_fsynced;
+  retired_.fsync_calls += live.fsync_calls;
+  retired_.records_appended += live.records_appended;
+  wal_.reset();  // close the fd of the inode about to be unlinked
+  const std::uint64_t bytes = util::DurableFile::rewrite(
+      wal_path(), kWalMagic, kWalVersion, records, sync_);
+  retired_.bytes_fsynced += bytes;
+  retired_.fsync_calls += 1;
+  retired_.records_appended += records.size();
+  wal_.emplace(wal_path(), kWalMagic, kWalVersion, sync_);
+}
+
+RaftStorageCounters RaftStorage::counters() const noexcept {
+  RaftStorageCounters c = counters_;
+  const util::DurableFileStats& live = wal_->stats();
+  c.wal_bytes_fsynced = retired_.bytes_fsynced + live.bytes_fsynced;
+  c.wal_records = retired_.records_appended + live.records_appended;
+  return c;
 }
 
 // -------------------------------------------------------------------- node
@@ -203,14 +438,30 @@ void RaftConfig::validate() const {
   }
 }
 
-RaftNode::RaftNode(const RaftConfig& config)
+RaftNode::RaftNode(const RaftConfig& config, RaftStorage* storage)
     : config_(config),
+      storage_(storage),
       timeout_rng_(util::Rng(config.seed).split(config.id)) {
   config_.validate();
   votes_.assign(config_.cluster_size, 0);
   next_index_.assign(config_.cluster_size, 1);
   match_index_.assign(config_.cluster_size, 0);
   reset_election_timer();
+  if (storage_ != nullptr && storage_->recovered().any) {
+    const RaftPersistentState& ps = storage_->recovered();
+    term_ = ps.term;
+    voted_for_ = ps.voted_for;
+    snapshot_index_ = ps.snapshot_index;
+    snapshot_term_ = ps.snapshot_term;
+    snapshot_ = ps.snapshot;
+    log_.assign(ps.log.begin(), ps.log.end());
+    // The commit index is volatile state: a restarted node only knows that
+    // everything its snapshot covers was committed, and re-learns the rest
+    // from the next leader heartbeat.  The host restores its application
+    // state from the snapshot, so delivery resumes right after it.
+    commit_ = snapshot_index_;
+    delivered_ = snapshot_index_;
+  }
 }
 
 std::uint64_t RaftNode::last_log_index() const noexcept {
@@ -238,19 +489,33 @@ void RaftNode::reset_election_timer() {
       config_.election_timeout_min_ticks, config_.election_timeout_max_ticks));
 }
 
+void RaftNode::persist_hard_state() {
+  if (storage_ != nullptr) storage_->persist_hard_state(term_, voted_for_);
+}
+
+void RaftNode::persist_last_entry(bool sync_now) {
+  if (storage_ != nullptr) {
+    storage_->append_entry(last_log_index(), log_.back(), sync_now);
+  }
+}
+
 void RaftNode::become_follower(std::uint64_t term) {
   if (term > term_) {
     term_ = term;
     voted_for_.reset();
+    persist_hard_state();
   }
   role_ = Role::kFollower;
+  prevoting_ = false;
   reset_election_timer();
 }
 
 void RaftNode::become_candidate() {
   role_ = Role::kCandidate;
+  prevoting_ = false;
   ++term_;
   voted_for_ = config_.id;
+  persist_hard_state();
   votes_.assign(config_.cluster_size, 0);
   votes_[config_.id] = 1;
   reset_election_timer();
@@ -268,8 +533,30 @@ void RaftNode::become_candidate() {
   }
 }
 
+void RaftNode::begin_prevote() {
+  // Poll at term_ + 1 without touching term_: only a poll a majority says
+  // would win is converted into a real election (become_candidate).
+  prevoting_ = true;
+  prevotes_.assign(config_.cluster_size, 0);
+  prevotes_[config_.id] = 1;
+  reset_election_timer();
+  if (config_.cluster_size == 1) {
+    become_candidate();
+    return;
+  }
+  PreVoteMsg pv;
+  pv.term = term_ + 1;
+  pv.candidate = config_.id;
+  pv.last_log_index = last_log_index();
+  pv.last_log_term = term_at(last_log_index());
+  for (std::uint32_t p = 0; p < config_.cluster_size; ++p) {
+    if (p != config_.id) outbox_.push_back({p, pv});
+  }
+}
+
 void RaftNode::become_leader() {
   role_ = Role::kLeader;
+  prevoting_ = false;
   leader_hint_ = config_.id;
   ++counters_.elections_won;
   for (std::uint32_t p = 0; p < config_.cluster_size; ++p) {
@@ -281,6 +568,7 @@ void RaftNode::become_leader() {
   // pending from previous terms (the "no counting for old terms" rule) and
   // tells the application when the new leader's state machine is current.
   log_.push_back(RaftEntry{term_, {}});
+  persist_last_entry(/*sync_now=*/true);
   match_index_[config_.id] = last_log_index();
   ticks_ = 0;
   broadcast_heartbeat();
@@ -295,7 +583,13 @@ void RaftNode::tick() {
     }
     return;
   }
-  if (++ticks_ >= election_timeout_) become_candidate();
+  if (++ticks_ >= election_timeout_) {
+    if (config_.pre_vote) {
+      begin_prevote();
+    } else {
+      become_candidate();
+    }
+  }
 }
 
 void RaftNode::broadcast_heartbeat() {
@@ -332,6 +626,10 @@ void RaftNode::send_append(std::uint32_t peer) {
 bool RaftNode::propose(std::vector<std::byte> command) {
   if (role_ != Role::kLeader) return false;
   log_.push_back(RaftEntry{term_, std::move(command)});
+  // Persist before the AppendEntries frames carrying the entry can leave
+  // the outbox: a leader must never ask followers to store what it could
+  // itself forget in a restart.
+  persist_last_entry(/*sync_now=*/true);
   match_index_[config_.id] = last_log_index();
   broadcast_heartbeat();
   advance_commit();  // single-node cluster
@@ -381,10 +679,43 @@ void RaftNode::handle(const RequestVoteMsg& m) {
   if (m.term == term_ && up_to_date &&
       (!voted_for_ || *voted_for_ == m.candidate)) {
     voted_for_ = m.candidate;
+    // Persist-before-ack: the vote is on stable storage before the grant
+    // can leave the outbox, so a restarted node can never double-vote.
+    persist_hard_state();
     reply.granted = 1;
     reset_election_timer();
   }
   outbox_.push_back({m.candidate, reply});
+}
+
+void RaftNode::handle(const PreVoteMsg& m) {
+  PreVoteReplyMsg reply;
+  reply.term = m.term;  // echo the proposed term so the poller can match
+  reply.voter = config_.id;
+  const bool up_to_date =
+      m.last_log_term > term_at(last_log_index()) ||
+      (m.last_log_term == term_at(last_log_index()) &&
+       m.last_log_index >= last_log_index());
+  // Grant only when the poll could win a real election (proposed term is
+  // ahead, log is up to date) AND this node has itself stopped hearing
+  // from a live leader — a healthy follower denies, which is exactly what
+  // stops a healed partitioned node from deposing a stable leader.
+  const bool leader_silent =
+      role_ == Role::kCandidate ||
+      (role_ == Role::kFollower &&
+       ticks_ >= config_.election_timeout_min_ticks);
+  if (m.term > term_ && up_to_date && leader_silent) reply.granted = 1;
+  // No state changes: a pre-vote grant is a prediction, not a vote — the
+  // term, voted_for, and election timer are all untouched.
+  outbox_.push_back({m.candidate, reply});
+}
+
+void RaftNode::handle(const PreVoteReplyMsg& m) {
+  if (!prevoting_ || m.term != term_ + 1 || !m.granted) return;
+  prevotes_[m.voter] = 1;
+  std::uint32_t granted = 0;
+  for (const std::uint8_t v : prevotes_) granted += v;
+  if (granted * 2 > config_.cluster_size) become_candidate();
 }
 
 void RaftNode::handle(const VoteReplyMsg& m) {
@@ -427,16 +758,25 @@ void RaftNode::handle(const AppendEntriesMsg& m) {
 
   // Append new entries, truncating any conflicting suffix.
   std::uint64_t index = m.prev_index;
+  bool appended = false;
   for (const RaftEntry& e : m.entries) {
     ++index;
     if (index <= last_log_index()) {
       if (term_at(index) == e.term) continue;  // already have it
       // Conflict: drop this entry and everything after it.
       log_.resize(index - snapshot_index_ - 1);
+      if (storage_ != nullptr) storage_->truncate_suffix(index - 1);
     }
     log_.push_back(e);
+    if (storage_ != nullptr) {
+      storage_->append_entry(index, e, /*sync_now=*/false);
+    }
+    appended = true;
     ++counters_.entries_appended;
   }
+  // One fsync covers the whole batch — persist-before-ack: the entries are
+  // on stable storage before the success reply can leave the outbox.
+  if (appended && storage_ != nullptr) storage_->sync();
   if (m.commit > commit_) {
     commit_ = std::min(m.commit, last_log_index());
     enqueue_committed();
@@ -491,6 +831,12 @@ void RaftNode::handle(const InstallSnapshotMsg& m) {
     snapshot_ = m.data;
     if (commit_ < snapshot_index_) commit_ = snapshot_index_;
     if (delivered_ < snapshot_index_) delivered_ = snapshot_index_;
+    if (storage_ != nullptr) {
+      // Persist before the ack: the reply tells the leader this follower
+      // holds the snapshot, so a restart must not lose it.
+      storage_->install_snapshot(snapshot_index_, snapshot_term_, snapshot_,
+                                 {});
+    }
     installed_ = InstalledSnapshot{m.last_index, m.data};
     ++counters_.snapshots_installed;
   }
@@ -524,6 +870,11 @@ void RaftNode::compact(std::uint64_t index, std::vector<std::byte> snapshot) {
              log_.begin() + static_cast<std::ptrdiff_t>(drop));
   snapshot_index_ = index;
   snapshot_ = std::move(snapshot);
+  if (storage_ != nullptr) {
+    const std::vector<RaftEntry> tail(log_.begin(), log_.end());
+    storage_->install_snapshot(snapshot_index_, snapshot_term_, snapshot_,
+                               tail);
+  }
 }
 
 std::vector<RaftNode::Send> RaftNode::take_outbox() {

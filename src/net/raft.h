@@ -24,19 +24,29 @@
 //
 // RaftNode is single-threaded and purely message-driven: the host calls
 // step() for each incoming frame and tick() on a timer, then drains
-// take_outbox() / take_committed().  No wall clock, no threads, no I/O —
-// which is what makes the unit tests (tests/test_net_raft.cpp) fully
-// deterministic.  Nodes are crash-stop for the lifetime of one run, so
-// term/vote/log live in memory; a durable deployment would fsync them.
+// take_outbox() / take_committed().  No wall clock, no threads — which is
+// what makes the unit tests (tests/test_net_raft.cpp) fully deterministic.
+//
+// Durability (DESIGN.md §15): by default a node keeps term/vote/log in
+// memory and is crash-stop for one run.  Hand the constructor a RaftStorage
+// and the node gains persist-before-ack semantics — term and vote are on
+// stable storage before any vote reply leaves the node, entries before any
+// AppendEntries success — and a restarted process recovers the persistent
+// state (term, vote, snapshot, log suffix) from the same directory and
+// rejoins as a follower.  The commit index is volatile by design: the
+// recovered node re-learns it from the next leader heartbeat, exactly as
+// the Raft paper prescribes.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
 #include <span>
+#include <string>
 #include <variant>
 #include <vector>
 
+#include "util/durable_file.h"
 #include "util/rng.h"
 
 namespace cmfl::net {
@@ -97,9 +107,27 @@ struct SnapshotReplyMsg {
   std::uint64_t last_index = 0;
 };
 
+/// Pre-vote poll (Raft §9.6): `term` is the *proposed* term (current + 1);
+/// the poller's own term is untouched, so a node that cannot win — e.g. a
+/// healed partitioned replica with a stale log — cannot inflate terms and
+/// depose a stable leader.
+struct PreVoteMsg {
+  std::uint64_t term = 0;  // proposed term, not the sender's current term
+  std::uint32_t candidate = 0;
+  std::uint64_t last_log_index = 0;
+  std::uint64_t last_log_term = 0;
+};
+
+struct PreVoteReplyMsg {
+  std::uint64_t term = 0;  // echoes the proposed term being polled for
+  std::uint32_t voter = 0;
+  std::uint8_t granted = 0;
+};
+
 using RaftMessage =
     std::variant<RequestVoteMsg, VoteReplyMsg, AppendEntriesMsg,
-                 AppendReplyMsg, InstallSnapshotMsg, SnapshotReplyMsg>;
+                 AppendReplyMsg, InstallSnapshotMsg, SnapshotReplyMsg,
+                 PreVoteMsg, PreVoteReplyMsg>;
 
 /// Raft frames share the replica inboxes with FL data frames; their type
 /// bytes start at 16 so the two families can never collide (FL frames use
@@ -117,6 +145,101 @@ bool is_raft_frame(std::span<const std::byte> payload) noexcept;
 /// injection filters on.
 std::uint32_t raft_sender(const RaftMessage& msg) noexcept;
 
+// ----------------------------------------------------------------- storage
+
+/// What RaftStorage recovered from its directory at open time.  `log` holds
+/// the entries in (snapshot_index, snapshot_index + log.size()], 1-based —
+/// the same convention as RaftNode's in-memory log.
+struct RaftPersistentState {
+  bool any = false;  // false: the directory held no prior state
+  std::uint64_t term = 0;
+  std::optional<std::uint32_t> voted_for;
+  std::uint64_t snapshot_index = 0;
+  std::uint64_t snapshot_term = 0;
+  std::vector<std::byte> snapshot;  // opaque application snapshot
+  std::vector<RaftEntry> log;
+  bool wal_tail_truncated = false;  // a torn final write was cut on recovery
+};
+
+/// Durability accounting, cumulative across WAL rotations for one handle.
+struct RaftStorageCounters {
+  std::uint64_t wal_bytes_fsynced = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t replay_entries = 0;     // entry records applied at open
+  std::uint64_t snapshots_written = 0;  // sealed snapshot files written
+};
+
+/// Durable backing store for one RaftNode: a CRC-framed write-ahead log of
+/// (hard state, entry, truncate) records — util::DurableFile — plus an
+/// atomically-replaced sealed snapshot file.  Opening the directory runs
+/// recovery: the snapshot (if present) is loaded and the WAL replayed on
+/// top of it, with the torn-tail rule tolerating a crash mid-append but
+/// refusing silent mid-log corruption (std::runtime_error).  The WAL is
+/// rotated (rewritten to just hard state + log tail) whenever a snapshot
+/// supersedes its prefix, bounding its size to one compaction interval.
+///
+/// Single-threaded, like the RaftNode it backs.
+class RaftStorage {
+ public:
+  /// Opens (creating if needed) the storage directory and recovers any
+  /// prior state.  `sync` = false skips fsyncs (fast unit tests only).
+  /// Throws std::runtime_error on corrupt state that recovery must not
+  /// silently repair.
+  explicit RaftStorage(std::string dir, bool sync = true);
+
+  RaftStorage(const RaftStorage&) = delete;
+  RaftStorage& operator=(const RaftStorage&) = delete;
+
+  const RaftPersistentState& recovered() const noexcept { return state_; }
+
+  /// Durably records (term, vote); deduplicates, so calling it after every
+  /// potential change is cheap.  On stable storage when the call returns.
+  void persist_hard_state(std::uint64_t term,
+                          std::optional<std::uint32_t> voted_for);
+
+  /// Durably appends the log entry at `index`.  With `sync_now` the entry
+  /// is on stable storage when the call returns; batch a run of appends
+  /// with sync_now = false and one sync() to pay a single fsync.
+  void append_entry(std::uint64_t index, const RaftEntry& entry,
+                    bool sync_now = true);
+
+  /// Records that the log was truncated to `last_kept` (conflict-suffix
+  /// rule).  Not fsynced by itself: always followed by the appends of the
+  /// replacement entries and their sync().
+  void truncate_suffix(std::uint64_t last_kept);
+
+  /// Flushes batched appends to stable storage.
+  void sync();
+
+  /// Atomically persists the application snapshot covering the log through
+  /// `index` and rotates the WAL down to hard state + `tail` (the entries
+  /// after `index` that remain live).
+  void install_snapshot(std::uint64_t index, std::uint64_t term,
+                        std::span<const std::byte> data,
+                        std::span<const RaftEntry> tail);
+
+  /// Cumulative counters including all rotated-away WAL incarnations.
+  RaftStorageCounters counters() const noexcept;
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::string wal_path() const;
+  std::string snapshot_path() const;
+
+ private:
+  void replay_record(std::span<const std::byte> record);
+  std::vector<std::byte> hard_state_record() const;
+
+  std::string dir_;
+  bool sync_ = true;
+  std::optional<util::DurableFile> wal_;  // reopened on rotation
+  RaftPersistentState state_;
+  // Last durably-recorded hard state, for deduplication.
+  std::uint64_t hard_term_ = 0;
+  std::optional<std::uint32_t> hard_vote_;
+  RaftStorageCounters counters_;
+  util::DurableFileStats retired_;  // stats of rotated-away WAL handles
+};
+
 // -------------------------------------------------------------------- node
 
 struct RaftConfig {
@@ -131,6 +254,11 @@ struct RaftConfig {
   /// every timeout so repeated split votes cannot stay synchronized.
   int election_timeout_min_ticks = 10;
   int election_timeout_max_ticks = 20;
+  /// Pre-vote (Raft §9.6): on timeout, poll the cluster at term + 1 without
+  /// incrementing the term, and only start a real election once a majority
+  /// says the poll would win.  Prevents a healed partitioned node from
+  /// deposing a stable leader through term inflation.
+  bool pre_vote = false;
 
   /// Throws std::invalid_argument on a malformed configuration.
   void validate() const;
@@ -147,7 +275,14 @@ class RaftNode {
  public:
   enum class Role { kFollower, kCandidate, kLeader };
 
-  explicit RaftNode(const RaftConfig& config);
+  /// `storage`, when given, must outlive the node; the node restores the
+  /// recovered persistent state (term, vote, snapshot, log) and persists
+  /// every change before the acknowledgement that depends on it can leave
+  /// take_outbox().  A recovered node starts as a follower with
+  /// commit = delivered = snapshot_index: the host must restore its
+  /// application state from storage->recovered().snapshot, after which the
+  /// node re-delivers the committed suffix learned from the next leader.
+  explicit RaftNode(const RaftConfig& config, RaftStorage* storage = nullptr);
 
   /// Advances the node by one tick: followers/candidates count toward the
   /// election timeout, leaders toward the next heartbeat.
@@ -209,19 +344,25 @@ class RaftNode {
   void become_follower(std::uint64_t term);
   void become_candidate();
   void become_leader();
+  void begin_prevote();
   void reset_election_timer();
   void send_append(std::uint32_t peer);
   void broadcast_heartbeat();
   void advance_commit();
   void enqueue_committed();
+  void persist_hard_state();
+  void persist_last_entry(bool sync_now);
   void handle(const RequestVoteMsg& m);
   void handle(const VoteReplyMsg& m);
   void handle(const AppendEntriesMsg& m);
   void handle(const AppendReplyMsg& m);
   void handle(const InstallSnapshotMsg& m);
   void handle(const SnapshotReplyMsg& m);
+  void handle(const PreVoteMsg& m);
+  void handle(const PreVoteReplyMsg& m);
 
   RaftConfig config_;
+  RaftStorage* storage_ = nullptr;  // may be null: in-memory crash-stop node
   util::Rng timeout_rng_;
 
   Role role_ = Role::kFollower;
@@ -241,6 +382,8 @@ class RaftNode {
   int ticks_ = 0;           // since last heard from a leader / last heartbeat
   int election_timeout_ = 0;
   std::vector<std::uint8_t> votes_;
+  bool prevoting_ = false;
+  std::vector<std::uint8_t> prevotes_;
 
   // Leader-only replication state, indexed by peer id.
   std::vector<std::uint64_t> next_index_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -150,10 +151,20 @@ struct Shared {
   std::atomic<std::uint64_t> timed_out_rounds{0};
   std::atomic<std::uint64_t> leader_redirects{0};
   std::atomic<std::uint64_t> leader_crashes{0};
+  std::atomic<std::uint64_t> leader_probes{0};
+  std::atomic<std::uint64_t> replica_restarts{0};
+  std::atomic<std::uint64_t> restart_load_errors{0};
 
-  // One flag per FaultPlan::leader_crash entry: each entry fires once.
+  // One flag per FaultPlan::leader_crash / replica_restart entry: each
+  // entry fires once.
   std::unique_ptr<std::atomic<bool>[]> crash_fired;
+  std::unique_ptr<std::atomic<bool>[]> restart_fired;
   std::unique_ptr<std::atomic<bool>[]> replica_crashed;
+
+  // Rebuild inputs for crash-restart: what a fresh StateMachine starts from
+  // before the recovered snapshot is applied on top.
+  const std::vector<float>* initial_global = nullptr;
+  const fl::TrainerCheckpoint* resume_from = nullptr;
 
   std::atomic<bool> done{false};
   std::atomic<int> finished_replica{-1};
@@ -594,15 +605,55 @@ void StateMachine::restore_snapshot(std::span<const std::byte> blob) {
 
 // ------------------------------------------------------------ the replicas
 
+/// What a dying replica does next: plain crash-stop (restart == false, the
+/// leader_crash behavior) or crash-restart after delay_ms, optionally with a
+/// storage fault applied to its WAL while it is down.
+struct CrashEvent {
+  bool restart = false;
+  double delay_ms = 0.0;
+  StorageFault wal_fault = StorageFault::kNone;
+};
+
 struct Replica {
-  Replica(std::uint32_t rid, const RaftConfig& rc, StateMachine machine)
-      : id(rid), node(rc), sm(std::move(machine)) {}
+  Replica(std::uint32_t rid, const RaftConfig& rc, StateMachine machine,
+          std::unique_ptr<RaftStorage> st = nullptr)
+      : id(rid),
+        storage(std::move(st)),  // must precede node: node borrows it
+        node(rc, storage.get()),
+        sm(std::move(machine)) {}
 
   std::uint32_t id;
+  std::unique_ptr<RaftStorage> storage;  // null: in-memory crash-stop replica
   RaftNode node;
   Channel inbox;  // Raft frames from peers + data frames from workers
   StateMachine sm;
+
+  // Folded in from pre-restart incarnations by this replica's own thread
+  // (before the next incarnation starts), read by the main thread after
+  // join — no synchronization needed beyond the join itself.
+  RaftCounters retired_raft;
+  RaftStorageCounters retired_storage;
+  CrashEvent crash_event;
 };
+
+RaftConfig make_raft_config(const ClusterOptions& options, std::uint32_t r) {
+  RaftConfig rc;
+  rc.id = r;
+  rc.cluster_size = static_cast<std::uint32_t>(options.replication.replicas);
+  rc.seed = options.replication.seed;
+  rc.heartbeat_ticks = options.replication.heartbeat_ticks;
+  rc.election_timeout_min_ticks =
+      options.replication.election_timeout_min_ticks;
+  rc.election_timeout_max_ticks =
+      options.replication.election_timeout_max_ticks;
+  rc.pre_vote = options.replication.pre_vote;
+  return rc;
+}
+
+std::string replica_storage_dir(const ClusterOptions& options,
+                                std::uint32_t r) {
+  return options.replication.storage_dir + "/replica" + std::to_string(r);
+}
 
 /// Volatile (non-replicated) leader bookkeeping.  Reset whenever this
 /// replica (re)gains leadership — the replicated state is the only carrier
@@ -679,6 +730,18 @@ bool maybe_crash(Replica& self, Shared& sh, const Driver& drv) {
     if (sh.crash_fired[i].exchange(true)) continue;  // already fired
     sh.leader_crashes.fetch_add(1, std::memory_order_relaxed);
     sh.replica_crashed[self.id].store(true, std::memory_order_release);
+    self.crash_event = CrashEvent{};  // crash-stop: stays dead
+    return true;
+  }
+  const auto& restarts = sh.options->fault.replica_restart;
+  for (std::size_t i = 0; i < restarts.size(); ++i) {
+    if (restarts[i].round != self.sm.round) continue;
+    if (drv.accepted < restarts[i].after_replies) continue;
+    if (sh.restart_fired[i].exchange(true)) continue;  // already fired
+    sh.replica_crashed[self.id].store(true, std::memory_order_release);
+    self.crash_event = CrashEvent{/*restart=*/true,
+                                  restarts[i].restart_after_ms,
+                                  restarts[i].wal_fault};
     return true;
   }
   return false;
@@ -1001,6 +1064,78 @@ void replica_main(Replica& self, Shared& sh) {
   }
 }
 
+/// Rebuilds a crashed replica from its durable storage directory (DESIGN.md
+/// §15): re-opens the WAL + snapshot (optionally damaged first by the
+/// scheduled storage fault), restores the state machine from the recovered
+/// snapshot, and hands the recovered state to a fresh RaftNode that rejoins
+/// as a follower.  Returns false — leaving the replica down, loudly, with a
+/// restart_load_error counted — when recovery throws on unrecoverable
+/// corruption; rejoining with silently wrong state is never an option.
+bool rebuild_replica(Replica& self, Shared& sh, const CrashEvent& ev) {
+  const ClusterOptions& options = *sh.options;
+  if (ev.wal_fault != StorageFault::kNone && self.storage != nullptr) {
+    StorageFaultInjector injector(options.fault.seed ^
+                                  (0xd15c0ULL + self.id));
+    injector.apply(ev.wal_fault, self.storage->wal_path());
+  }
+  // Fold the dead incarnation's counters before dropping it: fsyncs and
+  // elections that already happened must survive into the final report.
+  if (self.storage != nullptr) {
+    const RaftStorageCounters sc = self.storage->counters();
+    self.retired_storage.wal_bytes_fsynced += sc.wal_bytes_fsynced;
+    self.retired_storage.wal_records += sc.wal_records;
+    self.retired_storage.replay_entries += sc.replay_entries;
+    self.retired_storage.snapshots_written += sc.snapshots_written;
+  }
+  {
+    const RaftCounters& rc = self.node.counters();
+    self.retired_raft.elections_won += rc.elections_won;
+    self.retired_raft.entries_appended += rc.entries_appended;
+    self.retired_raft.snapshots_installed += rc.snapshots_installed;
+  }
+  self.storage.reset();  // close the dead incarnation's file descriptors
+  try {
+    auto storage =
+        std::make_unique<RaftStorage>(replica_storage_dir(options, self.id));
+    // Frames addressed to the dead incarnation are lost with the process;
+    // the inbox Channel itself must survive (workers hold references).
+    while (self.inbox.recv_for(Clock::duration::zero())) {
+    }
+    StateMachine sm(options, sh.dim, sh.num_workers, *sh.initial_global);
+    if (sh.resume_from != nullptr) sm.restore_checkpoint(*sh.resume_from);
+    const RaftPersistentState& rec = storage->recovered();
+    if (rec.snapshot_index > 0) sm.restore_snapshot(rec.snapshot);
+    self.storage = std::move(storage);
+    self.node = RaftNode(make_raft_config(options, self.id),
+                         self.storage.get());
+    self.sm = std::move(sm);
+    return true;
+  } catch (const std::exception&) {
+    sh.restart_load_errors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+/// The per-replica thread body: runs incarnations of replica_main until the
+/// run finishes, the replica crash-stops, or a crash-restart's recovery
+/// refuses corrupt storage.
+void replica_thread(std::uint32_t rid, Shared& sh) {
+  Replica& self = *(*sh.replicas)[rid];
+  for (;;) {
+    replica_main(self, sh);
+    if (sh.done.load(std::memory_order_acquire)) return;
+    const CrashEvent ev = self.crash_event;
+    self.crash_event = CrashEvent{};
+    if (!ev.restart) return;  // crash-stop: dead for the rest of the run
+    std::this_thread::sleep_for(seconds_to_duration(ev.delay_ms / 1000.0));
+    if (sh.done.load(std::memory_order_acquire)) return;
+    if (!rebuild_replica(self, sh, ev)) return;  // loud failure: stay down
+    sh.replica_restarts.fetch_add(1, std::memory_order_relaxed);
+    // Only now may peers resume sending: the rebuilt node is ready.
+    sh.replica_crashed[rid].store(false, std::memory_order_release);
+  }
+}
+
 // ------------------------------------------------------------- the workers
 
 void worker_main(std::size_t k, Shared& sh) {
@@ -1021,6 +1156,7 @@ void worker_main(std::size_t k, Shared& sh) {
   std::vector<float> update(sh.dim);
   std::uint32_t last_seq = 0;
   std::vector<std::byte> cached_reply;
+  LeaderProbe probe(replicas);
   Channel& inbox = (*sh.workers)[k].inbox;
   for (;;) {
     auto frame = inbox.recv();
@@ -1039,11 +1175,21 @@ void worker_main(std::size_t k, Shared& sh) {
     }
     if (std::holds_alternative<ShutdownMsg>(msg)) return;
     if (const auto* rd = std::get_if<RedirectMsg>(&msg)) {
-      if (rd->iteration == last_seq && !cached_reply.empty() &&
-          rd->leader_id < replicas) {
+      if (rd->iteration == last_seq && !cached_reply.empty()) {
+        // Follow the hint while the redirect budget lasts; past it (or on a
+        // bogus hint) probe the replicas round-robin with capped backoff —
+        // two stale replicas hinting at each other must not livelock us.
+        const LeaderProbe::Target target = probe.on_redirect(rd->leader_id);
+        if (target.probed) {
+          sh.leader_probes.fetch_add(1, std::memory_order_relaxed);
+          if (target.backoff_ms > 0.0) {
+            std::this_thread::sleep_for(
+                seconds_to_duration(target.backoff_ms / 1000.0));
+          }
+        }
         sh.worker_retransmits.fetch_add(1, std::memory_order_relaxed);
         sh.uplink_meter->record_retransmit(cached_reply.size());
-        uplinks[rd->leader_id].send(cached_reply);
+        uplinks[target.replica].send(cached_reply);
       } else {
         sh.worker_redundant.fetch_add(1, std::memory_order_relaxed);
       }
@@ -1053,6 +1199,7 @@ void worker_main(std::size_t k, Shared& sh) {
     if (bc.global_params.size() != sh.dim || bc.leader_id >= replicas) {
       throw std::runtime_error("worker: malformed broadcast");
     }
+    probe.on_broadcast(bc.leader_id);
     if (bc.seq == last_seq && !cached_reply.empty()) {
       // Same round seen again — either a failover re-broadcast from a new
       // leader or a network duplicate.  Re-send the cached reply (identical
@@ -1113,6 +1260,30 @@ void worker_main(std::size_t k, Shared& sh) {
 
 }  // namespace
 
+// ------------------------------------------------------------ leader probe
+
+LeaderProbe::Target LeaderProbe::on_redirect(std::uint32_t hinted) {
+  if (hinted < replicas && redirects < 2 * replicas) {
+    ++redirects;
+    known_leader = hinted;
+    return Target{hinted, /*probed=*/false, 0.0};
+  }
+  Target target;
+  target.replica = (known_leader + 1 + probe_cursor) % replicas;
+  ++probe_cursor;
+  target.probed = true;
+  target.backoff_ms = backoff_ms;
+  backoff_ms = std::min(backoff_ms * 2.0, kBackoffCapMs);
+  return target;
+}
+
+void LeaderProbe::on_broadcast(std::uint32_t leader) {
+  known_leader = leader;
+  redirects = 0;
+  probe_cursor = 0;
+  backoff_ms = 1.0;
+}
+
 // ------------------------------------------------------------------- entry
 
 ClusterResult run_replicated_cluster(
@@ -1153,18 +1324,19 @@ ClusterResult run_replicated_cluster(
   std::vector<std::unique_ptr<Replica>> replicas;
   replicas.reserve(num_replicas);
   for (std::uint32_t r = 0; r < num_replicas; ++r) {
-    RaftConfig rc;
-    rc.id = r;
-    rc.cluster_size = num_replicas;
-    rc.seed = options.replication.seed;
-    rc.heartbeat_ticks = options.replication.heartbeat_ticks;
-    rc.election_timeout_min_ticks =
-        options.replication.election_timeout_min_ticks;
-    rc.election_timeout_max_ticks =
-        options.replication.election_timeout_max_ticks;
     StateMachine sm(options, dim, num_workers, global);
     if (resume_from != nullptr) sm.restore_checkpoint(*resume_from);
-    replicas.push_back(std::make_unique<Replica>(r, rc, std::move(sm)));
+    std::unique_ptr<RaftStorage> storage;
+    if (!options.replication.storage_dir.empty()) {
+      const std::string dir = replica_storage_dir(options, r);
+      // A run owns its storage directory: state left by a previous run —
+      // even the one a resume checkpoint came from — describes a different
+      // Raft cluster (this run starts at term 0), so wipe it.
+      std::filesystem::remove_all(dir);
+      storage = std::make_unique<RaftStorage>(dir);
+    }
+    replicas.push_back(std::make_unique<Replica>(
+        r, make_raft_config(options, r), std::move(sm), std::move(storage)));
   }
 
   ByteMeter uplink_meter;
@@ -1198,16 +1370,23 @@ ClusterResult run_replicated_cluster(
       std::make_unique<std::atomic<bool>[]>(std::max<std::size_t>(1,
                                                                   crash_entries));
   for (std::size_t i = 0; i < crash_entries; ++i) sh.crash_fired[i] = false;
+  const std::size_t restart_entries = options.fault.replica_restart.size();
+  sh.restart_fired = std::make_unique<std::atomic<bool>[]>(
+      std::max<std::size_t>(1, restart_entries));
+  for (std::size_t i = 0; i < restart_entries; ++i) {
+    sh.restart_fired[i] = false;
+  }
   sh.replica_crashed = std::make_unique<std::atomic<bool>[]>(num_replicas);
   for (std::uint32_t r = 0; r < num_replicas; ++r) {
     sh.replica_crashed[r] = false;
   }
+  sh.initial_global = &global;
+  sh.resume_from = resume_from;
 
   std::vector<std::thread> replica_threads;
   replica_threads.reserve(num_replicas);
   for (std::uint32_t r = 0; r < num_replicas; ++r) {
-    replica_threads.emplace_back(
-        [&, r] { replica_main(*replicas[r], sh); });
+    replica_threads.emplace_back([&, r] { replica_thread(r, sh); });
   }
   std::vector<std::thread> worker_threads;
   worker_threads.reserve(num_workers);
@@ -1270,11 +1449,23 @@ ClusterResult run_replicated_cluster(
   faults.quorum_rounds = sm.quorum_rounds;
   faults.leader_redirects = sh.leader_redirects.load();
   faults.leader_crashes = sh.leader_crashes.load();
+  faults.leader_probes = sh.leader_probes.load();
+  faults.replica_restarts = sh.replica_restarts.load();
+  faults.restart_load_errors = sh.restart_load_errors.load();
   for (const auto& replica : replicas) {
     const RaftCounters& c = replica->node.counters();
-    faults.elections_held += c.elections_won;
-    faults.log_entries_replicated += c.entries_appended;
-    faults.snapshot_transfers += c.snapshots_installed;
+    faults.elections_held += c.elections_won + replica->retired_raft.elections_won;
+    faults.log_entries_replicated +=
+        c.entries_appended + replica->retired_raft.entries_appended;
+    faults.snapshot_transfers +=
+        c.snapshots_installed + replica->retired_raft.snapshots_installed;
+    faults.wal_bytes_fsynced += replica->retired_storage.wal_bytes_fsynced;
+    faults.wal_replay_entries += replica->retired_storage.replay_entries;
+    if (replica->storage != nullptr) {
+      const RaftStorageCounters sc = replica->storage->counters();
+      faults.wal_bytes_fsynced += sc.wal_bytes_fsynced;
+      faults.wal_replay_entries += sc.replay_entries;
+    }
   }
   faults.crashed_workers = sm.crashed_workers;
   faults.max_staleness_per_client = sm.max_staleness;

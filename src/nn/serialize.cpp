@@ -1,10 +1,6 @@
 #include "nn/serialize.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -13,7 +9,7 @@
 #include <ostream>
 #include <stdexcept>
 
-#include "util/crc32.h"
+#include "util/durable_file.h"
 
 namespace cmfl::nn {
 
@@ -125,64 +121,15 @@ std::vector<float> load_params_file(const std::string& path) {
 void save_blob_file(const std::string& path,
                     const std::array<char, 4>& magic, std::uint32_t version,
                     std::span<const std::byte> payload) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("save_blob_file: cannot open " + tmp);
-    os.write(magic.data(), magic.size());
-    write_pod(os, version);
-    write_pod(os, static_cast<std::uint64_t>(payload.size()));
-    os.write(reinterpret_cast<const char*>(payload.data()),
-             static_cast<std::streamsize>(payload.size()));
-    write_pod(os, util::crc32(payload));
-    if (!os) {
-      throw std::runtime_error("save_blob_file: write failed for " + tmp);
-    }
-  }
-  // Flush file contents to stable storage before the rename makes the new
-  // blob visible; otherwise a crash could publish a file whose data blocks
-  // never hit disk.
-  const int fd = ::open(tmp.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("save_blob_file: rename to " + path + " failed");
-  }
+  // The sealed-file idiom (tmp + fsync + rename + CRC framing) has a single
+  // implementation in util; this wrapper survives for API stability.
+  util::save_sealed_file(path, magic, version, payload);
 }
 
 std::vector<std::byte> load_blob_file(const std::string& path,
                                       const std::array<char, 4>& magic,
                                       std::uint32_t version) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_blob_file: cannot open " + path);
-  char file_magic[4];
-  is.read(file_magic, sizeof(file_magic));
-  if (!is || std::memcmp(file_magic, magic.data(), magic.size()) != 0) {
-    throw std::runtime_error("load_blob_file: bad magic in " + path);
-  }
-  const auto file_version = read_pod<std::uint32_t>(is);
-  if (file_version != version) {
-    throw std::runtime_error("load_blob_file: unsupported version " +
-                             std::to_string(file_version) + " in " + path);
-  }
-  const auto size = read_pod<std::uint64_t>(is);
-  const auto remaining = remaining_bytes(is);
-  if (!remaining || size + sizeof(std::uint32_t) > *remaining) {
-    throw std::runtime_error("load_blob_file: truncated blob in " + path);
-  }
-  std::vector<std::byte> payload(static_cast<std::size_t>(size));
-  is.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(payload.size()));
-  const auto stored_crc = read_pod<std::uint32_t>(is);
-  if (!is) throw std::runtime_error("load_blob_file: truncated blob in " + path);
-  if (util::crc32(payload) != stored_crc) {
-    throw std::runtime_error("load_blob_file: CRC mismatch in " + path +
-                             " (torn or corrupted checkpoint)");
-  }
-  return payload;
+  return util::load_sealed_file(path, magic, version);
 }
 
 }  // namespace cmfl::nn

@@ -1,0 +1,320 @@
+#include "util/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/crc32.h"
+
+namespace cmfl::util {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::vector<std::byte> read_file(const std::string& path, bool& exists) {
+  std::ifstream is(path, std::ios::binary);
+  exists = static_cast<bool>(is);
+  std::vector<std::byte> bytes;
+  if (!exists) return bytes;
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  is.seekg(0);
+  if (end > 0) {
+    bytes.resize(static_cast<std::size_t>(end));
+    is.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!is) throw std::runtime_error("DurableFile: cannot read " + path);
+  }
+  return bytes;
+}
+
+void make_header(std::vector<std::byte>& out, const std::array<char, 4>& magic,
+                 std::uint32_t version) {
+  for (const char c : magic) out.push_back(static_cast<std::byte>(c));
+  put_u32(out, version);
+}
+
+void frame_record(std::vector<std::byte>& out,
+                  std::span<const std::byte> record) {
+  put_u32(out, DurableFile::kRecordMagic);
+  put_u32(out, static_cast<std::uint32_t>(record.size()));
+  put_u32(out, crc32(record));
+  out.insert(out.end(), record.begin(), record.end());
+}
+
+/// Checks for a well-formed record at `off`; returns its total framed
+/// length, or 0 when the bytes at `off` do not parse as a record.
+std::uint64_t record_at(std::span<const std::byte> bytes, std::uint64_t off) {
+  if (off + DurableFile::kRecordHeaderBytes > bytes.size()) return 0;
+  if (get_u32(bytes.data() + off) != DurableFile::kRecordMagic) return 0;
+  const std::uint64_t len = get_u32(bytes.data() + off + 4);
+  const std::uint32_t crc = get_u32(bytes.data() + off + 8);
+  if (off + DurableFile::kRecordHeaderBytes + len > bytes.size()) return 0;
+  const std::span<const std::byte> payload =
+      bytes.subspan(off + DurableFile::kRecordHeaderBytes,
+                    static_cast<std::size_t>(len));
+  if (crc32(payload) != crc) return 0;
+  return DurableFile::kRecordHeaderBytes + len;
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ sealed files
+
+void save_sealed_file(const std::string& path,
+                      const std::array<char, 4>& magic, std::uint32_t version,
+                      std::span<const std::byte> payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("save_sealed_file: cannot open " + tmp);
+    os.write(magic.data(), magic.size());
+    const std::uint32_t ver = version;
+    os.write(reinterpret_cast<const char*>(&ver), sizeof(ver));
+    const auto size = static_cast<std::uint64_t>(payload.size());
+    os.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+    const std::uint32_t crc = crc32(payload);
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    if (!os) {
+      throw std::runtime_error("save_sealed_file: write failed for " + tmp);
+    }
+  }
+  // Flush file contents to stable storage before the rename makes the new
+  // blob visible; otherwise a crash could publish a file whose data blocks
+  // never hit disk.
+  fsync_path(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_sealed_file: rename to " + path +
+                             " failed");
+  }
+}
+
+std::vector<std::byte> load_sealed_file(const std::string& path,
+                                        const std::array<char, 4>& magic,
+                                        std::uint32_t version) {
+  bool exists = false;
+  const std::vector<std::byte> bytes = read_file(path, exists);
+  if (!exists) {
+    throw std::runtime_error("load_sealed_file: cannot open " + path);
+  }
+  constexpr std::size_t kFixed = 4 + sizeof(std::uint32_t) +
+                                 sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  if (bytes.size() < kFixed ||
+      std::memcmp(bytes.data(), magic.data(), magic.size()) != 0) {
+    throw std::runtime_error("load_sealed_file: bad magic in " + path);
+  }
+  std::uint32_t file_version = 0;
+  std::memcpy(&file_version, bytes.data() + 4, sizeof(file_version));
+  if (file_version != version) {
+    throw std::runtime_error("load_sealed_file: unsupported version " +
+                             std::to_string(file_version) + " in " + path);
+  }
+  std::uint64_t size = 0;
+  std::memcpy(&size, bytes.data() + 8, sizeof(size));
+  if (size + kFixed != bytes.size()) {
+    throw std::runtime_error("load_sealed_file: truncated blob in " + path);
+  }
+  std::vector<std::byte> payload(bytes.begin() + 16,
+                                 bytes.begin() + 16 +
+                                     static_cast<std::ptrdiff_t>(size));
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4,
+              sizeof(stored_crc));
+  if (crc32(payload) != stored_crc) {
+    throw std::runtime_error("load_sealed_file: CRC mismatch in " + path +
+                             " (torn or corrupted blob)");
+  }
+  return payload;
+}
+
+// ------------------------------------------------------------- DurableFile
+
+DurableFile::DurableFile(std::string path, const std::array<char, 4>& magic,
+                         std::uint32_t version, bool sync)
+    : path_(std::move(path)), sync_(sync) {
+  bool exists = false;
+  const std::vector<std::byte> bytes = read_file(path_, exists);
+
+  std::uint64_t pos = 0;
+  bool fresh = false;
+  if (bytes.size() < kHeaderBytes) {
+    // Missing, empty, or torn-before-the-header-landed: start fresh.  A
+    // torn header can only come from the very first write of the log, so
+    // nothing durable is lost by restarting it.
+    fresh = true;
+    recovery_.tail_truncated = exists && !bytes.empty();
+  } else {
+    if (std::memcmp(bytes.data(), magic.data(), magic.size()) != 0) {
+      throw std::runtime_error("DurableFile: bad magic in " + path_);
+    }
+    std::uint32_t file_version = 0;
+    std::memcpy(&file_version, bytes.data() + 4, sizeof(file_version));
+    if (file_version != version) {
+      throw std::runtime_error("DurableFile: unsupported version " +
+                               std::to_string(file_version) + " in " + path_);
+    }
+    pos = kHeaderBytes;
+    while (pos < bytes.size()) {
+      const std::uint64_t total = record_at(bytes, pos);
+      if (total == 0) {
+        // Torn-tail rule: a framing/CRC failure here is only survivable if
+        // nothing well-formed follows — then it is the torn final write of
+        // a crash and the tail is cut.  A valid record *after* the bad one
+        // means the failure sits mid-log: silent corruption, refuse loudly.
+        for (std::uint64_t probe = pos + 1;
+             probe + kRecordHeaderBytes <= bytes.size(); ++probe) {
+          if (record_at(bytes, probe) != 0) {
+            throw std::runtime_error(
+                "DurableFile: mid-log corruption in " + path_ + " at offset " +
+                std::to_string(pos) +
+                " (valid records follow the damage; refusing to drop "
+                "committed records)");
+          }
+        }
+        recovery_.tail_truncated = true;
+        break;
+      }
+      recovery_.records.emplace_back(
+          bytes.begin() + static_cast<std::ptrdiff_t>(pos +
+                                                      kRecordHeaderBytes),
+          bytes.begin() + static_cast<std::ptrdiff_t>(pos + total));
+      pos += total;
+    }
+  }
+  recovery_.valid_bytes = fresh ? kHeaderBytes : pos;
+
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) throw std::runtime_error("DurableFile: cannot open " + path_);
+  if (fresh) {
+    std::vector<std::byte> header;
+    make_header(header, magic, version);
+    if (::ftruncate(fd_, 0) != 0 ||
+        ::write(fd_, header.data(), header.size()) !=
+            static_cast<ssize_t>(header.size())) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("DurableFile: cannot initialize " + path_);
+    }
+    if (sync_) ::fsync(fd_);
+  } else if (pos < bytes.size()) {
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("DurableFile: cannot truncate torn tail of " +
+                               path_);
+    }
+    if (sync_) ::fsync(fd_);
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("DurableFile: cannot seek " + path_);
+  }
+}
+
+DurableFile::~DurableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void DurableFile::append(std::span<const std::byte> record, bool sync_now) {
+  std::vector<std::byte> framed;
+  framed.reserve(kRecordHeaderBytes + record.size());
+  frame_record(framed, record);
+  if (::write(fd_, framed.data(), framed.size()) !=
+      static_cast<ssize_t>(framed.size())) {
+    throw std::runtime_error("DurableFile: append failed for " + path_);
+  }
+  ++stats_.records_appended;
+  unsynced_bytes_ += framed.size();
+  if (sync_now) sync();
+}
+
+void DurableFile::sync() {
+  if (unsynced_bytes_ == 0) return;
+  fsync_now();
+}
+
+void DurableFile::fsync_now() {
+  if (sync_ && ::fsync(fd_) != 0) {
+    throw std::runtime_error("DurableFile: fsync failed for " + path_);
+  }
+  stats_.bytes_fsynced += unsynced_bytes_;
+  ++stats_.fsync_calls;
+  unsynced_bytes_ = 0;
+}
+
+std::uint64_t DurableFile::rewrite(
+    const std::string& path, const std::array<char, 4>& magic,
+    std::uint32_t version, std::span<const std::vector<std::byte>> records,
+    bool sync) {
+  std::vector<std::byte> bytes;
+  make_header(bytes, magic, version);
+  for (const auto& r : records) frame_record(bytes, r);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("DurableFile::rewrite: cannot open " + tmp);
+    }
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) {
+      throw std::runtime_error("DurableFile::rewrite: write failed for " +
+                               tmp);
+    }
+  }
+  if (sync) fsync_path(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("DurableFile::rewrite: rename to " + path +
+                             " failed");
+  }
+  return bytes.size();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> DurableFile::record_spans(
+    const std::string& path) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  bool exists = false;
+  const std::vector<std::byte> bytes = read_file(path, exists);
+  if (!exists || bytes.size() < kHeaderBytes) return spans;
+  std::uint64_t pos = kHeaderBytes;
+  while (pos < bytes.size()) {
+    const std::uint64_t total = record_at(bytes, pos);
+    if (total == 0) break;
+    spans.emplace_back(pos, total);
+    pos += total;
+  }
+  return spans;
+}
+
+}  // namespace cmfl::util

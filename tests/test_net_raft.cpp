@@ -33,7 +33,8 @@ std::string text(const std::vector<std::byte>& bytes) {
 /// An in-process cluster: nodes plus a synchronous message fabric.
 class Cluster {
  public:
-  explicit Cluster(std::uint32_t n, std::uint64_t seed = 7) {
+  explicit Cluster(std::uint32_t n, std::uint64_t seed = 7,
+                   bool pre_vote = false) {
     nodes_.reserve(n);
     committed_.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -41,6 +42,7 @@ class Cluster {
       c.id = i;
       c.cluster_size = n;
       c.seed = seed;
+      c.pre_vote = pre_vote;
       nodes_.emplace_back(c);
     }
   }
@@ -149,6 +151,8 @@ TEST(RaftWire, MessagesRoundTrip) {
       AppendReplyMsg{7, 2, 0, 9},
       InstallSnapshotMsg{8, 1, 42, 7, cmd("snapshot-bytes")},
       SnapshotReplyMsg{8, 2, 42},
+      PreVoteMsg{9, 0, 11, 8},
+      PreVoteReplyMsg{9, 2, 1},
   };
   for (const RaftMessage& m : msgs) {
     auto frame = encode_raft(m);
@@ -331,6 +335,78 @@ TEST(RaftNode, SeededElectionsAreReproducible) {
   for (const std::uint64_t seed : {1ull, 7ull, 1234567ull}) {
     EXPECT_EQ(run(seed), run(seed)) << "seed " << seed;
   }
+}
+
+std::uint64_t total_elections(Cluster& c) {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    total += c.node(i).counters().elections_won;
+  }
+  return total;
+}
+
+TEST(RaftPreVote, PartitionAndHealCausesZeroExtraElections) {
+  // The §9.6 scenario pre-vote exists for: a partitioned follower times out
+  // over and over, but polling at term + 1 (instead of incrementing) means
+  // its term never inflates — so when the partition heals, the stable
+  // leader keeps leading and not a single extra election is held.
+  Cluster c(3, /*seed=*/7, /*pre_vote=*/true);
+  const std::uint32_t leader = c.elect();
+  EXPECT_TRUE(c.node(leader).propose(cmd("a")));
+  c.deliver();
+  c.settle();
+  const std::uint64_t stable_term = c.node(leader).term();
+  const std::uint64_t elections_before = total_elections(c);
+
+  const std::uint32_t cut = (leader + 1) % 3;
+  c.isolate(cut);
+  for (int r = 0; r < 200; ++r) c.round();
+  EXPECT_EQ(c.node(cut).role(), RaftNode::Role::kFollower);
+  EXPECT_EQ(c.node(cut).term(), stable_term) << "pre-vote must not inflate";
+
+  c.heal(cut);
+  for (int r = 0; r < 50; ++r) c.round();
+  EXPECT_EQ(c.node(leader).role(), RaftNode::Role::kLeader);
+  EXPECT_EQ(c.node(leader).term(), stable_term);
+  EXPECT_EQ(total_elections(c), elections_before);
+}
+
+TEST(RaftPreVote, WithoutPreVoteHealedFollowerDeposesLeader) {
+  // The control experiment: same schedule without pre-vote.  The cut
+  // follower inflates its term with every timeout, and healing it forces
+  // the stable leader out of office — the disruption pre-vote prevents.
+  Cluster c(3, /*seed=*/7, /*pre_vote=*/false);
+  const std::uint32_t leader = c.elect();
+  EXPECT_TRUE(c.node(leader).propose(cmd("a")));
+  c.deliver();
+  c.settle();
+  const std::uint64_t stable_term = c.node(leader).term();
+
+  const std::uint32_t cut = (leader + 1) % 3;
+  c.isolate(cut);
+  for (int r = 0; r < 200; ++r) c.round();
+  EXPECT_GT(c.node(cut).term(), stable_term);
+
+  c.heal(cut);
+  for (int r = 0; r < 200; ++r) c.round();
+  EXPECT_GT(c.node(0).term(), stable_term) << "term inflation must spread";
+}
+
+TEST(RaftPreVote, StillElectsWhenLeaderActuallyDies) {
+  // Pre-vote must not get in the way of *legitimate* elections: kill the
+  // leader and the survivors still pass the poll and elect a successor.
+  Cluster c(3, /*seed=*/7, /*pre_vote=*/true);
+  const std::uint32_t first = c.elect();
+  EXPECT_TRUE(c.node(first).propose(cmd("a")));
+  c.deliver();
+  c.isolate(first);
+  const std::uint32_t second = c.elect();
+  EXPECT_NE(second, first);
+  EXPECT_TRUE(c.node(second).propose(cmd("b")));
+  c.deliver();
+  c.settle();
+  const std::uint32_t third = 3 - first - second;
+  EXPECT_EQ(c.committed(third), (std::vector<std::string>{"a", "b"}));
 }
 
 }  // namespace

@@ -1,0 +1,131 @@
+// Codec-layer throughput benchmarks (google-benchmark): encode and decode
+// rates for every production codec, plus the wire footprint each leaves.
+//
+// Rows report GB/s over the dense float32 update scanned per call, and two
+// counters: `wire_bytes` (the encoded payload for the benchmarked dim) and
+// `ratio` (dense bytes / encoded bytes — the bits-per-upload savings axis
+// that multiplies with CMFL's uploads-per-round axis).  Stateful codecs
+// (top-k residual, quant RNG, codebook refresh) run their real streams, so
+// the rows price the production path, not a stateless idealization.
+//
+// `bench/run_codec.sh` records the tracked baseline BENCH_codec.json at the
+// repo root from a Release build and then re-runs the `codec`-labeled test
+// suite (round-trip + exhaustive malformed-payload matrices) under
+// ASan+UBSan before the baseline is accepted.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "codec/codec.h"
+#include "tensor/kernels.h"
+#include "util/rng.h"
+
+using namespace cmfl;
+
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform_f(-0.5f, 0.5f);
+  return v;
+}
+
+void encode_bench(benchmark::State& state, const char* spec) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  auto codec = codec::make_update_codec(spec, 1);
+  const auto u = random_vec(d, 3);
+  std::size_t wire_bytes = 0;
+  for (auto _ : state) {
+    const auto enc = codec->encode(u);
+    wire_bytes = enc.wire_bytes();
+    benchmark::DoNotOptimize(enc.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * sizeof(float)));
+  state.counters["wire_bytes"] = static_cast<double>(wire_bytes);
+  state.counters["ratio"] = static_cast<double>(d * sizeof(float)) /
+                            static_cast<double>(wire_bytes);
+}
+
+void decode_bench(benchmark::State& state, const char* spec) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  auto encoder = codec::make_update_codec(spec, 1);
+  auto decoder = codec::make_update_codec(spec, 1);
+  const auto payload = encoder->encode(random_vec(d, 3)).payload;
+  for (auto _ : state) {
+    const auto out = decoder->decode(payload);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * sizeof(float)));
+  state.counters["wire_bytes"] = static_cast<double>(payload.size());
+  state.counters["ratio"] = static_cast<double>(d * sizeof(float)) /
+                            static_cast<double>(payload.size());
+}
+
+constexpr std::int64_t kDim = 1 << 17;  // a mid-size model's update
+
+void BM_EncodeDense(benchmark::State& s) { encode_bench(s, "dense"); }
+BENCHMARK(BM_EncodeDense)->Arg(kDim);
+void BM_EncodeSign(benchmark::State& s) { encode_bench(s, "sign"); }
+BENCHMARK(BM_EncodeSign)->Arg(kDim);
+void BM_EncodeQuant8(benchmark::State& s) { encode_bench(s, "quant:8"); }
+BENCHMARK(BM_EncodeQuant8)->Arg(kDim);
+void BM_EncodeQuant2(benchmark::State& s) { encode_bench(s, "quant:2"); }
+BENCHMARK(BM_EncodeQuant2)->Arg(kDim);
+void BM_EncodeTopK1pct(benchmark::State& s) { encode_bench(s, "topk:0.01"); }
+BENCHMARK(BM_EncodeTopK1pct)->Arg(kDim);
+void BM_EncodeCodebook16(benchmark::State& s) {
+  encode_bench(s, "codebook:16,16");
+}
+BENCHMARK(BM_EncodeCodebook16)->Arg(kDim);
+void BM_EncodeSubsample25(benchmark::State& s) {
+  encode_bench(s, "subsample:0.25");
+}
+BENCHMARK(BM_EncodeSubsample25)->Arg(kDim);
+
+void BM_DecodeDense(benchmark::State& s) { decode_bench(s, "dense"); }
+BENCHMARK(BM_DecodeDense)->Arg(kDim);
+void BM_DecodeSign(benchmark::State& s) { decode_bench(s, "sign"); }
+BENCHMARK(BM_DecodeSign)->Arg(kDim);
+void BM_DecodeQuant8(benchmark::State& s) { decode_bench(s, "quant:8"); }
+BENCHMARK(BM_DecodeQuant8)->Arg(kDim);
+void BM_DecodeQuant2(benchmark::State& s) { decode_bench(s, "quant:2"); }
+BENCHMARK(BM_DecodeQuant2)->Arg(kDim);
+void BM_DecodeTopK1pct(benchmark::State& s) { decode_bench(s, "topk:0.01"); }
+BENCHMARK(BM_DecodeTopK1pct)->Arg(kDim);
+void BM_DecodeCodebook16(benchmark::State& s) {
+  decode_bench(s, "codebook:16,16");
+}
+BENCHMARK(BM_DecodeCodebook16)->Arg(kDim);
+void BM_DecodeSubsample25(benchmark::State& s) {
+  decode_bench(s, "subsample:0.25");
+}
+BENCHMARK(BM_DecodeSubsample25)->Arg(kDim);
+
+}  // namespace
+
+#ifndef CMFL_BUILD_TYPE
+#define CMFL_BUILD_TYPE "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  // Same provenance stamps as bench_kernels: the tracked baseline is gated
+  // on this binary's own build type, and cmfl_simd records whether the sign
+  // codec's SignPack ran the AVX2 tier on this host.
+  benchmark::AddCustomContext("cmfl_build_type", CMFL_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("cmfl_ndebug", "1");
+#else
+  benchmark::AddCustomContext("cmfl_ndebug", "0");
+#endif
+  benchmark::AddCustomContext("cmfl_simd", tensor::kernels::simd_level());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,10 @@
 // Orthogonality study (paper §I): CMFL reduces the *number* of uploads,
 // compression reduces the *bits per* upload — the two compose.
 //
-// Grid: {vanilla, cmfl} × {float32, quantize8, subsample:0.25,
+// Grid: {vanilla, cmfl} × {dense, sign, quant:8, topk:0.05, subsample:0.25,
 // structured:0.25} on the digits MLP workload, reporting the exact uplink
 // bytes to reach a target accuracy.  Expected shape: combining CMFL with
-// any compressor beats either alone on bytes-to-accuracy.
+// any codec beats either alone on bytes-to-accuracy.
 #include "bench_common.h"
 
 using namespace cmfl;
@@ -34,31 +34,33 @@ int main(int argc, char** argv) {
 
   struct Cell {
     const char* scheme;
-    const char* compressor;
+    const char* codec;
   };
   const std::vector<Cell> grid = {
-      {"vanilla", "float32"},     {"vanilla", "quantize8"},
+      {"vanilla", "dense"},          {"vanilla", "sign"},
+      {"vanilla", "quant:8"},        {"vanilla", "topk:0.05"},
       {"vanilla", "subsample:0.25"}, {"vanilla", "structured:0.25"},
-      {"cmfl", "float32"},        {"cmfl", "quantize8"},
-      {"cmfl", "subsample:0.25"}, {"cmfl", "structured:0.25"},
+      {"cmfl", "dense"},             {"cmfl", "sign"},
+      {"cmfl", "quant:8"},           {"cmfl", "topk:0.05"},
+      {"cmfl", "subsample:0.25"},    {"cmfl", "structured:0.25"},
   };
 
-  util::Table table({"scheme", "compressor", "uploads", "uplink bytes",
+  util::Table table({"scheme", "codec", "uploads", "uplink bytes",
                      "rounds to target", "final acc"});
   std::uint64_t baseline_bytes = 0;
   for (const auto& cell : grid) {
     auto opt = base;
-    opt.compressor = cell.compressor;
+    opt.codec.spec = cell.codec;
     const core::Schedule threshold =
         std::string(cell.scheme) == "cmfl"
             ? core::Schedule::constant(cfg.get_double("threshold", 0.42))
             : core::Schedule::constant(0.0);
     const auto r = bench::run_scheme(make, cell.scheme, threshold, opt);
     if (std::string(cell.scheme) == "vanilla" &&
-        std::string(cell.compressor) == "float32") {
+        std::string(cell.codec) == "dense") {
       baseline_bytes = r.uploaded_bytes;
     }
-    table.add_row({cell.scheme, cell.compressor,
+    table.add_row({cell.scheme, cell.codec,
                    util::fmt_count(static_cast<long long>(r.total_rounds)),
                    util::fmt_count(static_cast<long long>(r.uploaded_bytes)),
                    bench::opt_rounds(r.rounds_to_accuracy(target)),
@@ -66,8 +68,8 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::printf(
-      "\nbaseline (vanilla, float32) uplink: %s bytes; CMFL cuts uploads, "
-      "compression cuts bytes per upload, and the savings multiply.\n",
+      "\nbaseline (vanilla, dense) uplink: %s bytes; CMFL cuts uploads, "
+      "codecs cut bytes per upload, and the savings multiply.\n",
       util::fmt_count(static_cast<long long>(baseline_bytes)).c_str());
   bench::warn_unused(cfg);
   return 0;

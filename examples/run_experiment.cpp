@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
     opt.learning_rate = core::Schedule::inv_sqrt(cfg.get_double("lr", 0.3));
     opt.max_iterations = static_cast<std::size_t>(cfg.get_int("iters", 40));
     opt.eval_every = static_cast<std::size_t>(cfg.get_int("eval_every", 2));
-    opt.compressor = cfg.get_string("compressor", "float32");
+    opt.codec.spec = cfg.get_string("codec", cfg.get_string("compressor", "dense"));
     opt.participation = cfg.get_double("participation", 1.0);
 
     const core::Schedule threshold = parse_schedule(

@@ -1,0 +1,211 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "codec/codec.h"
+#include "codec/state_pack.h"
+#include "net/wire.h"
+
+namespace cmfl::codec {
+
+namespace {
+
+std::uint8_t index_bits_for(std::size_t k) {
+  if (k <= 2) return 1;
+  if (k <= 4) return 2;
+  if (k <= 16) return 4;
+  return 8;
+}
+
+bool valid_index_bits(int bits) {
+  return bits == 1 || bits == 2 || bits == 4 || bits == 8;
+}
+
+/// Nearest-center assignment; ties resolve to the lower index so the
+/// assignment is a pure function of (value, centers).
+std::size_t nearest(float v, std::span<const float> centers) {
+  std::size_t best = 0;
+  float best_d = std::fabs(v - centers[0]);
+  for (std::size_t j = 1; j < centers.size(); ++j) {
+    const float d = std::fabs(v - centers[j]);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+/// Deterministic k-means over the update's values: quantile init on the
+/// sorted values, then a fixed number of Lloyd iterations.  No RNG — the
+/// codebook is a pure function of the input, so encoder and decoder (and a
+/// resumed run) always agree.
+std::vector<float> fit_codebook(std::span<const float> values,
+                                std::size_t k) {
+  std::vector<float> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<float> centers(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    centers[j] = sorted[(j * (sorted.size() - 1)) / (k - 1 > 0 ? k - 1 : 1)];
+  }
+  constexpr int kLloydIterations = 8;
+  std::vector<double> sum(k);
+  std::vector<std::size_t> count(k);
+  for (int it = 0; it < kLloydIterations; ++it) {
+    std::fill(sum.begin(), sum.end(), 0.0);
+    std::fill(count.begin(), count.end(), std::size_t{0});
+    for (const float v : sorted) {
+      const std::size_t j = nearest(v, centers);
+      sum[j] += static_cast<double>(v);
+      ++count[j];
+    }
+    bool moved = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (count[j] == 0) continue;  // empty cluster keeps its old center
+      const auto c =
+          static_cast<float>(sum[j] / static_cast<double>(count[j]));
+      if (c != centers[j]) moved = true;
+      centers[j] = c;
+    }
+    if (!moved) break;
+  }
+  return centers;
+}
+
+}  // namespace
+
+CodebookCodec::CodebookCodec(std::size_t k, std::size_t refresh)
+    : k_(k), refresh_(refresh) {
+  if (k < 2 || k > 256) {
+    throw std::invalid_argument("CodebookCodec: k must be in [2, 256]");
+  }
+  if (refresh == 0) {
+    throw std::invalid_argument("CodebookCodec: refresh must be >= 1");
+  }
+}
+
+std::string CodebookCodec::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "codebook:%zu,%zu", k_, refresh_);
+  return buf;
+}
+
+EncodedUpdate CodebookCodec::encode(std::span<const float> update) {
+  const std::size_t dim = update.size();
+  // FedCode-style periodic refresh: the codebook ships only on the first
+  // encode and every refresh_-th one after; uploads in between are pure
+  // index streams against the receiver's cached copy.
+  const bool refresh = encodes_ % refresh_ == 0 || codebook_.empty();
+  ++encodes_;
+  if (refresh && dim > 0) codebook_ = fit_codebook(update, k_);
+
+  const std::uint8_t bits = index_bits_for(k_);
+  net::WireWriter w;
+  w.u64(dim);
+  w.u8(bits);
+  w.u8(refresh ? 1 : 0);
+  if (refresh) {
+    w.u8(static_cast<std::uint8_t>(codebook_.size() == 0
+                                       ? 0
+                                       : codebook_.size() - 1));
+    for (const float c : codebook_) w.f32(c);
+  }
+  const std::size_t per_byte = 8 / bits;
+  std::uint8_t packed = 0;
+  std::size_t in_byte = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const auto level =
+        static_cast<std::uint8_t>(nearest(update[i], codebook_));
+    packed |= static_cast<std::uint8_t>(level << (bits * in_byte));
+    if (++in_byte == per_byte) {
+      w.u8(packed);
+      packed = 0;
+      in_byte = 0;
+    }
+  }
+  if (in_byte != 0) w.u8(packed);
+  return {kCodecCodebook, w.take()};
+}
+
+std::vector<float> CodebookCodec::decode(std::span<const std::byte> payload) {
+  net::WireReader r(payload);
+  const std::uint64_t dim = r.u64();
+  const int bits = r.u8();
+  if (dim > kMaxDecodeDim) {
+    throw std::runtime_error("CodebookCodec: dimension header exceeds limit");
+  }
+  if (!valid_index_bits(bits)) {
+    throw std::runtime_error("CodebookCodec: invalid index width");
+  }
+  const std::uint8_t has_codebook = r.u8();
+  if (has_codebook > 1) {
+    throw std::runtime_error("CodebookCodec: invalid codebook flag");
+  }
+  if (has_codebook) {
+    const std::size_t k = static_cast<std::size_t>(r.u8()) + 1;
+    if (k > (std::size_t{1} << bits)) {
+      throw std::runtime_error("CodebookCodec: codebook exceeds index width");
+    }
+    std::vector<float> centers(k);
+    for (float& c : centers) c = r.f32();
+    codebook_ = std::move(centers);  // decoder-side cache: stateful_decode()
+  } else if (codebook_.empty() && dim > 0) {
+    throw std::runtime_error(
+        "CodebookCodec: index stream without a cached codebook");
+  }
+  const std::size_t per_byte = 8 / static_cast<std::size_t>(bits);
+  const std::uint64_t packed_bytes = (dim + per_byte - 1) / per_byte;
+  if (packed_bytes != r.remaining()) {
+    throw std::runtime_error("CodebookCodec: payload size mismatch");
+  }
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>((1u << bits) - 1);
+  std::vector<float> out(static_cast<std::size_t>(dim));
+  std::uint8_t byte = 0;
+  std::size_t in_byte = per_byte;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (in_byte == per_byte) {
+      byte = r.u8();
+      in_byte = 0;
+    }
+    const std::size_t level = (byte >> (bits * in_byte)) & mask;
+    ++in_byte;
+    if (level >= codebook_.size()) {
+      throw std::runtime_error("CodebookCodec: index out of range");
+    }
+    out[i] = codebook_[level];
+  }
+  if (dim % per_byte != 0 &&
+      (byte >> (bits * (dim % per_byte))) != 0) {
+    throw std::runtime_error("CodebookCodec: nonzero padding bits");
+  }
+  if (!r.done()) throw std::runtime_error("CodebookCodec: trailing bytes");
+  return out;
+}
+
+std::vector<std::uint64_t> CodebookCodec::mutable_state() const {
+  std::vector<std::uint64_t> words;
+  words.push_back(encodes_);
+  detail::pack_floats(words, codebook_);
+  return words;
+}
+
+void CodebookCodec::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  if (state.empty()) {
+    throw std::invalid_argument("CodebookCodec: empty state blob");
+  }
+  std::size_t pos = 1;
+  std::vector<float> centers = detail::unpack_floats(state, pos);
+  if (pos != state.size()) {
+    throw std::invalid_argument("CodebookCodec: trailing state words");
+  }
+  if (!centers.empty() && centers.size() != k_) {
+    throw std::invalid_argument("CodebookCodec: codebook size mismatch");
+  }
+  encodes_ = state[0];
+  codebook_ = std::move(centers);
+}
+
+}  // namespace cmfl::codec

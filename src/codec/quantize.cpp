@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "codec/codec.h"
+#include "net/wire.h"
+
+namespace cmfl::codec {
+
+namespace {
+
+bool valid_bits(int bits) { return bits == 2 || bits == 4 || bits == 8; }
+
+}  // namespace
+
+QuantCodec::QuantCodec(int bits, std::uint64_t seed)
+    : bits_(bits), rng_(seed) {
+  if (!valid_bits(bits)) {
+    throw std::invalid_argument("QuantCodec: bits must be 2, 4, or 8");
+  }
+}
+
+std::string QuantCodec::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "quant:%d", bits_);
+  return buf;
+}
+
+EncodedUpdate QuantCodec::encode(std::span<const float> update) {
+  const std::size_t dim = update.size();
+  float lo = 0.0f, hi = 0.0f;
+  if (dim > 0) {
+    lo = hi = update[0];
+    for (const float v : update) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const auto levels = static_cast<std::uint32_t>((1u << bits_) - 1);
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+
+  net::WireWriter w;
+  w.u64(dim);
+  w.u8(static_cast<std::uint8_t>(bits_));
+  w.f32(lo);
+  w.f32(hi);
+  const std::size_t per_byte = 8 / static_cast<std::size_t>(bits_);
+  std::uint8_t packed = 0;
+  std::size_t in_byte = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    // Stochastic rounding: round up with probability equal to the
+    // fractional part, so E[decode(encode(v))] = v.  The RNG is consumed
+    // once per coordinate regardless of the value, keeping the stream
+    // position a pure function of how many coordinates were encoded.
+    const double u = rng_.uniform();
+    std::uint32_t level = 0;
+    if (range > 0.0) {
+      const double x =
+          (static_cast<double>(update[i]) - static_cast<double>(lo)) / range *
+          static_cast<double>(levels);
+      const double f = std::floor(x);
+      level = static_cast<std::uint32_t>(f) + (u < x - f ? 1u : 0u);
+      level = std::min(level, levels);
+    }
+    packed |= static_cast<std::uint8_t>(level << (bits_ * in_byte));
+    if (++in_byte == per_byte) {
+      w.u8(packed);
+      packed = 0;
+      in_byte = 0;
+    }
+  }
+  if (in_byte != 0) w.u8(packed);
+  return {kCodecQuant, w.take()};
+}
+
+std::vector<float> QuantCodec::decode(std::span<const std::byte> payload) {
+  net::WireReader r(payload);
+  const std::uint64_t dim = r.u64();
+  const int bits = r.u8();
+  if (dim > kMaxDecodeDim) {
+    throw std::runtime_error("QuantCodec: dimension header exceeds limit");
+  }
+  if (!valid_bits(bits)) {
+    throw std::runtime_error("QuantCodec: invalid bits field");
+  }
+  const float lo = r.f32();
+  const float hi = r.f32();
+  if (!(hi >= lo)) {  // also rejects NaN bounds
+    throw std::runtime_error("QuantCodec: invalid quantization range");
+  }
+  const auto levels = static_cast<std::uint32_t>((1u << bits) - 1);
+  const std::size_t per_byte = 8 / static_cast<std::size_t>(bits);
+  const std::uint64_t packed_bytes = (dim + per_byte - 1) / per_byte;
+  if (packed_bytes != r.remaining()) {
+    throw std::runtime_error("QuantCodec: payload size mismatch");
+  }
+  const double step =
+      levels > 0 ? (static_cast<double>(hi) - static_cast<double>(lo)) /
+                       static_cast<double>(levels)
+                 : 0.0;
+  const std::uint8_t mask = static_cast<std::uint8_t>(levels);
+  std::vector<float> out(static_cast<std::size_t>(dim));
+  std::uint8_t byte = 0;
+  std::size_t in_byte = per_byte;  // force a fetch on the first coordinate
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (in_byte == per_byte) {
+      byte = r.u8();
+      in_byte = 0;
+    }
+    const std::uint32_t level = (byte >> (bits * in_byte)) & mask;
+    ++in_byte;
+    out[i] = static_cast<float>(static_cast<double>(lo) +
+                                static_cast<double>(level) * step);
+  }
+  // Padding levels in the final partial byte must be zero, so every stray
+  // bit in a packed payload is a detectable error rather than silence.
+  if (dim % per_byte != 0 &&
+      (byte >> (bits * (dim % per_byte))) != 0) {
+    throw std::runtime_error("QuantCodec: nonzero padding bits");
+  }
+  if (!r.done()) throw std::runtime_error("QuantCodec: trailing bytes");
+  return out;
+}
+
+std::vector<std::uint64_t> QuantCodec::mutable_state() const {
+  return util::rng_state_words(rng_);
+}
+
+void QuantCodec::restore_mutable_state(
+    std::span<const std::uint64_t> state) {
+  util::restore_rng_state(rng_, state);
+}
+
+}  // namespace cmfl::codec

@@ -1,0 +1,50 @@
+// Internal helpers for codec checkpoint-state blobs: float vectors packed
+// two-per-u64-word into the opaque word vectors the checkpoint layer
+// carries.  Not installed API — codec/*.cpp only.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cmfl::codec::detail {
+
+/// Appends [count][bit-packed floats, two per word] to `words`.
+inline void pack_floats(std::vector<std::uint64_t>& words,
+                        std::span<const float> v) {
+  words.push_back(v.size());
+  for (std::size_t i = 0; i < v.size(); i += 2) {
+    std::uint64_t w = std::bit_cast<std::uint32_t>(v[i]);
+    if (i + 1 < v.size()) {
+      w |= static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(v[i + 1]))
+           << 32;
+    }
+    words.push_back(w);
+  }
+}
+
+/// Reads a pack_floats() blob starting at words[pos]; advances pos.  Throws
+/// std::invalid_argument on truncation.
+inline std::vector<float> unpack_floats(std::span<const std::uint64_t> words,
+                                        std::size_t& pos) {
+  if (pos >= words.size()) {
+    throw std::invalid_argument("codec state: truncated float blob");
+  }
+  const std::uint64_t count = words[pos++];
+  const std::size_t packed = static_cast<std::size_t>((count + 1) / 2);
+  if (count > words.size() * 2 || packed > words.size() - pos) {
+    throw std::invalid_argument("codec state: float blob exceeds state");
+  }
+  std::vector<float> v(static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::uint64_t w = words[pos + i / 2];
+    const auto half = static_cast<std::uint32_t>(i % 2 == 0 ? w : w >> 32);
+    v[i] = std::bit_cast<float>(half);
+  }
+  pos += packed;
+  return v;
+}
+
+}  // namespace cmfl::codec::detail

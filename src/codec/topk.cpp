@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "codec/codec.h"
+#include "codec/state_pack.h"
+#include "net/wire.h"
+
+namespace cmfl::codec {
+
+namespace {
+
+void put_varint(net::WireWriter& w, std::uint64_t v) {
+  while (v >= 0x80) {
+    w.u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w.u8(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(net::WireReader& r) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t b = r.u8();
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      if (shift > 0 && b == 0) {
+        throw std::runtime_error("TopKCodec: non-canonical varint");
+      }
+      return v;
+    }
+  }
+  throw std::runtime_error("TopKCodec: varint overflow");
+}
+
+}  // namespace
+
+TopKCodec::TopKCodec(double param) : param_(param) {
+  const bool fraction = param > 0.0 && param < 1.0;
+  const bool absolute =
+      param >= 1.0 && param == std::floor(param) && param <= 1e12;
+  if (!fraction && !absolute) {
+    throw std::invalid_argument(
+        "TopKCodec: param must be a fraction in (0,1) or an integer k >= 1");
+  }
+}
+
+std::string TopKCodec::name() const {
+  char buf[32];
+  if (param_ < 1.0) {
+    std::snprintf(buf, sizeof(buf), "topk:%.4f", param_);
+  } else {
+    std::snprintf(buf, sizeof(buf), "topk:%zu",
+                  static_cast<std::size_t>(param_));
+  }
+  return buf;
+}
+
+EncodedUpdate TopKCodec::encode(std::span<const float> update) {
+  const std::size_t dim = update.size();
+  if (residual_.empty()) {
+    residual_.assign(dim, 0.0f);
+  } else if (residual_.size() != dim) {
+    throw std::invalid_argument(
+        "TopKCodec: update dimension changed mid-stream");
+  }
+  // Error feedback: select from the corrected update g = u + residual, then
+  // carry everything unsent forward — nothing is dropped, only delayed.
+  std::vector<float> g(dim);
+  for (std::size_t i = 0; i < dim; ++i) g[i] = update[i] + residual_[i];
+
+  std::size_t k = 0;
+  if (dim > 0) {
+    k = param_ >= 1.0
+            ? std::min(dim, static_cast<std::size_t>(param_))
+            : std::max<std::size_t>(
+                  1, static_cast<std::size_t>(param_ *
+                                              static_cast<double>(dim)));
+  }
+  std::vector<std::uint32_t> idx(dim);
+  std::iota(idx.begin(), idx.end(), 0u);
+  // Deterministic selection: magnitude descending, index ascending on ties
+  // — independent of thread count and of any prior partial ordering.
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      const float ma = std::fabs(g[a]);
+                      const float mb = std::fabs(g[b]);
+                      if (ma != mb) return ma > mb;
+                      return a < b;
+                    });
+  std::sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+
+  net::WireWriter w;
+  w.u64(dim);
+  w.u64(k);
+  std::uint64_t prev = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::uint64_t cur = idx[j];
+    put_varint(w, j == 0 ? cur : cur - prev);
+    prev = cur;
+  }
+  residual_ = g;
+  for (std::size_t j = 0; j < k; ++j) {
+    w.f32(g[idx[j]]);
+    residual_[idx[j]] = 0.0f;  // the sent coordinate carries no error
+  }
+  return {kCodecTopK, w.take()};
+}
+
+std::vector<float> TopKCodec::decode(std::span<const std::byte> payload) {
+  net::WireReader r(payload);
+  const std::uint64_t dim = r.u64();
+  const std::uint64_t k = r.u64();
+  if (dim > kMaxDecodeDim) {
+    throw std::runtime_error("TopKCodec: dimension header exceeds limit");
+  }
+  if (k > dim) throw std::runtime_error("TopKCodec: k exceeds dimension");
+  std::vector<std::uint32_t> indices(static_cast<std::size_t>(k));
+  std::uint64_t cur = 0;
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const std::uint64_t delta = get_varint(r);
+    if (j == 0) {
+      cur = delta;
+    } else {
+      if (delta == 0) {
+        throw std::runtime_error("TopKCodec: non-increasing index");
+      }
+      cur += delta;
+    }
+    if (cur >= dim) throw std::runtime_error("TopKCodec: index out of range");
+    indices[j] = static_cast<std::uint32_t>(cur);
+  }
+  std::vector<float> out(static_cast<std::size_t>(dim), 0.0f);
+  for (const std::uint32_t i : indices) out[i] = r.f32();
+  if (!r.done()) throw std::runtime_error("TopKCodec: trailing bytes");
+  return out;
+}
+
+std::vector<std::uint64_t> TopKCodec::mutable_state() const {
+  std::vector<std::uint64_t> words;
+  detail::pack_floats(words, residual_);
+  return words;
+}
+
+void TopKCodec::restore_mutable_state(std::span<const std::uint64_t> state) {
+  std::size_t pos = 0;
+  std::vector<float> residual = detail::unpack_floats(state, pos);
+  if (pos != state.size()) {
+    throw std::invalid_argument("TopKCodec: trailing state words");
+  }
+  residual_ = std::move(residual);
+}
+
+}  // namespace cmfl::codec

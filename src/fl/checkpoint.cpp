@@ -13,7 +13,10 @@ namespace {
 constexpr std::array<char, 4> kMagic = {'C', 'M', 'C', 'K'};
 // v2: IterationRecord gained cumulative_upload_bytes + staleness fields,
 // TrainerCheckpoint gained uploads_per_client and the scheduler section.
-constexpr std::uint32_t kVersion = 2;
+// v3: SchedInFlightReport gained wire_bytes (the encoded upload size an
+// in-flight report will add on arrival), SchedulerCheckpoint gained the
+// sparse per-device codec-state map.
+constexpr std::uint32_t kVersion = 3;
 
 void put_u64_vec(net::WireWriter& w, std::span<const std::uint64_t> v) {
   w.u64(v.size());
@@ -131,6 +134,7 @@ std::vector<std::byte> encode_checkpoint(const TrainerCheckpoint& ck) {
     w.f64(f.score);
     w.f64(f.train_loss);
     w.u64(f.local_samples);
+    w.u64(f.wire_bytes);
     w.floats(f.update);
   }
   put_u64_vec(w, s.population_state);
@@ -140,6 +144,9 @@ std::vector<std::byte> encode_checkpoint(const TrainerCheckpoint& ck) {
   w.u64(s.mid_round_dropouts);
   w.u64(s.discarded_stragglers);
   w.u64(s.stale_discarded);
+  put_u64_vec(w, s.codec_devices);
+  w.u64(s.codec_state.size());
+  for (const auto& blob : s.codec_state) put_u64_vec(w, blob);
   return w.take();
 }
 
@@ -243,6 +250,7 @@ TrainerCheckpoint decode_checkpoint(std::span<const std::byte> payload) {
     f.score = r.f64();
     f.train_loss = r.f64();
     f.local_samples = r.u64();
+    f.wire_bytes = r.u64();
     f.update = r.floats();
     s.in_flight.push_back(std::move(f));
   }
@@ -253,6 +261,19 @@ TrainerCheckpoint decode_checkpoint(std::span<const std::byte> payload) {
   s.mid_round_dropouts = r.u64();
   s.discarded_stragglers = r.u64();
   s.stale_discarded = r.u64();
+  s.codec_devices = get_u64_vec(r);
+  const std::uint64_t codec_blobs = r.u64();
+  if (codec_blobs > r.remaining() / sizeof(std::uint64_t)) {
+    throw std::runtime_error("decode_checkpoint: codec states exceed payload");
+  }
+  if (codec_blobs != s.codec_devices.size()) {
+    throw std::runtime_error(
+        "decode_checkpoint: codec state/device count mismatch");
+  }
+  s.codec_state.reserve(static_cast<std::size_t>(codec_blobs));
+  for (std::uint64_t i = 0; i < codec_blobs; ++i) {
+    s.codec_state.push_back(get_u64_vec(r));
+  }
   if (!r.done()) {
     throw std::runtime_error("decode_checkpoint: trailing bytes in payload");
   }

@@ -6,7 +6,8 @@
 // update (ΔUpdate bookkeeping), progress counters, the full per-iteration
 // history recorded so far, the server RNG stream, validation/quarantine
 // state, every client's stochastic state (batch-shuffle / noise / attack
-// RNGs), per-client compressor sampling streams, and — for cluster runs —
+// RNGs), per-client codec state (quantization RNG streams, error-feedback
+// residuals, codebook caches), and — for cluster runs —
 // the ByteMeter/message counters and footprint curve.  The threshold and
 // learning-rate schedules are pure functions of the iteration index, so
 // saving `iteration` captures their state exactly.
@@ -72,6 +73,11 @@ struct SchedInFlightReport {
   double score = 0.0;
   double train_loss = 0.0;
   std::uint64_t local_samples = 0;
+  /// Encoded wire size this report adds to the uplink on arrival (kind == 1
+  /// only).  The stored `update` is the *decoded* reconstruction — encoding
+  /// happens once, when the report enters flight, so codec state never
+  /// advances twice for one upload.
+  std::uint64_t wire_bytes = 0;
   std::vector<float> update;  // kind == 1 only
 
   bool operator==(const SchedInFlightReport&) const = default;
@@ -99,6 +105,11 @@ struct SchedulerCheckpoint {
   std::uint64_t mid_round_dropouts = 0;
   std::uint64_t discarded_stragglers = 0;
   std::uint64_t stale_discarded = 0;
+  /// Sparse per-device codec state (RoundEngine materializes codecs only
+  /// for devices that actually encoded): parallel arrays, sorted by device
+  /// id.  Empty for dense runs.
+  std::vector<std::uint64_t> codec_devices;
+  std::vector<std::vector<std::uint64_t>> codec_state;
 
   bool operator==(const SchedulerCheckpoint&) const = default;
 };
@@ -127,7 +138,10 @@ struct TrainerCheckpoint {
   ValidationReport validation;
 
   // Opaque per-client stochastic state (FlClient::mutable_state) and
-  // per-client compressor sampling streams (empty for cluster runs).
+  // per-client codec state (codec::UpdateCodec::mutable_state — RNG
+  // streams, error-feedback residuals, codebook caches).  Cluster runs
+  // fill compressor_state from their per-worker codecs at quiesced
+  // checkpoint points.
   std::vector<std::vector<std::uint64_t>> client_state;
   std::vector<std::vector<std::uint64_t>> compressor_state;
 

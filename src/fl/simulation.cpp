@@ -5,7 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "core/compression.h"
+#include "codec/codec.h"
 #include "fl/checkpoint.h"
 #include "tensor/kernels.h"
 #include "tensor/vector_ops.h"
@@ -60,6 +60,9 @@ FederatedSimulation::FederatedSimulation(
         "FederatedSimulation: max_iterations must be positive");
   }
   options_.schedule.validate();
+  // Validate the codec spec eagerly: a typo must fail at construction, not
+  // miles into a run on the first upload.
+  codec::make_update_codec(options_.codec.spec, options_.codec.seed_salt);
   if (options_.schedule.mode != sched::RoundMode::kSync) {
     throw std::invalid_argument(
         "FederatedSimulation: only schedule.mode == kSync runs in-process; "
@@ -107,17 +110,17 @@ SimulationResult FederatedSimulation::run_internal(
     pool = std::make_unique<util::ThreadPool>();
   }
 
-  // Per-client compressors (stateful: each owns its sampling stream),
-  // materialized on first upload.  Construction draws nothing from the
-  // stream, so lazy materialization is bit-identical to eager.
-  std::vector<std::unique_ptr<core::UpdateCompressor>> compressors(
-      num_clients);
-  const auto compressor_for =
-      [&](std::size_t k) -> core::UpdateCompressor& {
-    if (!compressors[k]) {
-      compressors[k] = core::make_compressor(options_.compressor, 9000 + k);
+  // Per-client codecs (stateful: RNG streams, error-feedback residuals,
+  // codebook caches), materialized on first upload.  Construction draws
+  // nothing from any stream, so lazy materialization is bit-identical to
+  // eager.
+  std::vector<std::unique_ptr<codec::UpdateCodec>> codecs(num_clients);
+  const auto codec_for = [&](std::size_t k) -> codec::UpdateCodec& {
+    if (!codecs[k]) {
+      codecs[k] = codec::make_update_codec(options_.codec.spec,
+                                           options_.codec.seed_salt + k);
     }
-    return *compressors[k];
+    return *codecs[k];
   };
 
   std::vector<float> prev_global_update;
@@ -155,7 +158,7 @@ SimulationResult FederatedSimulation::run_internal(
       result.uploads_per_client[k] =
           static_cast<std::size_t>(ck.uploads_per_client[k]);
       clients_[k]->restore_mutable_state(ck.client_state[k]);
-      compressor_for(k).restore_mutable_state(ck.compressor_state[k]);
+      codec_for(k).restore_mutable_state(ck.compressor_state[k]);
     }
     util::restore_rng_state(server_rng, ck.server_rng);
     start_t = static_cast<std::size_t>(ck.iteration) + 1;
@@ -184,7 +187,7 @@ SimulationResult FederatedSimulation::run_internal(
     ck.compressor_state.reserve(num_clients);
     for (std::size_t k = 0; k < num_clients; ++k) {
       ck.client_state.push_back(clients_[k]->mutable_state());
-      ck.compressor_state.push_back(compressor_for(k).mutable_state());
+      ck.compressor_state.push_back(codec_for(k).mutable_state());
     }
     return ck;
   };
@@ -302,13 +305,13 @@ SimulationResult FederatedSimulation::run_internal(
     // --- GlobalOptimization (Algorithm 1, lines 7-9) ---
     for (std::size_t k : uploaded) ++result.uploads_per_client[k];
     if (!uploaded.empty()) {
-      // Compress exactly what crosses the wire; the server aggregates the
+      // Encode exactly what crosses the wire; the server aggregates the
       // reconstructions.
       for (std::size_t k : uploaded) {
-        core::UpdateCompressor& comp = compressor_for(k);
-        const core::CompressedUpdate enc = comp.encode(updates[k]);
-        result.uploaded_bytes += enc.wire_bytes;
-        updates[k] = comp.decode(enc);
+        codec::UpdateCodec& codec = codec_for(k);
+        const codec::EncodedUpdate enc = codec.encode(updates[k]);
+        result.uploaded_bytes += enc.wire_bytes();
+        updates[k] = codec.decode(enc.payload);
       }
       // Server-side validation screens what was *received* — the decoded
       // reconstruction, which is exactly what would reach the model.

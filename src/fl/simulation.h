@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "codec/codec.h"
 #include "core/estimator.h"
 #include "core/filter.h"
 #include "core/threshold.h"
@@ -59,11 +60,13 @@ struct SimulationOptions {
   /// Capture every client's post-training local parameters at the end of
   /// the run (needed for the normalized-model-divergence analysis, Fig. 1).
   bool capture_client_params = false;
-  /// Update compression applied to *uploaded* updates (see
-  /// core/compression.h): "float32" (lossless wire format), "quantize8",
-  /// "subsample:<keep>", "structured:<density>".  Compression composes with
-  /// any filter — the orthogonality the paper claims in §I.
-  std::string compressor = "float32";
+  /// Update codec applied to *uploaded* updates (see codec/codec.h for the
+  /// spec grammar: "dense", "sign[:<chunk>]", "quant:<bits>",
+  /// "topk:<k-or-fraction>", "codebook:<k>[,<refresh>]",
+  /// "subsample:<keep>", "structured:<density>"; legacy aliases "float32"
+  /// and "quantize8" still parse).  Codecs compose with any filter — the
+  /// orthogonality the paper claims in §I.
+  codec::CodecOptions codec;
   /// Server aggregation rule (fl/robust_agg.h).
   Aggregation aggregation = Aggregation::kUniformMean;
   /// Knobs of the robust aggregation rules (trim fraction, clip radius).

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "codec/codec.h"
 #include "core/estimator.h"
 #include "fl/checkpoint.h"
 #include "net/raft.h"
@@ -30,12 +31,13 @@ Clock::duration seconds_to_duration(double s) {
       std::chrono::duration<double>(s));
 }
 
-/// The fields common to both reply frame types.
+/// The fields common to all reply frame types.
 struct ReplyView {
   std::uint64_t iteration = 0;
   std::uint32_t client_id = 0;
   double score = 0.0;
-  const UpdateUploadMsg* upload = nullptr;  // null for eliminations
+  const UpdateUploadMsg* upload = nullptr;       // dense uploads
+  const CodecUploadMsg* codec_upload = nullptr;  // encoded uploads
 };
 
 }  // namespace
@@ -84,7 +86,16 @@ FlCluster::FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
         "FlCluster: fault injection requires a positive recovery "
         "round_timeout_s (a dropped frame would hang the round forever)");
   }
+  // Validate the codec spec eagerly, before any thread exists.
+  const auto codec_probe = codec::make_update_codec(
+      options_.fl.codec.spec, options_.fl.codec.seed_salt);
   const ReplicationOptions& rep = options_.replication;
+  if (rep.replicas > 0 && codec_probe->stateful_decode()) {
+    throw std::invalid_argument(
+        "FlCluster: replicated mode requires a stateless-decode codec — "
+        "after a failover any replica must be able to decode any payload, "
+        "which a decoder-side codebook cache cannot guarantee");
+  }
   if (rep.replicas == 0) {
     if (!options_.fault.leader_crash.empty() ||
         !options_.fault.replica_restart.empty() ||
@@ -193,6 +204,27 @@ ClusterResult FlCluster::run_internal(
     local_samples[k] = clients_[k]->local_samples();
   }
 
+  // Per-worker codecs, shared between each worker thread (encode) and the
+  // master (decode).  Safe without locks: a worker touches its codec only
+  // between receiving a broadcast and sending its reply, and the master
+  // decodes worker k's payload only after receiving that reply — the
+  // channel provides the happens-before edge — while late/duplicate/stale
+  // frames are discarded by the seq/iteration/pending checks *before* any
+  // decode, so codec state advances exactly once per accepted upload.
+  const bool use_codec = !codec::is_dense_spec(options_.fl.codec.spec);
+  std::vector<std::unique_ptr<codec::UpdateCodec>> codecs;
+  std::uint8_t codec_id = 0;       // negotiated at round start via the
+  std::uint8_t codec_version = 1;  // broadcast's codec_id/codec_version
+  if (use_codec) {
+    codecs.reserve(num_workers);
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      codecs.push_back(codec::make_update_codec(
+          options_.fl.codec.spec, options_.fl.codec.seed_salt + k));
+    }
+    codec_id = codecs.front()->id();
+    codec_version = codecs.front()->version();
+  }
+
   // --- Resume: restore all mutable state before any worker thread starts
   // (no happens-before subtleties: the threads do not exist yet) ---
   if (resume_from != nullptr) {
@@ -224,6 +256,15 @@ ClusterResult FlCluster::run_internal(
       // checkpoint — without this, staleness suspicion would fire on the
       // first resumed rounds.
       last_acked[k] = ck.iteration;
+    }
+    if (use_codec) {
+      if (ck.compressor_state.size() != num_workers) {
+        throw std::invalid_argument(
+            "FlCluster: checkpoint codec state count mismatch");
+      }
+      for (std::size_t k = 0; k < num_workers; ++k) {
+        codecs[k]->restore_mutable_state(ck.compressor_state[k]);
+      }
     }
     const fl::ClusterMeterState& m = ck.meters;
     uplink_meter.restore(m.uplink_bytes, m.uplink_messages,
@@ -278,6 +319,9 @@ ClusterResult FlCluster::run_internal(
         if (bc.global_params.size() != dim_) {
           throw std::runtime_error("worker: broadcast size mismatch");
         }
+        if (bc.codec_id != codec_id || bc.codec_version != codec_version) {
+          throw std::runtime_error("worker: codec negotiation mismatch");
+        }
         if (bc.seq == last_seq && !cached_reply.empty()) {
           // Already-processed round, seen again: either the master did not
           // get our reply and retransmitted, or the network duplicated the
@@ -313,13 +357,25 @@ ClusterResult FlCluster::run_internal(
 
         Message reply;
         if (decision.upload) {
-          UpdateUploadMsg up;
-          up.seq = bc.seq;
-          up.iteration = bc.iteration;
-          up.client_id = static_cast<std::uint32_t>(k);
-          up.update = update;
-          up.score = decision.score;
-          reply = std::move(up);
+          if (use_codec) {
+            CodecUploadMsg up;
+            up.seq = bc.seq;
+            up.iteration = bc.iteration;
+            up.client_id = static_cast<std::uint32_t>(k);
+            up.score = decision.score;
+            up.codec_id = codec_id;
+            up.codec_version = codec_version;
+            up.payload = codecs[k]->encode(update).payload;
+            reply = std::move(up);
+          } else {
+            UpdateUploadMsg up;
+            up.seq = bc.seq;
+            up.iteration = bc.iteration;
+            up.client_id = static_cast<std::uint32_t>(k);
+            up.update = update;
+            up.score = decision.score;
+            reply = std::move(up);
+          }
           upload_frames.fetch_add(1, std::memory_order_relaxed);
         } else {
           EliminationMsg el;
@@ -389,6 +445,13 @@ ClusterResult FlCluster::run_internal(
     for (std::size_t k = 0; k < num_workers; ++k) {
       ck.client_state.push_back(clients_[k]->mutable_state());
     }
+    // Quiesced (see the checkpoint call site): every worker replied this
+    // round, so reading its codec is ordered after its last encode.
+    ck.compressor_state.reserve(num_workers);
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      ck.compressor_state.push_back(use_codec ? codecs[k]->mutable_state()
+                                              : std::vector<std::uint64_t>{});
+    }
     fl::ClusterMeterState& m = ck.meters;
     m.uplink_bytes = uplink_meter.total_bytes();
     m.uplink_messages = uplink_meter.messages();
@@ -421,6 +484,8 @@ ClusterResult FlCluster::run_internal(
     BroadcastMsg bc;
     bc.iteration = t;
     bc.learning_rate = lr;
+    bc.codec_id = codec_id;
+    bc.codec_version = codec_version;
     bc.global_params = global;
     bc.global_update.assign(estimator.estimate().begin(),
                             estimator.estimate().end());
@@ -508,18 +573,31 @@ ClusterResult FlCluster::run_internal(
         }
         ReplyView view;
         if (const auto* up = std::get_if<UpdateUploadMsg>(&reply)) {
-          view = {up->iteration, up->client_id, up->score, up};
+          view = {up->iteration, up->client_id, up->score, up, nullptr};
+        } else if (const auto* cu = std::get_if<CodecUploadMsg>(&reply)) {
+          view = {cu->iteration, cu->client_id, cu->score, nullptr, cu};
         } else if (const auto* el = std::get_if<EliminationMsg>(&reply)) {
-          view = {el->iteration, el->client_id, el->score, nullptr};
+          view = {el->iteration, el->client_id, el->score, nullptr, nullptr};
         } else {
           throw std::runtime_error("FlCluster: unexpected frame from worker");
         }
         if (view.client_id >= num_workers || view.iteration > t) {
           throw std::runtime_error("FlCluster: malformed reply frame");
         }
+        if (view.codec_upload &&
+            (!use_codec || view.codec_upload->codec_id != codec_id ||
+             view.codec_upload->codec_version != codec_version)) {
+          throw std::runtime_error(
+              "FlCluster: reply codec does not match the negotiated one");
+        }
+        if (view.upload && use_codec) {
+          throw std::runtime_error(
+              "FlCluster: dense upload on a codec-negotiated round");
+        }
         if (view.iteration < t || !pending[view.client_id]) {
           // A late reply to an already-committed round, or a duplicate of
-          // one accepted this round — idempotently discarded.
+          // one accepted this round — idempotently discarded (and, for
+          // codec frames, discarded *before* any decode touches state).
           ++master_redundant;
           continue;
         }
@@ -535,6 +613,16 @@ ClusterResult FlCluster::run_internal(
         scores[k] = view.score;
         if (view.upload) {
           uploads.emplace_back(view.client_id, view.upload->update);
+        } else if (view.codec_upload) {
+          // The frame CRC already vouched for transit integrity; a payload
+          // the codec rejects here is a protocol bug, so decode errors
+          // propagate loudly instead of being counted as corruption.
+          std::vector<float> decoded =
+              codecs[k]->decode(view.codec_upload->payload);
+          if (decoded.size() != dim_) {
+            throw std::runtime_error("FlCluster: bad decoded update size");
+          }
+          uploads.emplace_back(view.client_id, std::move(decoded));
         } else {
           ++result.sim.eliminations_per_client[k];
         }

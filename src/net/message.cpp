@@ -13,6 +13,9 @@ FrameType frame_type(const Message& msg) {
     return FrameType::kElimination;
   }
   if (std::holds_alternative<RedirectMsg>(msg)) return FrameType::kRedirect;
+  if (std::holds_alternative<CodecUploadMsg>(msg)) {
+    return FrameType::kCodecUpload;
+  }
   return FrameType::kShutdown;
 }
 
@@ -24,8 +27,19 @@ std::vector<std::byte> encode(const Message& msg) {
     w.u64(b->iteration);
     w.u32(b->leader_id);
     w.f32(b->learning_rate);
+    w.u8(b->codec_id);
+    w.u8(b->codec_version);
     w.floats(b->global_params);
     w.floats(b->global_update);
+  } else if (const auto* c = std::get_if<CodecUploadMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kCodecUpload));
+    w.u32(c->seq);
+    w.u64(c->iteration);
+    w.u32(c->client_id);
+    w.f64(c->score);
+    w.u8(c->codec_id);
+    w.u8(c->codec_version);
+    w.bytes(c->payload);
   } else if (const auto* u = std::get_if<UpdateUploadMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(FrameType::kUpdateUpload));
     w.u32(u->seq);
@@ -59,6 +73,8 @@ Message decode(std::span<const std::byte> frame) {
       b.iteration = r.u64();
       b.leader_id = r.u32();
       b.learning_rate = r.f32();
+      b.codec_id = r.u8();
+      b.codec_version = r.u8();
       b.global_params = r.floats();
       b.global_update = r.floats();
       if (!r.done()) throw std::runtime_error("decode: trailing bytes");
@@ -93,6 +109,18 @@ Message decode(std::span<const std::byte> frame) {
       rd.leader_id = r.u32();
       if (!r.done()) throw std::runtime_error("decode: trailing bytes");
       return rd;
+    }
+    case FrameType::kCodecUpload: {
+      CodecUploadMsg c;
+      c.seq = r.u32();
+      c.iteration = r.u64();
+      c.client_id = r.u32();
+      c.score = r.f64();
+      c.codec_id = r.u8();
+      c.codec_version = r.u8();
+      c.payload = r.bytes();
+      if (!r.done()) throw std::runtime_error("decode: trailing bytes");
+      return c;
     }
   }
   throw std::runtime_error("decode: unknown frame type " +

@@ -31,6 +31,7 @@ enum class FrameType : std::uint8_t {
   kElimination = 3,
   kShutdown = 4,
   kRedirect = 5,
+  kCodecUpload = 6,
 };
 
 struct BroadcastMsg {
@@ -42,6 +43,11 @@ struct BroadcastMsg {
   std::vector<float> global_params;
   std::vector<float> global_update;  // ū_{t-1} feedback
   float learning_rate = 0.0f;
+  /// Codec negotiation, announced at round start: workers must reply with
+  /// CodecUpload frames of exactly this codec id/version (or the classic
+  /// dense UpdateUpload when codec_id is kCodecDense = 0).
+  std::uint8_t codec_id = 0;
+  std::uint8_t codec_version = 1;
 };
 
 struct UpdateUploadMsg {
@@ -50,6 +56,20 @@ struct UpdateUploadMsg {
   std::uint32_t client_id = 0;
   std::vector<float> update;
   double score = 0.0;  // the filter metric, for server-side tracing
+};
+
+/// worker → master: an update encoded by a non-dense codec.  The payload is
+/// opaque at the frame layer — the master decodes it with the negotiated
+/// codec — and rides inside the same CRC-sealed frame as every other
+/// message, so corruption is caught before any codec decode runs.
+struct CodecUploadMsg {
+  std::uint32_t seq = 0;  // mirrors the broadcast seq being answered
+  std::uint64_t iteration = 0;
+  std::uint32_t client_id = 0;
+  double score = 0.0;  // the filter metric, for server-side tracing
+  std::uint8_t codec_id = 0;
+  std::uint8_t codec_version = 1;
+  std::vector<std::byte> payload;
 };
 
 struct EliminationMsg {
@@ -70,7 +90,7 @@ struct RedirectMsg {
 };
 
 using Message = std::variant<BroadcastMsg, UpdateUploadMsg, EliminationMsg,
-                             ShutdownMsg, RedirectMsg>;
+                             ShutdownMsg, RedirectMsg, CodecUploadMsg>;
 
 /// Serializes to a framed byte buffer: [u8 type][payload].
 std::vector<std::byte> encode(const Message& msg);

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "codec/codec.h"
 #include "core/estimator.h"
 #include "fl/checkpoint.h"
 #include "net/raft.h"
@@ -91,12 +92,21 @@ std::vector<std::byte> encode_round_commit(std::uint64_t t) {
 }
 
 std::vector<std::byte> encode_client_states(
-    std::uint64_t t, const std::vector<std::vector<std::uint64_t>>& states) {
+    std::uint64_t t, const std::vector<std::vector<std::uint64_t>>& states,
+    const std::vector<std::vector<std::uint64_t>>& codec_states) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Cmd::kClientStates));
   w.u64(t);
   w.u32(static_cast<std::uint32_t>(states.size()));
   for (const auto& s : states) {
+    w.u64(s.size());
+    for (const std::uint64_t word : s) w.u64(word);
+  }
+  // Worker codec state rides the same quiesced proposal: both are read
+  // under the identical happens-before argument (every round-t reply
+  // applied), so they describe the same logical instant.
+  w.u32(static_cast<std::uint32_t>(codec_states.size()));
+  for (const auto& s : codec_states) {
     w.u64(s.size());
     for (const std::uint64_t word : s) w.u64(word);
   }
@@ -136,6 +146,15 @@ struct Shared {
 
   std::vector<std::unique_ptr<Replica>>* replicas = nullptr;
   std::vector<WorkerEndpoint>* workers = nullptr;
+
+  // Codec plane.  worker_codecs[k] is touched only by worker k's thread
+  // (encode); the per-replica *decoder* lives in Replica — replicated mode
+  // admits stateless-decode codecs only (ctor-enforced), so any replica
+  // can decode any payload without shared state.
+  bool use_codec = false;
+  std::uint8_t codec_id = 0;
+  std::uint8_t codec_version = 1;
+  std::vector<std::unique_ptr<codec::UpdateCodec>>* worker_codecs = nullptr;
 
   ByteMeter* uplink_meter = nullptr;
   ByteMeter* downlink_meter = nullptr;
@@ -243,7 +262,8 @@ struct StateMachine {
   void restore_snapshot(std::span<const std::byte> blob);
   void restore_checkpoint(const fl::TrainerCheckpoint& ck);
   fl::TrainerCheckpoint build_checkpoint(
-      std::vector<std::vector<std::uint64_t>> client_states) const;
+      std::vector<std::vector<std::uint64_t>> client_states,
+      std::vector<std::vector<std::uint64_t>> codec_states) const;
 
  private:
   void apply_round_start(std::uint64_t t, std::uint64_t bytes);
@@ -251,6 +271,7 @@ struct StateMachine {
   void apply_round_commit(std::uint64_t t, Shared& sh);
   void apply_client_states(std::uint64_t t,
                            std::vector<std::vector<std::uint64_t>> states,
+                           std::vector<std::vector<std::uint64_t>> codec_states,
                            Shared& sh, std::uint32_t replica_id);
   void apply_worker_crash(std::uint64_t t, std::uint32_t worker);
 };
@@ -414,13 +435,15 @@ void StateMachine::apply_round_commit(std::uint64_t t, Shared& sh) {
 
 void StateMachine::apply_client_states(
     std::uint64_t t, std::vector<std::vector<std::uint64_t>> states,
-    Shared& sh, std::uint32_t replica_id) {
+    std::vector<std::vector<std::uint64_t>> codec_states, Shared& sh,
+    std::uint32_t replica_id) {
   if (round_open || t != round || states_round >= t) return;
   states_round = t;
   const std::string& path = sh.options->fl.checkpoint_path;
   if (path.empty()) return;
-  fl::save_checkpoint_file(path + ".replica" + std::to_string(replica_id),
-                           build_checkpoint(std::move(states)));
+  fl::save_checkpoint_file(
+      path + ".replica" + std::to_string(replica_id),
+      build_checkpoint(std::move(states), std::move(codec_states)));
 }
 
 void StateMachine::apply(std::span<const std::byte> command, Shared& sh,
@@ -449,17 +472,22 @@ void StateMachine::apply(std::span<const std::byte> command, Shared& sh,
       return;
     case Cmd::kClientStates: {
       const std::uint64_t t = r.u64();
-      const std::uint32_t n = r.u32();
-      std::vector<std::vector<std::uint64_t>> states(n);
-      for (auto& s : states) {
-        const std::uint64_t words = r.u64();
-        if (words > r.remaining() / sizeof(std::uint64_t)) {
-          throw std::runtime_error("ClientStates: blob exceeds command");
+      const auto read_blobs = [&r](std::uint32_t n) {
+        std::vector<std::vector<std::uint64_t>> blobs(n);
+        for (auto& s : blobs) {
+          const std::uint64_t words = r.u64();
+          if (words > r.remaining() / sizeof(std::uint64_t)) {
+            throw std::runtime_error("ClientStates: blob exceeds command");
+          }
+          s.resize(words);
+          for (auto& word : s) word = r.u64();
         }
-        s.resize(words);
-        for (auto& word : s) word = r.u64();
-      }
-      apply_client_states(t, std::move(states), sh, replica_id);
+        return blobs;
+      };
+      auto states = read_blobs(r.u32());
+      auto codec_states = read_blobs(r.u32());
+      apply_client_states(t, std::move(states), std::move(codec_states), sh,
+                          replica_id);
       return;
     }
     case Cmd::kWorkerCrash: {
@@ -475,7 +503,8 @@ void StateMachine::apply(std::span<const std::byte> command, Shared& sh,
 }
 
 fl::TrainerCheckpoint StateMachine::build_checkpoint(
-    std::vector<std::vector<std::uint64_t>> client_states) const {
+    std::vector<std::vector<std::uint64_t>> client_states,
+    std::vector<std::vector<std::uint64_t>> codec_states) const {
   fl::TrainerCheckpoint ck;
   ck.iteration = round;
   ck.global_params = global;
@@ -492,6 +521,7 @@ fl::TrainerCheckpoint StateMachine::build_checkpoint(
                                uploads_per_client.end());
   ck.validation = validator.report();
   ck.client_state = std::move(client_states);
+  ck.compressor_state = std::move(codec_states);
   fl::ClusterMeterState& m = ck.meters;
   // Logical counters, zero retransmissions: a replicated checkpoint records
   // the reproducible footprint, not one process's physical recovery traffic.
@@ -559,7 +589,7 @@ std::vector<std::byte> StateMachine::snapshot_blob() const {
   }
   w.u32(static_cast<std::uint32_t>(crashed_workers.size()));
   for (const std::uint32_t c : crashed_workers) w.u32(c);
-  write_bytes(w, fl::encode_checkpoint(build_checkpoint({})));
+  write_bytes(w, fl::encode_checkpoint(build_checkpoint({}, {})));
   return w.take();
 }
 
@@ -627,6 +657,9 @@ struct Replica {
   RaftNode node;
   Channel inbox;  // Raft frames from peers + data frames from workers
   StateMachine sm;
+  // This replica's private payload decoder (stateless-decode codecs only,
+  // so decoding needs no coordination with other replicas or the encoder).
+  std::unique_ptr<codec::UpdateCodec> decoder;
 
   // Folded in from pre-restart incarnations by this replica's own thread
   // (before the next incarnation starts), read by the main thread after
@@ -756,6 +789,8 @@ std::vector<std::byte> make_broadcast(const Replica& self, const Shared& sh,
   bc.seq = static_cast<std::uint32_t>(t);  // replicated mode: seq == round
   bc.iteration = t;
   bc.leader_id = self.id;
+  bc.codec_id = sh.codec_id;
+  bc.codec_version = sh.codec_version;
   bc.learning_rate =
       static_cast<float>(sh.options->fl.learning_rate.at(t));
   bc.global_params = self.sm.global;
@@ -919,7 +954,14 @@ DriveResult drive(Replica& self, Shared& sh, Driver& drv,
       for (std::size_t k = 0; k < sh.num_workers; ++k) {
         states.push_back((*sh.clients)[k]->mutable_state());
       }
-      self.node.propose(encode_client_states(t, states));
+      std::vector<std::vector<std::uint64_t>> codec_states;
+      if (sh.use_codec) {
+        codec_states.reserve(sh.num_workers);
+        for (std::size_t k = 0; k < sh.num_workers; ++k) {
+          codec_states.push_back((*sh.worker_codecs)[k]->mutable_state());
+        }
+      }
+      self.node.propose(encode_client_states(t, states, codec_states));
       drv.proposed_states = t;
     }
     return DriveResult::kOk;  // wait for the entry to commit and apply
@@ -975,11 +1017,17 @@ DriveResult handle_frame(Replica& self, Shared& sh, Driver& drv,
   std::uint32_t client_id = 0;
   double score = 0.0;
   const UpdateUploadMsg* upload = nullptr;
+  const CodecUploadMsg* codec_upload = nullptr;
   if (const auto* up = std::get_if<UpdateUploadMsg>(&msg)) {
     iteration = up->iteration;
     client_id = up->client_id;
     score = up->score;
     upload = up;
+  } else if (const auto* cu = std::get_if<CodecUploadMsg>(&msg)) {
+    iteration = cu->iteration;
+    client_id = cu->client_id;
+    score = cu->score;
+    codec_upload = cu;
   } else if (const auto* el = std::get_if<EliminationMsg>(&msg)) {
     iteration = el->iteration;
     client_id = el->client_id;
@@ -989,6 +1037,16 @@ DriveResult handle_frame(Replica& self, Shared& sh, Driver& drv,
   }
   if (client_id >= sh.num_workers) {
     throw std::runtime_error("replicated master: malformed reply frame");
+  }
+  if (codec_upload &&
+      (!sh.use_codec || codec_upload->codec_id != sh.codec_id ||
+       codec_upload->codec_version != sh.codec_version)) {
+    throw std::runtime_error(
+        "replicated master: reply codec does not match the negotiated one");
+  }
+  if (upload && sh.use_codec) {
+    throw std::runtime_error(
+        "replicated master: dense upload on a codec-negotiated round");
   }
   if (self.node.role() != RaftNode::Role::kLeader) {
     // A lagging follower may legitimately see replies for rounds it has not
@@ -1024,10 +1082,21 @@ DriveResult handle_frame(Replica& self, Shared& sh, Driver& drv,
   ReplyCmd cmd;
   cmd.round = sm.round;
   cmd.worker = client_id;
-  cmd.is_upload = upload ? 1 : 0;
+  cmd.is_upload = (upload || codec_upload) ? 1 : 0;
   cmd.score = score;
   cmd.frame_bytes = frame.size();
   if (upload) cmd.update = upload->update;
+  if (codec_upload) {
+    // The leader decodes *before* proposing: the replicated log carries the
+    // dense reconstruction, so followers (and post-failover leaders) apply
+    // identical state without ever touching a codec.  CRC already vouched
+    // for transit integrity — a payload the codec rejects is a protocol
+    // bug, surfaced loudly.
+    cmd.update = self.decoder->decode(codec_upload->payload);
+    if (cmd.update.size() != sh.dim) {
+      throw std::runtime_error("replicated master: bad decoded update size");
+    }
+  }
   self.node.propose(encode_reply_cmd(cmd));
   drv.proposed_reply[client_id] = 1;
   ++drv.accepted;
@@ -1199,6 +1268,9 @@ void worker_main(std::size_t k, Shared& sh) {
     if (bc.global_params.size() != sh.dim || bc.leader_id >= replicas) {
       throw std::runtime_error("worker: malformed broadcast");
     }
+    if (bc.codec_id != sh.codec_id || bc.codec_version != sh.codec_version) {
+      throw std::runtime_error("worker: codec negotiation mismatch");
+    }
     probe.on_broadcast(bc.leader_id);
     if (bc.seq == last_seq && !cached_reply.empty()) {
       // Same round seen again — either a failover re-broadcast from a new
@@ -1234,13 +1306,28 @@ void worker_main(std::size_t k, Shared& sh) {
 
     Message reply;
     if (decision.upload) {
-      UpdateUploadMsg up;
-      up.seq = bc.seq;
-      up.iteration = bc.iteration;
-      up.client_id = static_cast<std::uint32_t>(k);
-      up.update = update;
-      up.score = decision.score;
-      reply = std::move(up);
+      if (sh.use_codec) {
+        // Encode exactly once per *trained* round: retransmits and
+        // failover re-sends reuse cached_reply, so the codec stream
+        // advances once however many replicas end up seeing the frame.
+        CodecUploadMsg up;
+        up.seq = bc.seq;
+        up.iteration = bc.iteration;
+        up.client_id = static_cast<std::uint32_t>(k);
+        up.score = decision.score;
+        up.codec_id = sh.codec_id;
+        up.codec_version = sh.codec_version;
+        up.payload = (*sh.worker_codecs)[k]->encode(update).payload;
+        reply = std::move(up);
+      } else {
+        UpdateUploadMsg up;
+        up.seq = bc.seq;
+        up.iteration = bc.iteration;
+        up.client_id = static_cast<std::uint32_t>(k);
+        up.update = update;
+        up.score = decision.score;
+        reply = std::move(up);
+      }
     } else {
       EliminationMsg el;
       el.seq = bc.seq;
@@ -1302,6 +1389,22 @@ ClusterResult run_replicated_cluster(
   std::vector<float> global(dim);
   clients.front()->get_params(global);
 
+  // Per-worker encoders (each touched only by its worker's thread).  The
+  // ctor already rejected stateful_decode codecs for replicated mode.
+  const bool use_codec = !codec::is_dense_spec(options.fl.codec.spec);
+  std::vector<std::unique_ptr<codec::UpdateCodec>> worker_codecs;
+  std::uint8_t codec_id = 0;
+  std::uint8_t codec_version = 1;
+  if (use_codec) {
+    worker_codecs.reserve(num_workers);
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      worker_codecs.push_back(codec::make_update_codec(
+          options.fl.codec.spec, options.fl.codec.seed_salt + k));
+    }
+    codec_id = worker_codecs.front()->id();
+    codec_version = worker_codecs.front()->version();
+  }
+
   if (resume_from != nullptr) {
     const fl::TrainerCheckpoint& ck = *resume_from;
     if (ck.global_params.size() != dim) {
@@ -1317,6 +1420,15 @@ ClusterResult run_replicated_cluster(
     global = ck.global_params;
     for (std::size_t k = 0; k < num_workers; ++k) {
       clients[k]->restore_mutable_state(ck.client_state[k]);
+    }
+    if (use_codec) {
+      if (ck.compressor_state.size() != num_workers) {
+        throw std::invalid_argument(
+            "FlCluster: checkpoint codec state count mismatch");
+      }
+      for (std::size_t k = 0; k < num_workers; ++k) {
+        worker_codecs[k]->restore_mutable_state(ck.compressor_state[k]);
+      }
     }
   }
 
@@ -1337,6 +1449,12 @@ ClusterResult run_replicated_cluster(
     }
     replicas.push_back(std::make_unique<Replica>(
         r, make_raft_config(options, r), std::move(sm), std::move(storage)));
+    if (use_codec) {
+      // Decode is stateless for every admitted codec, so the seed is inert;
+      // a private instance per replica keeps decoding thread-confined.
+      replicas.back()->decoder = codec::make_update_codec(
+          options.fl.codec.spec, options.fl.codec.seed_salt);
+    }
   }
 
   ByteMeter uplink_meter;
@@ -1365,6 +1483,10 @@ ClusterResult run_replicated_cluster(
   sh.downlink_meter = &downlink_meter;
   sh.control_meter = &control_meter;
   sh.fault_stats = &fault_stats;
+  sh.use_codec = use_codec;
+  sh.codec_id = codec_id;
+  sh.codec_version = codec_version;
+  sh.worker_codecs = &worker_codecs;
   const std::size_t crash_entries = options.fault.leader_crash.size();
   sh.crash_fired =
       std::make_unique<std::atomic<bool>[]>(std::max<std::size_t>(1,

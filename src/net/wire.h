@@ -47,6 +47,12 @@ class WireWriter {
     append(v.data(), v.size() * sizeof(float));
   }
 
+  /// Length-prefixed opaque byte blob (codec payloads).
+  void bytes(std::span<const std::byte> v) {
+    u64(v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+
   std::vector<std::byte> take() { return std::move(buf_); }
   std::size_t size() const noexcept { return buf_.size(); }
 
@@ -80,6 +86,16 @@ class WireReader {
     auto bytes = take(n * sizeof(float));
     std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
+  }
+
+  std::vector<std::byte> bytes() {
+    const std::uint64_t n = u64();
+    if (n > remaining()) {
+      throw std::runtime_error("WireReader: byte blob length " +
+                               std::to_string(n) + " exceeds frame");
+    }
+    auto span = take(static_cast<std::size_t>(n));
+    return std::vector<std::byte>(span.begin(), span.end());
   }
 
   std::size_t remaining() const noexcept { return data_.size() - pos_; }

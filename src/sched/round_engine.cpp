@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 #include <unordered_set>
 
-#include "core/compression.h"
+#include "codec/codec.h"
 #include "core/estimator.h"
 #include "fl/checkpoint.h"
 #include "tensor/kernels.h"
@@ -65,6 +66,13 @@ struct RoundEngine::Ctx {
   // Sync-mode resume point; async resumes from `version` instead.
   std::uint64_t start_round = 1;
 
+  // Per-device codecs, materialized on a device's first upload (an ordered
+  // map so snapshots serialize the sparse state sorted by device id).
+  // Every encode/decode runs on the engine thread — never inside the
+  // parallel train_cohort — so byte counts and codec streams are
+  // independent of the thread count.
+  std::map<std::uint64_t, std::unique_ptr<codec::UpdateCodec>> codecs;
+
   // Shared read-only by every client's relevance check within a broadcast.
   tensor::SignPack estimate_pack;
 
@@ -97,12 +105,10 @@ RoundEngine::RoundEngine(Population& population,
     throw std::invalid_argument(
         "RoundEngine: schedule.sample_size exceeds the population");
   }
-  if (options_.compressor != "float32") {
-    throw std::invalid_argument(
-        "RoundEngine: only the lossless float32 wire format is supported "
-        "(per-client compressor sampling streams do not scale to lazily "
-        "materialized populations)");
-  }
+  // Validate the codec spec eagerly (typos must not fail mid-run); codec
+  // objects themselves are materialized per device on first upload.
+  codec::make_update_codec(options_.codec.spec, options_.codec.seed_salt);
+  use_codec_ = !codec::is_dense_spec(options_.codec.spec);
   if (options_.capture_client_params) {
     throw std::invalid_argument(
         "RoundEngine: capture_client_params needs the in-process "
@@ -112,10 +118,31 @@ RoundEngine::RoundEngine(Population& population,
   fl::FlClient& probe = population_.acquire(0);
   dim_ = probe.param_count();
   population_.release(0);
-  // Exact wire footprint of one float32 upload — the identity codec's size
-  // depends only on the dimension, so one probe encode prices every upload.
-  core::IdentityCompressor codec;
-  upload_wire_bytes_ = codec.encode(std::vector<float>(dim_)).wire_bytes;
+  // Exact wire footprint of one dense upload — the dense codec's size
+  // depends only on the dimension, so one probe encode prices every upload
+  // on the dense fast path.
+  codec::DenseCodec dense;
+  upload_wire_bytes_ = dense.encode(std::vector<float>(dim_)).wire_bytes();
+}
+
+codec::UpdateCodec& RoundEngine::codec_for(Ctx& ctx, std::uint64_t device) {
+  auto& slot = ctx.codecs[device];
+  if (!slot) {
+    slot = codec::make_update_codec(options_.codec.spec,
+                                    options_.codec.seed_salt + device);
+  }
+  return *slot;
+}
+
+std::uint64_t RoundEngine::encode_upload(Ctx& ctx, std::uint64_t device,
+                                         std::vector<float>& update) {
+  if (!use_codec_) return upload_wire_bytes_;
+  codec::UpdateCodec& codec = codec_for(ctx, device);
+  const codec::EncodedUpdate enc = codec.encode(update);
+  // The server aggregates the reconstruction — exactly what a real wire
+  // transfer would deliver.
+  update = codec.decode(enc.payload);
+  return enc.wire_bytes();
 }
 
 EngineResult RoundEngine::run() { return run_internal(nullptr); }
@@ -183,6 +210,14 @@ EngineResult RoundEngine::run_internal(
     ctx.sched.mid_round_dropouts = ck.sched.mid_round_dropouts;
     ctx.sched.discarded_stragglers = ck.sched.discarded_stragglers;
     ctx.sched.stale_discarded = ck.sched.stale_discarded;
+    if (ck.sched.codec_devices.size() != ck.sched.codec_state.size()) {
+      throw std::invalid_argument(
+          "RoundEngine: checkpoint codec device/state count mismatch");
+    }
+    for (std::size_t i = 0; i < ck.sched.codec_devices.size(); ++i) {
+      codec_for(ctx, ck.sched.codec_devices[i])
+          .restore_mutable_state(ck.sched.codec_state[i]);
+    }
     ctx.start_round = ck.iteration + 1;
   }
 
@@ -340,6 +375,10 @@ fl::TrainerCheckpoint RoundEngine::snapshot(Ctx& ctx,
   s.mid_round_dropouts = ctx.sched.mid_round_dropouts;
   s.discarded_stragglers = ctx.sched.discarded_stragglers;
   s.stale_discarded = ctx.sched.stale_discarded;
+  for (const auto& [device, codec] : ctx.codecs) {  // map: sorted by device
+    s.codec_devices.push_back(device);
+    s.codec_state.push_back(codec->mutable_state());
+  }
   return ck;
 }
 
@@ -389,9 +428,9 @@ void RoundEngine::run_sync_rounds(Ctx& ctx) {
 
     // Mid-round dropouts spent the energy (their RNG streams advanced)
     // but their report never reaches the server.
-    std::vector<const Trained*> reports;
+    std::vector<Trained*> reports;
     reports.reserve(trained.size());
-    for (const Trained& r : trained) {
+    for (Trained& r : trained) {
       if (r.dropped) {
         ++ctx.sched.mid_round_dropouts;
         continue;
@@ -418,13 +457,15 @@ void RoundEngine::run_sync_rounds(Ctx& ctx) {
       const std::size_t keep =
           std::min(in_time, sch.resolved_target_reports());
       // A straggler's upload still crossed the uplink — the device cannot
-      // know the round already committed — so its bytes are real cost even
-      // though its update never reaches the aggregator.
+      // know the round already committed — so its bytes are real cost (and
+      // its codec state advances) even though its update never reaches the
+      // aggregator.
       for (std::size_t i = keep; i < reports.size(); ++i) {
         ++ctx.sched.discarded_stragglers;
         if (reports[i]->decision.upload) {
           ++ctx.sim.uploads_per_client[reports[i]->device];
-          ctx.sim.uploaded_bytes += upload_wire_bytes_;
+          ctx.sim.uploaded_bytes +=
+              encode_upload(ctx, reports[i]->device, reports[i]->update);
         }
       }
       reports.resize(keep);
@@ -442,9 +483,9 @@ void RoundEngine::run_sync_rounds(Ctx& ctx) {
     ctx.sched.reported += reports.size();
 
     // --- Collect relevant updates S_t over the committed reports ---
-    std::vector<const Trained*> uploads;
+    std::vector<Trained*> uploads;
     uploads.reserve(reports.size());
-    for (const Trained* r : reports) {
+    for (Trained* r : reports) {
       if (r->decision.upload) {
         uploads.push_back(r);
       } else {
@@ -452,7 +493,7 @@ void RoundEngine::run_sync_rounds(Ctx& ctx) {
       }
     }
     if (uploads.empty() && options_.min_uploads > 0 && !reports.empty()) {
-      std::vector<const Trained*> order = reports;
+      std::vector<Trained*> order = reports;
       std::sort(order.begin(), order.end(),
                 [](const Trained* a, const Trained* b) {
                   return a->decision.score > b->decision.score;
@@ -479,9 +520,11 @@ void RoundEngine::run_sync_rounds(Ctx& ctx) {
     }
 
     // --- GlobalOptimization over the committed uploads ---
-    for (const Trained* r : uploads) {
+    // Encodes run here on the engine thread, in committed (device) order;
+    // the aggregator sees the decoded reconstructions.
+    for (Trained* r : uploads) {
       ++ctx.sim.uploads_per_client[r->device];
-      ctx.sim.uploaded_bytes += upload_wire_bytes_;
+      ctx.sim.uploaded_bytes += encode_upload(ctx, r->device, r->update);
     }
     if (!uploads.empty()) {
       std::vector<std::size_t> devices;
@@ -586,6 +629,12 @@ void RoundEngine::run_buffered_async(Ctx& ctx) {
           f.kind = kKindDropout;
         } else if (r.decision.upload) {
           f.kind = kKindUpload;
+          // Encode when the report enters flight (the device transmits as
+          // soon as it finishes): the codec state advances exactly once per
+          // upload, the in-flight report carries the decoded reconstruction
+          // plus its real wire size, and a checkpoint taken while the
+          // report is airborne resumes without re-encoding.
+          f.wire_bytes = encode_upload(ctx, r.device, r.update);
           f.update = std::move(r.update);
         } else {
           f.kind = kKindElimination;
@@ -630,7 +679,7 @@ void RoundEngine::run_buffered_async(Ctx& ctx) {
         loss_sum += e.train_loss;
         ++uploads_arrived;
         ++ctx.sim.uploads_per_client[static_cast<std::size_t>(e.device)];
-        ctx.sim.uploaded_bytes += upload_wire_bytes_;
+        ctx.sim.uploaded_bytes += e.wire_bytes;
         const std::uint64_t staleness = ctx.version - e.version;
         if (sch.max_staleness > 0 && staleness > sch.max_staleness) {
           ++ctx.sched.stale_discarded;  // arrived too late to be useful

@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "codec/codec.h"
 #include "core/filter.h"
 #include "fl/simulation.h"
 #include "sched/population.h"
@@ -62,18 +63,22 @@ class RoundEngine {
  public:
   /// `population` must outlive the engine and have no acquired clients.
   /// The filter decides uploads exactly as in FederatedSimulation; the
-  /// evaluator runs the server-side test pass.  Only the lossless
-  /// "float32" compressor is supported (updates cross the virtual wire at
-  /// full precision; bytes are still metered exactly).
+  /// evaluator runs the server-side test pass.  Updates cross the virtual
+  /// wire through the configured codec (options.codec): per-device codec
+  /// objects are materialized lazily on a device's first upload, every
+  /// encode/decode runs on the engine thread (bytes and codec streams are
+  /// therefore independent of the thread count), and the sparse per-device
+  /// codec state is checkpointed so resume stays bit-identical in all
+  /// three round modes.
   ///
   /// Honoured SimulationOptions fields: local_epochs, batch_size,
   /// learning_rate, max_iterations (rounds in sync/over-select mode,
   /// aggregations in async mode), target_accuracy, eval_every, min_uploads
-  /// (sync/over-select), estimator_ema, parallel, aggregation /
+  /// (sync/over-select), estimator_ema, parallel, codec, aggregation /
   /// robust_aggregation / validation, seed, checkpoint_every /
   /// checkpoint_path, and `schedule` — everything else is either
   /// per-client (participation: superseded by schedule.sample_size) or
-  /// unsupported here (capture_client_params, non-float32 compressors).
+  /// unsupported here (capture_client_params).
   RoundEngine(Population& population,
               std::unique_ptr<core::UpdateFilter> filter,
               fl::GlobalEvaluator evaluator,
@@ -118,13 +123,23 @@ class RoundEngine {
                       const std::vector<double>& raw_weights,
                       bool staleness_weighted, fl::IterationRecord& rec);
   fl::TrainerCheckpoint snapshot(Ctx& ctx, std::uint64_t iteration);
+  /// Lazily materializes device `device`'s codec (seeded
+  /// codec.seed_salt + device).
+  codec::UpdateCodec& codec_for(Ctx& ctx, std::uint64_t device);
+  /// Encodes one upload through the device's codec, replaces `update` with
+  /// the decoded reconstruction, and returns the encoded wire size.  Dense
+  /// fast path: leaves the update untouched and prices it at
+  /// upload_wire_bytes_.
+  std::uint64_t encode_upload(Ctx& ctx, std::uint64_t device,
+                              std::vector<float>& update);
 
   Population& population_;
   std::unique_ptr<core::UpdateFilter> filter_;
   fl::GlobalEvaluator evaluator_;
   fl::SimulationOptions options_;
   std::size_t dim_ = 0;
-  std::uint64_t upload_wire_bytes_ = 0;  // exact bytes of one float32 upload
+  bool use_codec_ = false;  // false: dense fast path, no codec objects
+  std::uint64_t upload_wire_bytes_ = 0;  // exact bytes of one dense upload
 };
 
 }  // namespace cmfl::sched

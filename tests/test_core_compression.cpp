@@ -1,4 +1,8 @@
-#include "core/compression.h"
+// The Konečný-baseline codecs folded in from the former core/compression.h:
+// dense (lossless), subsample (unbiased sketch), quant (stochastic
+// rounding), structured mask.  Behavior-level invariants only — the
+// exhaustive malformed-payload matrix lives in test_codec_malformed.cpp.
+#include "codec/codec.h"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +11,7 @@
 
 #include "util/rng.h"
 
-namespace cmfl::core {
+namespace cmfl::codec {
 namespace {
 
 std::vector<float> random_update(std::size_t n, std::uint64_t seed) {
@@ -17,39 +21,39 @@ std::vector<float> random_update(std::size_t n, std::uint64_t seed) {
   return v;
 }
 
-TEST(IdentityCompressor, LosslessRoundTrip) {
-  IdentityCompressor c;
+TEST(DenseCodec, LosslessRoundTrip) {
+  DenseCodec c;
   const auto u = random_update(257, 1);
   const auto enc = c.encode(u);
-  EXPECT_EQ(enc.wire_bytes, 8 + 257 * 4);
-  EXPECT_EQ(c.decode(enc), u);
+  EXPECT_EQ(enc.wire_bytes(), 8u + 257 * 4);
+  EXPECT_EQ(c.decode(enc.payload), u);
 }
 
-TEST(IdentityCompressor, TruncationDetected) {
-  IdentityCompressor c;
+TEST(DenseCodec, TruncationDetected) {
+  DenseCodec c;
   auto enc = c.encode(random_update(16, 2));
   enc.payload.resize(enc.payload.size() - 5);
-  EXPECT_THROW(c.decode(enc), std::runtime_error);
+  EXPECT_THROW(c.decode(enc.payload), std::runtime_error);
 }
 
-TEST(SubsampleCompressor, ShrinksWireSize) {
-  SubsampleCompressor c(0.1, 3);
+TEST(SubsampleCodec, ShrinksWireSize) {
+  SubsampleCodec c(0.1, 3);
   const auto u = random_update(10000, 3);
   const auto enc = c.encode(u);
   // ~10% of coordinates at 8 bytes each + 16-byte header.
-  EXPECT_LT(enc.wire_bytes, 10000 * 4 / 2);
-  EXPECT_GT(enc.wire_bytes, 10000 / 20);
+  EXPECT_LT(enc.wire_bytes(), 10000u * 4 / 2);
+  EXPECT_GT(enc.wire_bytes(), 10000u / 20);
 }
 
-TEST(SubsampleCompressor, UnbiasedInExpectation) {
+TEST(SubsampleCodec, UnbiasedInExpectation) {
   // Average many independent encodings: the reconstruction must converge to
   // the original (the 1/keep rescaling makes subsampling unbiased).
   const auto u = random_update(64, 4);
   std::vector<double> acc(64, 0.0);
   const int trials = 3000;
-  SubsampleCompressor c(0.25, 5);
+  SubsampleCodec c(0.25, 5);
   for (int t = 0; t < trials; ++t) {
-    const auto dec = c.decode(c.encode(u));
+    const auto dec = c.decode(c.encode(u).payload);
     for (std::size_t i = 0; i < 64; ++i) acc[i] += dec[i];
   }
   for (std::size_t i = 0; i < 64; ++i) {
@@ -57,22 +61,23 @@ TEST(SubsampleCompressor, UnbiasedInExpectation) {
   }
 }
 
-TEST(SubsampleCompressor, RejectsBadKeep) {
-  EXPECT_THROW(SubsampleCompressor(0.0, 1), std::invalid_argument);
-  EXPECT_THROW(SubsampleCompressor(1.5, 1), std::invalid_argument);
+TEST(SubsampleCodec, RejectsBadKeep) {
+  EXPECT_THROW(SubsampleCodec(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(SubsampleCodec(1.5, 1), std::invalid_argument);
 }
 
-TEST(QuantizeCompressor, OneBytePerCoordinate) {
-  QuantizeCompressor c(6);
+TEST(QuantCodec, OneBytePerCoordinateAt8Bits) {
+  QuantCodec c(8, 6);
   const auto u = random_update(1000, 6);
   const auto enc = c.encode(u);
-  EXPECT_EQ(enc.wire_bytes, 8 + 4 + 4 + 1000);
+  // [u64 dim][u8 bits][f32 lo][f32 hi][1 byte per coordinate].
+  EXPECT_EQ(enc.wire_bytes(), 8u + 1 + 4 + 4 + 1000);
 }
 
-TEST(QuantizeCompressor, BoundedError) {
-  QuantizeCompressor c(7);
+TEST(QuantCodec, BoundedError) {
+  QuantCodec c(8, 7);
   const auto u = random_update(500, 7);
-  const auto dec = c.decode(c.encode(u));
+  const auto dec = c.decode(c.encode(u).payload);
   // Max error is one quantization step = range/255.
   const float range = 1.0f;  // values in [-0.5, 0.5]
   for (std::size_t i = 0; i < u.size(); ++i) {
@@ -80,13 +85,13 @@ TEST(QuantizeCompressor, BoundedError) {
   }
 }
 
-TEST(QuantizeCompressor, StochasticRoundingUnbiased) {
+TEST(QuantCodec, StochasticRoundingUnbiased) {
   const std::vector<float> u = {0.1f, -0.3f, 0.42f, 0.0f, -0.5f, 0.5f};
-  QuantizeCompressor c(8);
+  QuantCodec c(8, 8);
   std::vector<double> acc(u.size(), 0.0);
   const int trials = 5000;
   for (int t = 0; t < trials; ++t) {
-    const auto dec = c.decode(c.encode(u));
+    const auto dec = c.decode(c.encode(u).payload);
     for (std::size_t i = 0; i < u.size(); ++i) acc[i] += dec[i];
   }
   for (std::size_t i = 0; i < u.size(); ++i) {
@@ -94,17 +99,17 @@ TEST(QuantizeCompressor, StochasticRoundingUnbiased) {
   }
 }
 
-TEST(QuantizeCompressor, ConstantVectorExact) {
-  QuantizeCompressor c(9);
+TEST(QuantCodec, ConstantVectorExact) {
+  QuantCodec c(8, 9);
   const std::vector<float> u(32, 0.25f);
-  const auto dec = c.decode(c.encode(u));
+  const auto dec = c.decode(c.encode(u).payload);
   for (float v : dec) EXPECT_FLOAT_EQ(v, 0.25f);
 }
 
-TEST(StructuredMaskCompressor, KeepsValuesUnscaled) {
-  StructuredMaskCompressor c(0.5, 10);
+TEST(StructuredMaskCodec, KeepsValuesUnscaled) {
+  StructuredMaskCodec c(0.5, 10);
   const auto u = random_update(2000, 10);
-  const auto dec = c.decode(c.encode(u));
+  const auto dec = c.decode(c.encode(u).payload);
   std::size_t kept = 0;
   for (std::size_t i = 0; i < u.size(); ++i) {
     if (dec[i] != 0.0f) {
@@ -115,25 +120,28 @@ TEST(StructuredMaskCompressor, KeepsValuesUnscaled) {
   EXPECT_NEAR(static_cast<double>(kept) / 2000.0, 0.5, 0.05);
 }
 
-TEST(MakeCompressor, FactoryDispatch) {
-  EXPECT_EQ(make_compressor("float32", 1)->name(), "float32");
-  EXPECT_EQ(make_compressor("quantize8", 1)->name(), "quantize8");
-  EXPECT_EQ(make_compressor("subsample:0.10", 1)->name(), "subsample:0.10");
-  EXPECT_EQ(make_compressor("structured:0.25", 1)->name(),
+TEST(MakeUpdateCodec, FactoryDispatch) {
+  EXPECT_EQ(make_update_codec("dense", 1)->name(), "dense");
+  EXPECT_EQ(make_update_codec("float32", 1)->name(), "dense");  // legacy
+  EXPECT_EQ(make_update_codec("quantize8", 1)->name(), "quant:8");  // legacy
+  EXPECT_EQ(make_update_codec("subsample:0.10", 1)->name(),
+            "subsample:0.10");
+  EXPECT_EQ(make_update_codec("structured:0.25", 1)->name(),
             "structured:0.25");
-  EXPECT_THROW(make_compressor("bogus", 1), std::invalid_argument);
-  EXPECT_THROW(make_compressor("bogus:0.5", 1), std::invalid_argument);
+  EXPECT_THROW(make_update_codec("bogus", 1), std::invalid_argument);
+  EXPECT_THROW(make_update_codec("bogus:0.5", 1), std::invalid_argument);
+  EXPECT_THROW(make_update_codec("zstd", 1), std::invalid_argument);
 }
 
-TEST(Compressors, CorruptIndexRejected) {
-  SubsampleCompressor c(1.0, 11);
+TEST(Codecs, CorruptIndexRejected) {
+  SubsampleCodec c(1.0, 11);
   auto enc = c.encode(random_update(4, 11));
   // Corrupt the first stored index to an out-of-range value.
   const std::size_t index_pos = 16;  // after the two u64 headers
   std::uint32_t bad = 1000;
   std::memcpy(enc.payload.data() + index_pos, &bad, sizeof(bad));
-  EXPECT_THROW(c.decode(enc), std::runtime_error);
+  EXPECT_THROW(c.decode(enc.payload), std::runtime_error);
 }
 
 }  // namespace
-}  // namespace cmfl::core
+}  // namespace cmfl::codec

@@ -80,6 +80,7 @@ TrainerCheckpoint sample_checkpoint() {
   upload.score = 0.375;
   upload.train_loss = 2.25;
   upload.local_samples = 6;
+  upload.wire_bytes = 321;
   upload.update = {0.5f, -0.25f, 1.0f};
   SchedInFlightReport elimination;
   elimination.device = 99;
@@ -95,6 +96,8 @@ TrainerCheckpoint sample_checkpoint() {
   ck.sched.mid_round_dropouts = 20;
   ck.sched.discarded_stragglers = 15;
   ck.sched.stale_discarded = 5;
+  ck.sched.codec_devices = {41, 99};
+  ck.sched.codec_state = {{21, 22, 23}, {}};
   return ck;
 }
 
@@ -251,7 +254,7 @@ TEST(CheckpointResume, MlpRunResumesBitIdentically) {
 
 TEST(CheckpointResume, StochasticOptionsResumeBitIdentically) {
   // The hard case: partial participation consumes the server RNG, lossy
-  // subsampled compression consumes per-client compressor streams, and the
+  // subsampled coding consumes per-client codec streams, and the
   // convex clients consume per-client noise streams.  All of it must be
   // captured and restored.
   const std::string path = ::testing::TempDir() + "ck_convex.bin";
@@ -274,7 +277,7 @@ TEST(CheckpointResume, StochasticOptionsResumeBitIdentically) {
   // checkpointed history identical to the uninterrupted run's.
   opt.eval_every = 2;
   opt.participation = 0.6;
-  opt.compressor = "subsample:0.5";
+  opt.codec.spec = "subsample:0.5";
   opt.parallel = false;
   opt.checkpoint_every = 4;
   opt.checkpoint_path = path;

@@ -108,12 +108,12 @@ TEST(Compression, BytesAccountedAndSmallerWhenCompressed) {
       raw.total_rounds * (8 + 4 * static_cast<std::uint64_t>(w.param_count));
   EXPECT_EQ(raw.uploaded_bytes, expected);
 
-  opt.compressor = "quantize8";
+  opt.codec.spec = "quantize8";  // legacy alias for quant:8
   const SimulationResult quant = run(opt);
   EXPECT_LT(quant.uploaded_bytes, raw.uploaded_bytes / 3);
   EXPECT_GT(quant.final_accuracy, 0.2);  // lossy but training still works
 
-  opt.compressor = "subsample:0.25";
+  opt.codec.spec = "subsample:0.25";
   const SimulationResult sub = run(opt);
   // 25% of coordinates at 8 bytes each (index + value) ≈ 0.5x of float32.
   EXPECT_LT(static_cast<double>(sub.uploaded_bytes),
@@ -122,7 +122,7 @@ TEST(Compression, BytesAccountedAndSmallerWhenCompressed) {
 
 TEST(Compression, UnknownSpecRejected) {
   auto opt = fast_options();
-  opt.compressor = "zstd";
+  opt.codec.spec = "zstd";
   EXPECT_THROW(run(opt), std::invalid_argument);
 }
 

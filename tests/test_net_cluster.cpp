@@ -549,6 +549,164 @@ TEST(FlCluster, CheckpointResumeIsBitIdentical) {
   std::remove(path.c_str());
 }
 
+TEST(FlCluster, SignCodecUplinkIsOneBitPerCoordinatePlusHeader) {
+  // The headline acceptance shape: with the sign codec negotiated, every
+  // upload frame carries ~dim/8 payload bytes instead of 4*dim, and the
+  // ByteMeter records exactly those encoded frames.
+  fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+  const std::size_t dim = w.param_count;
+  auto opt = fast_options();
+  opt.fl.codec.spec = "sign";
+  FlCluster cluster(std::move(w.clients),
+                    std::make_unique<core::AcceptAllFilter>(), w.evaluator,
+                    opt);
+  const ClusterResult r = cluster.run();
+
+  // CodecUpload frame = 1 type + 4 seq + 8 iter + 4 client + 8 score +
+  // 1 codec_id + 1 codec_version + 8 len + payload, sealed with 4 CRC.
+  const std::size_t payload = 8 + 4 + 4 * ((dim + 255) / 256) +
+                              8 * ((dim + 63) / 64);
+  const std::size_t frame = 35 + payload + 4;
+  EXPECT_EQ(r.upload_messages, 8u * 12u);
+  EXPECT_EQ(r.uplink_bytes, r.upload_messages * frame);
+  // ~32x smaller than the dense frame the vanilla path would have sent.
+  const std::size_t dense_frame = 1 + 4 + 8 + 4 + 8 + 8 + 4 * dim + 4;
+  EXPECT_LT(frame, dense_frame / 8);
+}
+
+TEST(FlCluster, EveryCodecMatchesTheInMemorySimulation) {
+  // Same workload, same filter, same codec: the socket run and the
+  // in-memory simulation must agree exactly — encode on the worker, a real
+  // CRC-sealed frame across the channel, decode on the master, and still
+  // the identical learning trace.  Covers all four production codecs,
+  // including the stateful-decode codebook (legal on a single master).
+  for (const char* spec :
+       {"sign", "quant:8", "topk:0.05", "codebook:8,4"}) {
+    SCOPED_TRACE(spec);
+    auto opt = fast_options();
+    opt.fl.codec.spec = spec;
+
+    fl::Workload w1 = fl::make_digits_mlp_workload(small_spec());
+    FlCluster cluster(
+        std::move(w1.clients),
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        w1.evaluator, opt);
+    const ClusterResult wire = cluster.run();
+
+    fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+    fl::FederatedSimulation sim(
+        std::move(w2.clients),
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        w2.evaluator, opt.fl);
+    const fl::SimulationResult mem = sim.run();
+
+    ASSERT_EQ(wire.sim.history.size(), mem.history.size());
+    for (std::size_t i = 0; i < mem.history.size(); ++i) {
+      EXPECT_EQ(wire.sim.history[i].uploads, mem.history[i].uploads);
+    }
+    EXPECT_EQ(wire.sim.final_params, mem.final_params);
+  }
+}
+
+TEST(FlCluster, CodecRunSurvivesFaultInjectionUnchanged) {
+  // The encode-once discipline under fire: the quant codec's rounding RNG
+  // advances exactly once per trained round, so dropped/corrupted/duplicated
+  // frames and retransmissions (which resend the cached encoded reply) must
+  // leave the trajectory bit-identical to the fault-free codec run.
+  auto clean_opt = fast_options();
+  clean_opt.fl.max_iterations = 8;
+  clean_opt.fl.codec.spec = "quant:8";
+  fl::Workload w1 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster clean_cluster(
+      std::move(w1.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w1.evaluator, clean_opt);
+  const ClusterResult clean = clean_cluster.run();
+
+  auto opt = faulty_options();
+  opt.fl.codec.spec = "quant:8";
+  fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+  FlCluster faulty_cluster(
+      std::move(w2.clients),
+      std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+      w2.evaluator, opt);
+  const ClusterResult faulty = faulty_cluster.run();
+
+  EXPECT_EQ(faulty.sim.final_params, clean.sim.final_params);
+  EXPECT_EQ(faulty.upload_messages, clean.upload_messages);
+  EXPECT_GT(faulty.faults.frames_dropped, 0u);
+  EXPECT_GT(faulty.faults.retransmits, 0u);
+}
+
+TEST(FlCluster, CodecCheckpointResumeIsBitIdentical) {
+  // Kill-and-resume with stateful codecs: the top-k error-feedback residual
+  // and the quant RNG stream ride in the checkpoint, so the resumed run
+  // reproduces the uninterrupted one bit for bit — trajectory and encoded
+  // byte accounting alike.
+  for (const char* spec : {"topk:0.05", "quant:4"}) {
+    SCOPED_TRACE(spec);
+    const std::string ref_path = ::testing::TempDir() + "codec_ck_ref.bin";
+    const std::string path = ::testing::TempDir() + "codec_ck.bin";
+    std::remove(ref_path.c_str());
+    std::remove(path.c_str());
+
+    auto opt = fast_options();  // 12 iterations, eval_every 4
+    opt.fl.codec.spec = spec;
+    opt.fl.checkpoint_every = 4;
+    opt.fl.checkpoint_path = ref_path;
+
+    fl::Workload w1 = fl::make_digits_mlp_workload(small_spec());
+    FlCluster ref_cluster(
+        std::move(w1.clients),
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        w1.evaluator, opt);
+    const ClusterResult uninterrupted = ref_cluster.run();
+
+    {
+      auto first_half = opt;
+      first_half.fl.max_iterations = 4;
+      first_half.fl.checkpoint_path = path;
+      fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+      FlCluster cluster(
+          std::move(w.clients),
+          std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+          w.evaluator, first_half);
+      cluster.run();
+    }
+
+    const fl::TrainerCheckpoint ck = fl::load_checkpoint_file(path);
+    EXPECT_EQ(ck.iteration, 4u);
+    // The codec streams were captured: one state blob per worker.
+    ASSERT_EQ(ck.compressor_state.size(), 8u);
+    auto resume_opt = opt;
+    resume_opt.fl.checkpoint_path = path;
+    fl::Workload w2 = fl::make_digits_mlp_workload(small_spec());
+    FlCluster resumed_cluster(
+        std::move(w2.clients),
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        w2.evaluator, resume_opt);
+    const ClusterResult resumed = resumed_cluster.resume(ck);
+
+    EXPECT_EQ(resumed.sim.final_params, uninterrupted.sim.final_params);
+    EXPECT_EQ(resumed.uplink_bytes, uninterrupted.uplink_bytes);
+    EXPECT_EQ(resumed.upload_messages, uninterrupted.upload_messages);
+    EXPECT_EQ(resumed.elimination_messages,
+              uninterrupted.elimination_messages);
+    std::remove(ref_path.c_str());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FlCluster, RejectsUnknownCodecSpec) {
+  fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+  auto opt = fast_options();
+  opt.fl.codec.spec = "zstd";
+  EXPECT_THROW(FlCluster(std::move(w.clients),
+                         std::make_unique<core::AcceptAllFilter>(),
+                         w.evaluator, opt),
+               std::invalid_argument);
+}
+
 TEST(FlCluster, BackoffJitterIsValidatedAndOffByDefault) {
   // Negative jitter is nonsense; zero (the default) must leave the
   // retransmit schedule — and therefore every byte counter — exactly

@@ -224,6 +224,63 @@ TEST(ReplicatedCluster, PartitionedReplicaIsCaughtUpBySnapshot) {
   EXPECT_TRUE(partitioned.faults.crashed_workers.empty());
 }
 
+TEST(ReplicatedCluster, CodecRunsMatchTheSingleMasterBitForBit) {
+  // Codecs ride the replicated control plane: the leader decodes each
+  // CodecUpload with its private stateless decoder before proposing the
+  // dense reconstruction into the Raft log, so the replicated trajectory —
+  // and the encoded-frame byte accounting — must equal the single-master
+  // run exactly.
+  for (const char* spec : {"sign", "quant:8", "topk:0.1"}) {
+    SCOPED_TRACE(spec);
+    auto opt = base_options();
+    opt.fl.codec.spec = spec;
+    const ClusterResult single = run_once(opt);
+    const ClusterResult triple = run_once(replicated(opt));
+    expect_same_trajectory(single, triple);
+    EXPECT_EQ(triple.uplink_bytes, single.uplink_bytes);
+  }
+}
+
+TEST(ReplicatedCluster, CodecRunSurvivesLeaderFailoverBitIdentically) {
+  // Failover with a stateful *encoder*: the quant codec's rounding RNG
+  // advances once per trained round and the worker re-sends its cached
+  // encoded reply to the new leader, so a mid-round leader crash changes
+  // nothing in the trajectory.
+  auto opt = replicated(base_options());
+  opt.fl.codec.spec = "quant:8";
+  const ClusterResult baseline = run_once(opt);
+
+  auto crash_opt = opt;
+  crash_opt.fault.leader_crash.push_back({3, 2});
+  crash_opt.recovery.round_timeout_s = 0.5;
+  crash_opt.recovery.max_attempts = 10;
+  const ClusterResult crashed = run_once(crash_opt);
+
+  expect_same_trajectory(baseline, crashed);
+  EXPECT_EQ(crashed.faults.leader_crashes, 1u);
+  EXPECT_GT(crashed.uplink_retransmitted_bytes, 0u);
+}
+
+TEST(ReplicatedCluster, StatefulDecodeCodecsAreRejectedUpFront) {
+  // The codebook codec's decode() caches state, so after a failover the new
+  // leader could not decode an index-only payload it never saw the refresh
+  // for.  The constructor must refuse the combination rather than fail
+  // mid-run — and accept the same codec on a single master.
+  auto opt = replicated(base_options());
+  opt.fl.codec.spec = "codebook:8,4";
+  fl::ConvexWorkload w = fl::make_convex_workload(convex_spec());
+  EXPECT_THROW(
+      FlCluster(std::move(w.clients),
+                std::make_unique<core::AcceptAllFilter>(), w.evaluator, opt),
+      std::invalid_argument);
+
+  opt.replication.replicas = 0;
+  fl::ConvexWorkload w2 = fl::make_convex_workload(convex_spec());
+  EXPECT_NO_THROW(FlCluster(std::move(w2.clients),
+                            std::make_unique<core::AcceptAllFilter>(),
+                            w2.evaluator, opt));
+}
+
 TEST(ReplicatedCluster, EveryReplicaWritesTheSameCheckpointAndResumeWorks) {
   const std::string ref_path =
       ::testing::TempDir() + "replicated_ck_ref.bin";

@@ -330,6 +330,142 @@ TEST(RoundEngineResume, BufferedAsyncResumesBitIdentically) {
   std::remove(path.c_str());
 }
 
+TEST(RoundEngine, CodecSyncRunMatchesSimulationBitForBit) {
+  // The engine's codec path must agree with FederatedSimulation's for every
+  // production codec: same per-client codec streams (seed_salt + k), same
+  // encoded byte accounting, same reconstructed aggregates.
+  for (const char* spec : {"sign", "quant:8", "topk:0.1", "codebook:8,4"}) {
+    SCOPED_TRACE(spec);
+    const auto tb_spec = testbed_spec(10);
+    auto testbed = std::make_shared<fl::ConvexTestbed>(tb_spec);
+    auto opt = base_options();
+    opt.codec.spec = spec;
+
+    fl::ConvexWorkload w = fl::make_convex_workload(tb_spec);
+    fl::FederatedSimulation sim(
+        std::move(w.clients),
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        w.evaluator, opt);
+    const fl::SimulationResult reference = sim.run();
+
+    PopulationSpec pop_spec;
+    pop_spec.devices = tb_spec.clients;
+    pop_spec.max_resident = 4;
+    Population population(pop_spec, factory_for(tb_spec, testbed));
+    RoundEngine engine(
+        population,
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        evaluator_for(testbed), opt);
+    const EngineResult result = engine.run();
+
+    expect_sim_bit_identical(result.sim, reference);
+  }
+}
+
+TEST(RoundEngine, CodecRunsAreThreadCountInvariant) {
+  // The parallel trainer must not perturb any codec stream: per-client
+  // codecs are seeded by device id and touched in a deterministic order, so
+  // parallel and serial runs agree on every byte.
+  auto run_with = [](bool parallel) {
+    const auto tb_spec = testbed_spec(12);
+    auto testbed = std::make_shared<fl::ConvexTestbed>(tb_spec);
+    auto opt = base_options();
+    opt.codec.spec = "topk:0.1";
+    opt.parallel = parallel;
+    PopulationSpec pop_spec;
+    pop_spec.devices = tb_spec.clients;
+    pop_spec.max_resident = 5;
+    Population population(pop_spec, factory_for(tb_spec, testbed));
+    RoundEngine engine(population,
+                       std::make_unique<core::AcceptAllFilter>(),
+                       evaluator_for(testbed), opt);
+    return engine.run();
+  };
+  const EngineResult serial = run_with(false);
+  const EngineResult parallel = run_with(true);
+  expect_sim_bit_identical(parallel.sim, serial.sim);
+  EXPECT_EQ(parallel.sched.reported, serial.sched.reported);
+}
+
+TEST(RoundEngine, CodecShrinksUploadedBytesInEveryRoundMode) {
+  // The encoded-wire-bytes accounting flows through all three round modes.
+  for (const RoundMode mode : {RoundMode::kSync, RoundMode::kOverSelect,
+                               RoundMode::kBufferedAsync}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    auto run_with = [&](const char* spec) {
+      auto tb_spec = testbed_spec(20);
+      tb_spec.dim = 512;  // large enough that headers do not dominate
+      auto testbed = std::make_shared<fl::ConvexTestbed>(tb_spec);
+      auto opt = base_options();
+      opt.codec.spec = spec;
+      opt.schedule.mode = mode;
+      if (mode != RoundMode::kSync) {
+        opt.schedule.selection = Selection::kAvailabilityAware;
+        opt.schedule.sample_size = 10;
+        opt.schedule.target_reports = 7;
+        opt.schedule.async_buffer = 4;
+      }
+      PopulationSpec pop_spec;
+      pop_spec.devices = tb_spec.clients;
+      pop_spec.max_resident = 8;
+      pop_spec.seed = 3;
+      Population population(pop_spec, factory_for(tb_spec, testbed));
+      RoundEngine engine(population,
+                         std::make_unique<core::AcceptAllFilter>(),
+                         evaluator_for(testbed), opt);
+      return engine.run();
+    };
+    const EngineResult dense = run_with("dense");
+    const EngineResult sign = run_with("sign");
+    EXPECT_EQ(sign.sim.total_rounds, dense.sim.total_rounds);
+    EXPECT_GT(sign.sim.uploaded_bytes, 0u);
+    // Sign payloads are ~32x smaller; even with headers, 8x is safe.
+    EXPECT_LT(sign.sim.uploaded_bytes, dense.sim.uploaded_bytes / 8);
+  }
+}
+
+TEST(RoundEngineResume, CodecStateResumesBitIdenticallyInBothModes) {
+  // The checkpoint's per-device codec streams (top-k residuals here) must
+  // survive kill-and-resume in the over-selection and buffered-async modes:
+  // a device's residual carries across the crash boundary.
+  {
+    const std::string path = ::testing::TempDir() + "ck_codec_osel.bin";
+    std::remove(path.c_str());
+    EngineRun run = overselect_run(path);
+    run.opt.codec.spec = "topk:0.1";
+    const EngineResult uninterrupted = run.run();
+    const EngineResult resumed = run.crash_and_resume(5);
+    expect_sim_bit_identical(resumed.sim, uninterrupted.sim);
+    std::remove(path.c_str());
+  }
+  {
+    const std::string path = ::testing::TempDir() + "ck_codec_async.bin";
+    std::remove(path.c_str());
+    EngineRun run;
+    run.spec = testbed_spec(50);
+    run.testbed = std::make_shared<fl::ConvexTestbed>(run.spec);
+    run.opt = base_options();
+    run.opt.codec.spec = "quant:4";
+    run.opt.max_iterations = 12;
+    run.opt.eval_every = 3;
+    run.opt.checkpoint_every = 6;
+    run.opt.checkpoint_path = path;
+    run.opt.schedule.mode = RoundMode::kBufferedAsync;
+    run.opt.schedule.selection = Selection::kAvailabilityAware;
+    run.opt.schedule.sample_size = 14;
+    run.opt.schedule.async_buffer = 5;
+    run.pop_spec.devices = run.spec.clients;
+    run.pop_spec.mean_on_fraction = 0.85;
+    run.pop_spec.latency_log_sigma = 0.6;
+    run.pop_spec.max_resident = 8;
+    run.pop_spec.seed = 9;
+    const EngineResult uninterrupted = run.run();
+    const EngineResult resumed = run.crash_and_resume(6);
+    expect_sim_bit_identical(resumed.sim, uninterrupted.sim);
+    std::remove(path.c_str());
+  }
+}
+
 TEST(RoundEngine, RejectsUnsupportedOptionsAndForeignCheckpoints) {
   const auto spec = testbed_spec(4);
   auto testbed = std::make_shared<fl::ConvexTestbed>(spec);
@@ -337,11 +473,11 @@ TEST(RoundEngine, RejectsUnsupportedOptionsAndForeignCheckpoints) {
   pop_spec.devices = spec.clients;
   Population population(pop_spec, factory_for(spec, testbed));
 
-  auto lossy = base_options();
-  lossy.compressor = "quantize8";
+  auto bogus = base_options();
+  bogus.codec.spec = "zstd";  // codecs are supported now, unknown specs not
   EXPECT_THROW(RoundEngine(population,
                            std::make_unique<core::AcceptAllFilter>(),
-                           evaluator_for(testbed), lossy),
+                           evaluator_for(testbed), bogus),
                std::invalid_argument);
 
   auto capture = base_options();

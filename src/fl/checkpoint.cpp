@@ -16,7 +16,9 @@ constexpr std::array<char, 4> kMagic = {'C', 'M', 'C', 'K'};
 // v3: SchedInFlightReport gained wire_bytes (the encoded upload size an
 // in-flight report will add on arrival), SchedulerCheckpoint gained the
 // sparse per-device codec-state map.
-constexpr std::uint32_t kVersion = 3;
+// v4: SchedulerCheckpoint gained the sharded-aggregator ingest counters
+// (shard_stats).
+constexpr std::uint32_t kVersion = 4;
 
 void put_u64_vec(net::WireWriter& w, std::span<const std::uint64_t> v) {
   w.u64(v.size());
@@ -147,6 +149,7 @@ std::vector<std::byte> encode_checkpoint(const TrainerCheckpoint& ck) {
   put_u64_vec(w, s.codec_devices);
   w.u64(s.codec_state.size());
   for (const auto& blob : s.codec_state) put_u64_vec(w, blob);
+  put_u64_vec(w, s.shard_stats);
   return w.take();
 }
 
@@ -273,6 +276,11 @@ TrainerCheckpoint decode_checkpoint(std::span<const std::byte> payload) {
   s.codec_state.reserve(static_cast<std::size_t>(codec_blobs));
   for (std::uint64_t i = 0; i < codec_blobs; ++i) {
     s.codec_state.push_back(get_u64_vec(r));
+  }
+  s.shard_stats = get_u64_vec(r);
+  if (s.shard_stats.size() % 3 != 0) {
+    throw std::runtime_error(
+        "decode_checkpoint: shard stats not a multiple of 3 words");
   }
   if (!r.done()) {
     throw std::runtime_error("decode_checkpoint: trailing bytes in payload");

@@ -110,6 +110,11 @@ struct SchedulerCheckpoint {
   /// id.  Empty for dense runs.
   std::vector<std::uint64_t> codec_devices;
   std::vector<std::vector<std::uint64_t>> codec_state;
+  /// Sharded-aggregator ingest counters ([uploads, range_passes, bytes] per
+  /// shard — fl::ShardedAggregator::stats_words).  Empty when sharding is
+  /// off; the shard count is implied (words / 3) and must match the resumed
+  /// run's ShardOptions.
+  std::vector<std::uint64_t> shard_stats;
 
   bool operator==(const SchedulerCheckpoint&) const = default;
 };

@@ -21,20 +21,20 @@ T median_in_place(std::vector<T>& v) {
   return v[mid];
 }
 
-double l2_norm(std::span<const float> v) {
+}  // namespace
+
+double update_l2_norm(std::span<const float> v) {
   double sq = 0.0;
   for (const float x : v) sq += static_cast<double>(x) * x;
   return std::sqrt(sq);
 }
 
-bool all_finite(std::span<const float> v) {
+bool update_all_finite(std::span<const float> v) {
   for (const float x : v) {
     if (!std::isfinite(x)) return false;
   }
   return true;
 }
-
-}  // namespace
 
 Aggregation parse_aggregation(const std::string& name) {
   if (name == "mean") return Aggregation::kUniformMean;
@@ -57,10 +57,32 @@ std::string aggregation_name(Aggregation rule) {
   return "unknown";
 }
 
-void aggregate_updates(Aggregation rule,
-                       std::span<const std::span<const float>> updates,
-                       std::span<const float> weights,
-                       const RobustAggOptions& options, std::span<float> out) {
+std::vector<float> clipped_mean_coefficients(std::span<const double> norms,
+                                             const RobustAggOptions& options) {
+  if (norms.empty()) {
+    throw std::invalid_argument("clipped_mean_coefficients: no norms");
+  }
+  const std::size_t n = norms.size();
+  double radius = options.clip_norm;
+  if (radius <= 0.0) {
+    std::vector<double> scratch(norms.begin(), norms.end());
+    radius = median_in_place(scratch);
+  }
+  std::vector<float> coeff(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale =
+        (radius > 0.0 && norms[i] > radius) ? radius / norms[i] : 1.0;
+    coeff[i] = static_cast<float>(scale / static_cast<double>(n));
+  }
+  return coeff;
+}
+
+void aggregate_updates_range(Aggregation rule,
+                             std::span<const std::span<const float>> updates,
+                             std::span<const float> weights,
+                             const RobustAggOptions& options,
+                             std::span<const double> norms, std::span<float> out,
+                             std::size_t lo, std::size_t hi) {
   if (updates.empty()) {
     throw std::invalid_argument("aggregate_updates: no updates");
   }
@@ -70,11 +92,15 @@ void aggregate_updates(Aggregation rule,
       throw std::invalid_argument("aggregate_updates: update size mismatch");
     }
   }
+  if (lo > hi || hi > dim) {
+    throw std::invalid_argument("aggregate_updates_range: bad range");
+  }
   const std::size_t n = updates.size();
 
   switch (rule) {
     case Aggregation::kUniformMean:
-      tensor::kernels::scaled_sum(updates, 1.0f / static_cast<float>(n), out);
+      tensor::kernels::scaled_sum_range(updates, 1.0f / static_cast<float>(n),
+                                        out, lo, hi);
       return;
 
     case Aggregation::kSampleWeighted:
@@ -82,12 +108,12 @@ void aggregate_updates(Aggregation rule,
         throw std::invalid_argument(
             "aggregate_updates: weighted rule needs one weight per update");
       }
-      tensor::kernels::weighted_sum(updates, weights, out);
+      tensor::kernels::weighted_sum_range(updates, weights, out, lo, hi);
       return;
 
     case Aggregation::kMedian: {
       std::vector<float> column(n);
-      for (std::size_t j = 0; j < dim; ++j) {
+      for (std::size_t j = lo; j < hi; ++j) {
         for (std::size_t i = 0; i < n; ++i) column[i] = updates[i][j];
         out[j] = median_in_place(column);
         column.resize(n);
@@ -106,7 +132,7 @@ void aggregate_updates(Aggregation rule,
       if (2 * k >= n) k = (n - 1) / 2;
       const std::size_t kept = n - 2 * k;
       std::vector<float> column(n);
-      for (std::size_t j = 0; j < dim; ++j) {
+      for (std::size_t j = lo; j < hi; ++j) {
         for (std::size_t i = 0; i < n; ++i) column[i] = updates[i][j];
         std::sort(column.begin(), column.end());
         double sum = 0.0;
@@ -119,24 +145,38 @@ void aggregate_updates(Aggregation rule,
     }
 
     case Aggregation::kNormClippedMean: {
-      std::vector<double> norms(n);
-      for (std::size_t i = 0; i < n; ++i) norms[i] = l2_norm(updates[i]);
-      double radius = options.clip_norm;
-      if (radius <= 0.0) {
-        std::vector<double> scratch = norms;
-        radius = median_in_place(scratch);
+      if (norms.size() != n) {
+        throw std::invalid_argument(
+            "aggregate_updates_range: clipped rule needs one full-vector "
+            "norm per update");
       }
-      std::fill(out.begin(), out.end(), 0.0f);
+      const auto coeff = clipped_mean_coefficients(norms, options);
+      std::fill(out.begin() + static_cast<std::ptrdiff_t>(lo),
+                out.begin() + static_cast<std::ptrdiff_t>(hi), 0.0f);
+      const std::size_t len = hi - lo;
+      auto slice = out.subspan(lo, len);
       for (std::size_t i = 0; i < n; ++i) {
-        const double scale =
-            (radius > 0.0 && norms[i] > radius) ? radius / norms[i] : 1.0;
-        tensor::axpy(static_cast<float>(scale / static_cast<double>(n)),
-                     updates[i], out);
+        // axpy is a plain element-wise loop, so the subrange call matches
+        // the same elements of the legacy full-vector apply.
+        tensor::axpy(coeff[i], updates[i].subspan(lo, len), slice);
       }
       return;
     }
   }
   throw std::invalid_argument("aggregate_updates: unknown rule");
+}
+
+void aggregate_updates(Aggregation rule,
+                       std::span<const std::span<const float>> updates,
+                       std::span<const float> weights,
+                       const RobustAggOptions& options, std::span<float> out) {
+  std::vector<double> norms;
+  if (rule == Aggregation::kNormClippedMean) {
+    norms.reserve(updates.size());
+    for (const auto& u : updates) norms.push_back(update_l2_norm(u));
+  }
+  aggregate_updates_range(rule, updates, weights, options, norms, out, 0,
+                          out.size());
 }
 
 std::size_t ValidationReport::quarantined_count() const noexcept {
@@ -166,7 +206,23 @@ std::vector<Verdict> UpdateValidator::screen_round(
   if (clients.size() != updates.size()) {
     throw std::invalid_argument("UpdateValidator: clients/updates mismatch");
   }
-  const std::size_t n = updates.size();
+  // The span overload is the precomputed overload applied to scalars scanned
+  // here — one code path, so sharded and serial screening cannot diverge.
+  std::vector<UploadScalars> pre(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    pre[i].finite = update_all_finite(updates[i]);
+    pre[i].norm = update_l2_norm(updates[i]);
+  }
+  return screen_round(clients, pre);
+}
+
+std::vector<Verdict> UpdateValidator::screen_round(
+    std::span<const std::size_t> clients,
+    std::span<const UploadScalars> pre) {
+  if (clients.size() != pre.size()) {
+    throw std::invalid_argument("UpdateValidator: clients/scalars mismatch");
+  }
+  const std::size_t n = pre.size();
   std::vector<Verdict> verdicts(n, Verdict::kAccept);
 
   // Pass 1: structural checks, and norms of the structurally sound updates
@@ -183,11 +239,11 @@ std::vector<Verdict> UpdateValidator::screen_round(
       verdicts[i] = Verdict::kQuarantined;
       continue;
     }
-    if (policy_.reject_nonfinite && !all_finite(updates[i])) {
+    if (policy_.reject_nonfinite && !pre[i].finite) {
       verdicts[i] = Verdict::kNonFinite;
       continue;
     }
-    norms[i] = l2_norm(updates[i]);
+    norms[i] = pre[i].norm;
     if (policy_.max_norm > 0.0 && norms[i] > policy_.max_norm) {
       verdicts[i] = Verdict::kNormExploded;
       continue;

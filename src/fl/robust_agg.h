@@ -54,6 +54,48 @@ void aggregate_updates(Aggregation rule,
                        std::span<const float> weights,
                        const RobustAggOptions& options, std::span<float> out);
 
+// ---------------------------------------------------------------------------
+// Sharded-pipeline entry points (fl/shard.h)
+//
+// The sharded parameter server splits aggregation across range-partitioned
+// shard threads.  Full-vector reductions (L2 norms, the clipped rule's
+// median radius) are NOT range-splittable without changing double summation
+// order, so the pipeline computes them upload-parallel with the exact serial
+// helpers below, then applies the per-coordinate work range-parallel.  Every
+// function here is the byte-identical building block the legacy serial path
+// itself is expressed in terms of — sharded and single-master trajectories
+// therefore agree bit-for-bit by construction.
+// ---------------------------------------------------------------------------
+
+/// Serial double-accumulation L2 norm of one update — the exact reduction
+/// the validator and the clipped rule use.  Exposed so shard workers can
+/// compute norms upload-parallel with unchanged per-upload bits.
+double update_l2_norm(std::span<const float> v);
+
+/// True when every coordinate is finite (no NaN/±inf).
+bool update_all_finite(std::span<const float> v);
+
+/// Per-update mean coefficients of kNormClippedMean, computed from the
+/// full-vector norms (norms[i] = update_l2_norm(updates[i])): clip scale to
+/// the radius (options.clip_norm, or the median norm when <= 0) divided by
+/// the update count.  The legacy rule is plan (this) + apply (one axpy per
+/// update, in order); splitting the two lets shards apply disjoint ranges
+/// concurrently after a single cross-upload plan step.
+std::vector<float> clipped_mean_coefficients(std::span<const double> norms,
+                                             const RobustAggOptions& options);
+
+/// Range form of aggregate_updates: writes only out[lo, hi) and reads only
+/// that range of every update, producing bits equal to the same elements of
+/// the full-vector call.  `norms` is consulted only by kNormClippedMean and
+/// must then hold update_l2_norm of each update (full-vector — pass empty
+/// for every other rule).  Disjoint ranges may run concurrently.
+void aggregate_updates_range(Aggregation rule,
+                             std::span<const std::span<const float>> updates,
+                             std::span<const float> weights,
+                             const RobustAggOptions& options,
+                             std::span<const double> norms, std::span<float> out,
+                             std::size_t lo, std::size_t hi);
+
 /// What the validator decided about one uploaded update.
 enum class Verdict : std::uint8_t {
   kAccept = 0,
@@ -102,6 +144,14 @@ class UpdateValidator {
  public:
   UpdateValidator(std::size_t num_clients, const ValidationPolicy& policy);
 
+  /// Precomputed structural scalars of one upload, produced by shard workers
+  /// (update_all_finite / update_l2_norm on the full vector) so screening
+  /// itself needs no O(dim) pass.
+  struct UploadScalars {
+    bool finite = true;
+    double norm = 0.0;
+  };
+
   /// Screens one round.  `clients[i]` is the uploader of `updates[i]`.
   /// Returns one verdict per update; strike/quarantine state advances as a
   /// side effect.  The round-median norm for the relative rule is computed
@@ -109,6 +159,13 @@ class UpdateValidator {
   std::vector<Verdict> screen_round(std::span<const std::size_t> clients,
                                     std::span<const std::span<const float>>
                                         updates);
+
+  /// Sharded-pipeline form: identical verdicts and state evolution, with the
+  /// per-upload O(dim) scans replaced by scalars the shard workers already
+  /// computed.  `pre[i]` must equal {update_all_finite(updates[i]),
+  /// update_l2_norm(updates[i])} for the verdicts to match the span overload.
+  std::vector<Verdict> screen_round(std::span<const std::size_t> clients,
+                                    std::span<const UploadScalars> pre);
 
   bool quarantined(std::size_t client) const;
   const ValidationReport& report() const noexcept { return report_; }

@@ -26,6 +26,7 @@
 #include "core/threshold.h"
 #include "fl/client.h"
 #include "fl/robust_agg.h"
+#include "fl/shard.h"
 #include "nn/model.h"
 #include "sched/schedule.h"
 #include "util/thread_pool.h"
@@ -86,6 +87,13 @@ struct SimulationOptions {
   /// and buffered-async rounds run through sched::RoundEngine, which takes
   /// the full SimulationOptions including this field.
   sched::ScheduleOptions schedule;
+  /// Sharded parameter-server aggregation (fl/shard.h).  shards == 0 keeps
+  /// the legacy single-master path; S >= 1 routes upload screening and the
+  /// robust-aggregation pass through S range-partitioned shard threads —
+  /// bit-identical trajectories either way.  Honoured by sched::RoundEngine
+  /// and the net cluster (FederatedSimulation itself is single-threaded on
+  /// the server side and ignores it).
+  ShardOptions sharding;
   /// Seed for server-side randomness (client sampling).
   std::uint64_t seed = 1234;
   /// Write a crash-consistent checkpoint to `checkpoint_path` every

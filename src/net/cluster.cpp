@@ -10,6 +10,7 @@
 #include "codec/codec.h"
 #include "core/estimator.h"
 #include "fl/checkpoint.h"
+#include "fl/shard.h"
 #include "net/raft.h"
 #include "net/replicated_master.h"
 #include "tensor/vector_ops.h"
@@ -38,6 +39,14 @@ struct ReplyView {
   double score = 0.0;
   const UpdateUploadMsg* upload = nullptr;       // dense uploads
   const CodecUploadMsg* codec_upload = nullptr;  // encoded uploads
+};
+
+/// One accepted upload: decoded update plus the wire size of the frame that
+/// carried it (feeds the per-shard byte meters on the sharded path).
+struct ReceivedUpload {
+  std::uint32_t id = 0;
+  std::vector<float> update;
+  std::uint64_t frame_bytes = 0;
 };
 
 }  // namespace
@@ -118,6 +127,12 @@ FlCluster::FlCluster(std::vector<std::unique_ptr<fl::FlClient>> clients,
         "first_k_reports / staleness suspicion): the committed cohort must "
         "be a pure function of replicated state");
   }
+  if (options_.fl.sharding.enabled()) {
+    throw std::invalid_argument(
+        "FlCluster: sharded aggregation is not supported with a replicated "
+        "control plane (the replicated master applies uploads through its "
+        "Raft-ordered state machine)");
+  }
   if (rep.tick_interval_s <= 0.0) {
     throw std::invalid_argument(
         "FlCluster: replication tick_interval_s must be positive");
@@ -165,6 +180,18 @@ ClusterResult FlCluster::run_internal(
   Channel master_inbox;
   ByteMeter uplink_meter;
   ByteMeter downlink_meter;
+  // Sharded ingest pipeline (options.fl.sharding): the per-upload scalar
+  // screening pass and the aggregation apply pass fan out across shard
+  // worker threads, with one cache-line-aligned ByteMeter per shard
+  // accounting the upload bytes that shard ingested.  Null/empty keeps the
+  // single-master commit path.
+  std::unique_ptr<fl::ShardedAggregator> shard_agg;
+  std::vector<ByteMeter> shard_meters;
+  if (options_.fl.sharding.enabled()) {
+    shard_agg = std::make_unique<fl::ShardedAggregator>(dim_,
+                                                        options_.fl.sharding);
+    shard_meters = std::vector<ByteMeter>(options_.fl.sharding.shards);
+  }
   FaultStats fault_stats;
   std::atomic<std::uint64_t> upload_frames{0};
   std::atomic<std::uint64_t> elimination_frames{0};
@@ -507,7 +534,7 @@ ClusterResult FlCluster::run_internal(
 
     std::vector<char> answered(num_workers, 0);
     std::vector<double> scores(num_workers, 0.0);
-    std::vector<std::pair<std::uint32_t, std::vector<float>>> uploads;
+    std::vector<ReceivedUpload> uploads;
     std::size_t accepted = 0;
     double round_transfer = 0.0;
     double max_upload_transfer = 0.0;
@@ -612,7 +639,8 @@ ClusterResult FlCluster::run_internal(
         ++accepted;
         scores[k] = view.score;
         if (view.upload) {
-          uploads.emplace_back(view.client_id, view.upload->update);
+          uploads.push_back({view.client_id, view.upload->update,
+                             static_cast<std::uint64_t>(reply_frame->size())});
         } else if (view.codec_upload) {
           // The frame CRC already vouched for transit integrity; a payload
           // the codec rejects here is a protocol bug, so decode errors
@@ -622,7 +650,8 @@ ClusterResult FlCluster::run_internal(
           if (decoded.size() != dim_) {
             throw std::runtime_error("FlCluster: bad decoded update size");
           }
-          uploads.emplace_back(view.client_id, std::move(decoded));
+          uploads.push_back({view.client_id, std::move(decoded),
+                             static_cast<std::uint64_t>(reply_frame->size())});
         } else {
           ++result.sim.eliminations_per_client[k];
         }
@@ -711,12 +740,12 @@ ClusterResult FlCluster::run_internal(
     rec.mean_score =
         accepted > 0 ? score_sum / static_cast<double>(accepted) : 0.0;
 
-    for (const auto& [id, u] : uploads) {
-      ++result.sim.uploads_per_client[id];
+    for (const auto& up : uploads) {
+      ++result.sim.uploads_per_client[up.id];
     }
     if (!uploads.empty()) {
       std::sort(uploads.begin(), uploads.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
+                [](const auto& a, const auto& b) { return a.id < b.id; });
       // Server-side validation of the received updates: non-finite or
       // norm-exploded uploads must never touch the model, whatever the
       // aggregation rule.
@@ -724,12 +753,34 @@ ClusterResult FlCluster::run_internal(
       std::vector<std::span<const float>> received;
       upload_ids.reserve(uploads.size());
       received.reserve(uploads.size());
-      for (const auto& [id, u] : uploads) {
-        upload_ids.push_back(id);
-        received.emplace_back(u);
+      for (const auto& up : uploads) {
+        upload_ids.push_back(up.id);
+        received.emplace_back(up.update);
+      }
+      // Sharded path: the screening scalars (finiteness, exact L2 norm) are
+      // computed concurrently on the shard workers — upload i on shard
+      // (i mod S) — and collected in index order, so the validator sees
+      // exactly the sequence the serial scan produces.
+      std::vector<fl::UpdateValidator::UploadScalars> pre;
+      if (shard_agg) {
+        shard_agg->begin_batch(received.size());
+        for (std::size_t i = 0; i < received.size(); ++i) {
+          shard_agg->submit_update(i, received[i], nullptr,
+                                   uploads[i].frame_bytes);
+          shard_meters[i % shard_meters.size()].record(
+              static_cast<std::size_t>(uploads[i].frame_bytes));
+        }
+        std::vector<fl::ShardedAggregator::UploadResult> shard_results =
+            shard_agg->collect(received.size());
+        pre.reserve(shard_results.size());
+        for (fl::ShardedAggregator::UploadResult& r : shard_results) {
+          if (r.error) std::rethrow_exception(r.error);
+          pre.push_back(r.scalars);
+        }
       }
       const std::vector<fl::Verdict> verdicts =
-          validator.screen_round(upload_ids, received);
+          shard_agg ? validator.screen_round(upload_ids, pre)
+                    : validator.screen_round(upload_ids, received);
       std::vector<std::span<const float>> views;
       std::vector<std::size_t> accepted_ids;
       views.reserve(uploads.size());
@@ -756,8 +807,25 @@ ClusterResult FlCluster::run_internal(
                 static_cast<double>(local_samples[id]) / total_weight));
           }
         }
-        fl::aggregate_updates(options_.fl.aggregation, views, weights,
-                              options_.fl.robust_aggregation, global_update);
+        if (shard_agg) {
+          // The clipped rule's cross-upload plan reuses the scalar-pass
+          // norms (same serial accumulation — bit-identical to recomputing).
+          std::vector<double> norms;
+          if (options_.fl.aggregation == fl::Aggregation::kNormClippedMean) {
+            norms.reserve(views.size());
+            for (std::size_t i = 0; i < uploads.size(); ++i) {
+              if (verdicts[i] == fl::Verdict::kAccept) {
+                norms.push_back(pre[i].norm);
+              }
+            }
+          }
+          shard_agg->aggregate(options_.fl.aggregation, views, weights,
+                               options_.fl.robust_aggregation, norms,
+                               global_update);
+        } else {
+          fl::aggregate_updates(options_.fl.aggregation, views, weights,
+                                options_.fl.robust_aggregation, global_update);
+        }
         tensor::add(global, global_update, global);
         if (!prev_global_update.empty()) {
           rec.delta_update = core::normalized_update_difference(
@@ -835,6 +903,15 @@ ClusterResult FlCluster::run_internal(
   result.downlink_retransmitted_bytes = downlink_meter.retransmitted_bytes();
   result.upload_messages = upload_frames.load();
   result.elimination_messages = elimination_frames.load();
+  if (shard_agg) {
+    const std::vector<fl::ShardStats> sstats = shard_agg->stats();
+    result.shard_uplink_bytes.reserve(shard_meters.size());
+    result.shard_uploads.reserve(shard_meters.size());
+    for (std::size_t s = 0; s < shard_meters.size(); ++s) {
+      result.shard_uplink_bytes.push_back(shard_meters[s].total_bytes());
+      result.shard_uploads.push_back(sstats[s].uploads);
+    }
+  }
   result.faults.frames_dropped = fault_stats.frames_dropped.load();
   result.faults.frames_corrupted = fault_stats.frames_corrupted.load();
   result.faults.frames_duplicated = fault_stats.frames_duplicated.load();

@@ -173,6 +173,12 @@ struct ClusterResult {
   /// numbers stay comparable; heartbeat volume scales with wall-clock time
   /// and is therefore not bit-reproducible.
   std::uint64_t control_plane_bytes = 0;
+  /// Sharded ingest (options.fl.sharding): upload wire bytes / upload count
+  /// ingested per aggregator shard, in shard order.  Empty when sharding is
+  /// off.  Deterministic at quorum 1.0 (uploads route by commit index mod
+  /// S, not arrival order).
+  std::vector<std::uint64_t> shard_uplink_bytes;
+  std::vector<std::uint64_t> shard_uploads;
   /// Simulated transfer time had the links been real edge connections
   /// (per-iteration max across workers, summed).
   double simulated_transfer_seconds = 0.0;

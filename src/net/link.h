@@ -22,7 +22,15 @@ namespace cmfl::net {
 /// Cumulative transfer statistics for one direction of the cluster.
 /// Lock-free: record() sits on the per-frame hot path of every worker
 /// thread, so counters are relaxed atomics rather than a mutex.
-class ByteMeter {
+///
+/// Cache-line aligned: meters are deployed in dense arrays (one per
+/// aggregator shard, one per worker link), where each is hammered by a
+/// different thread.  Without the alignment two meters share a 64-byte
+/// line and every record() invalidates the neighbor shard's counters —
+/// false sharing that bench_ingest's meter row measures at several times
+/// the padded cost.  The three counters of one meter deliberately stay on
+/// the same line: they are written together by the same thread.
+class alignas(64) ByteMeter {
  public:
   void record(std::size_t bytes) noexcept {
     total_bytes_.fetch_add(bytes, std::memory_order_relaxed);

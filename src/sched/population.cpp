@@ -17,6 +17,11 @@ constexpr std::uint64_t kSaltAvail = 0x61766169;       // "avai"
 constexpr std::uint64_t kSaltDropout = 0x64726f70;     // "drop"
 constexpr std::uint64_t kSaltJitter = 0x6a697474;      // "jitt"
 
+/// Caller-supplied release seqs are offset into their own ordering domain so
+/// they always sort after auto-sequenced releases of the same fresh run
+/// (setup probes evict before cohort clients, matching the legacy order).
+constexpr std::uint64_t kDeferredSeqBase = 1ULL << 48;
+
 std::uint64_t mix3(std::uint64_t seed, std::uint64_t device,
                    std::uint64_t salt) {
   util::SplitMix64 sm(seed ^ (device * 0x9e3779b97f4a7c15ULL) ^
@@ -165,56 +170,126 @@ fl::FlClient& Population::acquire(std::uint64_t device) {
   if (device >= spec_.devices) {
     throw std::invalid_argument("Population::acquire: device out of range");
   }
-  auto it = resident_.find(device);
-  if (it != resident_.end()) {
-    Resident& r = it->second;
-    if (r.in_use) {
-      throw std::logic_error("Population::acquire: device already acquired");
+  std::vector<std::uint64_t> saved;
+  bool has_saved = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = resident_.find(device);
+    if (it != resident_.end()) {
+      Resident& r = it->second;
+      if (r.in_use) {
+        throw std::logic_error("Population::acquire: device already acquired");
+      }
+      warm_.erase({r.warm_seq, device});
+      r.in_use = true;
+      return *r.client;
     }
-    lru_.erase(r.lru_pos);
-    r.in_use = true;
-    return *r.client;
+    // Reserve the slot with a placeholder and materialize outside the lock,
+    // so concurrent workers overlap factory work (model construction, state
+    // restore) instead of serializing on the pool.  A concurrent acquire of
+    // the same device sees the in_use placeholder and throws, exactly like
+    // a double acquire of a materialized client.
+    if (const auto s = saved_state_.find(device); s != saved_state_.end()) {
+      saved = std::move(s->second);
+      has_saved = true;
+      saved_state_.erase(s);
+    }
+    Resident placeholder;
+    placeholder.in_use = true;
+    resident_.emplace(device, std::move(placeholder));
+    ++materializations_;
+    peak_resident_ = std::max(peak_resident_, resident_.size());
   }
 
-  std::unique_ptr<fl::FlClient> client = factory_(device);
-  if (!client) {
-    throw std::runtime_error("Population: factory returned null client");
+  std::unique_ptr<fl::FlClient> client;
+  try {
+    client = factory_(device);
+    if (!client) {
+      throw std::runtime_error("Population: factory returned null client");
+    }
+    if (has_saved) client->restore_mutable_state(saved);
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    if (has_saved) saved_state_[device] = std::move(saved);
+    resident_.erase(device);
+    --materializations_;
+    throw;
   }
-  ++materializations_;
-  if (const auto saved = saved_state_.find(device);
-      saved != saved_state_.end()) {
-    client->restore_mutable_state(saved->second);
-    saved_state_.erase(saved);
-  }
-  Resident r;
+
+  std::lock_guard lock(mu_);
+  Resident& r = resident_.find(device)->second;
   r.client = std::move(client);
-  r.in_use = true;
-  fl::FlClient& ref = *r.client;
-  resident_.emplace(device, std::move(r));
-  peak_resident_ = std::max(peak_resident_, resident_.size());
-  return ref;
+  return *r.client;
 }
 
 void Population::release(std::uint64_t device) {
-  auto it = resident_.find(device);
-  if (it == resident_.end() || !it->second.in_use) {
-    throw std::logic_error("Population::release: device not acquired");
-  }
-  it->second.in_use = false;
-  it->second.lru_pos = lru_.insert(lru_.end(), device);
-  while (lru_.size() > spec_.max_resident) evict_one();
+  std::lock_guard lock(mu_);
+  // Auto-sequence: strictly increasing per release, so eviction order is
+  // exactly the legacy FIFO release order for single-threaded callers.
+  release_locked(device, release_seq_);
+  while (warm_.size() > spec_.max_resident) evict_lowest_locked();
 }
 
-void Population::evict_one() {
-  const std::uint64_t device = lru_.front();
-  lru_.pop_front();
+void Population::release(std::uint64_t device, std::uint64_t seq) {
+  if (seq >= kDeferredSeqBase) {
+    throw std::invalid_argument("Population::release: seq out of range");
+  }
+  std::lock_guard lock(mu_);
+  release_locked(device, kDeferredSeqBase + seq);
+}
+
+void Population::release_locked(std::uint64_t device, std::uint64_t seq) {
+  auto it = resident_.find(device);
+  if (it == resident_.end() || !it->second.in_use ||
+      it->second.client == nullptr) {
+    throw std::logic_error("Population::release: device not acquired");
+  }
+  if (!warm_.emplace(std::pair{seq, device}, device).second) {
+    throw std::logic_error("Population::release: duplicate sequence number");
+  }
+  it->second.in_use = false;
+  it->second.warm_seq = seq;
+  release_seq_ = std::max(release_seq_, seq) + 1;
+}
+
+void Population::trim_warm() {
+  std::lock_guard lock(mu_);
+  while (warm_.size() > spec_.max_resident) evict_lowest_locked();
+}
+
+void Population::evict_lowest_locked() {
+  const auto first = warm_.begin();
+  const std::uint64_t device = first->second;
+  warm_.erase(first);
   auto it = resident_.find(device);
   std::vector<std::uint64_t> state = it->second.client->mutable_state();
   if (!state.empty()) saved_state_[device] = std::move(state);
   resident_.erase(it);
+  ++evictions_;
+}
+
+std::size_t Population::resident() const {
+  std::lock_guard lock(mu_);
+  return resident_.size();
+}
+
+std::size_t Population::peak_resident() const {
+  std::lock_guard lock(mu_);
+  return peak_resident_;
+}
+
+std::uint64_t Population::materializations() const {
+  std::lock_guard lock(mu_);
+  return materializations_;
+}
+
+std::uint64_t Population::evictions() const {
+  std::lock_guard lock(mu_);
+  return evictions_;
 }
 
 std::vector<std::uint64_t> Population::state_words() const {
+  std::lock_guard lock(mu_);
   std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>> entries;
   entries.reserve(saved_state_.size() + resident_.size());
   for (const auto& [id, words] : saved_state_) entries.emplace_back(id, words);
@@ -238,6 +313,7 @@ std::vector<std::uint64_t> Population::state_words() const {
 }
 
 void Population::restore_state_words(std::span<const std::uint64_t> words) {
+  std::lock_guard lock(mu_);
   for (const auto& [id, r] : resident_) {
     (void)id;
     if (r.in_use) {
@@ -271,7 +347,7 @@ void Population::restore_state_words(std::span<const std::uint64_t> words) {
         "Population::restore_state_words: trailing words");
   }
   resident_.clear();
-  lru_.clear();
+  warm_.clear();
   saved_state_ = std::move(restored);
 }
 

@@ -27,8 +27,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <list>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -106,17 +107,46 @@ class Population {
       const std::function<bool(std::uint64_t)>& excluded = nullptr) const;
 
   // --- Lazy client materialization ---
+  //
+  // Thread safety: acquire / release / trim_warm may be called from
+  // concurrent worker threads (the work-stealing training pool).  The
+  // factory runs *outside* the pool lock — a placeholder reserves the slot
+  // first — so materialization of different devices overlaps while the
+  // bookkeeping stays serialized.  Determinism: eviction order is governed
+  // by caller-supplied logical sequence numbers, not wall-clock release
+  // order, so which clients stay warm is a pure function of the schedule
+  // regardless of thread interleaving (DESIGN.md §17).
+
   /// Materializes (or revives) the device's client and marks it in use.
   /// Throws std::logic_error if the device is already acquired.
   fl::FlClient& acquire(std::uint64_t device);
   /// Returns an acquired client to the warm pool; beyond
-  /// spec().max_resident the least-recently-used warm client is destroyed,
-  /// keeping only its mutable_state() words.
+  /// spec().max_resident the warm client with the lowest sequence number is
+  /// destroyed immediately, keeping only its mutable_state() words.  (The
+  /// internal auto-sequence increases per release, so single-threaded
+  /// callers get exactly the legacy FIFO/LRU behavior.)
   void release(std::uint64_t device);
+  /// Deferred form for concurrent phases: parks the client in the warm pool
+  /// under the caller's logical sequence number (the invitation counter —
+  /// globally increasing, unique per acquisition) WITHOUT evicting anything.
+  /// Eviction happens at the next trim_warm() barrier, in ascending
+  /// (seq, device) order — the exact set and order the serial path would
+  /// have evicted — so mid-phase warm hits and the post-phase pool are
+  /// interleaving-free.  Caller seqs live in their own ordering domain
+  /// *above* every auto-sequenced release(device) (seq must be < 2^48), so
+  /// setup-time probe releases always evict before cohort releases.
+  void release(std::uint64_t device, std::uint64_t seq);
+  /// Phase barrier: evicts lowest-seq warm clients until at most
+  /// spec().max_resident remain.  Call after every concurrent train phase
+  /// (no acquisitions may be in flight concurrently with the trim).
+  void trim_warm();
 
-  std::size_t resident() const noexcept { return resident_.size(); }
-  std::size_t peak_resident() const noexcept { return peak_resident_; }
-  std::uint64_t materializations() const noexcept { return materializations_; }
+  std::size_t resident() const;
+  std::size_t peak_resident() const;
+  std::uint64_t materializations() const;
+  /// Warm clients destroyed (state spilled to the sparse map) so far — the
+  /// measured half of the memory-∝-cohort claim.
+  std::uint64_t evictions() const;
 
   // --- Checkpointing ---
   /// Flattens the sparse device-state map (saved states of evicted devices
@@ -130,25 +160,36 @@ class Population {
 
  private:
   struct Resident {
-    std::unique_ptr<fl::FlClient> client;
+    std::unique_ptr<fl::FlClient> client;  // null while materializing
     bool in_use = false;
-    /// Position in lru_ when !in_use.
-    std::list<std::uint64_t>::iterator lru_pos;
+    /// Key in warm_ when !in_use.
+    std::uint64_t warm_seq = 0;
   };
 
   /// Uniform double in [0, 1), pure in (seed, device, salt).
   double unit_hash(std::uint64_t device, std::uint64_t salt) const;
-  void evict_one();
+  void release_locked(std::uint64_t device, std::uint64_t seq);
+  void evict_lowest_locked();
 
   PopulationSpec spec_;
   ClientFactory factory_;
+
+  mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Resident> resident_;
-  /// Warm (released) residents, least recently used first.
-  std::list<std::uint64_t> lru_;
+  /// Warm (released) residents keyed by (logical release sequence, device);
+  /// eviction consumes ascending keys, so the order is
+  /// interleaving-independent, and the device component keeps keys unique
+  /// even when auto and caller sequence domains are mixed across runs (a
+  /// device is warm at most once).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> warm_;
+  /// Auto-sequence for the legacy release(device) overload; also advanced
+  /// past caller seqs so the two overloads can be mixed.
+  std::uint64_t release_seq_ = 0;
   /// mutable_state() words of devices whose client was evicted.
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> saved_state_;
   std::size_t peak_resident_ = 0;
   std::uint64_t materializations_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace cmfl::sched

@@ -9,9 +9,10 @@
 #include "codec/codec.h"
 #include "core/estimator.h"
 #include "fl/checkpoint.h"
+#include "fl/shard.h"
+#include "sched/work_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/vector_ops.h"
-#include "util/thread_pool.h"
 
 namespace cmfl::sched {
 
@@ -48,7 +49,10 @@ struct RoundEngine::Ctx {
   core::GlobalUpdateEstimator estimator;
   fl::UpdateValidator validator;
   util::Rng engine_rng;
-  std::unique_ptr<util::ThreadPool> pool;
+  std::unique_ptr<WorkStealingPool> pool;
+  // Sharded ingest + aggregation pipeline (options.sharding); null keeps
+  // the legacy single-master path.
+  std::unique_ptr<fl::ShardedAggregator> shards;
 
   std::vector<float> global;
   std::vector<float> prev_global_update;
@@ -159,7 +163,11 @@ EngineResult RoundEngine::run_internal(
   ctx.sim.uploads_per_client.assign(devices, 0);
   ctx.sim.history.reserve(options_.max_iterations);
   if (options_.parallel) {
-    ctx.pool = std::make_unique<util::ThreadPool>();
+    ctx.pool = std::make_unique<WorkStealingPool>();
+  }
+  if (options_.sharding.enabled()) {
+    ctx.shards = std::make_unique<fl::ShardedAggregator>(dim_,
+                                                         options_.sharding);
   }
 
   ctx.global.resize(dim_);
@@ -218,6 +226,16 @@ EngineResult RoundEngine::run_internal(
       codec_for(ctx, ck.sched.codec_devices[i])
           .restore_mutable_state(ck.sched.codec_state[i]);
     }
+    if (!ck.sched.shard_stats.empty()) {
+      if (!ctx.shards) {
+        throw std::invalid_argument(
+            "RoundEngine: checkpoint has shard stats but sharding is "
+            "disabled");
+      }
+      // Validates the count against options_.sharding.shards, so a resume
+      // under a different shard count fails loudly instead of mis-merging.
+      ctx.shards->restore_stats_words(ck.sched.shard_stats);
+    }
     ctx.start_round = ck.iteration + 1;
   }
 
@@ -239,6 +257,8 @@ EngineResult RoundEngine::run_internal(
   }
   ctx.sched.materializations = population_.materializations();
   ctx.sched.peak_resident_clients = population_.peak_resident();
+  ctx.sched.evictions = population_.evictions();
+  ctx.sched.steals = ctx.pool ? ctx.pool->steals() : 0;
   return {std::move(ctx.sim), ctx.sched};
 }
 
@@ -256,19 +276,21 @@ std::vector<RoundEngine::Trained> RoundEngine::train_cohort(
   fctx.estimated_global_update_pack = &ctx.estimate_pack;
   fctx.iteration = filter_iteration;
 
-  // Acquire serially (materialization mutates the pool), train in
-  // parallel, release serially.  Peak resident client state is therefore
-  // bounded by the cohort size plus the warm pool, never the population.
-  std::vector<fl::FlClient*> clients(devices.size());
-  for (std::size_t i = 0; i < devices.size(); ++i) {
-    clients[i] = &population_.acquire(devices[i]);
-  }
+  // Each job materializes its own client (Population runs the factory
+  // outside its lock, so materializations overlap), trains, and parks the
+  // client back in the warm pool under the device's invitation sequence.
+  // Releases defer eviction to the trim barrier below, which evicts in
+  // ascending (seq, device) order — invitation sequences increase in
+  // device order within a round, so the warm pool after the phase is the
+  // one the serial walk would have left, regardless of which thread ran
+  // what.  Peak resident client state is therefore bounded by the cohort
+  // size plus the warm pool, never the population.
   const auto train_one = [&](std::size_t i) {
     Trained& r = out[i];
     r.device = devices[i];
     r.latency = population_.draw_latency(r.device, seqs[i]);
     r.dropped = population_.drops_mid_round(r.device, round);
-    fl::FlClient& c = *clients[i];
+    fl::FlClient& c = population_.acquire(devices[i]);
     c.set_params(ctx.global);
     r.train_loss =
         c.train_local(options_.local_epochs, options_.batch_size, lr);
@@ -278,15 +300,14 @@ std::vector<RoundEngine::Trained> RoundEngine::train_cohort(
     // u = trained local params − broadcast global params.
     for (std::size_t j = 0; j < dim_; ++j) r.update[j] -= ctx.global[j];
     r.decision = filter_->decide(r.update, fctx);
+    population_.release(devices[i], seqs[i]);
   };
   if (ctx.pool && devices.size() > 1) {
-    ctx.pool->parallel_for(devices.size(), train_one);
+    ctx.pool->run(devices.size(), train_one);
   } else {
     for (std::size_t i = 0; i < devices.size(); ++i) train_one(i);
   }
-  for (std::size_t i = 0; i < devices.size(); ++i) {
-    population_.release(devices[i]);
-  }
+  population_.trim_warm();
   return out;
 }
 
@@ -297,8 +318,28 @@ void RoundEngine::commit_uploads(Ctx& ctx,
                                  const std::vector<double>& raw_weights,
                                  bool staleness_weighted,
                                  fl::IterationRecord& rec) {
+  // Sharded path: the per-upload structural scalars (finiteness, exact L2
+  // norm) are computed concurrently on the shard workers and collected in
+  // index order, so screening sees exactly what the serial scan produces.
+  std::vector<fl::UpdateValidator::UploadScalars> pre;
+  if (ctx.shards) {
+    ctx.shards->begin_batch(views.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      ctx.shards->submit_update(
+          i, views[i], nullptr,
+          static_cast<std::uint64_t>(views[i].size() * sizeof(float)));
+    }
+    std::vector<fl::ShardedAggregator::UploadResult> results =
+        ctx.shards->collect(views.size());
+    pre.reserve(results.size());
+    for (fl::ShardedAggregator::UploadResult& r : results) {
+      if (r.error) std::rethrow_exception(r.error);
+      pre.push_back(r.scalars);
+    }
+  }
   const std::vector<fl::Verdict> verdicts =
-      ctx.validator.screen_round(devices, views);
+      ctx.shards ? ctx.validator.screen_round(devices, pre)
+                 : ctx.validator.screen_round(devices, views);
   std::vector<std::size_t> accepted;
   accepted.reserve(devices.size());
   for (std::size_t i = 0; i < devices.size(); ++i) {
@@ -332,8 +373,20 @@ void RoundEngine::commit_uploads(Ctx& ctx,
   for (std::size_t i : accepted) accepted_views.push_back(views[i]);
 
   std::vector<float> global_update(dim_);
-  fl::aggregate_updates(rule, accepted_views, weights,
-                        options_.robust_aggregation, global_update);
+  if (ctx.shards) {
+    // The clipped rule's cross-upload plan reuses the scalar-pass norms
+    // (same serial accumulation — bit-identical to recomputing them).
+    std::vector<double> norms;
+    if (rule == fl::Aggregation::kNormClippedMean) {
+      norms.reserve(accepted.size());
+      for (std::size_t i : accepted) norms.push_back(pre[i].norm);
+    }
+    ctx.shards->aggregate(rule, accepted_views, weights,
+                          options_.robust_aggregation, norms, global_update);
+  } else {
+    fl::aggregate_updates(rule, accepted_views, weights,
+                          options_.robust_aggregation, global_update);
+  }
   tensor::add(ctx.global, global_update, ctx.global);
   if (!ctx.prev_global_update.empty()) {
     rec.delta_update = core::normalized_update_difference(
@@ -379,6 +432,9 @@ fl::TrainerCheckpoint RoundEngine::snapshot(Ctx& ctx,
     s.codec_devices.push_back(device);
     s.codec_state.push_back(codec->mutable_state());
   }
+  // Shard counters are deterministic (index-mod-S routing), so a resumed
+  // run reports the same ingest totals as an uninterrupted one.
+  if (ctx.shards) s.shard_stats = ctx.shards->stats_words();
   return ck;
 }
 

@@ -23,10 +23,16 @@
 // relevance-based filtering degrades or holds as rounds desynchronize.
 //
 // Time is virtual (Population's seeded latency model), so every mode is
-// bit-deterministic for a fixed seed; local training still runs on the
-// thread pool when SimulationOptions::parallel is set.  Runs checkpoint
-// and resume bit-identically through fl::TrainerCheckpoint v2, including
-// the in-flight report queue of a buffered-async run.  See DESIGN.md §11.
+// bit-deterministic for a fixed seed; local training runs on a
+// work-stealing pool when SimulationOptions::parallel is set (clients are
+// materialized inside the jobs and parked back under their invitation
+// sequence, so the warm pool evolves identically to the serial walk —
+// DESIGN.md §17), and upload screening plus aggregation fan out across
+// SimulationOptions::sharding aggregator shards when enabled, bit-identical
+// to the single-master path.  Runs checkpoint and resume bit-identically
+// through fl::TrainerCheckpoint (v4 adds the per-shard ingest counters),
+// including the in-flight report queue of a buffered-async run.  See
+// DESIGN.md §11 and §17.
 #pragma once
 
 #include <memory>
@@ -52,6 +58,12 @@ struct ScheduleReport {
   // Lazy-materialization accounting (process lifetime, not checkpointed).
   std::uint64_t materializations = 0;
   std::size_t peak_resident_clients = 0;
+  /// Warm-pool evictions — the measured half of memory ∝ cohort (process
+  /// lifetime, not checkpointed).
+  std::uint64_t evictions = 0;
+  /// Work-stealing pool steal events — timing-dependent, reported for
+  /// observability, never checkpointed (DESIGN.md §17).
+  std::uint64_t steals = 0;
 };
 
 struct EngineResult {

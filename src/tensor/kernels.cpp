@@ -505,35 +505,45 @@ constexpr std::size_t kAggBlock = 1024;  // floats; one block stays in L1
 namespace {
 
 #if CMFL_SIMD_X86
-/// Raw data pointers for the SIMD aggregation backends.  Aggregation runs
-/// server-side (not in the allocation-free client training step), so a
-/// small heap vector per call is fine.
+/// Raw data pointers (offset by `lo` floats) for the SIMD aggregation
+/// backends.  Aggregation runs server-side (not in the allocation-free
+/// client training step), so a small heap vector per call is fine.
 std::vector<const float*> view_pointers(
-    std::span<const std::span<const float>> xs) {
+    std::span<const std::span<const float>> xs, std::size_t lo) {
   std::vector<const float*> ps;
   ps.reserve(xs.size());
-  for (const auto& x : xs) ps.push_back(x.data());
+  for (const auto& x : xs) ps.push_back(x.data() + lo);
   return ps;
 }
 #endif
 
+void check_range(std::size_t lo, std::size_t hi, std::size_t size,
+                 const char* what) {
+  if (lo > hi || hi > size) {
+    throw std::invalid_argument(std::string(what) + ": bad range");
+  }
+}
+
 }  // namespace
 
-void scaled_sum(std::span<const std::span<const float>> xs, float scale,
-                std::span<float> out) {
+void scaled_sum_range(std::span<const std::span<const float>> xs, float scale,
+                      std::span<float> out, std::size_t lo, std::size_t hi) {
   for (const auto& x : xs) check_same_size(x.size(), out.size(), "scaled_sum");
-  const std::size_t d = out.size();
+  check_range(lo, hi, out.size(), "scaled_sum_range");
 #if CMFL_SIMD_X86
   if (use_fast()) {
-    const auto ps = view_pointers(xs);
+    const auto ps = view_pointers(xs, lo);
     // Lane-independent adds in the exact client order plus one multiply:
     // bit-identical to the exact tier (and the seed's accumulate-then-scale).
-    simd::scaled_sum_avx2(ps.data(), ps.size(), scale, out.data(), d);
+    // Every element's op sequence is position-independent, so the offset
+    // call equals the same elements of the full-vector call.
+    simd::scaled_sum_avx2(ps.data(), ps.size(), scale, out.data() + lo,
+                          hi - lo);
     return;
   }
 #endif
-  for (std::size_t b0 = 0; b0 < d; b0 += kAggBlock) {
-    const std::size_t b1 = std::min(d, b0 + kAggBlock);
+  for (std::size_t b0 = lo; b0 < hi; b0 += kAggBlock) {
+    const std::size_t b1 = std::min(hi, b0 + kAggBlock);
     std::fill(out.begin() + b0, out.begin() + b1, 0.0f);
     for (const auto& x : xs) {
       const float* xp = x.data();
@@ -543,22 +553,29 @@ void scaled_sum(std::span<const std::span<const float>> xs, float scale,
   }
 }
 
-void weighted_sum(std::span<const std::span<const float>> xs,
-                  std::span<const float> w, std::span<float> out) {
+void scaled_sum(std::span<const std::span<const float>> xs, float scale,
+                std::span<float> out) {
+  scaled_sum_range(xs, scale, out, 0, out.size());
+}
+
+void weighted_sum_range(std::span<const std::span<const float>> xs,
+                        std::span<const float> w, std::span<float> out,
+                        std::size_t lo, std::size_t hi) {
   check_same_size(xs.size(), w.size(), "weighted_sum");
   for (const auto& x : xs) {
     check_same_size(x.size(), out.size(), "weighted_sum");
   }
-  const std::size_t d = out.size();
+  check_range(lo, hi, out.size(), "weighted_sum_range");
 #if CMFL_SIMD_X86
   if (use_fast()) {
-    const auto ps = view_pointers(xs);
-    simd::weighted_sum_avx2(ps.data(), w.data(), ps.size(), out.data(), d);
+    const auto ps = view_pointers(xs, lo);
+    simd::weighted_sum_avx2(ps.data(), w.data(), ps.size(), out.data() + lo,
+                            hi - lo);
     return;
   }
 #endif
-  for (std::size_t b0 = 0; b0 < d; b0 += kAggBlock) {
-    const std::size_t b1 = std::min(d, b0 + kAggBlock);
+  for (std::size_t b0 = lo; b0 < hi; b0 += kAggBlock) {
+    const std::size_t b1 = std::min(hi, b0 + kAggBlock);
     std::fill(out.begin() + b0, out.begin() + b1, 0.0f);
     for (std::size_t kx = 0; kx < xs.size(); ++kx) {
       const float* xp = xs[kx].data();
@@ -566,6 +583,11 @@ void weighted_sum(std::span<const std::span<const float>> xs,
       for (std::size_t i = b0; i < b1; ++i) out[i] += wk * xp[i];
     }
   }
+}
+
+void weighted_sum(std::span<const std::span<const float>> xs,
+                  std::span<const float> w, std::span<float> out) {
+  weighted_sum_range(xs, w, out, 0, out.size());
 }
 
 }  // namespace kernels
@@ -726,6 +748,47 @@ std::size_t count_sign_matches(std::span<const float> x, const SignPack& y) {
   for (; w < words; ++w) {
     const std::size_t base = w * 64;
     const std::size_t lanes = std::min<std::size_t>(64, x.size() - base);
+    std::uint64_t negx, nzx;
+    pack_chunk(x.data() + base, lanes, negx, nzx);
+    std::uint64_t m = match_word(negx, nzx, negy[w], nzy[w]);
+    if (lanes < 64) m &= (std::uint64_t{1} << lanes) - 1;
+    matches += static_cast<std::size_t>(std::popcount(m));
+  }
+  return matches;
+}
+
+std::size_t count_sign_matches_range(std::span<const float> x,
+                                     const SignPack& y, std::size_t lo,
+                                     std::size_t hi) {
+  kernels::check_same_size(x.size(), y.size(), "count_sign_matches_range");
+  if (lo > hi || hi > y.size()) {
+    throw std::invalid_argument("count_sign_matches_range: bad range");
+  }
+  if (lo % 64 != 0 || (hi % 64 != 0 && hi != y.size())) {
+    throw std::invalid_argument(
+        "count_sign_matches_range: bounds must be 64-aligned (or hi == size)");
+  }
+  if (lo == hi) return 0;
+  const auto negy = y.negative_words();
+  const auto nzy = y.nonzero_words();
+  const std::size_t w0 = lo / 64;
+  const std::size_t w1 = (hi + 63) / 64;
+  std::size_t matches = 0;
+  std::size_t w = w0;
+#if CMFL_SIMD_X86
+  if (signpack_use_fast()) {
+    // Full 64-lane words inside [lo, hi) run the vector sweep; the partial
+    // tail word (only possible when hi == size) runs the scalar path below —
+    // the same word split the full-vector mixed form uses.
+    const std::size_t full = w0 + (hi - lo) / 64;
+    matches = simd::count_matches_words_avx2(x.data() + lo, negy.data() + w0,
+                                             nzy.data() + w0, full - w0);
+    w = full;
+  }
+#endif
+  for (; w < w1; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t lanes = std::min<std::size_t>(64, hi - base);
     std::uint64_t negx, nzx;
     pack_chunk(x.data() + base, lanes, negx, nzx);
     std::uint64_t m = match_word(negx, nzx, negy[w], nzy[w]);

@@ -206,6 +206,24 @@ void scaled_sum(std::span<const std::span<const float>> xs, float scale,
 void weighted_sum(std::span<const std::span<const float>> xs,
                   std::span<const float> w, std::span<float> out);
 
+// Range-sliced forms for the sharded aggregation pipeline.  Each writes only
+// out[lo, hi) and reads only that range of every input.  Both tiers compute
+// every output element with an op sequence that depends only on the element
+// index (k-increasing adds, fused multiply-adds in the fast tier), so a
+// range call is bit-identical to the same elements of the full-vector call —
+// disjoint ranges may therefore run on different shard threads and the
+// concatenated result matches the single-master aggregate byte-for-byte at
+// any shard count.  Requires lo <= hi <= out.size().
+
+/// out[i] = scale · Σ_k xs[k][i] for i in [lo, hi).
+void scaled_sum_range(std::span<const std::span<const float>> xs, float scale,
+                      std::span<float> out, std::size_t lo, std::size_t hi);
+
+/// out[i] = Σ_k w[k] · xs[k][i] for i in [lo, hi).
+void weighted_sum_range(std::span<const std::span<const float>> xs,
+                        std::span<const float> w, std::span<float> out,
+                        std::size_t lo, std::size_t hi);
+
 }  // namespace kernels
 
 // ---------------------------------------------------------------------------
@@ -254,5 +272,17 @@ std::size_t count_sign_matches(const SignPack& x, const SignPack& y);
 /// Mixed form: packs x one 64-lane chunk at a time (no allocation) and
 /// matches against the cached pack of y.
 std::size_t count_sign_matches(std::span<const float> x, const SignPack& y);
+
+/// Range form for sharded relevance scoring: matches of x[lo, hi) against the
+/// same element range of the cached pack y.  `x` spans the full vector
+/// (x.size() == y.size()); lo must be a multiple of 64 so the range starts on
+/// a pack-word boundary, and hi must be a multiple of 64 or y.size().  Sign
+/// matching is an exact integer count, so summing disjoint ranges that cover
+/// [0, size) equals the full-vector count exactly — the per-shard scores
+/// fan in to the single-master relevance score with no rounding concerns.
+/// Throws std::invalid_argument on size mismatch or misaligned bounds.
+std::size_t count_sign_matches_range(std::span<const float> x,
+                                     const SignPack& y, std::size_t lo,
+                                     std::size_t hi);
 
 }  // namespace cmfl::tensor

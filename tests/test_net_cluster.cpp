@@ -110,6 +110,59 @@ TEST(FlCluster, MatchesInMemorySimulation) {
   EXPECT_EQ(wire.sim.final_params, mem.final_params);
 }
 
+TEST(FlCluster, ShardedIngestMatchesSingleMasterAndMetersPerShard) {
+  // Sharding the upload pipeline must not change a single byte of the
+  // trajectory or the wire accounting; it only adds per-shard meters.
+  auto run_with = [](std::size_t shards) {
+    auto opt = fast_options();
+    opt.fl.sharding.shards = shards;
+    fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+    FlCluster cluster(
+        std::move(w.clients),
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        w.evaluator, opt);
+    return cluster.run();
+  };
+  const ClusterResult single = run_with(0);
+  EXPECT_TRUE(single.shard_uplink_bytes.empty());
+  EXPECT_TRUE(single.shard_uploads.empty());
+
+  for (const std::size_t s : {1u, 4u}) {
+    SCOPED_TRACE("shards " + std::to_string(s));
+    const ClusterResult sharded = run_with(s);
+    EXPECT_EQ(sharded.sim.final_params, single.sim.final_params);
+    EXPECT_EQ(sharded.uplink_bytes, single.uplink_bytes);
+    EXPECT_EQ(sharded.upload_messages, single.upload_messages);
+    EXPECT_EQ(sharded.elimination_messages, single.elimination_messages);
+    ASSERT_EQ(sharded.shard_uplink_bytes.size(), s);
+    ASSERT_EQ(sharded.shard_uploads.size(), s);
+    // Every accepted upload landed on exactly one shard; the per-shard
+    // meters partition the upload wire bytes (eliminations are tiny status
+    // frames and never enter the ingest pipeline).
+    std::uint64_t uploads = 0;
+    std::uint64_t bytes = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      uploads += sharded.shard_uploads[i];
+      bytes += sharded.shard_uplink_bytes[i];
+    }
+    EXPECT_EQ(uploads, sharded.upload_messages);
+    EXPECT_GT(bytes, 0u);
+    EXPECT_LE(bytes, sharded.uplink_bytes);
+  }
+}
+
+TEST(FlCluster, ShardingRejectsReplicatedControlPlane) {
+  auto opt = fast_options();
+  opt.fl.sharding.shards = 2;
+  opt.replication.replicas = 3;
+  opt.recovery.round_timeout_s = 1.0;
+  fl::Workload w = fl::make_digits_mlp_workload(small_spec());
+  EXPECT_THROW(FlCluster(std::move(w.clients),
+                         std::make_unique<core::AcceptAllFilter>(),
+                         w.evaluator, opt),
+               std::invalid_argument);
+}
+
 TEST(FlCluster, FootprintGrowsAcrossEvaluations) {
   fl::Workload w = fl::make_digits_mlp_workload(small_spec());
   FlCluster cluster(std::move(w.clients),

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "fl/convex_testbed.h"
@@ -229,6 +231,131 @@ TEST(Population, StateWordsRoundTrip) {
   p.release(3);
   std::vector<std::uint64_t> truncated(words.begin(), words.end() - 1);
   EXPECT_THROW(q.restore_state_words(truncated), std::invalid_argument);
+}
+
+TEST(Population, DeferredReleaseParksUntilTrimThenEvictsInSeqOrder) {
+  PopulationSpec spec = churn_spec(100);
+  spec.max_resident = 2;
+  Population p(spec, convex_factory());
+  for (const std::uint64_t d : {10u, 20u, 30u, 40u}) p.acquire(d);
+
+  // Deferred releases in scrambled call order: nothing evicts mid-phase.
+  p.release(30, 2);
+  p.release(10, 0);
+  p.release(40, 3);
+  p.release(20, 1);
+  EXPECT_EQ(p.resident(), 4u);
+  EXPECT_EQ(p.evictions(), 0u);
+
+  // The trim barrier evicts ascending seq: 10 (seq 0) and 20 (seq 1) go,
+  // 30 and 40 stay warm.
+  p.trim_warm();
+  EXPECT_EQ(p.resident(), 2u);
+  EXPECT_EQ(p.evictions(), 2u);
+  const auto mats = p.materializations();
+  p.acquire(30);
+  p.acquire(40);
+  EXPECT_EQ(p.materializations(), mats);  // warm hits
+  p.release(30);
+  p.release(40);
+  p.acquire(10);
+  EXPECT_EQ(p.materializations(), mats + 1);  // was evicted
+  p.release(10);
+}
+
+TEST(Population, AutoSequencedReleasesEvictBeforeDeferredOnes) {
+  // The two seq domains: legacy release(device) auto-sequences below every
+  // caller seq, so setup-time probe releases always evict first at the
+  // barrier.
+  PopulationSpec spec = churn_spec(100);
+  spec.max_resident = 1;
+  Population p(spec, convex_factory());
+  p.acquire(5);
+  p.release(5);  // auto seq — the probe
+  p.acquire(6);
+  p.acquire(7);
+  p.release(6, 0);  // caller seqs, own domain above the auto seq
+  p.release(7, 1);
+  p.trim_warm();
+  EXPECT_EQ(p.resident(), 1u);
+  EXPECT_EQ(p.evictions(), 2u);
+  const auto mats = p.materializations();
+  p.acquire(7);  // the highest seq survived
+  EXPECT_EQ(p.materializations(), mats);
+  p.release(7);
+}
+
+TEST(Population, DeferredReleaseRejectsSeqAboveDomainBase) {
+  Population p(churn_spec(10), convex_factory());
+  p.acquire(1);
+  EXPECT_THROW(p.release(1, std::uint64_t{1} << 48), std::invalid_argument);
+  p.release(1);
+}
+
+TEST(Population, ConcurrentDeferredReleasesMatchSerialEvictionExactly) {
+  // The DESIGN.md §17 determinism claim: with releases parked under logical
+  // seqs and eviction deferred to the trim barrier, the warm set, eviction
+  // count, and materialization count after a concurrent phase equal the
+  // serial run's regardless of thread interleaving.  Run under TSan via
+  // `ctest -L ingest` (bench/run_ingest.sh).
+  PopulationSpec spec = churn_spec(200);
+  spec.max_resident = 4;
+
+  struct Outcome {
+    std::uint64_t materializations = 0;
+    std::uint64_t evictions = 0;
+    std::size_t resident = 0;
+    std::vector<std::uint64_t> state;
+  };
+  // Three phases of 12 devices each, overlapping cohorts so warm hits and
+  // revivals both occur.
+  const std::vector<std::vector<std::uint64_t>> cohorts = {
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+      {6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17},
+      {0, 1, 2, 3, 12, 13, 14, 15, 20, 21, 22, 23},
+  };
+  auto run_phases = [&](bool threaded) {
+    Population p(spec, convex_factory());
+    std::uint64_t seq = 0;
+    for (const auto& cohort : cohorts) {
+      if (threaded) {
+        std::vector<std::thread> workers;
+        workers.reserve(cohort.size());
+        for (std::size_t i = 0; i < cohort.size(); ++i) {
+          workers.emplace_back([&, i] {
+            auto& c = p.acquire(cohort[i]);
+            c.train_local(1, 1, 0.05f);
+            p.release(cohort[i], seq + i);
+          });
+        }
+        for (auto& w : workers) w.join();
+      } else {
+        for (std::size_t i = 0; i < cohort.size(); ++i) {
+          auto& c = p.acquire(cohort[i]);
+          c.train_local(1, 1, 0.05f);
+          p.release(cohort[i], seq + i);
+        }
+      }
+      seq += cohort.size();
+      p.trim_warm();
+    }
+    Outcome o;
+    o.materializations = p.materializations();
+    o.evictions = p.evictions();
+    o.resident = p.resident();
+    o.state = p.state_words();
+    return o;
+  };
+
+  const Outcome serial = run_phases(false);
+  const Outcome threaded = run_phases(true);
+  EXPECT_EQ(threaded.materializations, serial.materializations);
+  EXPECT_EQ(threaded.evictions, serial.evictions);
+  EXPECT_EQ(threaded.resident, serial.resident);
+  // The full sparse device-state map — which devices stayed warm, which
+  // spilled, and every spilled RNG stream — is interleaving-free.
+  EXPECT_EQ(threaded.state, serial.state);
+  EXPECT_GT(serial.evictions, 0u);
 }
 
 TEST(Population, PeakResidentTracksCohortNotPopulation) {

@@ -466,6 +466,129 @@ TEST(RoundEngineResume, CodecStateResumesBitIdenticallyInBothModes) {
   }
 }
 
+// --- Sharded parameter-server bit-identity (DESIGN.md §17) ---
+
+TEST(RoundEngine, ShardedRunsMatchSingleMasterBitForBit) {
+  // The tentpole acceptance criterion: S in {1, 2, 4, 8} shards produce the
+  // exact trajectory of the single-master path (S = 0), in a configuration
+  // that exercises screening (non-finite-rejection policy active), CMFL
+  // relevance filtering, and the robust clipped rule whose plan consumes the
+  // shard workers' norms.
+  auto run_with = [](std::size_t shards) {
+    const auto spec = testbed_spec(24);
+    auto testbed = std::make_shared<fl::ConvexTestbed>(spec);
+    auto opt = base_options();
+    opt.max_iterations = 6;
+    opt.aggregation = fl::Aggregation::kNormClippedMean;
+    opt.schedule.mode = RoundMode::kOverSelect;
+    opt.schedule.selection = Selection::kAvailabilityAware;
+    opt.schedule.sample_size = 12;
+    opt.schedule.target_reports = 9;
+    opt.sharding.shards = shards;
+    PopulationSpec pop_spec;
+    pop_spec.devices = spec.clients;
+    pop_spec.mean_on_fraction = 0.85;
+    pop_spec.max_resident = 8;
+    pop_spec.seed = 5;
+    Population population(pop_spec, factory_for(spec, testbed));
+    RoundEngine engine(
+        population,
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        evaluator_for(testbed), opt);
+    return engine.run();
+  };
+
+  const EngineResult single_master = run_with(0);
+  for (const std::size_t s : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("shards " + std::to_string(s));
+    const EngineResult sharded = run_with(s);
+    expect_sim_bit_identical(sharded.sim, single_master.sim);
+    EXPECT_EQ(sharded.sched.invited, single_master.sched.invited);
+    EXPECT_EQ(sharded.sched.reported, single_master.sched.reported);
+    EXPECT_EQ(sharded.sched.evictions, single_master.sched.evictions);
+  }
+}
+
+TEST(RoundEngine, ShardingComposesWithWorkStealingPool) {
+  // Both concurrency layers on at once (parallel training pool + sharded
+  // ingest) against both off — still bit-identical.
+  auto run_with = [](bool parallel, std::size_t shards) {
+    const auto spec = testbed_spec(16);
+    auto testbed = std::make_shared<fl::ConvexTestbed>(spec);
+    auto opt = base_options();
+    opt.parallel = parallel;
+    opt.sharding.shards = shards;
+    PopulationSpec pop_spec;
+    pop_spec.devices = spec.clients;
+    pop_spec.max_resident = 5;
+    Population population(pop_spec, factory_for(spec, testbed));
+    RoundEngine engine(
+        population,
+        std::make_unique<core::CmflFilter>(core::Schedule::constant(0.45)),
+        evaluator_for(testbed), opt);
+    return engine.run();
+  };
+  const EngineResult serial = run_with(false, 0);
+  const EngineResult concurrent = run_with(true, 4);
+  expect_sim_bit_identical(concurrent.sim, serial.sim);
+  EXPECT_EQ(concurrent.sched.materializations, serial.sched.materializations);
+  EXPECT_EQ(concurrent.sched.evictions, serial.sched.evictions);
+  EXPECT_EQ(concurrent.sched.peak_resident_clients,
+            serial.sched.peak_resident_clients);
+}
+
+TEST(RoundEngineResume, ShardStatsResumeBitIdentically) {
+  // Checkpoint v4 carries per-shard ingest counters; a killed-and-resumed
+  // sharded run must agree with the uninterrupted one on the trajectory.
+  const std::string path = ::testing::TempDir() + "ck_sched_shard.bin";
+  std::remove(path.c_str());
+  EngineRun run = overselect_run(path);
+  run.opt.sharding.shards = 3;
+
+  const EngineResult uninterrupted = run.run();
+  const EngineResult resumed = run.crash_and_resume(5);
+  expect_sim_bit_identical(resumed.sim, uninterrupted.sim);
+  EXPECT_EQ(resumed.sched.reported, uninterrupted.sched.reported);
+  std::remove(path.c_str());
+}
+
+TEST(RoundEngineResume, ShardConfigMismatchIsRejected) {
+  const std::string path = ::testing::TempDir() + "ck_sched_shard_mm.bin";
+  std::remove(path.c_str());
+  EngineRun run = overselect_run(path);
+  run.opt.sharding.shards = 2;
+  {
+    auto first_half = run.opt;
+    first_half.max_iterations = 5;
+    Population population(run.pop_spec, factory_for(run.spec, run.testbed));
+    RoundEngine engine(population, std::make_unique<core::AcceptAllFilter>(),
+                       evaluator_for(run.testbed), first_half);
+    engine.run();
+  }
+  const fl::TrainerCheckpoint ck = fl::load_checkpoint_file(path);
+  EXPECT_FALSE(ck.sched.shard_stats.empty());
+
+  // Resuming a sharded checkpoint with sharding disabled must throw...
+  {
+    auto no_shards = run.opt;
+    no_shards.sharding.shards = 0;
+    Population population(run.pop_spec, factory_for(run.spec, run.testbed));
+    RoundEngine engine(population, std::make_unique<core::AcceptAllFilter>(),
+                       evaluator_for(run.testbed), no_shards);
+    EXPECT_THROW(engine.resume(ck), std::invalid_argument);
+  }
+  // ...and so must a different shard count (stats word count mismatch).
+  {
+    auto more_shards = run.opt;
+    more_shards.sharding.shards = 4;
+    Population population(run.pop_spec, factory_for(run.spec, run.testbed));
+    RoundEngine engine(population, std::make_unique<core::AcceptAllFilter>(),
+                       evaluator_for(run.testbed), more_shards);
+    EXPECT_THROW(engine.resume(ck), std::invalid_argument);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(RoundEngine, RejectsUnsupportedOptionsAndForeignCheckpoints) {
   const auto spec = testbed_spec(4);
   auto testbed = std::make_shared<fl::ConvexTestbed>(spec);

@@ -158,6 +158,11 @@ Benchmark* Benchmark::Arg(std::int64_t a) {
   return this;
 }
 
+Benchmark* Benchmark::UseRealTime() {
+  use_real_time_ = true;
+  return this;
+}
+
 Benchmark* RegisterBenchmarkInternal(const char* name, Function* fn) {
   auto* b = new Benchmark(name, fn);  // lives for the process, like gbench
   registry().push_back(b);
@@ -239,6 +244,7 @@ std::string instance_name(const internal::Benchmark& b,
                           const std::vector<std::int64_t>& args) {
   std::string name = b.name();
   for (auto a : args) name += "/" + std::to_string(a);
+  if (b.use_real_time()) name += "/real_time";
   return name;
 }
 
@@ -252,18 +258,23 @@ RunResult run_once(const internal::Benchmark& b,
   double di = static_cast<double>(iters);
   r.real_ns = state.real_seconds() * 1e9 / di;
   r.cpu_ns = state.cpu_seconds() * 1e9 / di;
-  double cpu_s = std::max(state.cpu_seconds(), 1e-12);
+  // UseRealTime(): rates divide by wall time — the work may run on worker
+  // threads whose CPU time this thread's clock never sees.
+  double rate_s = b.use_real_time() ? std::max(state.real_seconds(), 1e-12)
+                                    : std::max(state.cpu_seconds(), 1e-12);
   if (state.items_processed() > 0) {
-    r.extra.emplace_back("items_per_second",
-                         static_cast<double>(state.items_processed()) / cpu_s);
+    r.extra.emplace_back(
+        "items_per_second",
+        static_cast<double>(state.items_processed()) / rate_s);
   }
   if (state.bytes_processed() > 0) {
-    r.extra.emplace_back("bytes_per_second",
-                         static_cast<double>(state.bytes_processed()) / cpu_s);
+    r.extra.emplace_back(
+        "bytes_per_second",
+        static_cast<double>(state.bytes_processed()) / rate_s);
   }
   for (const auto& [key, counter] : state.counters) {
     double v = counter.value;
-    if (counter.flags & Counter::kIsRate) v /= cpu_s;
+    if (counter.flags & Counter::kIsRate) v /= rate_s;
     r.extra.emplace_back(key, v);
   }
   return r;

@@ -4,6 +4,7 @@
 // intentional deviations.  The subset is exactly what bench/ uses:
 //
 //   BENCHMARK(fn)->Arg(a)->Arg(b);          registration + arg chaining
+//   BENCHMARK(fn)->UseRealTime();           rates vs wall time, "/real_time"
 //   for (auto _ : state) { ... }            timed iteration protocol
 //   state.range(0) / iterations()           run parameters
 //   state.SetItemsProcessed / SetBytesProcessed
@@ -35,7 +36,8 @@ class Counter {
  public:
   enum Flags {
     kDefaults = 0,
-    /// Value is divided by elapsed CPU seconds when reported.
+    /// Value is divided by elapsed CPU seconds when reported (real
+    /// seconds if the benchmark chained UseRealTime()).
     kIsRate = 1 << 0,
   };
 
@@ -128,9 +130,16 @@ class Benchmark {
  public:
   Benchmark(std::string name, Function* fn);
   Benchmark* Arg(std::int64_t a);
+  /// Report rates (items/bytes per second, Counter::kIsRate) against wall
+  /// time instead of the benchmarking thread's CPU time, and suffix the
+  /// instance name "/real_time" (google-benchmark parity).  Essential for
+  /// benchmarks whose work runs on worker threads while the registering
+  /// thread blocks — its CPU clock barely advances there.
+  Benchmark* UseRealTime();
 
   const std::string& name() const { return name_; }
   Function* fn() const { return fn_; }
+  bool use_real_time() const { return use_real_time_; }
   const std::vector<std::vector<std::int64_t>>& instances() const {
     return instances_;
   }
@@ -138,6 +147,7 @@ class Benchmark {
  private:
   std::string name_;
   Function* fn_;
+  bool use_real_time_ = false;
   std::vector<std::vector<std::int64_t>> instances_;
 };
 
